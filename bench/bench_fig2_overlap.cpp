@@ -1,0 +1,43 @@
+// Reproduces Fig. 2: the overlap ratio between the engine's top-30/top-50
+// results and a survey's reference lists (#occurrences >= 1/2/3), at the
+// 0th / 1st / 2nd citation order. The paper's shape: 0th-order overlap is
+// low (~0.06-0.14) and rises steeply with expansion (to ~0.6-0.7).
+
+#include <cstdio>
+#include <iostream>
+
+#include "bench_common.h"
+#include "common/table_printer.h"
+#include "eval/overlap.h"
+
+int main() {
+  using namespace rpg;
+  bench::BenchConfig config = bench::LoadBenchConfig();
+  auto wb = bench::BuildWorkbenchOrDie(config);
+
+  std::printf("=== Fig. 2: engine-results vs survey-reference overlap ===\n");
+  for (int top_k : {30, 50}) {
+    eval::OverlapOptions options;
+    options.top_k = top_k;
+    options.subset_size = config.eval_queries;
+    auto result_or = RunOverlapExperiment(*wb, options);
+    if (!result_or.ok()) {
+      std::fprintf(stderr, "overlap experiment failed: %s\n",
+                   result_or.status().ToString().c_str());
+      return 1;
+    }
+    const eval::OverlapResult& r = result_or.value();
+    std::printf("\n(TOP %d, averaged over %zu high-score surveys)\n", top_k,
+                r.surveys);
+    TablePrinter table({"order", "#occurrences>=1", "#occurrences>=2",
+                        "#occurrences>=3"});
+    const char* order_names[] = {"0 order", "1st order", "2nd order"};
+    for (int order = 0; order < 3; ++order) {
+      table.AddRow(order_names[order],
+                   {r.ratio[order][0], r.ratio[order][1], r.ratio[order][2]},
+                   2);
+    }
+    table.Print(std::cout);
+  }
+  return 0;
+}

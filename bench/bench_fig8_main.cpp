@@ -1,0 +1,67 @@
+// Reproduces Fig. 8: F1@K and P@K for K in {20, 25, 30, 35, 40, 45, 50}
+// for the six systems (NEWST, Google Scholar, Microsoft Academic, AMiner,
+// PageRank, SciBERT-substitute) under the three ground-truth levels
+// (#occurrences >= 1/2/3).
+//
+// Expected shape (paper): NEWST best almost everywhere (especially at
+// large K), engines degrade as K grows, PageRank worst, the semantic
+// matcher in between.
+
+#include <cstdio>
+#include <iostream>
+
+#include "bench_common.h"
+#include "common/table_printer.h"
+#include "eval/evaluator.h"
+
+int main() {
+  using namespace rpg;
+  bench::BenchConfig config = bench::LoadBenchConfig();
+  auto wb = bench::BuildWorkbenchOrDie(config);
+
+  std::vector<size_t> sample = eval::Evaluator::SampleEntries(
+      wb->bank(), config.eval_queries, config.sample_seed);
+  eval::Evaluator evaluator(wb.get(), sample);
+  std::printf("=== Fig. 8: F1@K / P@K, %zu queries ===\n", sample.size());
+
+  const std::vector<size_t> ks = {20, 25, 30, 35, 40, 45, 50};
+  const std::vector<eval::LabelLevel> levels = {
+      eval::LabelLevel::kAtLeast1, eval::LabelLevel::kAtLeast2,
+      eval::LabelLevel::kAtLeast3};
+
+  // grid[method][level][k]
+  std::vector<std::vector<std::vector<eval::CellResult>>> grids;
+  for (eval::Method method : eval::AllMethods()) {
+    auto grid_or = evaluator.RunSweep(method, ks, levels);
+    if (!grid_or.ok()) {
+      std::fprintf(stderr, "%s failed: %s\n", MethodName(method),
+                   grid_or.status().ToString().c_str());
+      return 1;
+    }
+    grids.push_back(std::move(grid_or).value());
+  }
+
+  std::vector<std::string> header = {"method"};
+  for (size_t k : ks) header.push_back("K=" + std::to_string(k));
+  for (size_t li = 0; li < levels.size(); ++li) {
+    std::printf("\n--- ground truth: #occurrences >= %d ---\n",
+                static_cast<int>(levels[li]));
+    TablePrinter f1_table(header);
+    TablePrinter p_table(header);
+    auto methods = eval::AllMethods();
+    for (size_t mi = 0; mi < methods.size(); ++mi) {
+      std::vector<double> f1s, ps;
+      for (size_t ki = 0; ki < ks.size(); ++ki) {
+        f1s.push_back(grids[mi][li][ki].f1);
+        ps.push_back(grids[mi][li][ki].precision);
+      }
+      f1_table.AddRow(MethodName(methods[mi]), f1s, 4);
+      p_table.AddRow(MethodName(methods[mi]), ps, 4);
+    }
+    std::printf("F1 score:\n");
+    f1_table.Print(std::cout);
+    std::printf("Precision:\n");
+    p_table.Print(std::cout);
+  }
+  return 0;
+}

@@ -1,0 +1,102 @@
+// Reproduces Table IV: running time of the RePaGer pipeline on retrieval
+// cases of growing sub-citation-graph size, plus the average over an
+// evaluation sample. Implemented with google-benchmark for the per-case
+// timing, followed by a plain Table IV printout.
+//
+// Expected shape (paper): time grows superlinearly with #nodes/#edges
+// (the metric closure is O(|S||V|^2) worst case), seconds-scale totals.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <iostream>
+#include <memory>
+
+#include "bench_common.h"
+#include "common/string_util.h"
+#include "common/table_printer.h"
+#include "eval/evaluator.h"
+
+namespace {
+
+using namespace rpg;
+
+std::unique_ptr<eval::Workbench> g_wb;
+std::vector<size_t> g_sample;
+
+/// Runs RePaGer for the sample query at `index` with the given seed
+/// count; more seeds -> larger sub-graphs (the Table IV case axis).
+core::RePagerResult RunCase(size_t index, int num_seeds) {
+  const auto& entry = g_wb->bank().Get(g_sample[index]);
+  core::RePagerOptions options;
+  options.num_initial_seeds = num_seeds;
+  options.year_cutoff = entry.year;
+  options.exclude = {entry.paper};
+  auto result_or = g_wb->repager().Generate(entry.query, options);
+  if (!result_or.ok()) {
+    std::fprintf(stderr, "case failed: %s\n",
+                 result_or.status().ToString().c_str());
+    std::exit(1);
+  }
+  return std::move(result_or).value();
+}
+
+void BM_RePaGerPipeline(benchmark::State& state) {
+  int num_seeds = static_cast<int>(state.range(0));
+  size_t nodes = 0, edges = 0;
+  for (auto _ : state) {
+    core::RePagerResult result = RunCase(0, num_seeds);
+    nodes = result.subgraph_nodes;
+    edges = result.subgraph_edges;
+    benchmark::DoNotOptimize(result.ranked.data());
+  }
+  state.counters["subgraph_nodes"] = static_cast<double>(nodes);
+  state.counters["subgraph_edges"] = static_cast<double>(edges);
+}
+BENCHMARK(BM_RePaGerPipeline)->Arg(10)->Arg(30)->Arg(50)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::BenchConfig config = bench::LoadBenchConfig();
+  g_wb = bench::BuildWorkbenchOrDie(config);
+  g_sample = eval::Evaluator::SampleEntries(g_wb->bank(),
+                                            config.eval_queries,
+                                            config.sample_seed);
+  if (g_sample.empty()) {
+    std::fprintf(stderr, "no sample queries\n");
+    return 1;
+  }
+
+  ::benchmark::Initialize(&argc, argv);
+  ::benchmark::RunSpecifiedBenchmarks();
+
+  // Table IV printout: three representative cases + test-set average.
+  std::printf("\n=== Table IV: running time under different retrieval cases ===\n");
+  TablePrinter table({"case", "#nodes", "#edges", "Time (seconds)"});
+  const int case_seeds[] = {10, 30, 50};
+  for (int i = 0; i < 3; ++i) {
+    core::RePagerResult result = RunCase(0, case_seeds[i]);
+    table.AddRow({StrFormat("Case %d", i + 1),
+                  std::to_string(result.subgraph_nodes),
+                  std::to_string(result.subgraph_edges),
+                  FormatDouble(result.total_seconds, 2)});
+  }
+  // Average over the evaluation sample at the default 30 seeds.
+  double total_nodes = 0, total_edges = 0, total_time = 0;
+  size_t runs = std::min<size_t>(g_sample.size(), 20);
+  for (size_t i = 0; i < runs; ++i) {
+    core::RePagerResult result = RunCase(i, 30);
+    total_nodes += static_cast<double>(result.subgraph_nodes);
+    total_edges += static_cast<double>(result.subgraph_edges);
+    total_time += result.total_seconds;
+  }
+  table.AddRow({"Avg. (test set)",
+                std::to_string(static_cast<size_t>(total_nodes / runs)),
+                std::to_string(static_cast<size_t>(total_edges / runs)),
+                FormatDouble(total_time / static_cast<double>(runs), 2)});
+  table.Print(std::cout);
+  g_wb.reset();
+  return 0;
+}

@@ -1,0 +1,92 @@
+// Quickstart: generate a corpus, build the substrates, and produce a
+// reading path for the key phrases of one SurveyBank survey — the
+// end-to-end flow a RePaGer user runs.
+//
+// Usage: quickstart [query]
+//   With no argument, the query of the highest-scoring survey is used.
+
+#include <cstdio>
+#include <string>
+
+#include "common/logging.h"
+#include "core/repager.h"
+#include "eval/workbench.h"
+
+int main(int argc, char** argv) {
+  using namespace rpg;
+
+  // 1. Build the workbench: synthetic corpus (S2ORC substitute),
+  //    SurveyBank, search engines, PageRank/venue weights, RePaGer.
+  eval::WorkbenchOptions options;
+  options.corpus.seed = 42;
+  auto wb_or = eval::Workbench::Create(options);
+  if (!wb_or.ok()) {
+    std::fprintf(stderr, "workbench: %s\n",
+                 wb_or.status().ToString().c_str());
+    return 1;
+  }
+  const eval::Workbench& wb = *wb_or.value();
+  std::printf("corpus: %zu papers, %zu citation edges, %zu surveys\n",
+              wb.corpus().num_papers(), wb.corpus().citations.num_edges(),
+              wb.corpus().surveys.size());
+  std::printf("surveybank: %zu benchmark entries\n\n", wb.bank().size());
+
+  // 2. Pick a query: user-provided, or the top survey's key phrases.
+  std::string query;
+  core::RePagerOptions repager_options;
+  if (argc > 1) {
+    query = argv[1];
+  } else {
+    size_t best = wb.bank().HighScoreSubset(1).front();
+    for (size_t candidate : wb.bank().HighScoreSubset(50)) {
+      if (wb.bank().Get(candidate).year >= 2015) {
+        best = candidate;
+        break;
+      }
+    }
+    const auto& entry = wb.bank().Get(best);
+    query = entry.query;
+    repager_options.year_cutoff = entry.year;
+    repager_options.exclude = {entry.paper};
+    std::printf("query from survey \"%s\" (%d)\n", entry.title.c_str(),
+                entry.year);
+  }
+  std::printf("query: \"%s\"\n\n", query.c_str());
+
+  // 3. Generate the reading path.
+  auto result_or = wb.repager().Generate(query, repager_options);
+  if (!result_or.ok()) {
+    std::fprintf(stderr, "repager: %s\n",
+                 result_or.status().ToString().c_str());
+    return 1;
+  }
+  const core::RePagerResult& result = result_or.value();
+  std::printf("initial seeds: %zu, terminals after reallocation: %zu\n",
+              result.initial_seeds.size(), result.terminals.size());
+  std::printf("sub-citation graph: %zu nodes, %zu edges\n",
+              result.subgraph_nodes, result.subgraph_edges);
+  std::printf("reading path: %zu papers, %zu reading-order edges\n",
+              result.path.size(), result.path.edges().size());
+  std::printf("steiner time: %.3fs, total: %.3fs\n\n",
+              result.steiner_seconds, result.total_seconds);
+
+  // 4. Render it. Papers marked '*' were NOT in the engine's top results
+  //    — the prerequisites RePaGer adds (Fig. 9's green nodes).
+  std::unordered_set<graph::PaperId> seeds(result.initial_seeds.begin(),
+                                           result.initial_seeds.end());
+  std::unordered_set<graph::PaperId> added;
+  for (graph::PaperId p : result.path.nodes()) {
+    if (!seeds.contains(p)) added.insert(p);
+  }
+  std::printf("reading path (prerequisites RePaGer added are marked *):\n%s\n",
+              result.path.ToAscii(wb.paper_info(), added).c_str());
+
+  // 5. The flattened navigation-bar order (first 10).
+  std::printf("flattened reading order (first 10):\n");
+  auto order = result.path.FlattenedOrder(wb.years());
+  for (size_t i = 0; i < order.size() && i < 10; ++i) {
+    std::printf("  %2zu. [%d] %s\n", i + 1, wb.years()[order[i]],
+                wb.titles()[order[i]].c_str());
+  }
+  return 0;
+}

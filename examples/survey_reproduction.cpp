@@ -1,0 +1,82 @@
+// Survey reproduction: take a real SurveyBank entry, run every compared
+// system on its title's key phrases, and show how well each recovers the
+// survey's actual reference list (the paper's core evaluation, §VI, on a
+// single concrete query).
+//
+// Usage: survey_reproduction [entry_index]
+
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+
+#include "common/string_util.h"
+#include "common/table_printer.h"
+#include "eval/baselines.h"
+#include "eval/evaluator.h"
+#include "eval/metrics.h"
+#include "eval/workbench.h"
+
+int main(int argc, char** argv) {
+  using namespace rpg;
+  auto wb_or = eval::Workbench::Create();
+  if (!wb_or.ok()) {
+    std::fprintf(stderr, "workbench: %s\n", wb_or.status().ToString().c_str());
+    return 1;
+  }
+  const eval::Workbench& wb = *wb_or.value();
+
+  // Pick the survey: CLI-provided index, or a recent high-score one.
+  size_t index;
+  if (argc > 1) {
+    index = std::strtoull(argv[1], nullptr, 10);
+    if (index >= wb.bank().size()) {
+      std::fprintf(stderr, "entry_index must be < %zu\n", wb.bank().size());
+      return 1;
+    }
+  } else {
+    index = wb.bank().HighScoreSubset(1).front();
+    for (size_t candidate : wb.bank().HighScoreSubset(50)) {
+      if (wb.bank().Get(candidate).year >= 2015) {
+        index = candidate;
+        break;
+      }
+    }
+  }
+  const auto& entry = wb.bank().Get(index);
+  std::printf("survey:      \"%s\" (%d)\n", entry.title.c_str(), entry.year);
+  std::printf("query:       \"%s\"\n", entry.query.c_str());
+  std::printf("ground truth: %zu references (L1), %zu cited>=2 (L2), "
+              "%zu cited>=3 (L3)\n\n",
+              entry.label_l1.size(), entry.label_l2.size(),
+              entry.label_l3.size());
+
+  // Run every system at K = 30 and compare against L1.
+  eval::QuerySpec spec{entry.query, entry.year, entry.paper};
+  TablePrinter table({"method", "P@30", "R@30", "F1@30", "hits"});
+  for (eval::Method method : eval::AllMethods()) {
+    auto ranked_or = RankedListFor(wb, method, spec, 30);
+    if (!ranked_or.ok()) {
+      std::fprintf(stderr, "%s: %s\n", MethodName(method),
+                   ranked_or.status().ToString().c_str());
+      continue;
+    }
+    eval::PrfAtK m = eval::ComputePrfAtK(ranked_or.value(), entry.label_l1, 30);
+    size_t hits = eval::CountOverlap(ranked_or.value(), entry.label_l1);
+    table.AddRow({MethodName(method), FormatDouble(m.precision, 3),
+                  FormatDouble(m.recall, 3), FormatDouble(m.f1, 3),
+                  std::to_string(hits)});
+  }
+  table.Print(std::cout);
+
+  // Show NEWST's top hits, marking true references.
+  auto newst = RankedListFor(wb, eval::Method::kNewst, spec, 15).value();
+  std::printf("\nNEWST top 15 ('#' marks papers on the survey's reference "
+              "list):\n");
+  for (size_t i = 0; i < newst.size(); ++i) {
+    bool hit = std::binary_search(entry.label_l1.begin(),
+                                  entry.label_l1.end(), newst[i]);
+    std::printf("  %2zu. %s [%d] %s\n", i + 1, hit ? "#" : " ",
+                wb.years()[newst[i]], wb.titles()[newst[i]].c_str());
+  }
+  return 0;
+}

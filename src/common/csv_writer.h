@@ -1,0 +1,36 @@
+#ifndef RPG_COMMON_CSV_WRITER_H_
+#define RPG_COMMON_CSV_WRITER_H_
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+
+namespace rpg {
+
+/// Minimal RFC-4180 CSV emitter used by benches to dump per-series data
+/// (so figure series can be re-plotted outside the repo).
+class CsvWriter {
+ public:
+  /// Writes to `os`; the stream must outlive the writer.
+  explicit CsvWriter(std::ostream* os) : os_(os) {}
+
+  /// Writes one row, quoting fields containing separators/quotes/newlines.
+  void WriteRow(const std::vector<std::string>& fields);
+
+  /// Quotes a single field per RFC 4180 when needed.
+  static std::string EscapeField(const std::string& field);
+
+ private:
+  std::ostream* os_;
+};
+
+/// Parses a CSV line into fields (handles quoted fields with embedded
+/// commas and doubled quotes). Returns InvalidArgument on unterminated
+/// quotes.
+Result<std::vector<std::string>> ParseCsvLine(const std::string& line);
+
+}  // namespace rpg
+
+#endif  // RPG_COMMON_CSV_WRITER_H_

@@ -1,0 +1,48 @@
+#ifndef RPG_COMMON_JSON_WRITER_H_
+#define RPG_COMMON_JSON_WRITER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace rpg {
+
+/// Streaming JSON emitter (objects/arrays/scalars) used to export reading
+/// paths and dataset records. Produces compact, valid JSON; no DOM.
+class JsonWriter {
+ public:
+  JsonWriter() = default;
+
+  JsonWriter& BeginObject();
+  JsonWriter& EndObject();
+  JsonWriter& BeginArray();
+  JsonWriter& EndArray();
+
+  /// Emits `"key":` inside an object; must be followed by a value.
+  JsonWriter& Key(const std::string& key);
+
+  JsonWriter& String(const std::string& value);
+  JsonWriter& Int(int64_t value);
+  JsonWriter& UInt(uint64_t value);
+  JsonWriter& Double(double value);
+  JsonWriter& Bool(bool value);
+  JsonWriter& Null();
+
+  const std::string& str() const { return out_; }
+
+  /// JSON string escaping (quotes, backslash, control characters).
+  static std::string Escape(const std::string& s);
+
+ private:
+  void MaybeComma();
+
+  std::string out_;
+  // Tracks whether a value was already emitted at each nesting level so
+  // commas are inserted correctly.
+  std::vector<bool> need_comma_{false};
+  bool after_key_ = false;
+};
+
+}  // namespace rpg
+
+#endif  // RPG_COMMON_JSON_WRITER_H_

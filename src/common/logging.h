@@ -1,0 +1,66 @@
+#ifndef RPG_COMMON_LOGGING_H_
+#define RPG_COMMON_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace rpg {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+/// Process-wide minimum level; messages below it are dropped. Default kInfo.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal {
+
+/// Stream-style log line; emits to stderr on destruction. Use via the
+/// RPG_LOG macro rather than directly.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  template <typename T>
+  LogMessage& operator<<(const T& v) {
+    if (enabled_) stream_ << v;
+    return *this;
+  }
+
+ private:
+  bool enabled_;
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+}  // namespace rpg
+
+#define RPG_LOG(level)                                           \
+  ::rpg::internal::LogMessage(::rpg::LogLevel::k##level, __FILE__, __LINE__)
+
+/// Invariant check that aborts with a message; active in all build modes
+/// (used for programmer errors, not for recoverable conditions).
+#define RPG_CHECK(cond)                                                   \
+  if (!(cond))                                                            \
+  ::rpg::internal::FatalMessage(__FILE__, __LINE__, #cond).stream()
+
+namespace rpg::internal {
+
+/// Helper for RPG_CHECK: collects the message then aborts.
+class FatalMessage {
+ public:
+  FatalMessage(const char* file, int line, const char* condition);
+  [[noreturn]] ~FatalMessage();
+  std::ostringstream& stream() { return stream_; }
+
+ private:
+  std::ostringstream stream_;
+};
+
+}  // namespace rpg::internal
+
+#endif  // RPG_COMMON_LOGGING_H_

@@ -1,0 +1,78 @@
+#ifndef RPG_COMMON_RESULT_H_
+#define RPG_COMMON_RESULT_H_
+
+#include <cassert>
+#include <utility>
+#include <variant>
+
+#include "common/status.h"
+
+namespace rpg {
+
+/// Result<T> holds either a value of type T or a non-OK Status, in the
+/// style of arrow::Result / absl::StatusOr. Accessing the value of an
+/// errored Result is a programming error (asserted in debug builds).
+template <typename T>
+class Result {
+ public:
+  /// Constructs a Result holding a value (implicit, so functions can
+  /// `return value;`).
+  Result(T value) : repr_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  /// Constructs a Result holding an error (implicit, so functions can
+  /// `return Status::...`). `status` must not be OK.
+  Result(Status status) : repr_(std::move(status)) {  // NOLINT
+    assert(!std::get<Status>(repr_).ok());
+  }
+
+  bool ok() const { return std::holds_alternative<T>(repr_); }
+
+  /// Returns OK if this holds a value, otherwise the error.
+  Status status() const {
+    if (ok()) return Status::OK();
+    return std::get<Status>(repr_);
+  }
+
+  const T& value() const& {
+    assert(ok());
+    return std::get<T>(repr_);
+  }
+  T& value() & {
+    assert(ok());
+    return std::get<T>(repr_);
+  }
+  T&& value() && {
+    assert(ok());
+    return std::get<T>(std::move(repr_));
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  /// Returns the contained value or `fallback` when errored.
+  T ValueOr(T fallback) const {
+    return ok() ? value() : std::move(fallback);
+  }
+
+ private:
+  std::variant<T, Status> repr_;
+};
+
+}  // namespace rpg
+
+/// Evaluates an expression producing Result<T>; on error propagates the
+/// status, otherwise assigns the value to `lhs`.
+#define RPG_ASSIGN_OR_RETURN(lhs, expr)                  \
+  RPG_ASSIGN_OR_RETURN_IMPL(                             \
+      RPG_CONCAT_NAME(_rpg_result_, __LINE__), lhs, expr)
+
+#define RPG_CONCAT_NAME_INNER(x, y) x##y
+#define RPG_CONCAT_NAME(x, y) RPG_CONCAT_NAME_INNER(x, y)
+#define RPG_ASSIGN_OR_RETURN_IMPL(tmp, lhs, expr) \
+  auto tmp = (expr);                              \
+  if (!tmp.ok()) return tmp.status();             \
+  lhs = std::move(tmp).value();
+
+#endif  // RPG_COMMON_RESULT_H_

@@ -1,0 +1,44 @@
+#ifndef RPG_COMMON_STRING_UTIL_H_
+#define RPG_COMMON_STRING_UTIL_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace rpg {
+
+/// Splits on a single character; empty fields are kept.
+std::vector<std::string> Split(std::string_view s, char sep);
+
+/// Splits on any run of whitespace; empty fields are dropped.
+std::vector<std::string> SplitWhitespace(std::string_view s);
+
+/// Joins with a separator.
+std::string Join(const std::vector<std::string>& parts, std::string_view sep);
+
+/// ASCII lower-case copy.
+std::string ToLower(std::string_view s);
+
+/// Removes leading/trailing ASCII whitespace.
+std::string_view Trim(std::string_view s);
+
+bool StartsWith(std::string_view s, std::string_view prefix);
+bool EndsWith(std::string_view s, std::string_view suffix);
+
+/// True when `needle` occurs in `haystack` ignoring ASCII case.
+bool ContainsIgnoreCase(std::string_view haystack, std::string_view needle);
+
+/// printf-style formatting into a std::string.
+std::string StrFormat(const char* fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/// Formats a double with the given number of decimals (e.g. 0.2343 -> "0.2343"
+/// with decimals = 4).
+std::string FormatDouble(double v, int decimals);
+
+/// Formats an integer with thousands separators ("9,321").
+std::string FormatWithCommas(int64_t v);
+
+}  // namespace rpg
+
+#endif  // RPG_COMMON_STRING_UTIL_H_

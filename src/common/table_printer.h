@@ -1,0 +1,37 @@
+#ifndef RPG_COMMON_TABLE_PRINTER_H_
+#define RPG_COMMON_TABLE_PRINTER_H_
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace rpg {
+
+/// Renders aligned plain-text tables; used by the benchmark binaries so
+/// their stdout mirrors the paper's tables row-for-row.
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> header);
+
+  /// Appends a row; short rows are padded with empty cells.
+  void AddRow(std::vector<std::string> row);
+
+  /// Convenience: formats each double with `decimals` places.
+  void AddRow(const std::string& label, const std::vector<double>& values,
+              int decimals);
+
+  size_t num_rows() const { return rows_.size(); }
+
+  /// Writes the table with a header separator line.
+  void Print(std::ostream& os) const;
+
+  std::string ToString() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace rpg
+
+#endif  // RPG_COMMON_TABLE_PRINTER_H_

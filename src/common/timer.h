@@ -1,0 +1,28 @@
+#ifndef RPG_COMMON_TIMER_H_
+#define RPG_COMMON_TIMER_H_
+
+#include <chrono>
+
+namespace rpg {
+
+/// Monotonic stopwatch used by the runtime experiments (Table IV).
+class Timer {
+ public:
+  Timer() : start_(Clock::now()) {}
+
+  void Reset() { start_ = Clock::now(); }
+
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace rpg
+
+#endif  // RPG_COMMON_TIMER_H_

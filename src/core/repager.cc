@@ -1,0 +1,196 @@
+#include "core/repager.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "common/logging.h"
+#include "common/timer.h"
+
+namespace rpg::core {
+
+using graph::PaperId;
+
+RePaGer::RePaGer(const graph::CitationGraph* graph,
+                 const search::SearchEngine* engine,
+                 const rank::WeightModel* weights,
+                 const std::vector<uint16_t>* years)
+    : graph_(graph), engine_(engine), weights_(weights), years_(years) {
+  RPG_CHECK(graph_ != nullptr && engine_ != nullptr && weights_ != nullptr &&
+            years_ != nullptr);
+  RPG_CHECK(years_->size() == graph_->num_nodes());
+}
+
+double RePaGer::Importance(PaperId p) const {
+  // NodeWeight = gamma / max(denominator, floor); invert to recover the
+  // (clamped) denominator, which *increases* with importance.
+  return weights_->params().gamma / weights_->NodeWeight(p);
+}
+
+steiner::WeightedGraph BuildWeightedSubgraph(const graph::Subgraph& sg,
+                                             const rank::WeightModel& weights) {
+  steiner::WeightedGraph wg(sg.num_nodes());
+  for (uint32_t local = 0; local < sg.num_nodes(); ++local) {
+    wg.SetNodeWeight(local, weights.NodeWeight(sg.ToGlobal(local)));
+    // Out-edges only, so each undirected edge is added exactly once.
+    for (uint32_t cited : sg.OutNeighbors(local)) {
+      PaperId gu = sg.ToGlobal(local);
+      PaperId gv = sg.ToGlobal(cited);
+      wg.AddEdge(local, cited, weights.EdgeCost(gu, gv));
+    }
+  }
+  return wg;
+}
+
+Result<RePagerResult> RePaGer::Generate(const std::string& query,
+                                        const RePagerOptions& options) const {
+  if (query.empty()) return Status::InvalidArgument("empty query");
+  if (options.num_initial_seeds <= 0) {
+    return Status::InvalidArgument("num_initial_seeds must be positive");
+  }
+  Timer total_timer;
+  RePagerResult result;
+
+  // ---- Step 1: initial seeds from the engine -------------------------
+  auto hits = engine_->Search(query, options.num_initial_seeds,
+                              options.year_cutoff, options.exclude);
+  if (hits.empty()) {
+    return Status::NotFound("engine returned no results for: " + query);
+  }
+  for (const auto& h : hits) result.initial_seeds.push_back(h.doc);
+
+  // ---- Step 3: sub-citation graph over 1st/2nd order neighbors -------
+  graph::KHopResult khop =
+      KHopNeighborhood(*graph_, result.initial_seeds, options.expansion_hops,
+                       options.expansion_direction);
+  std::vector<PaperId> candidates;
+  for (const auto& level : khop.levels) {
+    for (PaperId p : level) {
+      if ((*years_)[p] <= options.year_cutoff) candidates.push_back(p);
+    }
+  }
+  std::unordered_set<PaperId> excluded(options.exclude.begin(),
+                                       options.exclude.end());
+  candidates.erase(std::remove_if(candidates.begin(), candidates.end(),
+                                  [&](PaperId p) {
+                                    return excluded.contains(p);
+                                  }),
+                   candidates.end());
+  graph::Subgraph sg(*graph_, candidates);
+  result.subgraph_nodes = sg.num_nodes();
+  result.subgraph_edges = sg.num_edges();
+
+  // ---- Step 4: seed reallocation by co-occurrence --------------------
+  std::vector<PaperId> terminals =
+      ReallocateSeeds(*graph_, result.initial_seeds, options.seed_mode,
+                      options.min_cooccurrence);
+  // Terminals must live inside the subgraph (they do by construction for
+  // out-expansion, but year cutoffs / exclusions can drop them).
+  terminals.erase(std::remove_if(terminals.begin(), terminals.end(),
+                                 [&](PaperId p) { return !sg.Contains(p); }),
+                  terminals.end());
+  if (terminals.empty()) {
+    // Degenerate query: fall back to whatever seeds survived.
+    for (PaperId p : result.initial_seeds) {
+      if (sg.Contains(p)) terminals.push_back(p);
+    }
+  }
+  if (terminals.empty()) {
+    return Status::NotFound("no usable terminals for: " + query);
+  }
+  result.terminals = terminals;
+
+  // Query-specific evidence: how many distinct initial seeds cite each
+  // candidate. This is the signal seed reallocation is built on; it also
+  // drives the final ranking (a paper referenced by many query-relevant
+  // articles is very likely on the survey's reference list).
+  std::unordered_map<PaperId, int> cooccurrence;
+  {
+    std::unordered_set<PaperId> seed_set(result.initial_seeds.begin(),
+                                         result.initial_seeds.end());
+    for (PaperId s : seed_set) {
+      for (PaperId cited : graph_->OutNeighbors(s)) ++cooccurrence[cited];
+    }
+  }
+  std::unordered_set<PaperId> seed_set(result.initial_seeds.begin(),
+                                       result.initial_seeds.end());
+  // Unified candidate score: co-occurrence count, with a bonus for being
+  // a direct engine hit (a seed without citation evidence still carries
+  // lexical relevance worth roughly one co-citing seed).
+  auto evidence_of = [&](PaperId p) {
+    double score = 0.0;
+    auto it = cooccurrence.find(p);
+    if (it != cooccurrence.end()) score += static_cast<double>(it->second);
+    if (seed_set.contains(p)) score += 1.2;
+    return score;
+  };
+
+  std::vector<PaperId> tree_nodes;
+  if (options.run_steiner) {
+    // ---- Step 5: NEWST over the weighted sub-citation graph ----------
+    Timer steiner_timer;
+    steiner::WeightedGraph wg = BuildWeightedSubgraph(sg, *weights_);
+    std::vector<uint32_t> local_terminals;
+    local_terminals.reserve(terminals.size());
+    for (PaperId t : terminals) local_terminals.push_back(sg.ToLocal(t));
+    RPG_ASSIGN_OR_RETURN(steiner::SteinerResult local_tree,
+                         SolveNewst(wg, local_terminals, options.newst));
+    result.steiner_seconds = steiner_timer.ElapsedSeconds();
+
+    // Map back to global ids.
+    steiner::SteinerResult tree;
+    tree.total_cost = local_tree.total_cost;
+    for (uint32_t v : local_tree.nodes) tree.nodes.push_back(sg.ToGlobal(v));
+    for (const auto& [a, b] : local_tree.edges) {
+      PaperId ga = sg.ToGlobal(a), gb = sg.ToGlobal(b);
+      tree.edges.emplace_back(std::min(ga, gb), std::max(ga, gb));
+    }
+    std::sort(tree.nodes.begin(), tree.nodes.end());
+    std::sort(tree.edges.begin(), tree.edges.end());
+    result.path = ReadingPath(tree, *years_);
+    tree_nodes = tree.nodes;
+  } else {
+    // NEWST-C: the reallocated seed set is the final result, no path.
+    tree_nodes = terminals;
+  }
+
+  // ---- Ranked list: Steiner-tree papers first, then the remaining
+  // engine seeds, then the rest of the sub-graph; every block ordered by
+  // citation evidence. The tree-first property is what the Table III
+  // ablations measure: a different terminal set / weight scheme yields a
+  // different tree, and hence a different top of the list.
+  auto rank_by_evidence = [&](std::vector<PaperId>* v) {
+    std::sort(v->begin(), v->end(), [&](PaperId a, PaperId b) {
+      double ca = evidence_of(a), cb = evidence_of(b);
+      if (ca != cb) return ca > cb;
+      double ia = Importance(a), ib = Importance(b);
+      if (ia != ib) return ia > ib;
+      return a < b;
+    });
+  };
+  rank_by_evidence(&tree_nodes);
+  std::unordered_set<PaperId> emitted(tree_nodes.begin(), tree_nodes.end());
+  result.ranked = std::move(tree_nodes);
+  std::vector<PaperId> seed_block;
+  for (PaperId s : result.initial_seeds) {
+    if (sg.Contains(s) && !emitted.contains(s)) seed_block.push_back(s);
+  }
+  rank_by_evidence(&seed_block);
+  for (PaperId s : seed_block) {
+    emitted.insert(s);
+    result.ranked.push_back(s);
+  }
+  std::vector<PaperId> rest;
+  rest.reserve(sg.num_nodes());
+  for (uint32_t local = 0; local < sg.num_nodes(); ++local) {
+    PaperId p = sg.ToGlobal(local);
+    if (!emitted.contains(p)) rest.push_back(p);
+  }
+  rank_by_evidence(&rest);
+  result.ranked.insert(result.ranked.end(), rest.begin(), rest.end());
+
+  result.total_seconds = total_timer.ElapsedSeconds();
+  return result;
+}
+
+}  // namespace rpg::core

@@ -1,0 +1,99 @@
+#ifndef RPG_CORE_REPAGER_H_
+#define RPG_CORE_REPAGER_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "core/reading_path.h"
+#include "core/seed_reallocator.h"
+#include "graph/citation_graph.h"
+#include "graph/subgraph.h"
+#include "graph/traversal.h"
+#include "rank/weight_model.h"
+#include "search/search_engine.h"
+#include "steiner/newst.h"
+
+namespace rpg::core {
+
+/// Pipeline configuration. Defaults are the paper's experimental setting.
+struct RePagerOptions {
+  /// Top-K articles fetched from the engine as initial seeds (§VI-A: 30).
+  int num_initial_seeds = 30;
+  /// Expansion depth for the sub-citation graph (§IV-A step 3: 1st and
+  /// 2nd order neighbors).
+  int expansion_hops = 2;
+  /// Expansion follows references (out-edges), the direction Observation
+  /// II explores; kUndirected additionally pulls in citing papers.
+  graph::Direction expansion_direction = graph::Direction::kOut;
+  /// Minimum number of distinct seeds citing a paper for it to become a
+  /// reallocated seed.
+  int min_cooccurrence = 2;
+  /// Terminal-set construction (Table III left ablation).
+  SeedMode seed_mode = SeedMode::kReallocated;
+  /// When false, skip the Steiner step entirely and return the seed set
+  /// as the result (the NEWST-C ablation).
+  bool run_steiner = true;
+  /// Steiner variant switches (Table III right ablation: -N / -E).
+  steiner::NewstOptions newst;
+  /// Only consider papers published in or before this year (the paper
+  /// restricts search to "anytime .. survey publication year").
+  int year_cutoff = INT32_MAX;
+  /// Doc ids the engine must not return (e.g. the queried survey).
+  std::vector<graph::PaperId> exclude;
+};
+
+/// Everything RePaGer produces for one query.
+struct RePagerResult {
+  ReadingPath path;
+  /// Ranked candidate list: Steiner-tree papers first (most important
+  /// first), then remaining sub-graph candidates by importance. Truncate
+  /// at K for the top-K evaluation.
+  std::vector<graph::PaperId> ranked;
+  std::vector<graph::PaperId> initial_seeds;
+  std::vector<graph::PaperId> terminals;
+  size_t subgraph_nodes = 0;
+  size_t subgraph_edges = 0;
+  double steiner_seconds = 0.0;
+  double total_seconds = 0.0;
+};
+
+/// The RePaGer system (§IV-A): seed retrieval -> weighted citation graph
+/// -> sub-graph -> seed reallocation -> NEWST -> reading path.
+///
+/// The engine's document ids must coincide with the citation graph's
+/// paper ids (both are built over the same corpus).
+class RePaGer {
+ public:
+  /// All pointers must outlive the RePaGer. `years` orders reading
+  /// direction and enforces year cutoffs.
+  RePaGer(const graph::CitationGraph* graph,
+          const search::SearchEngine* engine,
+          const rank::WeightModel* weights,
+          const std::vector<uint16_t>* years);
+
+  /// Runs the full pipeline for a free-text query.
+  Result<RePagerResult> Generate(const std::string& query,
+                                 const RePagerOptions& options = {}) const;
+
+  /// Importance used for ranking: a * pgscore + b * venue — the inverse
+  /// of the node-weight denominator, exposed for baselines/tests.
+  double Importance(graph::PaperId p) const;
+
+ private:
+  const graph::CitationGraph* graph_;
+  const search::SearchEngine* engine_;
+  const rank::WeightModel* weights_;
+  const std::vector<uint16_t>* years_;
+};
+
+/// Builds the node-and-edge weighted Steiner input over a subgraph
+/// (shared by RePaGer and the runtime benchmarks): node weights from
+/// Eq. (3), undirected edges with Eq. (2) costs.
+steiner::WeightedGraph BuildWeightedSubgraph(const graph::Subgraph& sg,
+                                             const rank::WeightModel& weights);
+
+}  // namespace rpg::core
+
+#endif  // RPG_CORE_REPAGER_H_

@@ -1,0 +1,78 @@
+#include "core/seed_reallocator.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace rpg::core {
+
+using graph::PaperId;
+
+std::vector<PaperId> CoOccurrencePapers(const graph::CitationGraph& g,
+                                        const std::vector<PaperId>& seeds,
+                                        int min_cooccurrence) {
+  std::unordered_set<PaperId> seed_set(seeds.begin(), seeds.end());
+  std::unordered_map<PaperId, int> counts;
+  for (PaperId s : seed_set) {
+    if (s >= g.num_nodes()) continue;
+    for (PaperId cited : g.OutNeighbors(s)) {
+      if (!seed_set.contains(cited)) ++counts[cited];
+    }
+  }
+  std::vector<std::pair<PaperId, int>> scored;
+  for (const auto& [p, c] : counts) {
+    if (c >= min_cooccurrence) scored.emplace_back(p, c);
+  }
+  std::sort(scored.begin(), scored.end(), [](const auto& a, const auto& b) {
+    if (a.second != b.second) return a.second > b.second;
+    return a.first < b.first;
+  });
+  std::vector<PaperId> out;
+  out.reserve(scored.size());
+  for (const auto& [p, c] : scored) out.push_back(p);
+  return out;
+}
+
+std::vector<PaperId> ReallocateSeeds(const graph::CitationGraph& g,
+                                     const std::vector<PaperId>& initial,
+                                     SeedMode mode, int min_cooccurrence) {
+  std::vector<PaperId> result;
+  switch (mode) {
+    case SeedMode::kInitial:
+      result = initial;
+      break;
+    case SeedMode::kReallocated:
+      result = CoOccurrencePapers(g, initial, min_cooccurrence);
+      break;
+    case SeedMode::kUnion: {
+      result = CoOccurrencePapers(g, initial, min_cooccurrence);
+      result.insert(result.end(), initial.begin(), initial.end());
+      std::sort(result.begin(), result.end());
+      result.erase(std::unique(result.begin(), result.end()), result.end());
+      break;
+    }
+    case SeedMode::kIntersection: {
+      // Initial seeds that are themselves highly co-cited *by the other
+      // seeds*: count each seed's citations from fellow seeds.
+      std::unordered_set<PaperId> seed_set(initial.begin(), initial.end());
+      std::unordered_map<PaperId, int> counts;
+      for (PaperId s : seed_set) {
+        if (s >= g.num_nodes()) continue;
+        for (PaperId cited : g.OutNeighbors(s)) {
+          if (seed_set.contains(cited) && cited != s) ++counts[cited];
+        }
+      }
+      for (PaperId s : initial) {
+        auto it = counts.find(s);
+        if (it != counts.end() && it->second >= min_cooccurrence) {
+          result.push_back(s);
+        }
+      }
+      break;
+    }
+  }
+  if (result.empty()) result = initial;
+  return result;
+}
+
+}  // namespace rpg::core

@@ -1,0 +1,37 @@
+#ifndef RPG_CORE_SEED_REALLOCATOR_H_
+#define RPG_CORE_SEED_REALLOCATOR_H_
+
+#include <vector>
+
+#include "graph/citation_graph.h"
+
+namespace rpg::core {
+
+/// How the compulsory terminal set for NEWST is formed from the initial
+/// engine seeds and the co-occurrence papers (§VI-B seed-reallocation
+/// ablation, Table III left).
+enum class SeedMode {
+  kReallocated,   ///< NEWST:   high co-occurrence papers
+  kInitial,       ///< NEWST-W: the engine's top-K seeds unchanged
+  kUnion,         ///< NEWST-U: union of the two
+  kIntersection,  ///< NEWST-I: intersection of the two
+};
+
+/// Papers cited by at least `min_cooccurrence` distinct initial seeds
+/// (§IV-A step 4). Such papers are likely prerequisites: several articles
+/// directly relevant to the topic mention them. The initial seeds
+/// themselves are excluded; the result is sorted by descending
+/// co-occurrence count (ties: ascending id).
+std::vector<graph::PaperId> CoOccurrencePapers(
+    const graph::CitationGraph& g, const std::vector<graph::PaperId>& seeds,
+    int min_cooccurrence);
+
+/// Applies a SeedMode. Falls back to `initial` when the mode produces an
+/// empty set (e.g. no co-occurring papers exist).
+std::vector<graph::PaperId> ReallocateSeeds(
+    const graph::CitationGraph& g, const std::vector<graph::PaperId>& initial,
+    SeedMode mode, int min_cooccurrence);
+
+}  // namespace rpg::core
+
+#endif  // RPG_CORE_SEED_REALLOCATOR_H_

@@ -1,0 +1,35 @@
+#include "eval/metrics.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace rpg::eval {
+
+size_t CountOverlap(const std::vector<graph::PaperId>& items,
+                    const std::vector<graph::PaperId>& truth) {
+  std::unordered_set<graph::PaperId> seen;
+  size_t overlap = 0;
+  for (graph::PaperId p : items) {
+    if (!seen.insert(p).second) continue;
+    if (std::binary_search(truth.begin(), truth.end(), p)) ++overlap;
+  }
+  return overlap;
+}
+
+PrfAtK ComputePrfAtK(const std::vector<graph::PaperId>& ranked,
+                     const std::vector<graph::PaperId>& truth, size_t k) {
+  PrfAtK out;
+  if (k == 0 || ranked.empty() || truth.empty()) return out;
+  size_t kk = std::min(k, ranked.size());
+  std::vector<graph::PaperId> prefix(ranked.begin(),
+                                     ranked.begin() + static_cast<long>(kk));
+  size_t hits = CountOverlap(prefix, truth);
+  out.precision = static_cast<double>(hits) / static_cast<double>(kk);
+  out.recall = static_cast<double>(hits) / static_cast<double>(truth.size());
+  if (out.precision + out.recall > 0.0) {
+    out.f1 = 2.0 * out.precision * out.recall / (out.precision + out.recall);
+  }
+  return out;
+}
+
+}  // namespace rpg::eval

@@ -1,0 +1,45 @@
+#ifndef RPG_EVAL_METRICS_H_
+#define RPG_EVAL_METRICS_H_
+
+#include <vector>
+
+#include "graph/citation_graph.h"
+
+namespace rpg::eval {
+
+/// Precision/recall/F1 of the top-K prefix of a ranked list against a
+/// ground-truth set (§VI-A: P@K and F1@K over flattened reading lists).
+struct PrfAtK {
+  double precision = 0.0;
+  double recall = 0.0;
+  double f1 = 0.0;
+};
+
+/// `truth` must be sorted ascending. K = min(k, ranked.size()) items are
+/// considered; duplicates in `ranked` count once.
+PrfAtK ComputePrfAtK(const std::vector<graph::PaperId>& ranked,
+                     const std::vector<graph::PaperId>& truth, size_t k);
+
+/// |a ∩ b| for a sorted `truth` and arbitrary `items` (duplicates in
+/// items count once).
+size_t CountOverlap(const std::vector<graph::PaperId>& items,
+                    const std::vector<graph::PaperId>& truth);
+
+/// Running mean accumulator for averaging metrics over queries.
+class MeanAccumulator {
+ public:
+  void Add(double v) {
+    sum_ += v;
+    ++n_;
+  }
+  double mean() const { return n_ == 0 ? 0.0 : sum_ / static_cast<double>(n_); }
+  size_t count() const { return n_; }
+
+ private:
+  double sum_ = 0.0;
+  size_t n_ = 0;
+};
+
+}  // namespace rpg::eval
+
+#endif  // RPG_EVAL_METRICS_H_

@@ -1,0 +1,62 @@
+#include "eval/overlap.h"
+
+#include "eval/metrics.h"
+#include "graph/traversal.h"
+
+namespace rpg::eval {
+
+Result<OverlapResult> RunOverlapExperiment(const Workbench& wb,
+                                           const OverlapOptions& options) {
+  if (options.top_k <= 0) {
+    return Status::InvalidArgument("top_k must be positive");
+  }
+  OverlapResult result;
+  std::array<std::array<MeanAccumulator, 3>, 3> acc;
+
+  for (size_t index : wb.bank().HighScoreSubset(options.subset_size)) {
+    const surveybank::SurveyEntry& entry = wb.bank().Get(index);
+    if (entry.label_l1.empty()) continue;
+    // Engine search restricted to the survey's era, survey removed.
+    auto hits = wb.google().Search(entry.query,
+                                   static_cast<size_t>(options.top_k),
+                                   entry.year, {entry.paper});
+    if (hits.empty()) continue;
+    std::vector<graph::PaperId> seeds;
+    for (const auto& h : hits) seeds.push_back(h.doc);
+
+    // Levels 0..2 of reference expansion (following citations outward).
+    graph::KHopResult khop =
+        KHopNeighborhood(wb.corpus().citations, seeds, 2,
+                         graph::Direction::kOut);
+    std::vector<graph::PaperId> cumulative;
+    for (int order = 0; order < 3; ++order) {
+      if (order < static_cast<int>(khop.levels.size())) {
+        for (graph::PaperId p : khop.levels[order]) {
+          if (p != entry.paper && wb.years()[p] <= entry.year) {
+            cumulative.push_back(p);
+          }
+        }
+      }
+      const std::vector<graph::PaperId>* labels[3] = {
+          &entry.label_l1, &entry.label_l2, &entry.label_l3};
+      for (int l = 0; l < 3; ++l) {
+        if (labels[l]->empty()) continue;
+        size_t overlap = CountOverlap(cumulative, *labels[l]);
+        acc[order][l].Add(static_cast<double>(overlap) /
+                          static_cast<double>(labels[l]->size()));
+      }
+    }
+    ++result.surveys;
+  }
+  if (result.surveys == 0) {
+    return Status::FailedPrecondition("no surveys produced engine results");
+  }
+  for (int order = 0; order < 3; ++order) {
+    for (int l = 0; l < 3; ++l) {
+      result.ratio[order][l] = acc[order][l].mean();
+    }
+  }
+  return result;
+}
+
+}  // namespace rpg::eval

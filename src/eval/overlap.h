@@ -1,0 +1,34 @@
+#ifndef RPG_EVAL_OVERLAP_H_
+#define RPG_EVAL_OVERLAP_H_
+
+#include <array>
+#include <vector>
+
+#include "common/result.h"
+#include "eval/evaluator.h"
+#include "eval/workbench.h"
+
+namespace rpg::eval {
+
+/// The Fig. 2 study: how much of a survey's reference list the engine's
+/// raw top-K covers (0th order), versus after pulling in the papers cited
+/// by those results (1st order) and their references in turn (2nd order).
+struct OverlapResult {
+  /// ratio[order][label]: order ∈ {0, 1, 2}, label ∈ {L1, L2, L3}.
+  /// Each value is the mean over surveys of |response ∩ refs| / |refs|.
+  std::array<std::array<double, 3>, 3> ratio{};
+  size_t surveys = 0;
+};
+
+struct OverlapOptions {
+  int top_k = 30;            ///< initial seed count (Fig. 2a: 30, 2b: 50)
+  size_t subset_size = 100;  ///< high-score SurveyBank subset size
+};
+
+/// Runs the study over the high-score subset of the bank.
+Result<OverlapResult> RunOverlapExperiment(const Workbench& wb,
+                                           const OverlapOptions& options);
+
+}  // namespace rpg::eval
+
+#endif  // RPG_EVAL_OVERLAP_H_

@@ -1,0 +1,151 @@
+#include "eval/preference_judge.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "common/rng.h"
+#include "eval/baselines.h"
+#include "eval/metrics.h"
+
+namespace rpg::eval {
+
+namespace {
+
+using graph::PaperId;
+
+/// Per-query scores of one system on the three questionnaire axes.
+struct AxisScores {
+  double prerequisite = 0.0;
+  double relevance = 0.0;
+  double completeness = 0.0;
+};
+
+AxisScores ScoreSystem(const Workbench& wb,
+                       const surveybank::SurveyEntry& entry,
+                       const std::vector<PaperId>& results, bool structured) {
+  const synth::TopicHierarchy& topics = wb.corpus().topics;
+  AxisScores scores;
+
+  // Ground-truth prerequisite papers: references whose (latent) topic is
+  // a strict ancestor of the survey's topic.
+  std::vector<PaperId> prereq_truth;
+  for (PaperId r : entry.label_l1) {
+    synth::TopicId rt = wb.corpus().papers[r].topic;
+    if (rt != entry.topic && topics.IsAncestorOf(rt, entry.topic)) {
+      prereq_truth.push_back(r);
+    }
+  }
+  std::sort(prereq_truth.begin(), prereq_truth.end());
+  double coverage =
+      prereq_truth.empty()
+          ? 0.0
+          : static_cast<double>(CountOverlap(results, prereq_truth)) /
+                static_cast<double>(prereq_truth.size());
+  // Raters reward both *containing* prerequisites and *ordering* them.
+  scores.prerequisite = 0.75 * coverage + (structured ? 0.25 : 0.0);
+
+  // Relevance: graded topical credit. Raters see prerequisite papers
+  // from the parent area as still fairly relevant, papers from elsewhere
+  // in the domain as marginal, everything else as off-topic.
+  double relevance_sum = 0.0;
+  for (PaperId p : results) {
+    synth::TopicId pt = wb.corpus().papers[p].topic;
+    if (pt == entry.topic || topics.IsAncestorOf(entry.topic, pt)) {
+      relevance_sum += 1.0;
+    } else if (topics.Get(pt).level == synth::TopicLevel::kArea &&
+               topics.IsAncestorOf(pt, entry.topic)) {
+      relevance_sum += 0.8;
+    } else if (topics.DomainOf(pt) == topics.DomainOf(entry.topic)) {
+      relevance_sum += 0.45;
+    }
+  }
+  scores.relevance = results.empty()
+                         ? 0.0
+                         : relevance_sum /
+                               static_cast<double>(results.size());
+
+  // Completeness: recall of the survey's reference list.
+  scores.completeness =
+      entry.label_l1.empty()
+          ? 0.0
+          : static_cast<double>(CountOverlap(results, entry.label_l1)) /
+                static_cast<double>(entry.label_l1.size());
+  return scores;
+}
+
+void Vote(double a, double b, double threshold, Rng* rng, double noise,
+          CriterionOutcome* outcome) {
+  double na = a + rng->Normal(0.0, noise);
+  double nb = b + rng->Normal(0.0, noise);
+  if (na > nb + threshold) {
+    outcome->prefer_a += 1.0;
+  } else if (nb > na + threshold) {
+    outcome->prefer_b += 1.0;
+  } else {
+    outcome->same += 1.0;
+  }
+}
+
+void NormalizeOutcome(CriterionOutcome* o, double total) {
+  if (total <= 0.0) return;
+  o->prefer_a /= total;
+  o->same /= total;
+  o->prefer_b /= total;
+}
+
+}  // namespace
+
+Result<PreferenceResult> RunPreferenceStudy(const Workbench& wb,
+                                            uint32_t domain_index,
+                                            const PreferenceOptions& options) {
+  // Queries: surveys of the requested domain by latent topic (the
+  // questionnaire targets a research domain, not a publication venue).
+  std::vector<size_t> pool;
+  for (size_t i = 0; i < wb.bank().size(); ++i) {
+    const auto& e = wb.bank().Get(i);
+    if (e.topic == UINT32_MAX) continue;
+    if (wb.corpus().topics.Get(e.topic).domain_index == domain_index) {
+      pool.push_back(i);
+    }
+  }
+  if (pool.empty()) {
+    return Status::FailedPrecondition("no surveys in requested domain");
+  }
+  Rng rng(options.seed);
+  rng.Shuffle(&pool);
+  if (pool.size() > options.queries_per_domain) {
+    pool.resize(options.queries_per_domain);
+  }
+
+  PreferenceResult result;
+  double votes = 0.0;
+  for (size_t index : pool) {
+    const surveybank::SurveyEntry& entry = wb.bank().Get(index);
+    QuerySpec spec{entry.query, entry.year, entry.paper};
+    auto a_or = RankedListFor(wb, Method::kGoogle, spec, options.list_size_a);
+    auto b_or = RankedListFor(wb, Method::kNewst, spec, options.list_size_b);
+    if (!a_or.ok() || !b_or.ok()) continue;
+    AxisScores a = ScoreSystem(wb, entry, a_or.value(), /*structured=*/false);
+    AxisScores b = ScoreSystem(wb, entry, b_or.value(), /*structured=*/true);
+    for (int participant = 0; participant < options.participants;
+         ++participant) {
+      Vote(a.prerequisite, b.prerequisite, options.same_threshold, &rng,
+           options.noise_stddev, &result.prerequisite);
+      Vote(a.relevance, b.relevance, options.same_threshold, &rng,
+           options.noise_stddev, &result.relevance);
+      Vote(a.completeness, b.completeness, options.same_threshold, &rng,
+           options.noise_stddev, &result.completeness);
+      votes += 1.0;
+    }
+    ++result.queries;
+  }
+  if (result.queries == 0) {
+    return Status::FailedPrecondition("no evaluable preference queries");
+  }
+  NormalizeOutcome(&result.prerequisite, votes);
+  NormalizeOutcome(&result.relevance, votes);
+  NormalizeOutcome(&result.completeness, votes);
+  return result;
+}
+
+}  // namespace rpg::eval

@@ -1,0 +1,12 @@
+#include "graph/citation_graph.h"
+
+#include <algorithm>
+
+namespace rpg::graph {
+
+bool CitationGraph::HasEdge(PaperId u, PaperId v) const {
+  auto nbrs = OutNeighbors(u);
+  return std::binary_search(nbrs.begin(), nbrs.end(), v);
+}
+
+}  // namespace rpg::graph

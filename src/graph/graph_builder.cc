@@ -1,0 +1,51 @@
+#include "graph/graph_builder.h"
+
+#include <algorithm>
+
+#include "common/string_util.h"
+
+namespace rpg::graph {
+
+Result<CitationGraph> GraphBuilder::Build() {
+  for (const auto& [u, v] : edges_) {
+    if (u >= num_nodes_ || v >= num_nodes_) {
+      return Status::InvalidArgument(StrFormat(
+          "edge (%u, %u) out of range for %zu nodes", u, v, num_nodes_));
+    }
+  }
+  // Drop self-loops, sort, dedup.
+  edges_.erase(std::remove_if(edges_.begin(), edges_.end(),
+                              [](const auto& e) { return e.first == e.second; }),
+               edges_.end());
+  std::sort(edges_.begin(), edges_.end());
+  edges_.erase(std::unique(edges_.begin(), edges_.end()), edges_.end());
+
+  CitationGraph g;
+  g.out_offsets_.assign(num_nodes_ + 1, 0);
+  g.in_offsets_.assign(num_nodes_ + 1, 0);
+  for (const auto& [u, v] : edges_) {
+    ++g.out_offsets_[u + 1];
+    ++g.in_offsets_[v + 1];
+  }
+  for (size_t i = 1; i <= num_nodes_; ++i) {
+    g.out_offsets_[i] += g.out_offsets_[i - 1];
+    g.in_offsets_[i] += g.in_offsets_[i - 1];
+  }
+  g.out_targets_.resize(edges_.size());
+  g.in_targets_.resize(edges_.size());
+  std::vector<uint64_t> out_cursor(g.out_offsets_.begin(),
+                                   g.out_offsets_.end() - 1);
+  std::vector<uint64_t> in_cursor(g.in_offsets_.begin(),
+                                  g.in_offsets_.end() - 1);
+  for (const auto& [u, v] : edges_) {
+    g.out_targets_[out_cursor[u]++] = v;
+    g.in_targets_[in_cursor[v]++] = u;
+  }
+  // Out-adjacency is sorted already (edges_ sorted by (u, v)); in-adjacency
+  // is sorted because edges were processed in ascending u per fixed v.
+  edges_.clear();
+  edges_.shrink_to_fit();
+  return g;
+}
+
+}  // namespace rpg::graph

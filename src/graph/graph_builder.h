@@ -1,0 +1,38 @@
+#ifndef RPG_GRAPH_GRAPH_BUILDER_H_
+#define RPG_GRAPH_GRAPH_BUILDER_H_
+
+#include <utility>
+#include <vector>
+
+#include "common/result.h"
+#include "graph/citation_graph.h"
+
+namespace rpg::graph {
+
+/// Accumulates citation edges and produces an immutable CitationGraph.
+/// Duplicate edges and self-loops are dropped during Build.
+class GraphBuilder {
+ public:
+  /// `num_nodes` fixes the node-id space [0, num_nodes).
+  explicit GraphBuilder(size_t num_nodes) : num_nodes_(num_nodes) {}
+
+  /// Records "citer cites cited". Ids must be < num_nodes (checked at
+  /// Build time).
+  void AddCitation(PaperId citer, PaperId cited) {
+    edges_.emplace_back(citer, cited);
+  }
+
+  size_t num_pending_edges() const { return edges_.size(); }
+
+  /// Validates ids, dedups, sorts adjacency, and builds both CSR
+  /// directions. The builder is left empty afterwards.
+  Result<CitationGraph> Build();
+
+ private:
+  size_t num_nodes_;
+  std::vector<std::pair<PaperId, PaperId>> edges_;
+};
+
+}  // namespace rpg::graph
+
+#endif  // RPG_GRAPH_GRAPH_BUILDER_H_

@@ -1,0 +1,99 @@
+#include "graph/graph_io.h"
+
+#include <cstdio>
+#include <fstream>
+#include <unordered_set>
+
+#include "common/json_writer.h"
+#include "common/string_util.h"
+
+namespace rpg::graph {
+
+namespace {
+
+constexpr uint64_t kMagic = 0x5250475f47524146ULL;  // "RPG_GRAF"
+constexpr uint32_t kVersion = 1;
+
+template <typename T>
+void WriteVec(std::ofstream& os, const std::vector<T>& v) {
+  uint64_t n = v.size();
+  os.write(reinterpret_cast<const char*>(&n), sizeof(n));
+  os.write(reinterpret_cast<const char*>(v.data()),
+           static_cast<std::streamsize>(n * sizeof(T)));
+}
+
+template <typename T>
+bool ReadVec(std::ifstream& is, std::vector<T>* v) {
+  uint64_t n = 0;
+  is.read(reinterpret_cast<char*>(&n), sizeof(n));
+  if (!is) return false;
+  v->resize(n);
+  is.read(reinterpret_cast<char*>(v->data()),
+          static_cast<std::streamsize>(n * sizeof(T)));
+  return static_cast<bool>(is);
+}
+
+}  // namespace
+
+Status GraphIo::WriteBinary(const CitationGraph& g, const std::string& path) {
+  std::ofstream os(path, std::ios::binary);
+  if (!os) return Status::IoError("cannot open for write: " + path);
+  os.write(reinterpret_cast<const char*>(&kMagic), sizeof(kMagic));
+  os.write(reinterpret_cast<const char*>(&kVersion), sizeof(kVersion));
+  WriteVec(os, g.out_offsets_);
+  WriteVec(os, g.out_targets_);
+  WriteVec(os, g.in_offsets_);
+  WriteVec(os, g.in_targets_);
+  if (!os) return Status::IoError("short write: " + path);
+  return Status::OK();
+}
+
+Result<CitationGraph> GraphIo::ReadBinary(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is) return Status::IoError("cannot open for read: " + path);
+  uint64_t magic = 0;
+  uint32_t version = 0;
+  is.read(reinterpret_cast<char*>(&magic), sizeof(magic));
+  is.read(reinterpret_cast<char*>(&version), sizeof(version));
+  if (!is || magic != kMagic) {
+    return Status::InvalidArgument("bad graph file header: " + path);
+  }
+  if (version != kVersion) {
+    return Status::InvalidArgument(
+        StrFormat("unsupported graph version %u", version));
+  }
+  CitationGraph g;
+  if (!ReadVec(is, &g.out_offsets_) || !ReadVec(is, &g.out_targets_) ||
+      !ReadVec(is, &g.in_offsets_) || !ReadVec(is, &g.in_targets_)) {
+    return Status::InvalidArgument("truncated graph file: " + path);
+  }
+  if (g.out_offsets_.empty() || g.in_offsets_.size() != g.out_offsets_.size()) {
+    return Status::InvalidArgument("inconsistent graph file: " + path);
+  }
+  return g;
+}
+
+std::string GraphIo::ToDot(const CitationGraph& g,
+                           const std::vector<PaperId>& nodes,
+                           const std::vector<std::string>& labels) {
+  std::unordered_set<PaperId> keep(nodes.begin(), nodes.end());
+  std::string out = "digraph citations {\n  rankdir=TB;\n";
+  for (PaperId u : nodes) {
+    std::string label = (u < labels.size() && !labels[u].empty())
+                            ? labels[u]
+                            : ("p" + std::to_string(u));
+    out += StrFormat("  n%u [label=\"%s\"];\n", u,
+                     JsonWriter::Escape(label).c_str());
+  }
+  for (PaperId u : nodes) {
+    for (PaperId v : g.OutNeighbors(u)) {
+      if (keep.contains(v)) {
+        out += StrFormat("  n%u -> n%u;\n", u, v);
+      }
+    }
+  }
+  out += "}\n";
+  return out;
+}
+
+}  // namespace rpg::graph

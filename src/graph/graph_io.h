@@ -1,0 +1,32 @@
+#ifndef RPG_GRAPH_GRAPH_IO_H_
+#define RPG_GRAPH_GRAPH_IO_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "graph/citation_graph.h"
+
+namespace rpg::graph {
+
+/// Binary (de)serialization and DOT export for citation graphs.
+class GraphIo {
+ public:
+  /// Writes the CSR arrays with a magic header + version.
+  static Status WriteBinary(const CitationGraph& g, const std::string& path);
+
+  /// Reads a graph written by WriteBinary. Fails with IoError on missing
+  /// files and InvalidArgument on corrupt/mismatched headers.
+  static Result<CitationGraph> ReadBinary(const std::string& path);
+
+  /// Renders a node-induced sample as Graphviz DOT (edge u->v drawn as the
+  /// citation direction). `labels` is optional (empty = use node ids);
+  /// used for the Fig. 5 citation-graph visualization.
+  static std::string ToDot(const CitationGraph& g,
+                           const std::vector<PaperId>& nodes,
+                           const std::vector<std::string>& labels = {});
+};
+
+}  // namespace rpg::graph
+
+#endif  // RPG_GRAPH_GRAPH_IO_H_

@@ -1,0 +1,47 @@
+#include "graph/subgraph.h"
+
+#include <algorithm>
+
+namespace rpg::graph {
+
+Subgraph::Subgraph(const CitationGraph& g, const std::vector<PaperId>& nodes) {
+  const size_t n = g.num_nodes();
+  for (PaperId p : nodes) {
+    if (p >= n) continue;
+    if (global_to_local_.contains(p)) continue;
+    uint32_t local = static_cast<uint32_t>(locals_to_global_.size());
+    global_to_local_.emplace(p, local);
+    locals_to_global_.push_back(p);
+  }
+  out_.resize(locals_to_global_.size());
+  in_.resize(locals_to_global_.size());
+  for (uint32_t local = 0; local < locals_to_global_.size(); ++local) {
+    PaperId global = locals_to_global_[local];
+    for (PaperId cited : g.OutNeighbors(global)) {
+      auto it = global_to_local_.find(cited);
+      if (it != global_to_local_.end()) {
+        out_[local].push_back(it->second);
+        in_[it->second].push_back(local);
+        ++num_edges_;
+      }
+    }
+  }
+  for (auto& v : out_) std::sort(v.begin(), v.end());
+  for (auto& v : in_) std::sort(v.begin(), v.end());
+}
+
+uint32_t Subgraph::ToLocal(PaperId global) const {
+  auto it = global_to_local_.find(global);
+  return it == global_to_local_.end() ? UINT32_MAX : it->second;
+}
+
+std::vector<uint32_t> Subgraph::UndirectedNeighbors(uint32_t local) const {
+  std::vector<uint32_t> merged;
+  merged.reserve(out_[local].size() + in_[local].size());
+  std::merge(out_[local].begin(), out_[local].end(), in_[local].begin(),
+             in_[local].end(), std::back_inserter(merged));
+  merged.erase(std::unique(merged.begin(), merged.end()), merged.end());
+  return merged;
+}
+
+}  // namespace rpg::graph

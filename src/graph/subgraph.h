@@ -1,0 +1,57 @@
+#ifndef RPG_GRAPH_SUBGRAPH_H_
+#define RPG_GRAPH_SUBGRAPH_H_
+
+#include <unordered_map>
+#include <vector>
+
+#include "graph/citation_graph.h"
+
+namespace rpg::graph {
+
+/// Node-induced subgraph with a local <-> global id mapping. The RePaGer
+/// pipeline runs NEWST over the 1st/2nd-order neighborhood sub-citation
+/// graph (§IV-A step 3), which is orders of magnitude smaller than the
+/// whole graph; local dense ids keep the Steiner machinery simple.
+class Subgraph {
+ public:
+  /// Builds the subgraph of `g` induced by `nodes` (duplicates collapsed,
+  /// out-of-range ids dropped). Local ids are assigned in the order nodes
+  /// first appear in `nodes`.
+  Subgraph(const CitationGraph& g, const std::vector<PaperId>& nodes);
+
+  size_t num_nodes() const { return locals_to_global_.size(); }
+  size_t num_edges() const { return num_edges_; }
+
+  /// Global paper id for a local id.
+  PaperId ToGlobal(uint32_t local) const { return locals_to_global_[local]; }
+
+  /// Local id for a global paper id, or UINT32_MAX if not in the subgraph.
+  uint32_t ToLocal(PaperId global) const;
+
+  bool Contains(PaperId global) const {
+    return ToLocal(global) != UINT32_MAX;
+  }
+
+  /// Local out-neighbors (cited papers inside the subgraph).
+  const std::vector<uint32_t>& OutNeighbors(uint32_t local) const {
+    return out_[local];
+  }
+  /// Local in-neighbors (citing papers inside the subgraph).
+  const std::vector<uint32_t>& InNeighbors(uint32_t local) const {
+    return in_[local];
+  }
+
+  /// Undirected adjacency (union of in and out), sorted.
+  std::vector<uint32_t> UndirectedNeighbors(uint32_t local) const;
+
+ private:
+  std::vector<PaperId> locals_to_global_;
+  std::unordered_map<PaperId, uint32_t> global_to_local_;
+  std::vector<std::vector<uint32_t>> out_;
+  std::vector<std::vector<uint32_t>> in_;
+  size_t num_edges_ = 0;
+};
+
+}  // namespace rpg::graph
+
+#endif  // RPG_GRAPH_SUBGRAPH_H_

@@ -1,0 +1,102 @@
+#include "graph/traversal.h"
+
+#include <algorithm>
+#include <deque>
+
+namespace rpg::graph {
+
+std::vector<PaperId> KHopResult::AllNodes() const {
+  std::vector<PaperId> all;
+  all.reserve(TotalCount());
+  for (const auto& level : levels) {
+    all.insert(all.end(), level.begin(), level.end());
+  }
+  return all;
+}
+
+size_t KHopResult::TotalCount() const {
+  size_t n = 0;
+  for (const auto& level : levels) n += level.size();
+  return n;
+}
+
+KHopResult KHopNeighborhood(const CitationGraph& g,
+                            const std::vector<PaperId>& seeds, int max_hops,
+                            Direction direction) {
+  KHopResult result;
+  const size_t n = g.num_nodes();
+  std::vector<bool> visited(n, false);
+
+  std::vector<PaperId> frontier;
+  for (PaperId s : seeds) {
+    if (s < n && !visited[s]) {
+      visited[s] = true;
+      frontier.push_back(s);
+    }
+  }
+  result.levels.push_back(frontier);
+
+  for (int hop = 1; hop <= max_hops && !frontier.empty(); ++hop) {
+    std::vector<PaperId> next;
+    for (PaperId u : frontier) {
+      auto visit = [&](std::span<const PaperId> nbrs) {
+        for (PaperId v : nbrs) {
+          if (!visited[v]) {
+            visited[v] = true;
+            next.push_back(v);
+          }
+        }
+      };
+      if (direction == Direction::kOut || direction == Direction::kUndirected)
+        visit(g.OutNeighbors(u));
+      if (direction == Direction::kIn || direction == Direction::kUndirected)
+        visit(g.InNeighbors(u));
+    }
+    std::sort(next.begin(), next.end());
+    result.levels.push_back(next);
+    frontier = std::move(next);
+  }
+  return result;
+}
+
+std::vector<uint32_t> ConnectedComponents(const CitationGraph& g,
+                                          size_t* num_components) {
+  const size_t n = g.num_nodes();
+  std::vector<uint32_t> comp(n, UINT32_MAX);
+  uint32_t next_comp = 0;
+  std::deque<PaperId> queue;
+  for (PaperId start = 0; start < n; ++start) {
+    if (comp[start] != UINT32_MAX) continue;
+    comp[start] = next_comp;
+    queue.push_back(start);
+    while (!queue.empty()) {
+      PaperId u = queue.front();
+      queue.pop_front();
+      auto visit = [&](std::span<const PaperId> nbrs) {
+        for (PaperId v : nbrs) {
+          if (comp[v] == UINT32_MAX) {
+            comp[v] = next_comp;
+            queue.push_back(v);
+          }
+        }
+      };
+      visit(g.OutNeighbors(u));
+      visit(g.InNeighbors(u));
+    }
+    ++next_comp;
+  }
+  if (num_components != nullptr) *num_components = next_comp;
+  return comp;
+}
+
+size_t LargestComponentSize(const CitationGraph& g) {
+  size_t num_components = 0;
+  std::vector<uint32_t> comp = ConnectedComponents(g, &num_components);
+  std::vector<size_t> sizes(num_components, 0);
+  for (uint32_t c : comp) ++sizes[c];
+  size_t best = 0;
+  for (size_t s : sizes) best = std::max(best, s);
+  return best;
+}
+
+}  // namespace rpg::graph

@@ -1,0 +1,44 @@
+#ifndef RPG_GRAPH_TRAVERSAL_H_
+#define RPG_GRAPH_TRAVERSAL_H_
+
+#include <vector>
+
+#include "graph/citation_graph.h"
+
+namespace rpg::graph {
+
+/// Which edge directions a traversal follows.
+enum class Direction {
+  kOut,        ///< follow references (u -> papers u cites)
+  kIn,         ///< follow citers (v -> papers citing v)
+  kUndirected  ///< both
+};
+
+/// Result of a bounded BFS: nodes grouped by hop distance from the seed
+/// set. `levels[0]` is the (deduplicated) seed set itself, `levels[h]` the
+/// nodes first reached at hop h.
+struct KHopResult {
+  std::vector<std::vector<PaperId>> levels;
+
+  /// Flattens all levels (seeds first) preserving level order.
+  std::vector<PaperId> AllNodes() const;
+  size_t TotalCount() const;
+};
+
+/// BFS from `seeds` up to `max_hops` hops following `direction`.
+/// Duplicate seeds are collapsed; invalid ids are skipped.
+KHopResult KHopNeighborhood(const CitationGraph& g,
+                            const std::vector<PaperId>& seeds, int max_hops,
+                            Direction direction);
+
+/// Connected components treating the graph as undirected. Returns a
+/// component id per node (dense, 0-based) and sets *num_components.
+std::vector<uint32_t> ConnectedComponents(const CitationGraph& g,
+                                          size_t* num_components);
+
+/// Size of the largest undirected connected component.
+size_t LargestComponentSize(const CitationGraph& g);
+
+}  // namespace rpg::graph
+
+#endif  // RPG_GRAPH_TRAVERSAL_H_

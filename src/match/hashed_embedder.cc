@@ -1,0 +1,86 @@
+#include "match/hashed_embedder.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+#include "text/porter_stemmer.h"
+#include "text/tokenizer.h"
+
+namespace rpg::match {
+
+namespace {
+
+/// FNV-1a 64-bit string hash (stable across platforms).
+uint64_t Fnv1a(const std::string& s) {
+  uint64_t h = 0xcbf29ce484222325ULL;
+  for (char c : s) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+}  // namespace
+
+HashedEmbedder::HashedEmbedder(const HashedEmbedderOptions& options)
+    : options_(options) {
+  RPG_CHECK(options_.dim > 0);
+}
+
+void HashedEmbedder::Accumulate(const std::string& text, double field_weight,
+                                std::vector<double>* acc) const {
+  std::vector<std::string> stems;
+  for (const auto& tok : text::Tokenize(text)) {
+    stems.push_back(text::PorterStem(tok));
+  }
+  auto add_feature = [&](const std::string& feature) {
+    uint64_t h = Fnv1a(feature);
+    size_t index = static_cast<size_t>(h % static_cast<uint64_t>(options_.dim));
+    double sign = ((h >> 62) & 1) ? 1.0 : -1.0;
+    (*acc)[index] += sign * field_weight;
+  };
+  for (const auto& s : stems) add_feature(s);
+  if (options_.use_bigrams) {
+    for (size_t i = 0; i + 1 < stems.size(); ++i) {
+      add_feature(stems[i] + "_" + stems[i + 1]);
+    }
+  }
+}
+
+Embedding HashedEmbedder::Normalize(const std::vector<double>& acc) {
+  double norm = 0.0;
+  for (double v : acc) norm += v * v;
+  norm = std::sqrt(norm);
+  Embedding out(acc.size());
+  if (norm > 0.0) {
+    for (size_t i = 0; i < acc.size(); ++i) {
+      out[i] = static_cast<float>(acc[i] / norm);
+    }
+  }
+  return out;
+}
+
+Embedding HashedEmbedder::EmbedDocument(
+    const std::string& title, const std::string& abstract_text) const {
+  std::vector<double> acc(static_cast<size_t>(options_.dim), 0.0);
+  Accumulate(title, options_.title_weight, &acc);
+  Accumulate(abstract_text, 1.0, &acc);
+  return Normalize(acc);
+}
+
+Embedding HashedEmbedder::EmbedQuery(const std::string& query) const {
+  std::vector<double> acc(static_cast<size_t>(options_.dim), 0.0);
+  Accumulate(query, 1.0, &acc);
+  return Normalize(acc);
+}
+
+double CosineSimilarity(const Embedding& a, const Embedding& b) {
+  if (a.size() != b.size() || a.empty()) return 0.0;
+  double dot = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    dot += static_cast<double>(a[i]) * b[i];
+  }
+  return dot;  // embeddings are L2-normalized
+}
+
+}  // namespace rpg::match

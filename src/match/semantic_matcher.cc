@@ -1,0 +1,42 @@
+#include "match/semantic_matcher.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace rpg::match {
+
+SemanticMatcher::SemanticMatcher(const std::vector<std::string>& titles,
+                                 const std::vector<std::string>& abstracts,
+                                 const HashedEmbedderOptions& options)
+    : embedder_(options) {
+  RPG_CHECK(titles.size() == abstracts.size());
+  doc_embeddings_.reserve(titles.size());
+  for (size_t i = 0; i < titles.size(); ++i) {
+    doc_embeddings_.push_back(embedder_.EmbedDocument(titles[i], abstracts[i]));
+  }
+}
+
+double SemanticMatcher::Score(const Embedding& query, uint32_t doc) const {
+  return CosineSimilarity(query, doc_embeddings_[doc]);
+}
+
+std::vector<Match> SemanticMatcher::Rerank(
+    const std::string& query, const std::vector<uint32_t>& candidates,
+    size_t top_k) const {
+  Embedding q = embedder_.EmbedQuery(query);
+  std::vector<Match> matches;
+  matches.reserve(candidates.size());
+  for (uint32_t doc : candidates) {
+    if (doc >= doc_embeddings_.size()) continue;
+    matches.push_back({doc, Score(q, doc)});
+  }
+  std::sort(matches.begin(), matches.end(), [](const Match& a, const Match& b) {
+    if (a.score != b.score) return a.score > b.score;
+    return a.doc < b.doc;
+  });
+  if (matches.size() > top_k) matches.resize(top_k);
+  return matches;
+}
+
+}  // namespace rpg::match

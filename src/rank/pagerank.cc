@@ -1,0 +1,79 @@
+#include "rank/pagerank.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace rpg::rank {
+
+namespace {
+
+/// Shared power iteration. `out_degree(u)` and `in_neighbors(v, fn)` are
+/// provided by the caller so the same loop serves full graphs and
+/// subgraphs.
+template <typename OutDegreeFn, typename ForEachInNeighborFn>
+std::vector<double> PowerIterate(size_t n, OutDegreeFn out_degree,
+                                 ForEachInNeighborFn for_each_in_neighbor,
+                                 const PageRankOptions& options) {
+  if (n == 0) return {};
+  std::vector<double> rank(n, 1.0 / static_cast<double>(n));
+  std::vector<double> next(n, 0.0);
+  const double base = (1.0 - options.damping) / static_cast<double>(n);
+  for (int iter = 0; iter < options.max_iterations; ++iter) {
+    double dangling = 0.0;
+    for (size_t u = 0; u < n; ++u) {
+      if (out_degree(u) == 0) dangling += rank[u];
+    }
+    double dangling_share =
+        options.damping * dangling / static_cast<double>(n);
+    double delta = 0.0;
+    for (size_t v = 0; v < n; ++v) {
+      double sum = 0.0;
+      for_each_in_neighbor(v, [&](size_t u) {
+        sum += rank[u] / static_cast<double>(out_degree(u));
+      });
+      next[v] = base + dangling_share + options.damping * sum;
+      delta += std::abs(next[v] - rank[v]);
+    }
+    rank.swap(next);
+    if (delta < options.tolerance) break;
+  }
+  return rank;
+}
+
+}  // namespace
+
+std::vector<double> PageRank(const graph::CitationGraph& g,
+                             const PageRankOptions& options) {
+  return PowerIterate(
+      g.num_nodes(),
+      [&](size_t u) { return g.OutDegree(static_cast<graph::PaperId>(u)); },
+      [&](size_t v, auto&& fn) {
+        for (graph::PaperId u : g.InNeighbors(static_cast<graph::PaperId>(v)))
+          fn(u);
+      },
+      options);
+}
+
+std::vector<double> PageRankOnSubgraph(const graph::Subgraph& sg,
+                                       const PageRankOptions& options) {
+  return PowerIterate(
+      sg.num_nodes(),
+      [&](size_t u) {
+        return sg.OutNeighbors(static_cast<uint32_t>(u)).size();
+      },
+      [&](size_t v, auto&& fn) {
+        for (uint32_t u : sg.InNeighbors(static_cast<uint32_t>(v))) fn(u);
+      },
+      options);
+}
+
+std::vector<double> NormalizeByMax(std::vector<double> scores) {
+  double max_score = 0.0;
+  for (double s : scores) max_score = std::max(max_score, s);
+  if (max_score > 0.0) {
+    for (double& s : scores) s /= max_score;
+  }
+  return scores;
+}
+
+}  // namespace rpg::rank

@@ -1,0 +1,72 @@
+#include "rank/weight_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace rpg::rank {
+
+WeightModel::WeightModel(const graph::CitationGraph* g,
+                         std::vector<double> pagerank_norm,
+                         std::vector<double> venue_scores,
+                         const NewstParams& params)
+    : g_(g),
+      pagerank_norm_(std::move(pagerank_norm)),
+      venue_scores_(std::move(venue_scores)),
+      params_(params) {
+  RPG_CHECK(g_ != nullptr);
+  RPG_CHECK(pagerank_norm_.size() == g_->num_nodes());
+  RPG_CHECK(venue_scores_.size() == g_->num_nodes());
+}
+
+double WeightModel::NodeWeight(graph::PaperId i) const {
+  double denom =
+      params_.a * pagerank_norm_[i] + params_.b * venue_scores_[i];
+  denom = std::max(denom, kDenomFloor);
+  return params_.gamma / denom;
+}
+
+namespace {
+
+/// Count of common elements between two sorted spans, early-exits at cap.
+int CountCommonSorted(std::span<const graph::PaperId> a,
+                      std::span<const graph::PaperId> b, int cap) {
+  int count = 0;
+  size_t i = 0, j = 0;
+  while (i < a.size() && j < b.size() && count < cap) {
+    if (a[i] == b[j]) {
+      ++count;
+      ++i;
+      ++j;
+    } else if (a[i] < b[j]) {
+      ++i;
+    } else {
+      ++j;
+    }
+  }
+  return count;
+}
+
+}  // namespace
+
+int WeightModel::Con(graph::PaperId i, graph::PaperId j) const {
+  // 1 for the citation relation itself + bibliographic coupling (shared
+  // references) + co-citation (shared citers), capped.
+  int common = CountCommonSorted(g_->OutNeighbors(i), g_->OutNeighbors(j),
+                                 kConCap);
+  if (common < kConCap) {
+    common += CountCommonSorted(g_->InNeighbors(i), g_->InNeighbors(j),
+                                kConCap - common);
+  }
+  return 1 + std::min(common, kConCap - 1);
+}
+
+double WeightModel::EdgeCost(graph::PaperId i, graph::PaperId j) const {
+  double con = static_cast<double>(Con(i, j));
+  return params_.alpha / std::pow(con, params_.beta);
+}
+
+double WeightModel::MaxNodeWeight() const { return params_.gamma / kDenomFloor; }
+
+}  // namespace rpg::rank

@@ -1,0 +1,67 @@
+#ifndef RPG_RANK_WEIGHT_MODEL_H_
+#define RPG_RANK_WEIGHT_MODEL_H_
+
+#include <vector>
+
+#include "graph/citation_graph.h"
+
+namespace rpg::rank {
+
+/// The NEWST constants of Eq. (2) and Eq. (3); defaults are the paper's
+/// experimental setting {α, β, γ, a, b} = {3, 2, 5, 0.7, 0.3} (§VI-A).
+struct NewstParams {
+  double alpha = 3.0;
+  double beta = 2.0;
+  double gamma = 5.0;
+  double a = 0.7;
+  double b = 0.3;
+};
+
+/// Node and edge weights for the weighted citation graph (§IV-A step 2).
+///
+///   w(i)    = γ / (a · pgscore(i) + b · venue(i))          (Eq. 3)
+///   c(i, j) = α / con(i, j)^β                              (Eq. 2)
+///
+/// pgscore is the max-normalized PageRank over the full citation network
+/// and venue(i) the CCF/AMiner venue score in [0, 1]. The paper measures
+/// con(i, j) as the number of times paper j is mentioned in paper i's
+/// full text (or inversely); full text is not modeled here, so con is
+/// derived from the citation structure: 1 for the citation itself plus
+/// the number of common graph neighbors (a standard co-citation /
+/// bibliographic-coupling relatedness proxy — see DESIGN.md §2).
+class WeightModel {
+ public:
+  /// `pagerank_norm` and `venue_scores` are per-paper arrays (same size
+  /// as g.num_nodes()), both on a [0, 1] scale. The graph must outlive
+  /// the model.
+  WeightModel(const graph::CitationGraph* g, std::vector<double> pagerank_norm,
+              std::vector<double> venue_scores, const NewstParams& params = {});
+
+  /// Eq. (3). The denominator is floored so papers with no venue and
+  /// negligible PageRank keep a finite weight.
+  double NodeWeight(graph::PaperId i) const;
+
+  /// Relatedness count used by Eq. (2): 1 + common neighbors (capped).
+  int Con(graph::PaperId i, graph::PaperId j) const;
+
+  /// Eq. (2).
+  double EdgeCost(graph::PaperId i, graph::PaperId j) const;
+
+  const NewstParams& params() const { return params_; }
+
+  /// Maximum possible node weight (γ / floor); handy for tests.
+  double MaxNodeWeight() const;
+
+ private:
+  const graph::CitationGraph* g_;
+  std::vector<double> pagerank_norm_;
+  std::vector<double> venue_scores_;
+  NewstParams params_;
+
+  static constexpr double kDenomFloor = 0.02;
+  static constexpr int kConCap = 7;
+};
+
+}  // namespace rpg::rank
+
+#endif  // RPG_RANK_WEIGHT_MODEL_H_

@@ -1,0 +1,24 @@
+#include "search/bm25.h"
+
+#include <cmath>
+
+namespace rpg::search {
+
+double Bm25Idf(size_t doc_freq, size_t num_docs) {
+  double df = static_cast<double>(doc_freq);
+  double n = static_cast<double>(num_docs);
+  return std::log(1.0 + (n - df + 0.5) / (df + 0.5));
+}
+
+double Bm25TermScore(double weighted_tf, double doc_length,
+                     double avg_doc_length, double idf,
+                     const Bm25Params& params) {
+  if (weighted_tf <= 0.0) return 0.0;
+  double norm =
+      avg_doc_length > 0.0
+          ? params.k1 * (1.0 - params.b + params.b * doc_length / avg_doc_length)
+          : params.k1;
+  return idf * weighted_tf * (params.k1 + 1.0) / (weighted_tf + norm);
+}
+
+}  // namespace rpg::search

@@ -1,0 +1,26 @@
+#ifndef RPG_SEARCH_BM25_H_
+#define RPG_SEARCH_BM25_H_
+
+#include <cstddef>
+
+namespace rpg::search {
+
+/// Okapi BM25 parameters.
+struct Bm25Params {
+  double k1 = 1.2;
+  double b = 0.75;
+};
+
+/// Robertson-Sparck-Jones IDF with the +1 floor used by Lucene
+/// (non-negative for all df).
+double Bm25Idf(size_t doc_freq, size_t num_docs);
+
+/// Per-term BM25 contribution given a weighted term frequency, document
+/// length and average document length.
+double Bm25TermScore(double weighted_tf, double doc_length,
+                     double avg_doc_length, double idf,
+                     const Bm25Params& params);
+
+}  // namespace rpg::search
+
+#endif  // RPG_SEARCH_BM25_H_

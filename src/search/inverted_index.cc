@@ -1,0 +1,74 @@
+#include "search/inverted_index.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "common/logging.h"
+#include "text/porter_stemmer.h"
+#include "text/tokenizer.h"
+
+namespace rpg::search {
+
+namespace {
+const std::vector<Posting> kEmptyPostings;
+}  // namespace
+
+std::vector<std::string> InvertedIndex::AnalyzeQuery(const std::string& query) {
+  std::vector<std::string> out;
+  for (const auto& tok : text::Tokenize(query)) {
+    out.push_back(text::PorterStem(tok));
+  }
+  return out;
+}
+
+void InvertedIndex::AddDocument(const std::string& title,
+                                const std::string& abstract_text) {
+  RPG_CHECK(!finalized_) << "AddDocument after Finalize";
+  DocId doc = static_cast<DocId>(doc_lengths_.size());
+  std::unordered_map<text::TermId, float> tf;
+  double length = 0.0;
+  for (const auto& tok : text::Tokenize(title)) {
+    text::TermId id = vocab_.GetOrAdd(text::PorterStem(tok));
+    tf[id] += static_cast<float>(options_.title_weight);
+    length += options_.title_weight;
+  }
+  for (const auto& tok : text::Tokenize(abstract_text)) {
+    text::TermId id = vocab_.GetOrAdd(text::PorterStem(tok));
+    tf[id] += 1.0f;
+    length += 1.0;
+  }
+  doc_lengths_.push_back(static_cast<float>(length));
+  if (vocab_.size() > postings_.size()) postings_.resize(vocab_.size());
+  for (const auto& [term, weighted_tf] : tf) {
+    postings_[term].push_back({doc, weighted_tf});
+  }
+}
+
+void InvertedIndex::Finalize() {
+  RPG_CHECK(!finalized_) << "double Finalize";
+  finalized_ = true;
+  for (auto& plist : postings_) {
+    std::sort(plist.begin(), plist.end(),
+              [](const Posting& a, const Posting& b) { return a.doc < b.doc; });
+  }
+  double total = 0.0;
+  for (float l : doc_lengths_) total += l;
+  avg_doc_length_ =
+      doc_lengths_.empty() ? 0.0 : total / static_cast<double>(doc_lengths_.size());
+}
+
+const std::vector<Posting>& InvertedIndex::PostingsFor(
+    const std::string& stemmed_term) const {
+  RPG_CHECK(finalized_) << "PostingsFor before Finalize";
+  text::TermId id = vocab_.Lookup(stemmed_term);
+  if (id == text::kInvalidTerm) return kEmptyPostings;
+  return postings_[id];
+}
+
+size_t InvertedIndex::DocumentFrequency(const std::string& stemmed_term) const {
+  text::TermId id = vocab_.Lookup(stemmed_term);
+  if (id == text::kInvalidTerm) return 0;
+  return postings_[id].size();
+}
+
+}  // namespace rpg::search

@@ -1,0 +1,64 @@
+#ifndef RPG_SEARCH_INVERTED_INDEX_H_
+#define RPG_SEARCH_INVERTED_INDEX_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "text/vocabulary.h"
+
+namespace rpg::search {
+
+using DocId = uint32_t;
+
+/// One posting: a document and the (field-weighted) term frequency.
+struct Posting {
+  DocId doc;
+  float weighted_tf;
+};
+
+/// Index construction knobs.
+struct InvertedIndexOptions {
+  /// A title occurrence contributes this much term frequency; an abstract
+  /// occurrence contributes 1.
+  double title_weight = 3.0;
+};
+
+/// Field-weighted inverted index over title + abstract text. Terms are
+/// lowercased and Porter-stemmed.
+class InvertedIndex {
+ public:
+  explicit InvertedIndex(const InvertedIndexOptions& options = {})
+      : options_(options) {}
+
+  /// Adds a document; ids must be added densely (0, 1, 2, ...).
+  void AddDocument(const std::string& title, const std::string& abstract_text);
+
+  /// Freezes the index (sorts postings). Must precede PostingsFor.
+  void Finalize();
+
+  size_t num_documents() const { return doc_lengths_.size(); }
+  double average_doc_length() const { return avg_doc_length_; }
+  double DocLength(DocId d) const { return doc_lengths_[d]; }
+
+  /// Postings for one (stemmed) term; empty when unseen.
+  const std::vector<Posting>& PostingsFor(const std::string& stemmed_term) const;
+
+  /// Document frequency of a stemmed term.
+  size_t DocumentFrequency(const std::string& stemmed_term) const;
+
+  /// Tokenizes + stems a free-text query into index terms.
+  static std::vector<std::string> AnalyzeQuery(const std::string& query);
+
+ private:
+  InvertedIndexOptions options_;
+  text::Vocabulary vocab_;
+  std::vector<std::vector<Posting>> postings_;  // by term id
+  std::vector<float> doc_lengths_;              // weighted length per doc
+  double avg_doc_length_ = 0.0;
+  bool finalized_ = false;
+};
+
+}  // namespace rpg::search
+
+#endif  // RPG_SEARCH_INVERTED_INDEX_H_

@@ -1,0 +1,81 @@
+#ifndef RPG_SEARCH_SEARCH_ENGINE_H_
+#define RPG_SEARCH_SEARCH_ENGINE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "search/bm25.h"
+#include "search/inverted_index.h"
+
+namespace rpg::search {
+
+/// A document handed to the engine at build time. `citations` is the
+/// paper's current citation count (used for popularity boosts) and `year`
+/// its publication year (used for time-range restriction, mirroring the
+/// paper's "anytime .. survey year" search setting).
+struct EngineDocument {
+  std::string title;
+  std::string abstract_text;
+  int year = 0;
+  uint64_t citations = 0;
+};
+
+/// One ranked hit.
+struct SearchResult {
+  DocId doc = 0;
+  double score = 0.0;
+};
+
+/// Ranking profile. The three baseline engines of the paper are modeled
+/// as BM25 plus engine-specific popularity/recency boosts — all of them
+/// score documents *independently*, with no citation-chain awareness,
+/// which is the deficiency (§II-A Observation I) RePaGer addresses.
+struct EngineProfile {
+  std::string name;
+  Bm25Params bm25;
+  /// Multiplicative boost 1 + w * log1p(citations) / log1p(max_citations).
+  double citation_boost = 0.0;
+  /// Multiplicative boost 1 + w * (year - min_year) / (max_year - min_year).
+  double recency_boost = 0.0;
+};
+
+/// Built-in profiles emulating Google Scholar / Microsoft Academic /
+/// AMiner.
+EngineProfile GoogleScholarProfile();
+EngineProfile MicrosoftAcademicProfile();
+EngineProfile AMinerProfile();
+
+/// BM25 retrieval engine over a fixed document collection.
+class SearchEngine {
+ public:
+  /// Builds the index. Document ids are their positions in `docs`.
+  static Result<std::unique_ptr<SearchEngine>> Build(
+      std::vector<EngineDocument> docs, const EngineProfile& profile);
+
+  /// Returns the top-k documents for a free-text query, restricted to
+  /// documents with year <= year_cutoff (pass INT32_MAX for no cutoff).
+  /// `exclude` (may be empty) lists doc ids to drop from the ranking —
+  /// used to remove the queried survey itself.
+  std::vector<SearchResult> Search(const std::string& query, size_t top_k,
+                                   int year_cutoff,
+                                   const std::vector<DocId>& exclude = {}) const;
+
+  const EngineProfile& profile() const { return profile_; }
+  size_t num_documents() const { return docs_.size(); }
+
+ private:
+  SearchEngine(std::vector<EngineDocument> docs, const EngineProfile& profile);
+
+  std::vector<EngineDocument> docs_;
+  EngineProfile profile_;
+  InvertedIndex index_;
+  uint64_t max_citations_ = 0;
+  int min_year_ = 0;
+  int max_year_ = 0;
+};
+
+}  // namespace rpg::search
+
+#endif  // RPG_SEARCH_SEARCH_ENGINE_H_

@@ -1,0 +1,53 @@
+#include "steiner/dijkstra.h"
+
+#include <algorithm>
+#include <limits>
+#include <queue>
+
+namespace rpg::steiner {
+
+std::vector<uint32_t> ShortestPathTree::PathTo(uint32_t target) const {
+  if (target >= dist.size() ||
+      dist[target] == std::numeric_limits<double>::infinity()) {
+    return {};
+  }
+  std::vector<uint32_t> path;
+  uint32_t cur = target;
+  while (cur != UINT32_MAX) {
+    path.push_back(cur);
+    cur = parent[cur];
+  }
+  std::reverse(path.begin(), path.end());
+  return path;
+}
+
+ShortestPathTree Dijkstra(const WeightedGraph& g, uint32_t source,
+                          bool include_node_weights) {
+  const size_t n = g.num_nodes();
+  ShortestPathTree tree;
+  tree.dist.assign(n, std::numeric_limits<double>::infinity());
+  tree.parent.assign(n, UINT32_MAX);
+  if (source >= n) return tree;
+
+  using Entry = std::pair<double, uint32_t>;  // (dist, node)
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> pq;
+  tree.dist[source] = 0.0;
+  pq.emplace(0.0, source);
+  while (!pq.empty()) {
+    auto [d, u] = pq.top();
+    pq.pop();
+    if (d > tree.dist[u]) continue;  // stale entry
+    for (const auto& [v, cost] : g.Neighbors(u)) {
+      double nd = d + cost;
+      if (include_node_weights) nd += g.NodeWeight(v);
+      if (nd < tree.dist[v]) {
+        tree.dist[v] = nd;
+        tree.parent[v] = u;
+        pq.emplace(nd, v);
+      }
+    }
+  }
+  return tree;
+}
+
+}  // namespace rpg::steiner

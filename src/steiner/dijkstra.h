@@ -1,0 +1,39 @@
+#ifndef RPG_STEINER_DIJKSTRA_H_
+#define RPG_STEINER_DIJKSTRA_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "steiner/weighted_graph.h"
+
+namespace rpg::steiner {
+
+/// Result of a single-source shortest-path computation. Unreachable
+/// nodes have dist == +inf and parent == UINT32_MAX.
+struct ShortestPathTree {
+  std::vector<double> dist;
+  std::vector<uint32_t> parent;
+
+  /// Reconstructs source -> target (inclusive); empty when unreachable.
+  std::vector<uint32_t> PathTo(uint32_t target) const;
+};
+
+/// Dijkstra over a node-and-edge weighted graph. The distance of a path
+/// source = v0, v1, ..., vk = target is
+///
+///   sum of edge costs + sum of node weights of v1..vk
+///
+/// i.e. every node except the source contributes its weight (§IV-B:
+/// "a path whose distance, including node costs and edge weights, is
+/// minimal"). Counting the target once and the source never makes the
+/// metric-closure MST of KMB consistent: each tree node's weight appears
+/// exactly once along the union of paths.
+///
+/// When `include_node_weights` is false, node weights are ignored
+/// (the NEWST-N ablation).
+ShortestPathTree Dijkstra(const WeightedGraph& g, uint32_t source,
+                          bool include_node_weights = true);
+
+}  // namespace rpg::steiner
+
+#endif  // RPG_STEINER_DIJKSTRA_H_

@@ -1,0 +1,182 @@
+#include "steiner/exact.h"
+
+#include <algorithm>
+#include <limits>
+#include <optional>
+#include <set>
+
+#include "common/string_util.h"
+#include "steiner/dijkstra.h"
+
+namespace rpg::steiner {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+WeightedGraph UnitCostCopy(const WeightedGraph& g) {
+  WeightedGraph unit(g.num_nodes());
+  for (uint32_t u = 0; u < g.num_nodes(); ++u) {
+    unit.SetNodeWeight(u, g.NodeWeight(u));
+    for (const auto& [v, cost] : g.Neighbors(u)) {
+      if (u < v) unit.AddEdge(u, v, 1.0);
+    }
+  }
+  return unit;
+}
+
+}  // namespace
+
+Result<SteinerResult> SolveExactSteiner(const WeightedGraph& g,
+                                        const std::vector<uint32_t>& terminals,
+                                        const NewstOptions& options) {
+  if (terminals.empty()) {
+    return Status::InvalidArgument("terminal set is empty");
+  }
+  std::vector<uint32_t> terms = terminals;
+  std::sort(terms.begin(), terms.end());
+  terms.erase(std::unique(terms.begin(), terms.end()), terms.end());
+  for (uint32_t t : terms) {
+    if (t >= g.num_nodes()) {
+      return Status::InvalidArgument(StrFormat("terminal %u out of range", t));
+    }
+  }
+  if (terms.size() > 12) {
+    return Status::InvalidArgument(
+        StrFormat("Dreyfus-Wagner supports at most 12 terminals, got %zu",
+                  terms.size()));
+  }
+
+  std::optional<WeightedGraph> unit;
+  const WeightedGraph* eg = &g;
+  if (!options.use_edge_weights) {
+    unit = UnitCostCopy(g);
+    eg = &*unit;
+  }
+  const size_t n = eg->num_nodes();
+
+  if (terms.size() == 1) {
+    SteinerResult result;
+    result.nodes = {terms[0]};
+    if (options.use_node_weights) {
+      result.total_cost = g.NodeWeight(terms[0]);
+    }
+    return result;
+  }
+
+  // All-pairs "rooted" distances: dist[v][u] = cheapest v -> u path cost
+  // counting every node weight on the path except v's.
+  std::vector<ShortestPathTree> spt;
+  spt.reserve(n);
+  for (uint32_t v = 0; v < n; ++v) {
+    spt.push_back(Dijkstra(*eg, v, options.use_node_weights));
+  }
+  for (uint32_t t : terms) {
+    for (uint32_t s : terms) {
+      if (spt[t].dist[s] == kInf) {
+        return Status::FailedPrecondition(
+            StrFormat("terminals %u and %u are disconnected", t, s));
+      }
+    }
+  }
+
+  // Dreyfus-Wagner over the terminals except the anchor t0.
+  const uint32_t t0 = terms.back();
+  std::vector<uint32_t> rest(terms.begin(), terms.end() - 1);
+  const uint32_t k = static_cast<uint32_t>(rest.size());
+  const uint32_t full = (1u << k) - 1;
+
+  // dp[mask][v]: cheapest tree containing {rest[i] : i in mask} + v,
+  // counting every node weight except v's. best_u / best_sub record the
+  // decisions for reconstruction.
+  std::vector<std::vector<double>> dp(full + 1, std::vector<double>(n, kInf));
+  std::vector<std::vector<uint32_t>> best_u(
+      full + 1, std::vector<uint32_t>(n, UINT32_MAX));
+  std::vector<std::vector<uint32_t>> best_sub(
+      full + 1, std::vector<uint32_t>(n, 0));
+
+  for (uint32_t i = 0; i < k; ++i) {
+    uint32_t mask = 1u << i;
+    for (uint32_t v = 0; v < n; ++v) {
+      dp[mask][v] = spt[v].dist[rest[i]];
+      best_u[mask][v] = v;  // attach directly toward the terminal
+    }
+  }
+  std::vector<double> merged(n);
+  std::vector<uint32_t> merged_sub(n);
+  for (uint32_t mask = 1; mask <= full; ++mask) {
+    if ((mask & (mask - 1)) == 0) continue;  // single bit handled above
+    // Merge step: two sub-forests joined at u.
+    for (uint32_t u = 0; u < n; ++u) {
+      merged[u] = kInf;
+      merged_sub[u] = 0;
+      for (uint32_t sub = (mask - 1) & mask; sub != 0;
+           sub = (sub - 1) & mask) {
+        if (sub > (mask ^ sub)) continue;  // each split once
+        // Both halves exclude w(u), and the merged tree must exclude it
+        // exactly once as well, so the plain sum is already correct.
+        double cost = dp[sub][u] + dp[mask ^ sub][u];
+        if (cost < merged[u]) {
+          merged[u] = cost;
+          merged_sub[u] = sub;
+        }
+      }
+    }
+    // Attach step: connect a root v to the best junction u.
+    for (uint32_t v = 0; v < n; ++v) {
+      for (uint32_t u = 0; u < n; ++u) {
+        if (merged[u] == kInf) continue;
+        double d = v == u ? 0.0 : spt[v].dist[u];
+        if (d == kInf) continue;
+        double cost = merged[u] + d;
+        if (cost < dp[mask][v]) {
+          dp[mask][v] = cost;
+          best_u[mask][v] = u;
+          best_sub[mask][v] = merged_sub[u];
+        }
+      }
+    }
+  }
+
+  // ---- Reconstruction -------------------------------------------------
+  std::set<uint32_t> node_set = {t0};
+  std::set<std::pair<uint32_t, uint32_t>> edge_set;
+  auto add_path = [&](uint32_t from, uint32_t to) {
+    std::vector<uint32_t> path = spt[from].PathTo(to);
+    for (size_t i = 0; i + 1 < path.size(); ++i) {
+      uint32_t a = path[i], b = path[i + 1];
+      node_set.insert(a);
+      node_set.insert(b);
+      edge_set.insert({std::min(a, b), std::max(a, b)});
+    }
+    node_set.insert(to);
+  };
+  // Recursive expansion of dp decisions.
+  auto expand = [&](auto&& self, uint32_t mask, uint32_t v) -> void {
+    uint32_t u = best_u[mask][v];
+    if (u != v) add_path(v, u);
+    if ((mask & (mask - 1)) == 0) {
+      // Single terminal: u connects straight to it.
+      int bit = __builtin_ctz(mask);
+      add_path(u, rest[static_cast<size_t>(bit)]);
+      return;
+    }
+    uint32_t sub = best_sub[mask][v];
+    self(self, sub, u);
+    self(self, mask ^ sub, u);
+  };
+  expand(expand, full, t0);
+
+  SteinerResult result;
+  result.nodes.assign(node_set.begin(), node_set.end());
+  for (const auto& [a, b] : edge_set) {
+    result.edges.emplace_back(a, b);
+    result.total_cost += eg->EdgeCost(a, b);
+  }
+  if (options.use_node_weights) {
+    for (uint32_t v : result.nodes) result.total_cost += g.NodeWeight(v);
+  }
+  return result;
+}
+
+}  // namespace rpg::steiner

@@ -1,0 +1,31 @@
+#ifndef RPG_STEINER_EXACT_H_
+#define RPG_STEINER_EXACT_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "steiner/newst.h"
+#include "steiner/weighted_graph.h"
+
+namespace rpg::steiner {
+
+/// Exact node-and-edge weighted Steiner tree via the Dreyfus-Wagner
+/// dynamic program, O(3^|S| n + 2^|S| n^2 + n^3)-ish. Practical only for
+/// small instances (|S| <= ~12, n <= a few hundred); used to validate the
+/// NEWST heuristic's approximation quality (the 2(1 - 1/l) bound of
+/// §IV-B) in tests and the heuristic-ablation bench.
+///
+/// The objective matches SolveNewst: sum of tree-edge costs plus tree-node
+/// weights (node weights skipped when options.use_node_weights is false;
+/// unit edge costs when options.use_edge_weights is false).
+///
+/// Returns FailedPrecondition when the terminals are not mutually
+/// connected, InvalidArgument for empty/out-of-range terminals or |S| >
+/// 16.
+Result<SteinerResult> SolveExactSteiner(const WeightedGraph& g,
+                                        const std::vector<uint32_t>& terminals,
+                                        const NewstOptions& options = {});
+
+}  // namespace rpg::steiner
+
+#endif  // RPG_STEINER_EXACT_H_

@@ -1,0 +1,158 @@
+#include "steiner/newst.h"
+
+#include <algorithm>
+#include <limits>
+#include <map>
+#include <optional>
+#include <set>
+
+#include "common/string_util.h"
+#include "steiner/dijkstra.h"
+#include "steiner/mst.h"
+
+namespace rpg::steiner {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/// Copies g with every edge cost replaced by 1 (NEWST-E ablation).
+WeightedGraph UnitCostCopy(const WeightedGraph& g) {
+  WeightedGraph unit(g.num_nodes());
+  for (uint32_t u = 0; u < g.num_nodes(); ++u) {
+    unit.SetNodeWeight(u, g.NodeWeight(u));
+    for (const auto& [v, cost] : g.Neighbors(u)) {
+      if (u < v) unit.AddEdge(u, v, 1.0);
+    }
+  }
+  return unit;
+}
+
+}  // namespace
+
+Result<SteinerResult> SolveNewst(const WeightedGraph& g,
+                                 const std::vector<uint32_t>& terminals,
+                                 const NewstOptions& options) {
+  if (terminals.empty()) {
+    return Status::InvalidArgument("terminal set is empty");
+  }
+  std::vector<uint32_t> terms = terminals;
+  std::sort(terms.begin(), terms.end());
+  terms.erase(std::unique(terms.begin(), terms.end()), terms.end());
+  for (uint32_t t : terms) {
+    if (t >= g.num_nodes()) {
+      return Status::InvalidArgument(
+          StrFormat("terminal %u out of range (graph has %zu nodes)", t,
+                    g.num_nodes()));
+    }
+  }
+
+  // Effective graph for the ablations.
+  std::optional<WeightedGraph> unit;
+  const WeightedGraph* eg = &g;
+  if (!options.use_edge_weights) {
+    unit = UnitCostCopy(g);
+    eg = &*unit;
+  }
+
+  // ---- Step 1: metric closure over the terminals --------------------
+  const size_t k = terms.size();
+  std::vector<ShortestPathTree> spt;
+  spt.reserve(k);
+  for (uint32_t t : terms) {
+    spt.push_back(Dijkstra(*eg, t, options.use_node_weights));
+  }
+  std::vector<Edge> closure;
+  for (uint32_t i = 0; i < k; ++i) {
+    for (uint32_t j = i + 1; j < k; ++j) {
+      double d = spt[i].dist[terms[j]];
+      if (d < kInf) closure.push_back({i, j, d});
+    }
+  }
+
+  // ---- Step 2: MST of the closure (forest when disconnected) --------
+  std::vector<Edge> closure_mst = KruskalMst(k, closure);
+
+  // ---- Step 3: expand closure-MST edges into shortest paths ---------
+  std::set<uint32_t> node_set(terms.begin(), terms.end());
+  std::set<std::pair<uint32_t, uint32_t>> edge_set;
+  for (const Edge& e : closure_mst) {
+    std::vector<uint32_t> path = spt[e.u].PathTo(terms[e.v]);
+    for (size_t i = 0; i + 1 < path.size(); ++i) {
+      uint32_t a = path[i], b = path[i + 1];
+      node_set.insert(a);
+      node_set.insert(b);
+      edge_set.insert({std::min(a, b), std::max(a, b)});
+    }
+  }
+
+  // ---- Step 4: MST of the expanded subgraph Gs, then prune ----------
+  // Compact ids for Gs.
+  std::map<uint32_t, uint32_t> to_compact;
+  std::vector<uint32_t> to_original(node_set.begin(), node_set.end());
+  for (uint32_t i = 0; i < to_original.size(); ++i) {
+    to_compact[to_original[i]] = i;
+  }
+  std::vector<Edge> gs_edges;
+  gs_edges.reserve(edge_set.size());
+  for (const auto& [a, b] : edge_set) {
+    gs_edges.push_back({to_compact[a], to_compact[b], eg->EdgeCost(a, b)});
+  }
+  std::vector<Edge> gs_mst = KruskalMst(to_original.size(), gs_edges);
+
+  // Prune non-terminal leaves until fixpoint (classic KMB step 5).
+  std::set<uint32_t> terminal_compact;
+  for (uint32_t t : terms) terminal_compact.insert(to_compact[t]);
+  std::vector<bool> removed_edge(gs_mst.size(), false);
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    std::vector<int> degree(to_original.size(), 0);
+    for (size_t i = 0; i < gs_mst.size(); ++i) {
+      if (removed_edge[i]) continue;
+      ++degree[gs_mst[i].u];
+      ++degree[gs_mst[i].v];
+    }
+    for (size_t i = 0; i < gs_mst.size(); ++i) {
+      if (removed_edge[i]) continue;
+      const Edge& e = gs_mst[i];
+      bool u_prunable = degree[e.u] == 1 && !terminal_compact.contains(e.u);
+      bool v_prunable = degree[e.v] == 1 && !terminal_compact.contains(e.v);
+      if (u_prunable || v_prunable) {
+        removed_edge[i] = true;
+        changed = true;
+      }
+    }
+  }
+
+  // ---- Assemble the result ------------------------------------------
+  SteinerResult result;
+  std::set<uint32_t> final_nodes(terms.begin(), terms.end());
+  for (size_t i = 0; i < gs_mst.size(); ++i) {
+    if (removed_edge[i]) continue;
+    uint32_t a = to_original[gs_mst[i].u];
+    uint32_t b = to_original[gs_mst[i].v];
+    final_nodes.insert(a);
+    final_nodes.insert(b);
+    result.edges.emplace_back(std::min(a, b), std::max(a, b));
+    result.total_cost += gs_mst[i].cost;
+  }
+  result.nodes.assign(final_nodes.begin(), final_nodes.end());
+  std::sort(result.edges.begin(), result.edges.end());
+  if (options.use_node_weights) {
+    for (uint32_t v : result.nodes) result.total_cost += g.NodeWeight(v);
+  }
+
+  // Terminals outside the first terminal's closure component.
+  DisjointSets components(k);
+  for (const Edge& e : closure_mst) components.Union(e.u, e.v);
+  uint32_t root = components.Find(0);
+  for (uint32_t i = 1; i < k; ++i) {
+    if (components.Find(i) != root) {
+      result.unreachable_terminals.push_back(terms[i]);
+    }
+  }
+  return result;
+}
+
+}  // namespace rpg::steiner

@@ -1,0 +1,57 @@
+#ifndef RPG_STEINER_NEWST_H_
+#define RPG_STEINER_NEWST_H_
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "common/result.h"
+#include "steiner/weighted_graph.h"
+
+namespace rpg::steiner {
+
+/// Variant switches for the ablation study (§VI-B, Table III right).
+struct NewstOptions {
+  /// Include node weights in path distances and the objective (off =
+  /// NEWST-N).
+  bool use_node_weights = true;
+  /// Use per-edge costs; when false every edge costs 1 (NEWST-E).
+  bool use_edge_weights = true;
+};
+
+/// Output of the solver: a Steiner tree (or forest when some terminals
+/// are mutually unreachable) spanning the reachable terminals.
+struct SteinerResult {
+  /// All tree nodes (terminals + Steiner nodes), sorted.
+  std::vector<uint32_t> nodes;
+  /// Tree edges (u < v), sorted.
+  std::vector<std::pair<uint32_t, uint32_t>> edges;
+  /// Objective value of Eq. (1): sum of tree-edge costs + tree-node
+  /// weights (node weights counted only when use_node_weights).
+  double total_cost = 0.0;
+  /// Terminals dropped because no path connected them to the first
+  /// terminal's component.
+  std::vector<uint32_t> unreachable_terminals;
+};
+
+/// Node-Edge Weighted Steiner Tree heuristic — Algorithm 1 of the paper
+/// (the KMB construction of Kou, Markowsky & Berman 1981 generalized to
+/// node weights):
+///   1. build the metric closure over the terminals S (shortest paths
+///      account for node weights + edge costs),
+///   2. MST of the closure,
+///   3. expand each MST edge into its underlying shortest path, forming
+///      the subgraph Gs,
+///   4. MST of Gs, then repeatedly prune non-terminal leaves.
+/// Guarantees cost(T) <= 2(1 - 1/l) * OPT with l the number of leaves in
+/// the optimal tree. Worst-case time O(|S| |V|^2).
+///
+/// Returns InvalidArgument for an empty terminal set or out-of-range
+/// terminal ids. Duplicate terminals are collapsed.
+Result<SteinerResult> SolveNewst(const WeightedGraph& g,
+                                 const std::vector<uint32_t>& terminals,
+                                 const NewstOptions& options = {});
+
+}  // namespace rpg::steiner
+
+#endif  // RPG_STEINER_NEWST_H_

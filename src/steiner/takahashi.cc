@@ -1,0 +1,128 @@
+#include "steiner/takahashi.h"
+
+#include <algorithm>
+#include <limits>
+#include <optional>
+#include <queue>
+#include <set>
+
+#include "common/string_util.h"
+
+namespace rpg::steiner {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+WeightedGraph UnitCostCopy(const WeightedGraph& g) {
+  WeightedGraph unit(g.num_nodes());
+  for (uint32_t u = 0; u < g.num_nodes(); ++u) {
+    unit.SetNodeWeight(u, g.NodeWeight(u));
+    for (const auto& [v, cost] : g.Neighbors(u)) {
+      if (u < v) unit.AddEdge(u, v, 1.0);
+    }
+  }
+  return unit;
+}
+
+/// Multi-source Dijkstra from every node already in the tree (cost 0
+/// sources), yielding per-node distance and the parent links back toward
+/// the tree. Distances count edge costs plus (optionally) the weights of
+/// nodes outside the tree.
+void DistanceFromTree(const WeightedGraph& g, const std::set<uint32_t>& tree,
+                      bool use_node_weights, std::vector<double>* dist,
+                      std::vector<uint32_t>* parent) {
+  const size_t n = g.num_nodes();
+  dist->assign(n, kInf);
+  parent->assign(n, UINT32_MAX);
+  using Entry = std::pair<double, uint32_t>;
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> pq;
+  for (uint32_t v : tree) {
+    (*dist)[v] = 0.0;
+    pq.emplace(0.0, v);
+  }
+  while (!pq.empty()) {
+    auto [d, u] = pq.top();
+    pq.pop();
+    if (d > (*dist)[u]) continue;
+    for (const auto& [v, cost] : g.Neighbors(u)) {
+      double nd = d + cost;
+      if (use_node_weights && !tree.contains(v)) nd += g.NodeWeight(v);
+      if (nd < (*dist)[v]) {
+        (*dist)[v] = nd;
+        (*parent)[v] = u;
+        pq.emplace(nd, v);
+      }
+    }
+  }
+}
+
+}  // namespace
+
+Result<SteinerResult> SolveTakahashiMatsuyama(
+    const WeightedGraph& g, const std::vector<uint32_t>& terminals,
+    const NewstOptions& options) {
+  if (terminals.empty()) {
+    return Status::InvalidArgument("terminal set is empty");
+  }
+  std::vector<uint32_t> terms = terminals;
+  std::sort(terms.begin(), terms.end());
+  terms.erase(std::unique(terms.begin(), terms.end()), terms.end());
+  for (uint32_t t : terms) {
+    if (t >= g.num_nodes()) {
+      return Status::InvalidArgument(StrFormat("terminal %u out of range", t));
+    }
+  }
+  std::optional<WeightedGraph> unit;
+  const WeightedGraph* eg = &g;
+  if (!options.use_edge_weights) {
+    unit = UnitCostCopy(g);
+    eg = &*unit;
+  }
+
+  SteinerResult result;
+  std::set<uint32_t> tree = {terms[0]};
+  std::set<uint32_t> remaining(terms.begin() + 1, terms.end());
+  std::set<std::pair<uint32_t, uint32_t>> edges;
+
+  std::vector<double> dist;
+  std::vector<uint32_t> parent;
+  while (!remaining.empty()) {
+    DistanceFromTree(*eg, tree, options.use_node_weights, &dist, &parent);
+    // Closest remaining terminal.
+    uint32_t best = UINT32_MAX;
+    for (uint32_t t : remaining) {
+      if (dist[t] == kInf) continue;
+      if (best == UINT32_MAX || dist[t] < dist[best]) best = t;
+    }
+    if (best == UINT32_MAX) {
+      // Everything left is unreachable from the growing tree.
+      for (uint32_t t : remaining) {
+        result.unreachable_terminals.push_back(t);
+        tree.insert(t);  // keep it as an isolated node, like SolveNewst
+      }
+      break;
+    }
+    // Walk the path back into the tree.
+    uint32_t cur = best;
+    while (!tree.contains(cur)) {
+      uint32_t up = parent[cur];
+      edges.insert({std::min(cur, up), std::max(cur, up)});
+      tree.insert(cur);
+      cur = up;
+    }
+    remaining.erase(best);
+  }
+
+  result.nodes.assign(tree.begin(), tree.end());
+  for (const auto& [a, b] : edges) {
+    result.edges.emplace_back(a, b);
+    result.total_cost += eg->EdgeCost(a, b);
+  }
+  if (options.use_node_weights) {
+    for (uint32_t v : result.nodes) result.total_cost += g.NodeWeight(v);
+  }
+  return result;
+}
+
+}  // namespace rpg::steiner

@@ -1,0 +1,41 @@
+#include "steiner/weighted_graph.h"
+
+#include <algorithm>
+#include <limits>
+#include <set>
+
+#include "common/logging.h"
+
+namespace rpg::steiner {
+
+void WeightedGraph::AddEdge(uint32_t u, uint32_t v, double cost) {
+  RPG_CHECK(u < adj_.size() && v < adj_.size()) << "edge endpoint out of range";
+  RPG_CHECK(u != v) << "self loops are not allowed";
+  RPG_CHECK(cost > 0.0) << "edge costs must be positive";
+  adj_[u].emplace_back(v, cost);
+  adj_[v].emplace_back(u, cost);
+  ++num_edges_;
+}
+
+double WeightedGraph::TreeCost(
+    const std::vector<std::pair<uint32_t, uint32_t>>& edges) const {
+  double cost = 0.0;
+  std::set<uint32_t> nodes;
+  for (const auto& [u, v] : edges) {
+    cost += EdgeCost(u, v);
+    nodes.insert(u);
+    nodes.insert(v);
+  }
+  for (uint32_t v : nodes) cost += node_weight_[v];
+  return cost;
+}
+
+double WeightedGraph::EdgeCost(uint32_t u, uint32_t v) const {
+  double best = std::numeric_limits<double>::infinity();
+  for (const auto& [n, c] : adj_[u]) {
+    if (n == v) best = std::min(best, c);
+  }
+  return best;
+}
+
+}  // namespace rpg::steiner

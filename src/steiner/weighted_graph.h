@@ -1,0 +1,52 @@
+#ifndef RPG_STEINER_WEIGHTED_GRAPH_H_
+#define RPG_STEINER_WEIGHTED_GRAPH_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace rpg::steiner {
+
+/// Undirected graph with positive edge costs and non-negative node
+/// weights — the input to the NEWST solver (G = (V, E, S, w, c) of
+/// §IV-B). Node ids are dense local ids 0..n-1; the RePaGer pipeline maps
+/// them back to global paper ids.
+class WeightedGraph {
+ public:
+  explicit WeightedGraph(size_t num_nodes)
+      : adj_(num_nodes), node_weight_(num_nodes, 0.0) {}
+
+  size_t num_nodes() const { return adj_.size(); }
+  size_t num_edges() const { return num_edges_; }
+
+  /// Adds an undirected edge with a positive cost. Parallel edges are
+  /// allowed but the algorithms treat the cheapest as effective.
+  void AddEdge(uint32_t u, uint32_t v, double cost);
+
+  void SetNodeWeight(uint32_t v, double w) { node_weight_[v] = w; }
+  double NodeWeight(uint32_t v) const { return node_weight_[v]; }
+
+  /// (neighbor, cost) pairs.
+  const std::vector<std::pair<uint32_t, double>>& Neighbors(uint32_t v) const {
+    return adj_[v];
+  }
+
+  /// Total cost of a tree given by its edges: Eq. (1), i.e. the sum of
+  /// edge costs plus the weights of all incident nodes (each counted
+  /// once). An empty edge set with one node `lone` costs w(lone).
+  double TreeCost(const std::vector<std::pair<uint32_t, uint32_t>>& edges)
+      const;
+
+  /// Cheapest direct edge cost between u and v; +inf when absent.
+  double EdgeCost(uint32_t u, uint32_t v) const;
+
+ private:
+  std::vector<std::vector<std::pair<uint32_t, double>>> adj_;
+  std::vector<double> node_weight_;
+  size_t num_edges_ = 0;
+};
+
+}  // namespace rpg::steiner
+
+#endif  // RPG_STEINER_WEIGHTED_GRAPH_H_

@@ -1,0 +1,88 @@
+#include "surveybank/builder.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/rng.h"
+#include "text/topicrank.h"
+
+namespace rpg::surveybank {
+
+Result<SurveyBank> BuildSurveyBank(const synth::Corpus& corpus,
+                                   const BuilderOptions& options) {
+  if (options.min_pages > options.max_pages) {
+    return Status::InvalidArgument("min_pages > max_pages");
+  }
+  Rng rng(options.seed);
+  BuildStats stats;
+  stats.initial_collection = corpus.surveys.size();
+
+  std::vector<SurveyEntry> entries;
+  for (const synth::SurveyRecord& record : corpus.surveys) {
+    // Deduplication: a duplicate crawl contributes to the initial
+    // collection count but is folded away here.
+    if (rng.Bernoulli(options.duplicate_rate)) {
+      ++stats.initial_collection;  // the duplicate record itself
+    }
+    ++stats.after_deduplication;
+
+    // Filtering: parse failures and page-range outliers.
+    if (rng.Bernoulli(options.parse_failure_rate)) {
+      ++stats.dropped_unparseable;
+      continue;
+    }
+    double pages = std::max(1.0, rng.Normal(options.pages_mean,
+                                            options.pages_stddev));
+    if (pages < options.min_pages || pages > options.max_pages) {
+      ++stats.dropped_page_range;
+      continue;
+    }
+
+    const synth::Paper& paper = corpus.papers[record.paper];
+    SurveyEntry entry;
+    entry.paper = record.paper;
+    entry.title = paper.title;
+    entry.year = paper.year;
+    entry.topic = record.topic;
+
+    // Key phrases from the title (TopicRank, as the paper does via pke).
+    text::TopicRankOptions tr;
+    tr.top_n = options.keyphrases_per_title;
+    for (const auto& kp : text::ExtractKeyphrases(paper.title, tr)) {
+      entry.key_phrases.push_back(kp.phrase);
+    }
+    if (entry.key_phrases.empty()) continue;  // no usable query
+    for (size_t i = 0; i < entry.key_phrases.size(); ++i) {
+      if (i > 0) entry.query += ", ";
+      entry.query += entry.key_phrases[i];
+    }
+
+    // L1/L2/L3 ground truth from occurrence counts.
+    for (size_t i = 0; i < record.references.size(); ++i) {
+      graph::PaperId r = record.references[i];
+      uint32_t occ = record.occurrence[i];
+      entry.label_l1.push_back(r);
+      if (occ >= 2) entry.label_l2.push_back(r);
+      if (occ >= 3) entry.label_l3.push_back(r);
+    }
+    std::sort(entry.label_l1.begin(), entry.label_l1.end());
+    std::sort(entry.label_l2.begin(), entry.label_l2.end());
+    std::sort(entry.label_l3.begin(), entry.label_l3.end());
+
+    // Score for the high-quality subset.
+    double citations =
+        static_cast<double>(corpus.citations.CitationCount(record.paper));
+    int age = options.score_reference_year - paper.year + 1;
+    entry.score = citations / std::max(1, age);
+
+    // Venue-based domain; missing venue -> Uncertain Topics.
+    if (paper.venue != synth::kNoVenue) {
+      entry.domain_index = corpus.venues.Get(paper.venue).domain_index;
+    }
+    entries.push_back(std::move(entry));
+  }
+  stats.final_dataset = entries.size();
+  return SurveyBank(std::move(entries), stats);
+}
+
+}  // namespace rpg::surveybank

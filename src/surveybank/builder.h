@@ -1,0 +1,44 @@
+#ifndef RPG_SURVEYBANK_BUILDER_H_
+#define RPG_SURVEYBANK_BUILDER_H_
+
+#include <memory>
+
+#include "common/result.h"
+#include "surveybank/survey_bank.h"
+#include "synth/corpus.h"
+
+namespace rpg::surveybank {
+
+/// Knobs for the dataset-construction funnel. The paper's pipeline
+/// (Fig. 3) drops raw candidates that (i) duplicate an already-collected
+/// title, (ii) cannot be parsed by PyPDF2/GROBID, or (iii) fall outside
+/// the 2..100 page range. PDFs are not modeled, so stages (ii)/(iii) are
+/// driven by sampled per-document defects with the rates below.
+struct BuilderOptions {
+  /// Probability a raw record is a duplicate crawl of another survey.
+  double duplicate_rate = 0.05;
+  /// Probability the PDF fails to parse.
+  double parse_failure_rate = 0.10;
+  /// Page count ~ Normal(mean, stddev), clamped at >= 1; surveys outside
+  /// [min_pages, max_pages] are dropped (theses/abstracts).
+  double pages_mean = 30.0;
+  double pages_stddev = 24.0;
+  int min_pages = 2;
+  int max_pages = 100;
+  /// Reference year of the score formula s = citation / (2020 - year + 1).
+  int score_reference_year = 2020;
+  /// Number of key phrases extracted from each title.
+  int keyphrases_per_title = 2;
+  uint64_t seed = 7;
+};
+
+/// Builds SurveyBank from a generated corpus: simulates the collection
+/// funnel, extracts key phrases from titles with TopicRank, derives the
+/// L1/L2/L3 labels from reference occurrence counts, computes scores and
+/// venue-based domains.
+Result<SurveyBank> BuildSurveyBank(const synth::Corpus& corpus,
+                                   const BuilderOptions& options = {});
+
+}  // namespace rpg::surveybank
+
+#endif  // RPG_SURVEYBANK_BUILDER_H_

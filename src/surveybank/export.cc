@@ -1,0 +1,89 @@
+#include "surveybank/export.h"
+
+#include <fstream>
+
+#include "common/json_writer.h"
+#include "synth/topic_hierarchy.h"
+
+namespace rpg::surveybank {
+
+namespace {
+
+void WriteLabelArray(JsonWriter* w, const char* key,
+                     const std::vector<graph::PaperId>& labels) {
+  w->Key(key).BeginArray();
+  for (graph::PaperId p : labels) w->UInt(p);
+  w->EndArray();
+}
+
+}  // namespace
+
+Status ExportSurveyBankJsonl(const SurveyBank& bank, const std::string& path) {
+  std::ofstream os(path);
+  if (!os) return Status::IoError("cannot open for write: " + path);
+  const auto& domains = synth::TopicHierarchy::DomainNames();
+  for (const SurveyEntry& e : bank.entries()) {
+    JsonWriter w;
+    w.BeginObject();
+    w.Key("paper").UInt(e.paper);
+    w.Key("title").String(e.title);
+    w.Key("year").Int(e.year);
+    w.Key("key_phrases").BeginArray();
+    for (const auto& kp : e.key_phrases) w.String(kp);
+    w.EndArray();
+    w.Key("query").String(e.query);
+    w.Key("score").Double(e.score);
+    if (e.domain_index == kUncertainDomain) {
+      w.Key("domain").Null();
+    } else {
+      w.Key("domain").String(domains[e.domain_index]);
+    }
+    w.Key("labels").BeginObject();
+    WriteLabelArray(&w, "l1", e.label_l1);
+    WriteLabelArray(&w, "l2", e.label_l2);
+    WriteLabelArray(&w, "l3", e.label_l3);
+    w.EndObject();
+    w.EndObject();
+    os << w.str() << '\n';
+  }
+  if (!os) return Status::IoError("short write: " + path);
+  return Status::OK();
+}
+
+Status ExportPapersJsonl(const synth::Corpus& corpus,
+                         const std::string& path) {
+  std::ofstream os(path);
+  if (!os) return Status::IoError("cannot open for write: " + path);
+  for (size_t i = 0; i < corpus.num_papers(); ++i) {
+    const synth::Paper& p = corpus.papers[i];
+    JsonWriter w;
+    w.BeginObject();
+    w.Key("id").UInt(i);
+    w.Key("title").String(p.title);
+    w.Key("abstract").String(p.abstract_text);
+    w.Key("year").Int(p.year);
+    if (p.venue == synth::kNoVenue) {
+      w.Key("venue").Null();
+    } else {
+      w.Key("venue").String(corpus.venues.Get(p.venue).name);
+    }
+    w.Key("is_survey").Bool(p.is_survey);
+    w.EndObject();
+    os << w.str() << '\n';
+  }
+  if (!os) return Status::IoError("short write: " + path);
+  return Status::OK();
+}
+
+Result<size_t> CountJsonlRecords(const std::string& path) {
+  std::ifstream is(path);
+  if (!is) return Status::IoError("cannot open for read: " + path);
+  size_t count = 0;
+  std::string line;
+  while (std::getline(is, line)) {
+    if (!line.empty()) ++count;
+  }
+  return count;
+}
+
+}  // namespace rpg::surveybank

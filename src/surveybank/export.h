@@ -1,0 +1,32 @@
+#ifndef RPG_SURVEYBANK_EXPORT_H_
+#define RPG_SURVEYBANK_EXPORT_H_
+
+#include <string>
+
+#include "common/result.h"
+#include "surveybank/survey_bank.h"
+#include "synth/corpus.h"
+
+namespace rpg::surveybank {
+
+/// Publishable dataset artifacts, mirroring the release format the paper
+/// describes (SurveyBank entries + the backing paper metadata + the
+/// citation graph; the graph itself serializes via graph::GraphIo).
+
+/// Writes one JSON object per line per benchmark entry:
+///   {"paper": id, "title": ..., "year": ..., "key_phrases": [...],
+///    "query": ..., "score": ..., "domain": ..., "labels": {"l1": [...],
+///    "l2": [...], "l3": [...]}}
+Status ExportSurveyBankJsonl(const SurveyBank& bank, const std::string& path);
+
+/// Writes one JSON object per line per corpus paper:
+///   {"id": ..., "title": ..., "abstract": ..., "year": ..., "venue":
+///    ..., "is_survey": ...}
+Status ExportPapersJsonl(const synth::Corpus& corpus, const std::string& path);
+
+/// Counts the lines of a JSONL file (convenience for validation).
+Result<size_t> CountJsonlRecords(const std::string& path);
+
+}  // namespace rpg::surveybank
+
+#endif  // RPG_SURVEYBANK_EXPORT_H_

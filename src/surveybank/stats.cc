@@ -1,0 +1,85 @@
+#include "surveybank/stats.h"
+
+#include <algorithm>
+
+#include "common/string_util.h"
+#include "common/table_printer.h"
+#include "synth/topic_hierarchy.h"
+
+namespace rpg::surveybank {
+
+SurveyBankStats ComputeStats(const SurveyBank& bank,
+                             const synth::Corpus& corpus) {
+  SurveyBankStats stats{
+      // Fig. 4a buckets.
+      Histogram({0, 5, 10, 100, 500, 1000, 2000, 100000}),
+      // Fig. 4b buckets.
+      Histogram({1913, 1980, 1985, 1990, 1995, 2000, 2005, 2010, 2015, 2021}),
+      // Fig. 4c buckets.
+      Histogram({0, 50, 100, 150, 200, 250, 300, 350, 2705}),
+      {},
+      0.0,
+      0.0,
+      0.0,
+      0.0};
+  const size_t num_domains = synth::TopicHierarchy::DomainNames().size();
+  stats.domain_counts.assign(num_domains + 1, 0);
+
+  int max_year = 0;
+  for (const auto& e : bank.entries()) max_year = std::max<int>(max_year, e.year);
+
+  size_t never_cited = 0, over_500 = 0, recent = 0;
+  double total_refs = 0.0;
+  for (const auto& e : bank.entries()) {
+    size_t citations = corpus.citations.CitationCount(e.paper);
+    stats.citation_counts.Add(static_cast<double>(citations));
+    stats.publication_years.Add(static_cast<double>(e.year));
+    stats.reference_counts.Add(static_cast<double>(e.label_l1.size()));
+    total_refs += static_cast<double>(e.label_l1.size());
+    if (citations == 0) ++never_cited;
+    if (citations > 500) ++over_500;
+    if (e.year >= max_year - 20) ++recent;
+    size_t bucket = e.domain_index == kUncertainDomain
+                        ? num_domains
+                        : static_cast<size_t>(e.domain_index);
+    ++stats.domain_counts[bucket];
+  }
+  const double n = static_cast<double>(bank.size());
+  if (n > 0) {
+    stats.avg_references = total_refs / n;
+    stats.fraction_never_cited = static_cast<double>(never_cited) / n;
+    stats.fraction_cited_over_500 = static_cast<double>(over_500) / n;
+    stats.fraction_recent_20y = static_cast<double>(recent) / n;
+  }
+  return stats;
+}
+
+std::string FormatTableOne(const SurveyBankStats& stats) {
+  const auto& names = synth::TopicHierarchy::DomainNames();
+  size_t total = 0;
+  for (size_t c : stats.domain_counts) total += c;
+  TablePrinter table({"Domain", "#Papers", "%"});
+  // Print domains in descending count order, like Table I.
+  std::vector<size_t> order(names.size());
+  for (size_t i = 0; i < names.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    return stats.domain_counts[a] > stats.domain_counts[b];
+  });
+  auto pct = [&](size_t count) {
+    return total == 0 ? 0.0 : 100.0 * static_cast<double>(count) /
+                                  static_cast<double>(total);
+  };
+  for (size_t d : order) {
+    table.AddRow({names[d], FormatWithCommas(
+                                static_cast<int64_t>(stats.domain_counts[d])),
+                  FormatDouble(pct(stats.domain_counts[d]), 1)});
+  }
+  table.AddRow({"Uncertain Topics",
+                FormatWithCommas(
+                    static_cast<int64_t>(stats.domain_counts[names.size()])),
+                FormatDouble(pct(stats.domain_counts[names.size()]), 1)});
+  table.AddRow({"Total", FormatWithCommas(static_cast<int64_t>(total)), ""});
+  return table.ToString();
+}
+
+}  // namespace rpg::surveybank

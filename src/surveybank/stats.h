@@ -1,0 +1,38 @@
+#ifndef RPG_SURVEYBANK_STATS_H_
+#define RPG_SURVEYBANK_STATS_H_
+
+#include <string>
+#include <vector>
+
+#include "common/histogram.h"
+#include "surveybank/survey_bank.h"
+#include "synth/corpus.h"
+
+namespace rpg::surveybank {
+
+/// Statistical properties of SurveyBank (§III-C): the three Fig. 4
+/// distributions plus the Table I topic distribution.
+struct SurveyBankStats {
+  Histogram citation_counts;   ///< Fig. 4a (per-survey citations received)
+  Histogram publication_years; ///< Fig. 4b
+  Histogram reference_counts;  ///< Fig. 4c (reference-list lengths)
+  /// Table I: per-domain survey counts; index 10 = Uncertain Topics.
+  std::vector<size_t> domain_counts;
+  double avg_references = 0.0;
+  double fraction_never_cited = 0.0;
+  double fraction_cited_over_500 = 0.0;
+  /// Fraction published within the trailing 20 years of the corpus.
+  double fraction_recent_20y = 0.0;
+};
+
+/// Computes all SurveyBank statistics. Bucket edges follow Fig. 4's
+/// (irregular) axes.
+SurveyBankStats ComputeStats(const SurveyBank& bank,
+                             const synth::Corpus& corpus);
+
+/// Renders Table I ("Topic distribution of the survey papers") as text.
+std::string FormatTableOne(const SurveyBankStats& stats);
+
+}  // namespace rpg::surveybank
+
+#endif  // RPG_SURVEYBANK_STATS_H_

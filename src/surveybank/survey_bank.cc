@@ -1,0 +1,28 @@
+#include "surveybank/survey_bank.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace rpg::surveybank {
+
+std::vector<size_t> SurveyBank::HighScoreSubset(size_t n) const {
+  std::vector<size_t> order(entries_.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    if (entries_[a].score != entries_[b].score)
+      return entries_[a].score > entries_[b].score;
+    return a < b;
+  });
+  if (order.size() > n) order.resize(n);
+  return order;
+}
+
+std::vector<size_t> SurveyBank::ByDomain(uint32_t domain_index) const {
+  std::vector<size_t> out;
+  for (size_t i = 0; i < entries_.size(); ++i) {
+    if (entries_[i].domain_index == domain_index) out.push_back(i);
+  }
+  return out;
+}
+
+}  // namespace rpg::surveybank

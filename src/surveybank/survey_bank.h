@@ -1,0 +1,73 @@
+#ifndef RPG_SURVEYBANK_SURVEY_BANK_H_
+#define RPG_SURVEYBANK_SURVEY_BANK_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graph/citation_graph.h"
+
+namespace rpg::surveybank {
+
+inline constexpr uint32_t kUncertainDomain = UINT32_MAX;
+
+/// One benchmark entry: a survey with its query key phrases and the
+/// three-level ground truth inferred from its reference list (§II-B).
+struct SurveyEntry {
+  graph::PaperId paper = graph::kInvalidPaper;
+  std::string title;
+  uint16_t year = 0;
+  /// Key phrases extracted from the title by TopicRank.
+  std::vector<std::string> key_phrases;
+  /// The phrases joined with ", " — the RPG query string.
+  std::string query;
+  /// L1/L2/L3: references cited at least 1/2/3 times in the survey.
+  std::vector<graph::PaperId> label_l1;
+  std::vector<graph::PaperId> label_l2;
+  std::vector<graph::PaperId> label_l3;
+  /// Importance score s = citation / (2020 - year + 1) used to pick the
+  /// high-quality subset for the Fig. 2 study.
+  double score = 0.0;
+  /// CCF domain derived from the publication venue; kUncertainDomain when
+  /// the venue is missing/unknown ("Uncertain Topics" in Table I).
+  uint32_t domain_index = kUncertainDomain;
+  /// Generator-side latent topic (evaluation-only; see PreferenceJudge).
+  uint32_t topic = UINT32_MAX;
+};
+
+/// Construction-funnel counters mirroring Fig. 3 (collection ->
+/// deduplication -> filtering).
+struct BuildStats {
+  size_t initial_collection = 0;
+  size_t after_deduplication = 0;
+  size_t dropped_unparseable = 0;
+  size_t dropped_page_range = 0;
+  size_t final_dataset = 0;
+};
+
+/// The RPG evaluation benchmark.
+class SurveyBank {
+ public:
+  SurveyBank(std::vector<SurveyEntry> entries, BuildStats stats)
+      : entries_(std::move(entries)), stats_(stats) {}
+
+  const std::vector<SurveyEntry>& entries() const { return entries_; }
+  size_t size() const { return entries_.size(); }
+  const SurveyEntry& Get(size_t i) const { return entries_[i]; }
+  const BuildStats& build_stats() const { return stats_; }
+
+  /// Indices of the top-n entries by score (the Fig. 2 subset).
+  std::vector<size_t> HighScoreSubset(size_t n) const;
+
+  /// Indices of entries in one domain (kUncertainDomain selects the
+  /// uncertain bucket).
+  std::vector<size_t> ByDomain(uint32_t domain_index) const;
+
+ private:
+  std::vector<SurveyEntry> entries_;
+  BuildStats stats_;
+};
+
+}  // namespace rpg::surveybank
+
+#endif  // RPG_SURVEYBANK_SURVEY_BANK_H_

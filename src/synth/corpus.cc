@@ -1,0 +1,12 @@
+#include "synth/corpus.h"
+
+namespace rpg::synth {
+
+int Corpus::SurveyIndexOf(graph::PaperId id) const {
+  for (size_t i = 0; i < surveys.size(); ++i) {
+    if (surveys[i].paper == id) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+}  // namespace rpg::synth

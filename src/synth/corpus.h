@@ -1,0 +1,59 @@
+#ifndef RPG_SYNTH_CORPUS_H_
+#define RPG_SYNTH_CORPUS_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "graph/citation_graph.h"
+#include "synth/topic_hierarchy.h"
+#include "synth/venue_table.h"
+
+namespace rpg::synth {
+
+/// One scientific paper of the synthetic corpus. Titles/abstracts carry
+/// the topical vocabulary the retrieval substrate indexes; `topic` is the
+/// generator-side latent label (never exposed to the search/path pipeline,
+/// only used by evaluation to reason about prerequisites).
+struct Paper {
+  std::string title;
+  std::string abstract_text;
+  uint16_t year = 0;
+  VenueId venue = kNoVenue;
+  TopicId topic = kInvalidTopic;
+  bool is_survey = false;
+};
+
+/// A survey paper together with its reference list and per-reference
+/// occurrence counts (how many times the reference is mentioned in the
+/// survey body) — the source of the L1/L2/L3 ground-truth labels.
+struct SurveyRecord {
+  graph::PaperId paper = graph::kInvalidPaper;
+  TopicId topic = kInvalidTopic;
+  std::vector<graph::PaperId> references;
+  std::vector<uint32_t> occurrence;  ///< parallel to `references`, >= 1
+};
+
+/// The generated corpus: papers, citation graph, surveys, and the topic /
+/// venue substrates. Node ids in `citations` index `papers`.
+struct Corpus {
+  TopicHierarchy topics;
+  VenueTable venues;
+  std::vector<Paper> papers;
+  graph::CitationGraph citations;
+  std::vector<SurveyRecord> surveys;
+
+  explicit Corpus(const TopicHierarchyOptions& topic_options,
+                  const VenueTableOptions& venue_options)
+      : topics(topic_options), venues(venue_options) {}
+
+  size_t num_papers() const { return papers.size(); }
+
+  /// Index of the survey record for a paper id, or -1.
+  int SurveyIndexOf(graph::PaperId id) const;
+};
+
+}  // namespace rpg::synth
+
+#endif  // RPG_SYNTH_CORPUS_H_

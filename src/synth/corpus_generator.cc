@@ -1,0 +1,392 @@
+#include "synth/corpus_generator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+#include "common/logging.h"
+#include "common/rng.h"
+#include "common/string_util.h"
+#include "graph/graph_builder.h"
+
+namespace rpg::synth {
+
+namespace {
+
+using graph::PaperId;
+
+/// Generic academic filler vocabulary for titles/abstracts. All entries
+/// must be non-stopwords so they create mild lexical noise for retrieval.
+const std::vector<std::string>& FillerWords() {
+  static const auto* words = new std::vector<std::string>{
+      "efficient", "scalable",  "robust",    "adaptive",  "unified",
+      "practical", "empirical", "principled","modular",   "incremental",
+      "framework", "model",     "evaluation","benchmark", "architecture",
+      "algorithm", "technique", "pipeline",  "paradigm",  "perspective"};
+  return *words;
+}
+
+/// The role a paper plays in the generator (drives titles and citation
+/// mixtures). Matches the level of the paper's topic label.
+enum class Role { kDomainClassic, kAreaPrerequisite, kLeafPaper, kSurvey };
+
+struct Proto {
+  TopicId topic;
+  Role role;
+  uint16_t year;
+};
+
+/// Title templates per role. Survey templates only add stopwords around
+/// the phrase so TopicRank recovers the phrase as the query.
+std::string MakeTitle(Rng* rng, const std::string& phrase, Role role,
+                      const std::vector<std::string>& domain_terms) {
+  const auto& filler = FillerWords();
+  auto pick_filler = [&] { return filler[rng->NextBounded(filler.size())]; };
+  auto pick_term = [&] {
+    return domain_terms[rng->NextBounded(domain_terms.size())];
+  };
+  if (role == Role::kSurvey) {
+    switch (rng->NextBounded(5)) {
+      case 0:
+        return "a survey on " + phrase;
+      case 1:
+        return phrase + ": a survey";
+      case 2:
+        return "a comprehensive survey on " + phrase;
+      case 3:
+        return "a review of " + phrase;
+      default:
+        return "recent trends in " + phrase + ": a survey";
+    }
+  }
+  switch (rng->NextBounded(5)) {
+    case 0:
+      return pick_filler() + " " + phrase;
+    case 1:
+      return phrase + " with " + pick_term() + " " + pick_filler();
+    case 2:
+      return "a " + pick_filler() + " " + pick_filler() + " for " + phrase;
+    case 3:
+      return phrase + ": an " + pick_filler() + " " + pick_filler();
+    default:
+      return pick_term() + " based " + phrase;
+  }
+}
+
+std::string MakeAbstract(Rng* rng, const std::string& phrase,
+                         const std::string& parent_phrase,
+                         const std::vector<std::string>& domain_terms) {
+  const auto& filler = FillerWords();
+  std::string abs;
+  auto append = [&](const std::string& s) {
+    if (!abs.empty()) abs.push_back(' ');
+    abs += s;
+  };
+  // The topical phrase dominates, the parent phrase appears once, and a
+  // few domain terms + filler words round it out (~30 tokens).
+  for (int i = 0; i < 3; ++i) append(phrase);
+  if (!parent_phrase.empty()) append(parent_phrase);
+  for (int i = 0; i < 6; ++i)
+    append(domain_terms[rng->NextBounded(domain_terms.size())]);
+  for (int i = 0; i < 8; ++i)
+    append(filler[rng->NextBounded(filler.size())]);
+  return abs;
+}
+
+/// Preferential-attachment pick from a pool: tournament of `rounds` by
+/// current in-degree (returns kInvalidPaper on an empty pool). Larger
+/// tournaments bias harder toward the highly-cited backbone — surveys
+/// select references far more deliberately than regular papers do.
+PaperId PickPreferential(Rng* rng, const std::vector<PaperId>& pool,
+                         const std::vector<uint32_t>& indeg, int rounds = 3) {
+  if (pool.empty()) return graph::kInvalidPaper;
+  PaperId best = pool[rng->NextBounded(pool.size())];
+  for (int t = 1; t < rounds; ++t) {
+    PaperId c = pool[rng->NextBounded(pool.size())];
+    if (indeg[c] > indeg[best]) best = c;
+  }
+  return best;
+}
+
+/// Year sampled so density increases toward `hi` (square-law skew).
+uint16_t SkewedRecentYear(Rng* rng, int lo, int hi) {
+  double u = rng->UniformDouble();
+  int span = hi - lo;
+  int offset = static_cast<int>(std::floor(span * u * u));
+  return static_cast<uint16_t>(hi - offset);
+}
+
+/// Year sampled so density decreases toward `hi` (old-skewed classics).
+uint16_t SkewedOldYear(Rng* rng, int lo, int hi) {
+  double u = rng->UniformDouble();
+  int span = hi - lo;
+  int offset = static_cast<int>(std::floor(span * u * u));
+  return static_cast<uint16_t>(lo + offset);
+}
+
+}  // namespace
+
+const std::vector<double>& TableOneDomainWeights() {
+  static const auto* weights = new std::vector<double>{
+      12.3, 4.7, 4.5, 3.0, 2.9, 2.2, 2.1, 1.7, 1.3, 0.9};
+  return *weights;
+}
+
+Result<std::unique_ptr<Corpus>> GenerateCorpus(const CorpusOptions& options) {
+  if (options.papers_per_topic < 1 || options.num_surveys < 0) {
+    return Status::InvalidArgument("corpus options out of range");
+  }
+  if (options.min_year >= options.max_year) {
+    return Status::InvalidArgument("min_year must precede max_year");
+  }
+  auto corpus = std::make_unique<Corpus>(options.hierarchy, options.venue);
+  Rng rng(options.seed);
+  const TopicHierarchy& topics = corpus->topics;
+
+  // ---- 1. Proto papers with years ---------------------------------------
+  std::vector<Proto> protos;
+  const int lo = options.min_year, hi = options.max_year;
+  for (TopicId d : topics.AtLevel(TopicLevel::kDomain)) {
+    for (int i = 0; i < options.papers_per_domain; ++i) {
+      protos.push_back(
+          {d, Role::kDomainClassic, SkewedOldYear(&rng, lo, lo + 25)});
+    }
+  }
+  for (TopicId a : topics.AtLevel(TopicLevel::kArea)) {
+    for (int i = 0; i < options.papers_per_area; ++i) {
+      protos.push_back({a, Role::kAreaPrerequisite,
+                        SkewedOldYear(&rng, lo + 5, hi - 6)});
+    }
+  }
+  for (TopicId t : topics.AtLevel(TopicLevel::kTopic)) {
+    for (int i = 0; i < options.papers_per_topic; ++i) {
+      protos.push_back(
+          {t, Role::kLeafPaper, SkewedRecentYear(&rng, lo + 10, hi)});
+    }
+  }
+  // Surveys: domains weighted per Table I; area vs leaf per option.
+  {
+    const auto& weights = TableOneDomainWeights();
+    const auto domains = topics.AtLevel(TopicLevel::kDomain);
+    for (int i = 0; i < options.num_surveys; ++i) {
+      size_t d_index = rng.WeightedIndex(weights);
+      TopicId domain = domains[d_index];
+      const auto& areas = topics.Get(domain).children;
+      TopicId area = areas[rng.NextBounded(areas.size())];
+      TopicId subject;
+      if (rng.Bernoulli(options.area_survey_fraction)) {
+        subject = area;
+      } else {
+        const auto& leaves = topics.Get(area).children;
+        subject = leaves[rng.NextBounded(leaves.size())];
+      }
+      protos.push_back({subject, Role::kSurvey,
+                        SkewedRecentYear(&rng, std::max(lo, 1995), hi)});
+    }
+  }
+
+  // Chronological ids: stable sort by year, random tiebreak via pre-shuffle.
+  rng.Shuffle(&protos);
+  std::stable_sort(protos.begin(), protos.end(),
+                   [](const Proto& a, const Proto& b) { return a.year < b.year; });
+
+  // ---- 2. Materialize papers (titles, abstracts, venues) ----------------
+  const size_t n = protos.size();
+  corpus->papers.resize(n);
+  for (size_t i = 0; i < n; ++i) {
+    const Proto& p = protos[i];
+    const Topic& topic = topics.Get(p.topic);
+    const auto& terms = TopicHierarchy::DomainTerms(topic.domain_index);
+    std::string parent_phrase;
+    if (topic.level == TopicLevel::kTopic) {
+      parent_phrase = topics.Get(topic.parent).phrase;
+    } else if (topic.level == TopicLevel::kArea) {
+      parent_phrase.clear();  // area abstracts stay free of leaf phrases
+    }
+    // Domain-level classics get a fresh two-term phrase from the domain
+    // bank (the Table I display name is a category label, not title text).
+    std::string phrase = topic.phrase;
+    if (topic.level == TopicLevel::kDomain) {
+      size_t a = rng.NextBounded(terms.size());
+      size_t b = (a + 1 + rng.NextBounded(terms.size() - 1)) % terms.size();
+      phrase = terms[a] + " " + terms[b];
+    }
+    Paper& paper = corpus->papers[i];
+    paper.title = MakeTitle(&rng, phrase, p.role, terms);
+    paper.abstract_text = MakeAbstract(&rng, phrase, parent_phrase, terms);
+    paper.year = p.year;
+    paper.topic = p.topic;
+    paper.is_survey = p.role == Role::kSurvey;
+    if (!rng.Bernoulli(options.missing_venue_fraction)) {
+      // Venue tier correlates with role: classics skew A, leaves uniform.
+      int tier;
+      double u = rng.UniformDouble();
+      if (p.role == Role::kDomainClassic) {
+        tier = u < 0.6 ? 1 : (u < 0.9 ? 2 : 3);
+      } else {
+        tier = u < 0.25 ? 1 : (u < 0.6 ? 2 : 3);
+      }
+      const auto& vs = corpus->venues.ByDomainTier(topic.domain_index, tier);
+      paper.venue = vs[rng.NextBounded(vs.size())];
+    }
+  }
+
+  // ---- 3. Citations (chronological, topic-aware preferential) -----------
+  // pool[t] holds the ids of already-published papers labeled with topic t.
+  std::vector<std::vector<PaperId>> pool(topics.size());
+  // survey_pool[t] holds already-published surveys on topic t; papers cite
+  // surveys of their area for background, which is how real surveys
+  // accumulate citations (Fig. 4a).
+  std::vector<std::vector<PaperId>> survey_pool(topics.size());
+  std::vector<PaperId> global_pool;
+  std::vector<uint32_t> indeg(n, 0);
+  graph::GraphBuilder builder(n);
+
+  // Mixture components; weights depend on the citing paper's role.
+  enum Pool {
+    kSameTopic,
+    kAreaOf,
+    kSiblings,
+    kDomainClassics,
+    kChildren,
+    kGlobal,
+    kNearbySurveys
+  };
+
+  auto sample_from = [&](Pool which, TopicId topic_id, int rounds) -> PaperId {
+    const Topic& topic = topics.Get(topic_id);
+    switch (which) {
+      case kSameTopic:
+        return PickPreferential(&rng, pool[topic_id], indeg, rounds);
+      case kAreaOf: {
+        TopicId area = topics.AreaOf(topic_id);
+        if (area == kInvalidTopic) return graph::kInvalidPaper;
+        return PickPreferential(&rng, pool[area], indeg, rounds);
+      }
+      case kSiblings: {
+        if (topic.parent == kInvalidTopic) return graph::kInvalidPaper;
+        const auto& sibs = topics.Get(topic.parent).children;
+        TopicId sib = sibs[rng.NextBounded(sibs.size())];
+        if (sib == topic_id) return graph::kInvalidPaper;
+        return PickPreferential(&rng, pool[sib], indeg, rounds);
+      }
+      case kDomainClassics: {
+        TopicId domain = topics.DomainOf(topic_id);
+        if (domain == kInvalidTopic) return graph::kInvalidPaper;
+        return PickPreferential(&rng, pool[domain], indeg, rounds);
+      }
+      case kChildren: {
+        if (topic.children.empty()) return graph::kInvalidPaper;
+        TopicId child = topic.children[rng.NextBounded(topic.children.size())];
+        return PickPreferential(&rng, pool[child], indeg, rounds);
+      }
+      case kGlobal:
+        return PickPreferential(&rng, global_pool, indeg, rounds);
+      case kNearbySurveys: {
+        // A survey on the paper's own topic or its area.
+        TopicId area = topics.AreaOf(topic_id);
+        const auto& own = survey_pool[topic_id];
+        const auto& parent =
+            area == kInvalidTopic ? own : survey_pool[area];
+        if (own.empty() && parent.empty()) return graph::kInvalidPaper;
+        const auto& chosen =
+            own.empty() ? parent
+                        : (parent.empty() || rng.Bernoulli(0.6) ? own
+                                                                : parent);
+        return PickPreferential(&rng, chosen, indeg, rounds);
+      }
+    }
+    return graph::kInvalidPaper;
+  };
+
+  auto sample_refs = [&](PaperId citer, const std::vector<Pool>& pools,
+                         const std::vector<double>& weights, size_t count,
+                         int rounds, std::vector<PaperId>* out) {
+    TopicId topic_id = corpus->papers[citer].topic;
+    std::unordered_set<PaperId> seen;
+    size_t attempts = 0;
+    while (out->size() < count && attempts < count * 12) {
+      ++attempts;
+      Pool which = pools[rng.WeightedIndex(weights)];
+      PaperId target = sample_from(which, topic_id, rounds);
+      if (target == graph::kInvalidPaper || target == citer) continue;
+      if (!seen.insert(target).second) continue;
+      out->push_back(target);
+    }
+  };
+
+  const std::vector<Pool> kLeafPools = {kSameTopic, kAreaOf,  kSiblings,
+                                        kDomainClassics, kGlobal, kNearbySurveys};
+  const std::vector<double> kLeafWeights = {0.42, 0.19, 0.10, 0.10, 0.14, 0.05};
+  const std::vector<Pool> kAreaPools = {kSameTopic, kDomainClassics, kGlobal};
+  const std::vector<double> kAreaWeights = {0.40, 0.35, 0.25};
+  const std::vector<Pool> kClassicPools = {kSameTopic, kGlobal};
+  const std::vector<double> kClassicWeights = {0.6, 0.4};
+  const std::vector<Pool> kLeafSurveyPools = {kSameTopic, kAreaOf, kSiblings,
+                                              kDomainClassics, kGlobal};
+  const std::vector<double> kLeafSurveyWeights = {0.40, 0.18, 0.18, 0.10, 0.14};
+  const std::vector<Pool> kAreaSurveyPools = {kSameTopic, kChildren,
+                                              kDomainClassics, kGlobal};
+  const std::vector<double> kAreaSurveyWeights = {0.35, 0.35, 0.15, 0.15};
+
+  for (PaperId id = 0; id < n; ++id) {
+    const Proto& p = protos[id];
+    std::vector<PaperId> refs;
+    if (p.role == Role::kSurvey) {
+      size_t want = std::clamp<size_t>(rng.Poisson(options.survey_refs_mean),
+                                       20, 250);
+      bool is_area = topics.Get(p.topic).level == TopicLevel::kArea;
+      sample_refs(id, is_area ? kAreaSurveyPools : kLeafSurveyPools,
+                  is_area ? kAreaSurveyWeights : kLeafSurveyWeights, want,
+                  /*rounds=*/8, &refs);
+      // Occurrence counts: topical, highly-cited references are mentioned
+      // multiple times in the survey body; incidental ones only once.
+      SurveyRecord record;
+      record.paper = id;
+      record.topic = p.topic;
+      for (PaperId r : refs) {
+        bool same_topic = corpus->papers[r].topic == p.topic ||
+                          topics.IsAncestorOf(corpus->papers[r].topic, p.topic);
+        double boost = 0.08 * std::log1p(static_cast<double>(indeg[r])) +
+                       (same_topic ? 0.12 : 0.0);
+        double p_again = std::clamp(0.30 + boost, 0.05, 0.80);
+        uint32_t occ = 1;
+        while (occ < 8 && rng.Bernoulli(p_again)) ++occ;
+        record.references.push_back(r);
+        record.occurrence.push_back(occ);
+      }
+      corpus->surveys.push_back(std::move(record));
+    } else {
+      size_t want = std::clamp<size_t>(rng.Poisson(options.regular_refs_mean),
+                                       3, 120);
+      switch (p.role) {
+        case Role::kLeafPaper:
+          sample_refs(id, kLeafPools, kLeafWeights, want, /*rounds=*/3, &refs);
+          break;
+        case Role::kAreaPrerequisite:
+          sample_refs(id, kAreaPools, kAreaWeights, want, /*rounds=*/3, &refs);
+          break;
+        case Role::kDomainClassic:
+          sample_refs(id, kClassicPools, kClassicWeights, want, /*rounds=*/3, &refs);
+          break;
+        case Role::kSurvey:
+          break;
+      }
+    }
+    for (PaperId r : refs) {
+      builder.AddCitation(id, r);
+      ++indeg[r];
+    }
+    if (p.role == Role::kSurvey) {
+      survey_pool[p.topic].push_back(id);
+    } else {
+      pool[p.topic].push_back(id);
+    }
+    global_pool.push_back(id);
+  }
+
+  RPG_ASSIGN_OR_RETURN(corpus->citations, builder.Build());
+  return corpus;
+}
+
+}  // namespace rpg::synth

@@ -1,0 +1,213 @@
+#include "synth/topic_hierarchy.h"
+
+#include <algorithm>
+#include <set>
+
+#include "common/logging.h"
+
+namespace rpg::synth {
+
+namespace {
+
+// Table I domain labels.
+const std::vector<std::string>* BuildDomainNames() {
+  return new std::vector<std::string>{
+      "Artificial Intelligence",
+      "Interdisciplinary, Emerging Subjects",
+      "Computer Network",
+      "Computer Graphics and Multimedia",
+      "Database, Data Mining, Information Retrieval",
+      "Software Engineering, System Software, Programming Language",
+      "Computer Architecture, Parallel and Distributed Computing, Storage "
+      "System",
+      "Network and Information Security",
+      "Computer Science Theory",
+      "Human-Computer Interaction and Pervasive Computing",
+  };
+}
+
+// Per-domain term banks used to mint topic phrases. Terms are single
+// lowercase words; phrases combine two distinct terms, so a bank of n
+// terms yields n*(n-1) possible phrases — far more than needed.
+const std::vector<std::vector<std::string>>* BuildDomainTerms() {
+  return new std::vector<std::vector<std::string>>{
+      // Artificial Intelligence
+      {"neural", "learning", "reinforcement", "adversarial", "transformer",
+       "language", "vision", "speech", "translation", "embedding",
+       "attention", "generative", "semantic", "knowledge", "reasoning",
+       "planning", "agent", "recognition", "classification", "detection",
+       "segmentation", "pretraining", "representation", "graph"},
+      // Interdisciplinary, Emerging Subjects
+      {"quantum", "bioinformatics", "genomic", "blockchain", "robotic",
+       "autonomous", "crowdsourcing", "social", "computational", "biology",
+       "finance", "healthcare", "medical", "climate", "energy", "legal",
+       "education", "iot", "edge", "federated", "wearable", "sensing"},
+      // Computer Network
+      {"routing", "wireless", "congestion", "bandwidth", "multicast",
+       "protocol", "spectrum", "cellular", "mesh", "mobility", "latency",
+       "throughput", "overlay", "peering", "sdn", "virtualization",
+       "datacenter", "optical", "satellite", "vehicular", "handoff",
+       "telemetry"},
+      // Computer Graphics and Multimedia
+      {"rendering", "shading", "texture", "animation", "geometry",
+       "raytracing", "mesh", "illumination", "volumetric", "streaming",
+       "codec", "compression", "panorama", "stereo", "holographic",
+       "augmented", "virtual", "avatar", "motion", "capture", "pointcloud",
+       "photogrammetry"},
+      // Database, Data Mining, Information Retrieval
+      {"query", "indexing", "transaction", "concurrency", "storage",
+       "columnar", "relational", "ranking", "retrieval", "recommendation",
+       "clustering", "outlier", "stream", "warehouse", "provenance",
+       "sharding", "replication", "consistency", "join", "optimizer",
+       "vectorized", "crawling"},
+      // Software Engineering, System Software, Programming Language
+      {"compiler", "verification", "testing", "debugging", "refactoring",
+       "typing", "static", "dynamic", "analysis", "synthesis", "fuzzing",
+       "specification", "concurrency", "runtime", "garbage", "collection",
+       "microservice", "container", "devops", "traceability", "mutation",
+       "symbolic"},
+      // Computer Architecture, Parallel and Distributed Computing, Storage
+      {"cache", "pipeline", "superscalar", "coherence", "interconnect",
+       "accelerator", "gpu", "fpga", "memory", "persistent", "nvme",
+       "scheduling", "consensus", "raft", "paxos", "checkpoint", "failover",
+       "prefetching", "branch", "speculation", "vectorization", "numa"},
+      // Network and Information Security
+      {"encryption", "authentication", "malware", "intrusion", "anomaly",
+       "firewall", "phishing", "botnet", "ransomware", "forensics",
+       "privacy", "anonymity", "obfuscation", "sandboxing", "exploit",
+       "vulnerability", "audit", "trust", "keyexchange", "signature",
+       "watermarking", "honeypot"},
+      // Computer Science Theory
+      {"complexity", "approximation", "randomized", "combinatorial",
+       "optimization", "hashing", "sketching", "submodular", "matroid",
+       "spectral", "lattice", "coding", "sampling", "streaming", "online",
+       "mechanism", "equilibrium", "cryptographic", "boolean", "circuit",
+       "automata", "logic"},
+      // Human-Computer Interaction and Pervasive Computing
+      {"interface", "usability", "gesture", "haptic", "accessibility",
+       "visualization", "dashboard", "annotation", "collaboration",
+       "telepresence", "ubiquitous", "context", "aware", "tangible",
+       "eyetracking", "crowdwork", "affective", "conversational",
+       "dialogue", "notification", "personalization", "ambient"},
+  };
+}
+
+const std::vector<std::vector<std::string>>& DomainTermsAll() {
+  static const auto* terms = BuildDomainTerms();
+  return *terms;
+}
+
+}  // namespace
+
+const std::vector<std::string>& TopicHierarchy::DomainNames() {
+  static const auto* names = BuildDomainNames();
+  return *names;
+}
+
+const std::vector<std::string>& TopicHierarchy::DomainTerms(
+    uint32_t domain_index) {
+  return DomainTermsAll()[domain_index];
+}
+
+TopicHierarchy::TopicHierarchy(const TopicHierarchyOptions& options) {
+  RPG_CHECK(options.areas_per_domain >= 1);
+  RPG_CHECK(options.topics_per_area >= 1);
+  Rng rng(options.seed);
+
+  Topic root;
+  root.id = 0;
+  root.level = TopicLevel::kRoot;
+  root.phrase = "computer science";
+  topics_.push_back(root);
+
+  const auto& names = DomainNames();
+  const size_t num_domains = names.size();
+  for (uint32_t d = 0; d < num_domains; ++d) {
+    Topic domain;
+    domain.id = static_cast<TopicId>(topics_.size());
+    domain.parent = 0;
+    domain.level = TopicLevel::kDomain;
+    domain.domain_index = d;
+    domain.phrase = names[d];
+    topics_[0].children.push_back(domain.id);
+    topics_.push_back(domain);
+    TopicId domain_id = domain.id;
+
+    const auto& bank = DomainTerms(d);
+    // Mint unique two-term phrases for areas and topics of this domain.
+    std::set<std::pair<size_t, size_t>> used;
+    auto mint_phrase = [&]() {
+      for (int attempt = 0; attempt < 1000; ++attempt) {
+        size_t a = rng.NextBounded(bank.size());
+        size_t b = rng.NextBounded(bank.size());
+        if (a == b) continue;
+        if (used.insert({a, b}).second) {
+          return bank[a] + " " + bank[b];
+        }
+      }
+      RPG_CHECK(false) << "term bank exhausted for domain " << d;
+      return std::string();
+    };
+
+    for (int a = 0; a < options.areas_per_domain; ++a) {
+      Topic area;
+      area.id = static_cast<TopicId>(topics_.size());
+      area.parent = domain_id;
+      area.level = TopicLevel::kArea;
+      area.domain_index = d;
+      area.phrase = mint_phrase();
+      topics_[domain_id].children.push_back(area.id);
+      topics_.push_back(area);
+      TopicId area_id = area.id;
+
+      for (int t = 0; t < options.topics_per_area; ++t) {
+        Topic leaf;
+        leaf.id = static_cast<TopicId>(topics_.size());
+        leaf.parent = area_id;
+        leaf.level = TopicLevel::kTopic;
+        leaf.domain_index = d;
+        leaf.phrase = mint_phrase();
+        topics_[area_id].children.push_back(leaf.id);
+        topics_.push_back(leaf);
+      }
+    }
+  }
+}
+
+std::vector<TopicId> TopicHierarchy::AtLevel(TopicLevel level) const {
+  std::vector<TopicId> out;
+  for (const auto& t : topics_) {
+    if (t.level == level) out.push_back(t.id);
+  }
+  return out;
+}
+
+TopicId TopicHierarchy::DomainOf(TopicId id) const {
+  TopicId cur = id;
+  while (cur != kInvalidTopic && topics_[cur].level != TopicLevel::kDomain) {
+    if (topics_[cur].level == TopicLevel::kRoot) return kInvalidTopic;
+    cur = topics_[cur].parent;
+  }
+  return cur;
+}
+
+TopicId TopicHierarchy::AreaOf(TopicId id) const {
+  TopicId cur = id;
+  while (cur != kInvalidTopic) {
+    if (topics_[cur].level == TopicLevel::kArea) return cur;
+    if (topics_[cur].level == TopicLevel::kRoot) return kInvalidTopic;
+    cur = topics_[cur].parent;
+  }
+  return kInvalidTopic;
+}
+
+bool TopicHierarchy::IsAncestorOf(TopicId ancestor, TopicId id) const {
+  TopicId cur = id;
+  while (cur != kInvalidTopic) {
+    if (cur == ancestor) return true;
+    cur = topics_[cur].parent;
+  }
+  return false;
+}
+
+}  // namespace rpg::synth

@@ -1,0 +1,77 @@
+#ifndef RPG_SYNTH_TOPIC_HIERARCHY_H_
+#define RPG_SYNTH_TOPIC_HIERARCHY_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace rpg::synth {
+
+using TopicId = uint32_t;
+inline constexpr TopicId kInvalidTopic = UINT32_MAX;
+
+/// Depth in the topic tree. Domains mirror the 10 CCF categories of
+/// Table I; areas are survey-able sub-fields whose papers act as
+/// *prerequisites* for their child topics; topics are the leaves the bulk
+/// of papers (and most surveys) are about.
+enum class TopicLevel : uint8_t { kRoot = 0, kDomain = 1, kArea = 2, kTopic = 3 };
+
+/// One node of the topic tree.
+struct Topic {
+  TopicId id = kInvalidTopic;
+  TopicId parent = kInvalidTopic;
+  TopicLevel level = TopicLevel::kRoot;
+  uint32_t domain_index = 0;   ///< index into DomainNames() (valid below root)
+  std::string phrase;          ///< key phrase naming the topic ("neural parsing")
+  std::vector<TopicId> children;
+};
+
+/// Shape of the generated hierarchy.
+struct TopicHierarchyOptions {
+  int areas_per_domain = 5;
+  int topics_per_area = 5;
+  uint64_t seed = 17;
+};
+
+/// Fixed topic tree: root -> 10 domains -> areas -> topics. Phrases are
+/// drawn from per-domain term banks so that child-topic titles share
+/// vocabulary with their domain but NOT with their parent area's phrase —
+/// which is exactly why lexical search engines miss prerequisite papers
+/// (Observation I of the paper).
+class TopicHierarchy {
+ public:
+  explicit TopicHierarchy(const TopicHierarchyOptions& options = {});
+
+  const Topic& Get(TopicId id) const { return topics_[id]; }
+  size_t size() const { return topics_.size(); }
+  TopicId root() const { return 0; }
+
+  const std::vector<TopicId>& Domains() const { return topics_[0].children; }
+
+  /// All nodes at the given level.
+  std::vector<TopicId> AtLevel(TopicLevel level) const;
+
+  /// Walks up to the domain ancestor (identity for domains).
+  TopicId DomainOf(TopicId id) const;
+
+  /// Walks up to the area ancestor; kInvalidTopic for domains/root.
+  TopicId AreaOf(TopicId id) const;
+
+  /// True when `ancestor` lies on the parent chain of `id` (inclusive).
+  bool IsAncestorOf(TopicId ancestor, TopicId id) const;
+
+  /// The 10 CCF-style domain display names (Table I ordering).
+  static const std::vector<std::string>& DomainNames();
+
+  /// The term bank used to mint phrases for one domain (for tests).
+  static const std::vector<std::string>& DomainTerms(uint32_t domain_index);
+
+ private:
+  std::vector<Topic> topics_;
+};
+
+}  // namespace rpg::synth
+
+#endif  // RPG_SYNTH_TOPIC_HIERARCHY_H_

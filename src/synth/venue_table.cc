@@ -1,0 +1,61 @@
+#include "synth/venue_table.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "common/rng.h"
+#include "common/string_util.h"
+#include "synth/topic_hierarchy.h"
+
+namespace rpg::synth {
+
+VenueTable::VenueTable(const VenueTableOptions& options) {
+  Rng rng(options.seed);
+  const size_t num_domains = TopicHierarchy::DomainNames().size();
+  by_domain_tier_.assign(num_domains, {{}, {}, {}});
+  static const char* kTierTag[] = {"A", "B", "C"};
+  for (uint32_t d = 0; d < num_domains; ++d) {
+    for (int tier = 1; tier <= 3; ++tier) {
+      for (int i = 0; i < options.venues_per_domain_per_tier; ++i) {
+        Venue v;
+        v.name = StrFormat("VENUE-D%u-%s-%02d", d, kTierTag[tier - 1], i);
+        v.domain_index = d;
+        v.ccf_tier = tier;
+        // Influence correlates with tier but is noisy, like real AMiner
+        // scores computed from best-paper citations.
+        double base = tier == 1 ? 0.75 : tier == 2 ? 0.45 : 0.2;
+        v.aminer_influence =
+            std::min(1.0, std::max(0.0, base + rng.Normal(0.0, 0.12)));
+        VenueId id = static_cast<VenueId>(venues_.size());
+        venues_.push_back(v);
+        by_domain_tier_[d][tier - 1].push_back(id);
+      }
+    }
+  }
+}
+
+const std::vector<VenueId>& VenueTable::ByDomainTier(uint32_t domain_index,
+                                                     int tier) const {
+  RPG_CHECK(domain_index < by_domain_tier_.size());
+  RPG_CHECK(tier >= 1 && tier <= 3);
+  return by_domain_tier_[domain_index][tier - 1];
+}
+
+double VenueTable::TierScore(int tier) {
+  switch (tier) {
+    case 1:
+      return 1.0;
+    case 2:
+      return 0.6;
+    default:
+      return 0.3;
+  }
+}
+
+double VenueTable::Score(VenueId id) const {
+  if (id == kNoVenue || id >= venues_.size()) return 0.0;
+  const Venue& v = venues_[id];
+  return 0.5 * (TierScore(v.ccf_tier) + v.aminer_influence);
+}
+
+}  // namespace rpg::synth

@@ -1,0 +1,57 @@
+#ifndef RPG_SYNTH_VENUE_TABLE_H_
+#define RPG_SYNTH_VENUE_TABLE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace rpg::synth {
+
+using VenueId = uint32_t;
+inline constexpr VenueId kNoVenue = UINT32_MAX;
+
+/// One journal/conference. Mirrors the paper's venue collection: ~700
+/// venues over 10 domains, each with a CCF tier (A/B/C, expert-assigned)
+/// and an AMiner-style influence score in [0, 1] (derived from best-paper
+/// citations). §IV-B averages the two into the final venue score.
+struct Venue {
+  std::string name;
+  uint32_t domain_index = 0;
+  int ccf_tier = 3;           ///< 1 = A (best), 2 = B, 3 = C
+  double aminer_influence = 0.0;
+};
+
+/// Options controlling the synthetic venue collection.
+struct VenueTableOptions {
+  int venues_per_domain_per_tier = 23;  ///< 10 * 3 * 23 = 690 ≈ "around 700"
+  uint64_t seed = 23;
+};
+
+/// The synthetic CCF/AMiner venue collection.
+class VenueTable {
+ public:
+  explicit VenueTable(const VenueTableOptions& options = {});
+
+  size_t size() const { return venues_.size(); }
+  const Venue& Get(VenueId id) const { return venues_[id]; }
+
+  /// All venue ids for one domain at one tier.
+  const std::vector<VenueId>& ByDomainTier(uint32_t domain_index,
+                                           int tier) const;
+
+  /// CCF tier mapped to [0, 1]: A -> 1.0, B -> 0.6, C -> 0.3.
+  static double TierScore(int tier);
+
+  /// Final venue score of §IV-B: average of tier score and AMiner
+  /// influence. Returns 0 for kNoVenue.
+  double Score(VenueId id) const;
+
+ private:
+  std::vector<Venue> venues_;
+  // [domain][tier - 1] -> venue ids
+  std::vector<std::vector<std::vector<VenueId>>> by_domain_tier_;
+};
+
+}  // namespace rpg::synth
+
+#endif  // RPG_SYNTH_VENUE_TABLE_H_

@@ -1,0 +1,262 @@
+#include "text/porter_stemmer.h"
+
+#include <cctype>
+
+namespace rpg::text {
+
+namespace {
+
+// Working buffer view for the classic Porter algorithm. `k` is the index
+// of the last character of the current stem (inclusive).
+struct Stem {
+  std::string b;
+  int k = -1;
+
+  bool IsConsonant(int i) const {
+    char c = b[static_cast<size_t>(i)];
+    switch (c) {
+      case 'a':
+      case 'e':
+      case 'i':
+      case 'o':
+      case 'u':
+        return false;
+      case 'y':
+        return i == 0 ? true : !IsConsonant(i - 1);
+      default:
+        return true;
+    }
+  }
+
+  // Measure of the stem b[0..j]: number of VC sequences.
+  int Measure(int j) const {
+    int n = 0;
+    int i = 0;
+    for (;;) {
+      if (i > j) return n;
+      if (!IsConsonant(i)) break;
+      ++i;
+    }
+    ++i;
+    for (;;) {
+      for (;;) {
+        if (i > j) return n;
+        if (IsConsonant(i)) break;
+        ++i;
+      }
+      ++i;
+      ++n;
+      for (;;) {
+        if (i > j) return n;
+        if (!IsConsonant(i)) break;
+        ++i;
+      }
+      ++i;
+    }
+  }
+
+  bool VowelInStem(int j) const {
+    for (int i = 0; i <= j; ++i) {
+      if (!IsConsonant(i)) return true;
+    }
+    return false;
+  }
+
+  bool DoubleConsonant(int j) const {
+    if (j < 1) return false;
+    if (b[static_cast<size_t>(j)] != b[static_cast<size_t>(j - 1)])
+      return false;
+    return IsConsonant(j);
+  }
+
+  // cvc where the final c is not w, x or y ("hop" true, "snow"/"box" false).
+  bool Cvc(int i) const {
+    if (i < 2 || !IsConsonant(i) || IsConsonant(i - 1) || !IsConsonant(i - 2))
+      return false;
+    char c = b[static_cast<size_t>(i)];
+    return c != 'w' && c != 'x' && c != 'y';
+  }
+
+  bool EndsWith(std::string_view suffix, int* j) const {
+    int len = static_cast<int>(suffix.size());
+    if (len > k + 1) return false;
+    for (int i = 0; i < len; ++i) {
+      if (b[static_cast<size_t>(k - len + 1 + i)] !=
+          suffix[static_cast<size_t>(i)])
+        return false;
+    }
+    *j = k - len;
+    return true;
+  }
+
+  void SetTo(std::string_view replacement, int j) {
+    int len = static_cast<int>(replacement.size());
+    b.resize(static_cast<size_t>(j + 1));
+    b.append(replacement);
+    k = j + len;
+  }
+
+  // Replaces the matched suffix when Measure(j) > 0.
+  void ReplaceIfM(std::string_view replacement, int j) {
+    if (Measure(j) > 0) SetTo(replacement, j);
+  }
+};
+
+void Step1a(Stem* s) {
+  int j;
+  if (s->b[static_cast<size_t>(s->k)] != 's') return;
+  if (s->EndsWith("sses", &j)) {
+    s->k -= 2;
+  } else if (s->EndsWith("ies", &j)) {
+    s->SetTo("i", j);
+  } else if (s->k >= 1 &&
+             s->b[static_cast<size_t>(s->k - 1)] != 's') {
+    s->k -= 1;
+  }
+  s->b.resize(static_cast<size_t>(s->k + 1));
+}
+
+void Step1b(Stem* s) {
+  int j;
+  if (s->EndsWith("eed", &j)) {
+    if (s->Measure(j) > 0) {
+      s->k -= 1;
+      s->b.resize(static_cast<size_t>(s->k + 1));
+    }
+    return;
+  }
+  bool matched = false;
+  if (s->EndsWith("ed", &j) && s->VowelInStem(j)) {
+    s->k = j;
+    s->b.resize(static_cast<size_t>(s->k + 1));
+    matched = true;
+  } else if (s->EndsWith("ing", &j) && s->VowelInStem(j)) {
+    s->k = j;
+    s->b.resize(static_cast<size_t>(s->k + 1));
+    matched = true;
+  }
+  if (!matched) return;
+  int dummy;
+  if (s->EndsWith("at", &dummy) || s->EndsWith("bl", &dummy) ||
+      s->EndsWith("iz", &dummy)) {
+    s->b.push_back('e');
+    s->k += 1;
+  } else if (s->DoubleConsonant(s->k)) {
+    char c = s->b[static_cast<size_t>(s->k)];
+    if (c != 'l' && c != 's' && c != 'z') {
+      s->k -= 1;
+      s->b.resize(static_cast<size_t>(s->k + 1));
+    }
+  } else if (s->Measure(s->k) == 1 && s->Cvc(s->k)) {
+    s->b.push_back('e');
+    s->k += 1;
+  }
+}
+
+void Step1c(Stem* s) {
+  int j;
+  if (s->EndsWith("y", &j) && s->VowelInStem(j)) {
+    s->b[static_cast<size_t>(s->k)] = 'i';
+  }
+}
+
+struct Rule {
+  std::string_view suffix;
+  std::string_view replacement;
+};
+
+void ApplyRules(Stem* s, const Rule* rules, size_t n) {
+  int j;
+  for (size_t i = 0; i < n; ++i) {
+    if (s->EndsWith(rules[i].suffix, &j)) {
+      s->ReplaceIfM(rules[i].replacement, j);
+      return;
+    }
+  }
+}
+
+void Step2(Stem* s) {
+  static constexpr Rule kRules[] = {
+      {"ational", "ate"}, {"tional", "tion"}, {"enci", "ence"},
+      {"anci", "ance"},   {"izer", "ize"},    {"abli", "able"},
+      {"alli", "al"},     {"entli", "ent"},   {"eli", "e"},
+      {"ousli", "ous"},   {"ization", "ize"}, {"ation", "ate"},
+      {"ator", "ate"},    {"alism", "al"},    {"iveness", "ive"},
+      {"fulness", "ful"}, {"ousness", "ous"}, {"aliti", "al"},
+      {"iviti", "ive"},   {"biliti", "ble"}};
+  ApplyRules(s, kRules, sizeof(kRules) / sizeof(kRules[0]));
+}
+
+void Step3(Stem* s) {
+  static constexpr Rule kRules[] = {
+      {"icate", "ic"}, {"ative", ""}, {"alize", "al"}, {"iciti", "ic"},
+      {"ical", "ic"},  {"ful", ""},   {"ness", ""}};
+  ApplyRules(s, kRules, sizeof(kRules) / sizeof(kRules[0]));
+}
+
+void Step4(Stem* s) {
+  static constexpr std::string_view kSuffixes[] = {
+      "al",   "ance", "ence", "er",  "ic",   "able", "ible", "ant", "ement",
+      "ment", "ent",  "ou",   "ism", "ate",  "iti",  "ous",  "ive", "ize"};
+  int j;
+  for (std::string_view suffix : kSuffixes) {
+    if (s->EndsWith(suffix, &j)) {
+      if (s->Measure(j) > 1) {
+        s->k = j;
+        s->b.resize(static_cast<size_t>(s->k + 1));
+      }
+      return;
+    }
+  }
+  // "ion" only when preceded by s or t.
+  if (s->EndsWith("ion", &j) && j >= 0) {
+    char c = s->b[static_cast<size_t>(j)];
+    if ((c == 's' || c == 't') && s->Measure(j) > 1) {
+      s->k = j;
+      s->b.resize(static_cast<size_t>(s->k + 1));
+    }
+  }
+}
+
+void Step5a(Stem* s) {
+  if (s->b[static_cast<size_t>(s->k)] != 'e') return;
+  int a = s->Measure(s->k - 1);
+  if (a > 1 || (a == 1 && !s->Cvc(s->k - 1))) {
+    s->k -= 1;
+    s->b.resize(static_cast<size_t>(s->k + 1));
+  }
+}
+
+void Step5b(Stem* s) {
+  if (s->b[static_cast<size_t>(s->k)] == 'l' && s->DoubleConsonant(s->k) &&
+      s->Measure(s->k) > 1) {
+    s->k -= 1;
+    s->b.resize(static_cast<size_t>(s->k + 1));
+  }
+}
+
+}  // namespace
+
+std::string PorterStem(std::string_view word) {
+  if (word.size() <= 2) return std::string(word);
+  for (char c : word) {
+    if (!std::islower(static_cast<unsigned char>(c))) {
+      return std::string(word);
+    }
+  }
+  Stem s;
+  s.b.assign(word);
+  s.k = static_cast<int>(word.size()) - 1;
+  Step1a(&s);
+  if (s.k > 0) Step1b(&s);
+  if (s.k > 0) Step1c(&s);
+  if (s.k > 0) Step2(&s);
+  if (s.k > 0) Step3(&s);
+  if (s.k > 0) Step4(&s);
+  if (s.k > 0) Step5a(&s);
+  if (s.k > 0) Step5b(&s);
+  s.b.resize(static_cast<size_t>(s.k + 1));
+  return s.b;
+}
+
+}  // namespace rpg::text

@@ -1,0 +1,16 @@
+#ifndef RPG_TEXT_PORTER_STEMMER_H_
+#define RPG_TEXT_PORTER_STEMMER_H_
+
+#include <string>
+#include <string_view>
+
+namespace rpg::text {
+
+/// Classic Porter (1980) stemming algorithm, steps 1a-5b. Input must be a
+/// lower-case ASCII word; non-alphabetic input is returned unchanged.
+/// "relational" -> "relat", "networks" -> "network".
+std::string PorterStem(std::string_view word);
+
+}  // namespace rpg::text
+
+#endif  // RPG_TEXT_PORTER_STEMMER_H_

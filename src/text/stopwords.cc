@@ -1,0 +1,46 @@
+#include "text/stopwords.h"
+
+#include <algorithm>
+#include <array>
+#include <string_view>
+
+namespace rpg::text {
+
+namespace {
+
+// Sorted so lookup can binary-search. Keep sorted when editing.
+constexpr std::array<std::string_view, 142> kStopwords = {
+    "a",        "about",   "above",   "after",   "again",    "against",
+    "all",      "am",      "an",      "and",     "any",      "approach",
+    "approaches", "are",   "as",      "at",      "based",    "be",
+    "because",  "been",    "before",  "being",   "below",    "between",
+    "both",     "but",     "by",      "can",     "cannot",   "comprehensive",
+    "could",    "did",     "do",      "does",    "doing",    "down",
+    "during",   "each",    "few",     "for",     "from",     "further",
+    "had",      "has",     "have",    "having",  "he",       "her",
+    "here",     "hers",    "him",     "his",     "how",      "i",
+    "if",       "in",      "into",    "is",      "it",       "its",
+    "itself",   "me",      "method",  "methods", "more",     "most",
+    "my",       "new",     "no",      "nor",     "not",      "novel",
+    "of",       "off",     "on",      "once",    "only",     "or",
+    "other",    "ought",   "our",     "ours",    "out",      "over",
+    "overview", "own",     "recent",  "review",  "same",     "she",
+    "should",   "so",      "some",    "study",   "such",     "survey",
+    "surveys",  "system",  "systems", "than",    "that",     "the",
+    "their",    "theirs",  "them",    "then",    "there",    "these",
+    "they",     "this",    "those",   "through", "to",       "too",
+    "toward",   "towards", "trends",  "under",   "until",    "up",
+    "use",      "used",    "using",   "very",    "via",      "was",
+    "we",       "were",    "what",    "when",    "where",    "which",
+    "while",    "who",     "whom",    "why",     "with",     "would",
+    "you",      "your",    "yours",   "yourself"};
+
+}  // namespace
+
+bool IsStopword(std::string_view token) {
+  return std::binary_search(kStopwords.begin(), kStopwords.end(), token);
+}
+
+size_t StopwordCount() { return kStopwords.size(); }
+
+}  // namespace rpg::text

@@ -1,0 +1,19 @@
+#ifndef RPG_TEXT_STOPWORDS_H_
+#define RPG_TEXT_STOPWORDS_H_
+
+#include <string_view>
+
+namespace rpg::text {
+
+/// True for common English function words plus scholarly boilerplate
+/// ("survey", "review", "via", ...) that carries no topical signal in
+/// paper titles. The list mirrors what keyphrase extractors like pke
+/// filter before candidate selection.
+bool IsStopword(std::string_view token);
+
+/// Number of entries in the built-in stopword list (for tests).
+size_t StopwordCount();
+
+}  // namespace rpg::text
+
+#endif  // RPG_TEXT_STOPWORDS_H_

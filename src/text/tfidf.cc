@@ -1,0 +1,91 @@
+#include "text/tfidf.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace rpg::text {
+
+double SparseVector::Norm() const {
+  double s = 0.0;
+  for (float w : weights) s += static_cast<double>(w) * w;
+  return std::sqrt(s);
+}
+
+double CosineSimilarity(const SparseVector& a, const SparseVector& b) {
+  if (a.terms.empty() || b.terms.empty()) return 0.0;
+  double dot = 0.0;
+  size_t i = 0, j = 0;
+  while (i < a.terms.size() && j < b.terms.size()) {
+    if (a.terms[i] == b.terms[j]) {
+      dot += static_cast<double>(a.weights[i]) * b.weights[j];
+      ++i;
+      ++j;
+    } else if (a.terms[i] < b.terms[j]) {
+      ++i;
+    } else {
+      ++j;
+    }
+  }
+  double na = a.Norm(), nb = b.Norm();
+  if (na == 0.0 || nb == 0.0) return 0.0;
+  return dot / (na * nb);
+}
+
+void TfIdfModel::AddDocument(const std::vector<TermId>& term_ids) {
+  RPG_CHECK(!finalized_) << "AddDocument after Finalize";
+  ++num_documents_;
+  // Each unique term counts once per document.
+  std::vector<TermId> unique = term_ids;
+  std::sort(unique.begin(), unique.end());
+  unique.erase(std::unique(unique.begin(), unique.end()), unique.end());
+  for (TermId t : unique) ++df_[t];
+}
+
+void TfIdfModel::Finalize() {
+  RPG_CHECK(!finalized_) << "double Finalize";
+  finalized_ = true;
+  idf_.reserve(df_.size());
+  double n = static_cast<double>(num_documents_);
+  for (const auto& [term, df] : df_) {
+    idf_[term] = static_cast<float>(
+        std::log((1.0 + n) / (1.0 + static_cast<double>(df))) + 1.0);
+  }
+}
+
+double TfIdfModel::Idf(TermId term) const {
+  auto it = idf_.find(term);
+  if (it != idf_.end()) return it->second;
+  // Unseen term: maximal IDF.
+  return std::log(1.0 + static_cast<double>(num_documents_)) + 1.0;
+}
+
+uint64_t TfIdfModel::DocumentFrequency(TermId term) const {
+  auto it = df_.find(term);
+  return it == df_.end() ? 0 : it->second;
+}
+
+SparseVector TfIdfModel::Vectorize(
+    const std::vector<TermId>& term_ids) const {
+  RPG_CHECK(finalized_) << "Vectorize before Finalize";
+  std::vector<TermId> sorted = term_ids;
+  std::sort(sorted.begin(), sorted.end());
+  SparseVector v;
+  size_t i = 0;
+  while (i < sorted.size()) {
+    size_t j = i;
+    while (j < sorted.size() && sorted[j] == sorted[i]) ++j;
+    double tf = 1.0 + std::log(static_cast<double>(j - i));
+    v.terms.push_back(sorted[i]);
+    v.weights.push_back(static_cast<float>(tf * Idf(sorted[i])));
+    i = j;
+  }
+  double norm = v.Norm();
+  if (norm > 0.0) {
+    for (float& w : v.weights) w = static_cast<float>(w / norm);
+  }
+  return v;
+}
+
+}  // namespace rpg::text

@@ -1,0 +1,57 @@
+#ifndef RPG_TEXT_TFIDF_H_
+#define RPG_TEXT_TFIDF_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "text/vocabulary.h"
+
+namespace rpg::text {
+
+/// Sparse term-weight vector (sorted by term id, unique terms).
+struct SparseVector {
+  std::vector<TermId> terms;
+  std::vector<float> weights;
+
+  size_t size() const { return terms.size(); }
+  /// L2 norm.
+  double Norm() const;
+};
+
+/// Cosine similarity of two sparse vectors (0 when either is empty).
+double CosineSimilarity(const SparseVector& a, const SparseVector& b);
+
+/// Document-frequency statistics + TF-IDF vectorization. Fit on a corpus
+/// once, then vectorize documents/queries.
+class TfIdfModel {
+ public:
+  TfIdfModel() = default;
+
+  /// Counts document frequencies over term-id documents. Call once per
+  /// document before Finalize().
+  void AddDocument(const std::vector<TermId>& term_ids);
+
+  /// Freezes document frequencies and precomputes IDF. Must be called
+  /// before Vectorize.
+  void Finalize();
+
+  /// Smoothed IDF: log((1 + N) / (1 + df)) + 1.
+  double Idf(TermId term) const;
+
+  uint64_t num_documents() const { return num_documents_; }
+  uint64_t DocumentFrequency(TermId term) const;
+
+  /// Builds an L2-normalized tf-idf vector (log-scaled tf).
+  SparseVector Vectorize(const std::vector<TermId>& term_ids) const;
+
+ private:
+  std::unordered_map<TermId, uint64_t> df_;
+  std::unordered_map<TermId, float> idf_;
+  uint64_t num_documents_ = 0;
+  bool finalized_ = false;
+};
+
+}  // namespace rpg::text
+
+#endif  // RPG_TEXT_TFIDF_H_

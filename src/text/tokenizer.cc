@@ -1,0 +1,53 @@
+#include "text/tokenizer.h"
+
+#include <cctype>
+
+namespace rpg::text {
+
+std::vector<std::string> Tokenize(std::string_view s,
+                                  const TokenizerOptions& options) {
+  std::vector<std::string> tokens;
+  std::string current;
+  auto flush = [&]() {
+    if (current.size() >= options.min_token_length) {
+      if (options.keep_numbers || !std::isdigit(static_cast<unsigned char>(
+                                      current[0]))) {
+        tokens.push_back(current);
+      }
+    }
+    current.clear();
+  };
+  for (char ch : s) {
+    unsigned char c = static_cast<unsigned char>(ch);
+    if (std::isalnum(c)) {
+      current.push_back(options.lowercase
+                            ? static_cast<char>(std::tolower(c))
+                            : ch);
+    } else if (ch == '\'') {
+      // Apostrophes vanish: "don't" -> "dont".
+      continue;
+    } else {
+      flush();
+    }
+  }
+  flush();
+  return tokens;
+}
+
+std::vector<std::string> NGrams(const std::vector<std::string>& tokens,
+                                size_t n) {
+  std::vector<std::string> grams;
+  if (n == 0 || tokens.size() < n) return grams;
+  grams.reserve(tokens.size() - n + 1);
+  for (size_t i = 0; i + n <= tokens.size(); ++i) {
+    std::string g = tokens[i];
+    for (size_t j = 1; j < n; ++j) {
+      g.push_back('_');
+      g += tokens[i + j];
+    }
+    grams.push_back(std::move(g));
+  }
+  return grams;
+}
+
+}  // namespace rpg::text

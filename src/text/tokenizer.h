@@ -1,0 +1,36 @@
+#ifndef RPG_TEXT_TOKENIZER_H_
+#define RPG_TEXT_TOKENIZER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace rpg::text {
+
+/// Options for Tokenize. Defaults match what the retrieval and keyphrase
+/// pipelines expect: lowercase alphanumeric word tokens.
+struct TokenizerOptions {
+  bool lowercase = true;
+  /// Keep tokens made purely of digits (years like "2017" are meaningful
+  /// in titles).
+  bool keep_numbers = true;
+  /// Drop tokens shorter than this after normalization.
+  size_t min_token_length = 1;
+};
+
+/// Splits text into word tokens. A token is a maximal run of ASCII
+/// alphanumeric characters; hyphens and apostrophes inside a word join the
+/// two sides ("state-of-the-art" -> "state", "of", "the", "art" is avoided:
+/// it becomes "stateoftheart"? No --- hyphens split; apostrophes are
+/// removed, so "don't" -> "dont"). Everything else is a separator.
+std::vector<std::string> Tokenize(std::string_view s,
+                                  const TokenizerOptions& options = {});
+
+/// Produces word n-grams (joined with '_') from a token sequence.
+/// n must be >= 1; returns empty when tokens.size() < n.
+std::vector<std::string> NGrams(const std::vector<std::string>& tokens,
+                                size_t n);
+
+}  // namespace rpg::text
+
+#endif  // RPG_TEXT_TOKENIZER_H_

@@ -1,0 +1,229 @@
+#include "text/topicrank.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "text/porter_stemmer.h"
+#include "text/stopwords.h"
+#include "text/tokenizer.h"
+
+namespace rpg::text {
+
+namespace internal {
+
+std::vector<Candidate> ExtractCandidates(const std::string& text) {
+  std::vector<std::string> tokens = Tokenize(text);
+  // Collect maximal runs of non-stopword tokens together with positions.
+  struct Run {
+    std::vector<std::string> words;
+    int start;
+  };
+  std::vector<Run> runs;
+  std::vector<std::string> current;
+  int start = -1;
+  for (size_t i = 0; i <= tokens.size(); ++i) {
+    bool boundary = (i == tokens.size()) || IsStopword(tokens[i]);
+    if (boundary) {
+      if (!current.empty()) {
+        runs.push_back({current, start});
+        current.clear();
+      }
+    } else {
+      if (current.empty()) start = static_cast<int>(i);
+      current.push_back(tokens[i]);
+    }
+  }
+  // Merge identical surface forms into one candidate with many positions.
+  std::map<std::string, Candidate> merged;
+  for (const auto& run : runs) {
+    std::string key;
+    for (const auto& w : run.words) {
+      if (!key.empty()) key.push_back(' ');
+      key += w;
+    }
+    auto [it, inserted] = merged.try_emplace(key);
+    Candidate& cand = it->second;
+    if (inserted) {
+      cand.words = run.words;
+      for (const auto& w : run.words) cand.stems.push_back(PorterStem(w));
+      std::sort(cand.stems.begin(), cand.stems.end());
+      cand.stems.erase(std::unique(cand.stems.begin(), cand.stems.end()),
+                       cand.stems.end());
+    }
+    cand.first_word_positions.push_back(run.start);
+  }
+  std::vector<Candidate> out;
+  out.reserve(merged.size());
+  for (auto& [key, cand] : merged) out.push_back(std::move(cand));
+  return out;
+}
+
+double StemOverlap(const Candidate& a, const Candidate& b) {
+  if (a.stems.empty() || b.stems.empty()) return 0.0;
+  size_t overlap = 0;
+  size_t i = 0, j = 0;
+  while (i < a.stems.size() && j < b.stems.size()) {
+    if (a.stems[i] == b.stems[j]) {
+      ++overlap;
+      ++i;
+      ++j;
+    } else if (a.stems[i] < b.stems[j]) {
+      ++i;
+    } else {
+      ++j;
+    }
+  }
+  size_t denom = std::min(a.stems.size(), b.stems.size());
+  return static_cast<double>(overlap) / static_cast<double>(denom);
+}
+
+std::vector<int> ClusterCandidates(const std::vector<Candidate>& candidates,
+                                   double threshold) {
+  int n = static_cast<int>(candidates.size());
+  std::vector<int> cluster(n);
+  for (int i = 0; i < n; ++i) cluster[i] = i;
+
+  // Pairwise similarity matrix (candidate counts per title are tiny).
+  std::vector<std::vector<double>> sim(n, std::vector<double>(n, 0.0));
+  for (int i = 0; i < n; ++i) {
+    for (int j = i + 1; j < n; ++j) {
+      sim[i][j] = sim[j][i] = StemOverlap(candidates[i], candidates[j]);
+    }
+  }
+
+  // Average-linkage HAC: repeatedly merge the closest pair of clusters
+  // whose average similarity clears the threshold.
+  auto members = [&](int c) {
+    std::vector<int> m;
+    for (int i = 0; i < n; ++i)
+      if (cluster[i] == c) m.push_back(i);
+    return m;
+  };
+  for (;;) {
+    std::vector<int> ids;
+    for (int i = 0; i < n; ++i) {
+      if (std::find(ids.begin(), ids.end(), cluster[i]) == ids.end())
+        ids.push_back(cluster[i]);
+    }
+    double best = threshold;
+    int best_a = -1, best_b = -1;
+    for (size_t a = 0; a < ids.size(); ++a) {
+      for (size_t b = a + 1; b < ids.size(); ++b) {
+        auto ma = members(ids[a]);
+        auto mb = members(ids[b]);
+        double total = 0.0;
+        for (int i : ma)
+          for (int j : mb) total += sim[i][j];
+        double avg = total / static_cast<double>(ma.size() * mb.size());
+        if (avg >= best) {
+          best = avg;
+          best_a = ids[a];
+          best_b = ids[b];
+        }
+      }
+    }
+    if (best_a < 0) break;
+    for (int i = 0; i < n; ++i) {
+      if (cluster[i] == best_b) cluster[i] = best_a;
+    }
+  }
+  // Renumber clusters densely.
+  std::map<int, int> renumber;
+  for (int i = 0; i < n; ++i) {
+    auto [it, inserted] =
+        renumber.try_emplace(cluster[i], static_cast<int>(renumber.size()));
+    cluster[i] = it->second;
+  }
+  return cluster;
+}
+
+}  // namespace internal
+
+std::vector<Keyphrase> ExtractKeyphrases(const std::string& text,
+                                         const TopicRankOptions& options) {
+  using internal::Candidate;
+  std::vector<Candidate> candidates = internal::ExtractCandidates(text);
+  if (candidates.empty()) return {};
+
+  std::vector<int> cluster =
+      internal::ClusterCandidates(candidates, options.cluster_similarity);
+  int num_topics = 0;
+  for (int c : cluster) num_topics = std::max(num_topics, c + 1);
+
+  // Complete topic graph; edge weight = sum over cross-topic candidate
+  // occurrence pairs of 1 / |pos_i - pos_j|.
+  std::vector<std::vector<double>> w(
+      num_topics, std::vector<double>(num_topics, 0.0));
+  for (size_t i = 0; i < candidates.size(); ++i) {
+    for (size_t j = i + 1; j < candidates.size(); ++j) {
+      if (cluster[i] == cluster[j]) continue;
+      double weight = 0.0;
+      for (int pi : candidates[i].first_word_positions) {
+        for (int pj : candidates[j].first_word_positions) {
+          int d = std::abs(pi - pj);
+          if (d > 0) weight += 1.0 / static_cast<double>(d);
+        }
+      }
+      w[cluster[i]][cluster[j]] += weight;
+      w[cluster[j]][cluster[i]] += weight;
+    }
+  }
+
+  // Weighted TextRank over topics.
+  std::vector<double> score(num_topics, 1.0 / num_topics);
+  std::vector<double> out_weight(num_topics, 0.0);
+  for (int i = 0; i < num_topics; ++i) {
+    for (int j = 0; j < num_topics; ++j) out_weight[i] += w[i][j];
+  }
+  for (int iter = 0; iter < options.iterations; ++iter) {
+    std::vector<double> next(num_topics, (1.0 - options.damping) / num_topics);
+    for (int i = 0; i < num_topics; ++i) {
+      if (out_weight[i] <= 0.0) continue;
+      for (int j = 0; j < num_topics; ++j) {
+        if (w[i][j] > 0.0) {
+          next[j] += options.damping * score[i] * w[i][j] / out_weight[i];
+        }
+      }
+    }
+    score.swap(next);
+  }
+
+  // Pick the first-occurring candidate of each topic as its exemplar.
+  struct Topic {
+    double score;
+    int first_pos;
+    std::string phrase;
+  };
+  std::vector<Topic> topics(num_topics,
+                            Topic{0.0, INT32_MAX, std::string()});
+  for (size_t i = 0; i < candidates.size(); ++i) {
+    int c = cluster[i];
+    topics[c].score = score[c];
+    int first = *std::min_element(candidates[i].first_word_positions.begin(),
+                                  candidates[i].first_word_positions.end());
+    if (first < topics[c].first_pos) {
+      topics[c].first_pos = first;
+      std::string phrase;
+      for (const auto& word : candidates[i].words) {
+        if (!phrase.empty()) phrase.push_back(' ');
+        phrase += word;
+      }
+      topics[c].phrase = phrase;
+    }
+  }
+  std::sort(topics.begin(), topics.end(), [](const Topic& a, const Topic& b) {
+    if (a.score != b.score) return a.score > b.score;
+    return a.first_pos < b.first_pos;
+  });
+
+  std::vector<Keyphrase> out;
+  for (const auto& t : topics) {
+    if (options.top_n > 0 && static_cast<int>(out.size()) >= options.top_n)
+      break;
+    out.push_back({t.phrase, t.score});
+  }
+  return out;
+}
+
+}  // namespace rpg::text

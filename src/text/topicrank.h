@@ -1,0 +1,63 @@
+#ifndef RPG_TEXT_TOPICRANK_H_
+#define RPG_TEXT_TOPICRANK_H_
+
+#include <string>
+#include <vector>
+
+namespace rpg::text {
+
+/// Configuration for TopicRank (Bougouin, Boudin & Daille, IJCNLP 2013) —
+/// the keyphrase extractor the paper runs (via `pke`) over survey titles
+/// to produce the RPG query key phrases.
+struct TopicRankOptions {
+  /// Candidates sharing at least this fraction of (stemmed) words are
+  /// clustered into one topic (paper uses 25%).
+  double cluster_similarity = 0.25;
+  /// PageRank damping for the topic graph.
+  double damping = 0.85;
+  /// Power-iteration rounds.
+  int iterations = 50;
+  /// Maximum phrases to return (<=0 means all).
+  int top_n = 2;
+};
+
+/// A scored keyphrase.
+struct Keyphrase {
+  std::string phrase;  ///< Original (lowercased) surface form.
+  double score = 0.0;  ///< TopicRank topic score.
+};
+
+/// Extracts keyphrases from text. Pipeline: tokenize -> candidate phrases
+/// (maximal runs of non-stopword tokens) -> stem-overlap clustering into
+/// topics (average-linkage HAC) -> complete topic graph weighted by
+/// reciprocal positional distance -> TextRank -> first-occurring candidate
+/// of each top topic.
+std::vector<Keyphrase> ExtractKeyphrases(const std::string& text,
+                                         const TopicRankOptions& options = {});
+
+namespace internal {
+
+/// A candidate phrase with the positions (token offsets) of each of its
+/// occurrences and its stemmed word set. Exposed for unit tests.
+struct Candidate {
+  std::vector<std::string> words;          ///< surface tokens
+  std::vector<std::string> stems;          ///< sorted unique stems
+  std::vector<int> first_word_positions;   ///< one per occurrence
+};
+
+/// Extracts candidate phrases (maximal non-stopword runs) with positions.
+std::vector<Candidate> ExtractCandidates(const std::string& text);
+
+/// Fraction of overlapping stems relative to the smaller stem set.
+double StemOverlap(const Candidate& a, const Candidate& b);
+
+/// Average-linkage agglomerative clustering; returns cluster id per
+/// candidate.
+std::vector<int> ClusterCandidates(const std::vector<Candidate>& candidates,
+                                   double threshold);
+
+}  // namespace internal
+
+}  // namespace rpg::text
+
+#endif  // RPG_TEXT_TOPICRANK_H_

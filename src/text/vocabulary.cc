@@ -1,0 +1,38 @@
+#include "text/vocabulary.h"
+
+namespace rpg::text {
+
+TermId Vocabulary::GetOrAdd(std::string_view term) {
+  auto it = index_.find(std::string(term));
+  if (it != index_.end()) return it->second;
+  TermId id = static_cast<TermId>(terms_.size());
+  terms_.emplace_back(term);
+  index_.emplace(terms_.back(), id);
+  return id;
+}
+
+TermId Vocabulary::Lookup(std::string_view term) const {
+  auto it = index_.find(std::string(term));
+  return it == index_.end() ? kInvalidTerm : it->second;
+}
+
+std::vector<TermId> Vocabulary::Encode(
+    const std::vector<std::string>& tokens) {
+  std::vector<TermId> ids;
+  ids.reserve(tokens.size());
+  for (const auto& t : tokens) ids.push_back(GetOrAdd(t));
+  return ids;
+}
+
+std::vector<TermId> Vocabulary::EncodeExisting(
+    const std::vector<std::string>& tokens) const {
+  std::vector<TermId> ids;
+  ids.reserve(tokens.size());
+  for (const auto& t : tokens) {
+    TermId id = Lookup(t);
+    if (id != kInvalidTerm) ids.push_back(id);
+  }
+  return ids;
+}
+
+}  // namespace rpg::text

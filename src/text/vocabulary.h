@@ -1,0 +1,46 @@
+#ifndef RPG_TEXT_VOCABULARY_H_
+#define RPG_TEXT_VOCABULARY_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace rpg::text {
+
+using TermId = uint32_t;
+inline constexpr TermId kInvalidTerm = UINT32_MAX;
+
+/// Bidirectional term <-> dense-id mapping shared by the index, TF-IDF and
+/// embedding components. Ids are assigned in first-seen order.
+class Vocabulary {
+ public:
+  Vocabulary() = default;
+
+  /// Returns the id of `term`, interning it if new.
+  TermId GetOrAdd(std::string_view term);
+
+  /// Returns the id of `term` or kInvalidTerm if absent.
+  TermId Lookup(std::string_view term) const;
+
+  /// Returns the term for a valid id.
+  const std::string& TermOf(TermId id) const { return terms_[id]; }
+
+  size_t size() const { return terms_.size(); }
+
+  /// Converts a token sequence to ids, interning unseen tokens.
+  std::vector<TermId> Encode(const std::vector<std::string>& tokens);
+
+  /// Converts a token sequence to ids; unseen tokens are skipped.
+  std::vector<TermId> EncodeExisting(
+      const std::vector<std::string>& tokens) const;
+
+ private:
+  std::unordered_map<std::string, TermId> index_;
+  std::vector<std::string> terms_;
+};
+
+}  // namespace rpg::text
+
+#endif  // RPG_TEXT_VOCABULARY_H_

@@ -1,0 +1,163 @@
+#include "ui/http_server.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstring>
+
+#include "common/logging.h"
+#include "common/string_util.h"
+
+namespace rpg::ui {
+
+std::string UrlDecode(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (size_t i = 0; i < s.size(); ++i) {
+    if (s[i] == '+') {
+      out.push_back(' ');
+    } else if (s[i] == '%' && i + 2 < s.size()) {
+      auto hex = [](char c) -> int {
+        if (c >= '0' && c <= '9') return c - '0';
+        if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+        if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+        return -1;
+      };
+      int hi = hex(s[i + 1]), lo = hex(s[i + 2]);
+      if (hi >= 0 && lo >= 0) {
+        out.push_back(static_cast<char>(hi * 16 + lo));
+        i += 2;
+      } else {
+        out.push_back('%');
+      }
+    } else {
+      out.push_back(s[i]);
+    }
+  }
+  return out;
+}
+
+Result<HttpRequest> ParseRequestLine(const std::string& line) {
+  std::vector<std::string> parts = SplitWhitespace(line);
+  if (parts.size() != 3 || !StartsWith(parts[2], "HTTP/")) {
+    return Status::InvalidArgument("malformed request line: " + line);
+  }
+  HttpRequest request;
+  request.method = parts[0];
+  std::string target = parts[1];
+  size_t question = target.find('?');
+  if (question == std::string::npos) {
+    request.path = target;
+  } else {
+    request.path = target.substr(0, question);
+    for (const std::string& pair :
+         Split(target.substr(question + 1), '&')) {
+      if (pair.empty()) continue;
+      size_t eq = pair.find('=');
+      if (eq == std::string::npos) {
+        request.query[UrlDecode(pair)] = "";
+      } else {
+        request.query[UrlDecode(pair.substr(0, eq))] =
+            UrlDecode(pair.substr(eq + 1));
+      }
+    }
+  }
+  if (request.path.empty() || request.path[0] != '/') {
+    return Status::InvalidArgument("bad path: " + target);
+  }
+  return request;
+}
+
+HttpServer::~HttpServer() { Stop(); }
+
+Result<int> HttpServer::Start(int port) {
+  if (running_.load()) return Status::FailedPrecondition("already running");
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) return Status::IoError("socket() failed");
+  int reuse = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &reuse, sizeof(reuse));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) <
+      0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return Status::IoError(StrFormat("bind(%d) failed", port));
+  }
+  if (::listen(listen_fd_, 16) < 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return Status::IoError("listen() failed");
+  }
+  socklen_t len = sizeof(addr);
+  ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len);
+  port_ = ntohs(addr.sin_port);
+  running_.store(true);
+  thread_ = std::thread([this] { ServeLoop(); });
+  return port_;
+}
+
+void HttpServer::Stop() {
+  if (!running_.exchange(false)) {
+    if (thread_.joinable()) thread_.join();
+    return;
+  }
+  // Closing the listening socket unblocks accept().
+  ::shutdown(listen_fd_, SHUT_RDWR);
+  ::close(listen_fd_);
+  listen_fd_ = -1;
+  if (thread_.joinable()) thread_.join();
+}
+
+void HttpServer::ServeLoop() {
+  while (running_.load()) {
+    int client = ::accept(listen_fd_, nullptr, nullptr);
+    if (client < 0) {
+      if (!running_.load()) break;
+      continue;
+    }
+    // Read until the end of the headers (the UI only sends GETs with no
+    // body) or 64 KiB, whichever comes first.
+    std::string raw;
+    char buf[4096];
+    while (raw.find("\r\n\r\n") == std::string::npos && raw.size() < 65536) {
+      ssize_t n = ::read(client, buf, sizeof(buf));
+      if (n <= 0) break;
+      raw.append(buf, static_cast<size_t>(n));
+    }
+    HttpResponse response;
+    size_t line_end = raw.find("\r\n");
+    auto request_or = ParseRequestLine(
+        line_end == std::string::npos ? raw : raw.substr(0, line_end));
+    if (!request_or.ok()) {
+      response.status = 400;
+      response.content_type = "text/plain";
+      response.body = request_or.status().ToString();
+    } else {
+      response = handler_(request_or.value());
+    }
+    const char* reason = response.status == 200   ? "OK"
+                         : response.status == 404 ? "Not Found"
+                         : response.status == 400 ? "Bad Request"
+                                                  : "Error";
+    std::string out = StrFormat(
+        "HTTP/1.1 %d %s\r\nContent-Type: %s\r\nContent-Length: %zu\r\n"
+        "Connection: close\r\n\r\n",
+        response.status, reason, response.content_type.c_str(),
+        response.body.size());
+    out += response.body;
+    size_t written = 0;
+    while (written < out.size()) {
+      ssize_t n = ::write(client, out.data() + written, out.size() - written);
+      if (n <= 0) break;
+      written += static_cast<size_t>(n);
+    }
+    ::close(client);
+  }
+}
+
+}  // namespace rpg::ui

@@ -1,0 +1,74 @@
+#ifndef RPG_UI_HTTP_SERVER_H_
+#define RPG_UI_HTTP_SERVER_H_
+
+#include <atomic>
+#include <functional>
+#include <map>
+#include <string>
+#include <thread>
+
+#include "common/result.h"
+
+namespace rpg::ui {
+
+/// A parsed HTTP request (the subset the RePaGer UI needs).
+struct HttpRequest {
+  std::string method;  ///< "GET", "POST", ...
+  std::string path;    ///< path without the query string
+  std::map<std::string, std::string> query;  ///< decoded query parameters
+};
+
+/// A response to send.
+struct HttpResponse {
+  int status = 200;
+  std::string content_type = "application/json";
+  std::string body;
+};
+
+/// Parses the request line of an HTTP/1.1 request ("GET /search?q=x
+/// HTTP/1.1"). Returns InvalidArgument on malformed input. Exposed for
+/// unit tests.
+Result<HttpRequest> ParseRequestLine(const std::string& line);
+
+/// Percent-decodes a URL component ("hate%20speech+detection" ->
+/// "hate speech detection"; '+' means space in query strings).
+std::string UrlDecode(const std::string& s);
+
+/// Minimal blocking HTTP/1.1 server for the RePaGer web UI (§V). One
+/// handler serves every route; it runs on a background thread started by
+/// Start() and stops on Stop() or destruction. Connection handling is
+/// deliberately simple (one request per connection, no keep-alive): the
+/// UI is a demo surface, not a production gateway.
+class HttpServer {
+ public:
+  using Handler = std::function<HttpResponse(const HttpRequest&)>;
+
+  explicit HttpServer(Handler handler) : handler_(std::move(handler)) {}
+  ~HttpServer();
+
+  HttpServer(const HttpServer&) = delete;
+  HttpServer& operator=(const HttpServer&) = delete;
+
+  /// Binds 127.0.0.1:`port` (0 = ephemeral) and starts serving on a
+  /// background thread. Returns the bound port.
+  Result<int> Start(int port);
+
+  /// Stops the accept loop and joins the server thread. Idempotent.
+  void Stop();
+
+  int port() const { return port_; }
+  bool running() const { return running_.load(); }
+
+ private:
+  void ServeLoop();
+
+  Handler handler_;
+  std::atomic<bool> running_{false};
+  int listen_fd_ = -1;
+  int port_ = 0;
+  std::thread thread_;
+};
+
+}  // namespace rpg::ui
+
+#endif  // RPG_UI_HTTP_SERVER_H_

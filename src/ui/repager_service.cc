@@ -1,0 +1,145 @@
+#include "ui/repager_service.h"
+
+#include <unordered_set>
+
+#include "common/json_writer.h"
+#include "common/logging.h"
+
+namespace rpg::ui {
+
+RePagerService::RePagerService(const core::RePaGer* repager,
+                               const std::vector<std::string>* titles,
+                               const std::vector<uint16_t>* years)
+    : repager_(repager), titles_(titles), years_(years) {
+  RPG_CHECK(repager_ != nullptr && titles_ != nullptr && years_ != nullptr);
+}
+
+Result<std::string> RePagerService::PathJson(const std::string& query,
+                                             int num_seeds,
+                                             int year_cutoff) const {
+  core::RePagerOptions options;
+  if (num_seeds > 0) options.num_initial_seeds = num_seeds;
+  if (year_cutoff > 0) options.year_cutoff = year_cutoff;
+  RPG_ASSIGN_OR_RETURN(core::RePagerResult result,
+                       repager_->Generate(query, options));
+
+  std::unordered_set<graph::PaperId> seeds(result.initial_seeds.begin(),
+                                           result.initial_seeds.end());
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("query").String(query);
+  w.Key("subgraph_nodes").UInt(result.subgraph_nodes);
+  w.Key("subgraph_edges").UInt(result.subgraph_edges);
+  w.Key("seconds").Double(result.total_seconds);
+  w.Key("nodes").BeginArray();
+  for (graph::PaperId p : result.path.nodes()) {
+    w.BeginObject();
+    w.Key("id").UInt(p);
+    w.Key("title").String((*titles_)[p]);
+    w.Key("year").Int((*years_)[p]);
+    // Node-weight legend: a * pgscore + b * venue, higher = more
+    // important in the whole reading path (§V panel e).
+    w.Key("importance").Double(repager_->Importance(p));
+    // Green vs gray marking of Fig. 9: was the paper in the engine's
+    // initial top-K, or surfaced by citation analysis?
+    w.Key("from_engine").Bool(seeds.contains(p));
+    w.EndObject();
+  }
+  w.EndArray();
+  w.Key("edges").BeginArray();
+  for (const auto& [first, next] : result.path.edges()) {
+    w.BeginObject();
+    w.Key("read_first").UInt(first);
+    w.Key("read_next").UInt(next);
+    w.EndObject();
+  }
+  w.EndArray();
+  // Navigation bar (§V panel b): the flattened reading order.
+  w.Key("reading_order").BeginArray();
+  for (graph::PaperId p : result.path.FlattenedOrder(*years_)) w.UInt(p);
+  w.EndArray();
+  w.EndObject();
+  return w.str();
+}
+
+HttpResponse RePagerService::Handle(const HttpRequest& request) const {
+  if (request.method != "GET") {
+    return {400, "text/plain", "only GET is supported"};
+  }
+  if (request.path == "/" || request.path == "/index.html") {
+    return {200, "text/html; charset=utf-8", RePagerIndexHtml()};
+  }
+  if (request.path == "/api/path") {
+    auto q = request.query.find("q");
+    if (q == request.query.end() || q->second.empty()) {
+      return {400, "application/json",
+              "{\"error\":\"missing query parameter q\"}"};
+    }
+    int num_seeds = 0, year = 0;
+    if (auto it = request.query.find("seeds"); it != request.query.end()) {
+      num_seeds = std::atoi(it->second.c_str());
+    }
+    if (auto it = request.query.find("year"); it != request.query.end()) {
+      year = std::atoi(it->second.c_str());
+    }
+    auto json_or = PathJson(q->second, num_seeds, year);
+    if (!json_or.ok()) {
+      JsonWriter w;
+      w.BeginObject();
+      w.Key("error").String(json_or.status().ToString());
+      w.EndObject();
+      int status = json_or.status().IsInvalidArgument() ? 400 : 404;
+      return {status, "application/json", w.str()};
+    }
+    return {200, "application/json", std::move(json_or).value()};
+  }
+  return {404, "text/plain", "not found"};
+}
+
+const char* RePagerIndexHtml() {
+  return R"HTML(<!doctype html>
+<html><head><meta charset="utf-8"><title>RePaGer - Reading Path Generation</title>
+<style>
+ body { font-family: sans-serif; margin: 2em; max-width: 70em; }
+ #q { width: 30em; padding: .4em; }
+ .nav li.seed { color: #444; }
+ .nav li.added { color: #1a7f37; font-weight: bold; }
+ #meta { color: #666; margin: .6em 0; }
+</style></head>
+<body>
+<h1>RePaGer</h1>
+<p>Enter a research topic to generate a reading path (papers marked in
+green were surfaced by citation analysis, not by keyword search).</p>
+<input id="q" placeholder="e.g. pretrained language model">
+<button onclick="go()">Generate</button>
+<div id="meta"></div>
+<ol id="list" class="nav"></ol>
+<script>
+async function go() {
+  const q = document.getElementById('q').value;
+  if (!q) return;
+  const r = await fetch('/api/path?q=' + encodeURIComponent(q));
+  const data = await r.json();
+  const meta = document.getElementById('meta');
+  const list = document.getElementById('list');
+  list.innerHTML = '';
+  if (data.error) { meta.textContent = data.error; return; }
+  meta.textContent = data.nodes.length + ' papers, sub-graph ' +
+      data.subgraph_nodes + ' nodes / ' + data.subgraph_edges +
+      ' edges, ' + data.seconds.toFixed(2) + 's';
+  const byId = {};
+  data.nodes.forEach(n => byId[n.id] = n);
+  data.reading_order.forEach(id => {
+    const n = byId[id];
+    const li = document.createElement('li');
+    li.className = n.from_engine ? 'seed' : 'added';
+    li.textContent = n.title + ' (' + n.year + ')';
+    list.appendChild(li);
+  });
+}
+</script>
+</body></html>
+)HTML";
+}
+
+}  // namespace rpg::ui

@@ -1,0 +1,49 @@
+#ifndef RPG_UI_REPAGER_SERVICE_H_
+#define RPG_UI_REPAGER_SERVICE_H_
+
+#include <string>
+#include <vector>
+
+#include "core/repager.h"
+#include "ui/http_server.h"
+
+namespace rpg::ui {
+
+/// The RePaGer web application backend (§V). Routes:
+///
+///   GET /                       the single-page UI (embedded HTML)
+///   GET /api/path?q=<query>[&seeds=N][&year=Y]
+///                               reading path as JSON: nodes (title, year,
+///                               importance), reading-order edges, the
+///                               flattened navigation-bar order, and the
+///                               seed/expanded marking used by the panel's
+///                               node-weight legend
+///
+/// The service is stateless: each request runs the full pipeline.
+class RePagerService {
+ public:
+  /// All pointers must outlive the service.
+  RePagerService(const core::RePaGer* repager,
+                 const std::vector<std::string>* titles,
+                 const std::vector<uint16_t>* years);
+
+  /// The HttpServer handler.
+  HttpResponse Handle(const HttpRequest& request) const;
+
+  /// Builds the /api/path JSON for a query (exposed for tests).
+  Result<std::string> PathJson(const std::string& query, int num_seeds,
+                               int year_cutoff) const;
+
+ private:
+  const core::RePaGer* repager_;
+  const std::vector<std::string>* titles_;
+  const std::vector<uint16_t>* years_;
+};
+
+/// The embedded single-page UI: input panel, navigation bar, and an SVG
+/// rendering of the generated reading path (panels a-e of Fig. 7).
+const char* RePagerIndexHtml();
+
+}  // namespace rpg::ui
+
+#endif  // RPG_UI_REPAGER_SERVICE_H_

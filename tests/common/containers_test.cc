@@ -1,0 +1,174 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/csv_writer.h"
+#include "common/histogram.h"
+#include "common/json_writer.h"
+#include "common/table_printer.h"
+
+namespace rpg {
+namespace {
+
+// ---------------------------------------------------------------- Histogram
+
+TEST(HistogramTest, BucketsValuesCorrectly) {
+  Histogram h({0, 5, 10, 100});
+  h.Add(0);    // bucket 0
+  h.Add(4.9);  // bucket 0
+  h.Add(5);    // bucket 1
+  h.Add(50);   // bucket 2
+  h.Add(100);  // overflow (right edge exclusive)
+  h.Add(-1);   // underflow
+  EXPECT_EQ(h.num_buckets(), 3u);
+  EXPECT_EQ(h.bucket_count(0), 2u);
+  EXPECT_EQ(h.bucket_count(1), 1u);
+  EXPECT_EQ(h.bucket_count(2), 1u);
+  EXPECT_EQ(h.overflow(), 1u);
+  EXPECT_EQ(h.underflow(), 1u);
+  EXPECT_EQ(h.total(), 6u);
+}
+
+TEST(HistogramTest, AddCountAndMean) {
+  Histogram h({0, 10});
+  h.AddCount(2.0, 3);
+  h.Add(8.0);
+  EXPECT_EQ(h.bucket_count(0), 4u);
+  EXPECT_DOUBLE_EQ(h.mean(), (2.0 * 3 + 8.0) / 4.0);
+}
+
+TEST(HistogramTest, FractionsSumToOne) {
+  Histogram h({0, 1, 2, 3});
+  for (int i = 0; i < 30; ++i) h.Add(i % 3);
+  double total = 0.0;
+  for (size_t i = 0; i < h.num_buckets(); ++i) total += h.BucketFraction(i);
+  EXPECT_NEAR(total, 1.0, 1e-12);
+}
+
+TEST(HistogramTest, LabelsRenderIntegralEdges) {
+  Histogram h({0, 5, 10.5});
+  EXPECT_EQ(h.BucketLabel(0), "0-5");
+  EXPECT_EQ(h.BucketLabel(1), "5-10.50");
+}
+
+TEST(HistogramTest, EmptyHistogram) {
+  Histogram h({0, 1});
+  EXPECT_EQ(h.total(), 0u);
+  EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(h.BucketFraction(0), 0.0);
+}
+
+// ------------------------------------------------------------ TablePrinter
+
+TEST(TablePrinterTest, AlignsColumns) {
+  TablePrinter t({"name", "v"});
+  t.AddRow({"a", "1"});
+  t.AddRow({"longer", "22"});
+  std::string s = t.ToString();
+  EXPECT_NE(s.find("| name   | v  |"), std::string::npos);
+  EXPECT_NE(s.find("| longer | 22 |"), std::string::npos);
+  EXPECT_EQ(t.num_rows(), 2u);
+}
+
+TEST(TablePrinterTest, PadsShortRows) {
+  TablePrinter t({"a", "b", "c"});
+  t.AddRow({"x"});
+  std::string s = t.ToString();
+  // Three header cells + separator + one padded row.
+  EXPECT_EQ(std::count(s.begin(), s.end(), '\n'), 3);
+}
+
+TEST(TablePrinterTest, DoubleRowFormatsDecimals) {
+  TablePrinter t({"m", "k1", "k2"});
+  t.AddRow("x", {0.12345, 0.5}, 4);
+  EXPECT_NE(t.ToString().find("0.1235"), std::string::npos);
+  EXPECT_NE(t.ToString().find("0.5000"), std::string::npos);
+}
+
+// -------------------------------------------------------------- CsvWriter
+
+TEST(CsvTest, EscapesSpecialCharacters) {
+  EXPECT_EQ(CsvWriter::EscapeField("plain"), "plain");
+  EXPECT_EQ(CsvWriter::EscapeField("a,b"), "\"a,b\"");
+  EXPECT_EQ(CsvWriter::EscapeField("say \"hi\""), "\"say \"\"hi\"\"\"");
+  EXPECT_EQ(CsvWriter::EscapeField("line\nbreak"), "\"line\nbreak\"");
+}
+
+TEST(CsvTest, WriteRowRoundTripsThroughParse) {
+  std::ostringstream os;
+  CsvWriter w(&os);
+  std::vector<std::string> row = {"a", "b,c", "d\"e", ""};
+  w.WriteRow(row);
+  std::string line = os.str();
+  ASSERT_FALSE(line.empty());
+  line.pop_back();  // strip trailing newline
+  auto parsed = ParseCsvLine(line);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed.value(), row);
+}
+
+TEST(CsvTest, ParseRejectsUnterminatedQuote) {
+  EXPECT_TRUE(ParseCsvLine("\"open").status().IsInvalidArgument());
+}
+
+TEST(CsvTest, ParseEmptyLineYieldsOneEmptyField) {
+  auto parsed = ParseCsvLine("");
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed.value(), std::vector<std::string>{""});
+}
+
+// -------------------------------------------------------------- JsonWriter
+
+TEST(JsonTest, EscapesControlAndQuotes) {
+  EXPECT_EQ(JsonWriter::Escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+  EXPECT_EQ(JsonWriter::Escape(std::string(1, '\x01')), "\\u0001");
+}
+
+TEST(JsonTest, ObjectWithMixedValues) {
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("s").String("x");
+  w.Key("i").Int(-3);
+  w.Key("u").UInt(7);
+  w.Key("d").Double(1.5);
+  w.Key("b").Bool(true);
+  w.Key("n").Null();
+  w.EndObject();
+  EXPECT_EQ(w.str(),
+            "{\"s\":\"x\",\"i\":-3,\"u\":7,\"d\":1.5,\"b\":true,\"n\":null}");
+}
+
+TEST(JsonTest, NestedArraysAndObjects) {
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("list").BeginArray();
+  w.Int(1);
+  w.BeginObject();
+  w.Key("k").String("v");
+  w.EndObject();
+  w.EndArray();
+  w.EndObject();
+  EXPECT_EQ(w.str(), "{\"list\":[1,{\"k\":\"v\"}]}");
+}
+
+TEST(JsonTest, TopLevelArrayCommas) {
+  JsonWriter w;
+  w.BeginArray();
+  w.Int(1);
+  w.Int(2);
+  w.Int(3);
+  w.EndArray();
+  EXPECT_EQ(w.str(), "[1,2,3]");
+}
+
+TEST(JsonTest, NonFiniteDoublesBecomeNull) {
+  JsonWriter w;
+  w.BeginArray();
+  w.Double(std::numeric_limits<double>::quiet_NaN());
+  w.Double(std::numeric_limits<double>::infinity());
+  w.EndArray();
+  EXPECT_EQ(w.str(), "[null,null]");
+}
+
+}  // namespace
+}  // namespace rpg

@@ -1,0 +1,80 @@
+#include "common/string_util.h"
+
+#include <gtest/gtest.h>
+
+namespace rpg {
+namespace {
+
+TEST(SplitTest, BasicAndEmptyFields) {
+  EXPECT_EQ(Split("a,b,c", ','), (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(Split("a,,c", ','), (std::vector<std::string>{"a", "", "c"}));
+  EXPECT_EQ(Split("", ','), (std::vector<std::string>{""}));
+  EXPECT_EQ(Split(",", ','), (std::vector<std::string>{"", ""}));
+}
+
+TEST(SplitWhitespaceTest, CollapsesRuns) {
+  EXPECT_EQ(SplitWhitespace("  a \t b\nc  "),
+            (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_TRUE(SplitWhitespace("   ").empty());
+  EXPECT_TRUE(SplitWhitespace("").empty());
+}
+
+TEST(JoinTest, Basic) {
+  EXPECT_EQ(Join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(Join({}, ", "), "");
+  EXPECT_EQ(Join({"only"}, ", "), "only");
+}
+
+TEST(ToLowerTest, AsciiOnly) {
+  EXPECT_EQ(ToLower("MiXeD 123 Case"), "mixed 123 case");
+  EXPECT_EQ(ToLower(""), "");
+}
+
+TEST(TrimTest, AllCases) {
+  EXPECT_EQ(Trim("  x  "), "x");
+  EXPECT_EQ(Trim("x"), "x");
+  EXPECT_EQ(Trim("   "), "");
+  EXPECT_EQ(Trim(""), "");
+  EXPECT_EQ(Trim("\t a b \n"), "a b");
+}
+
+TEST(StartsEndsWithTest, Basic) {
+  EXPECT_TRUE(StartsWith("reading path", "read"));
+  EXPECT_FALSE(StartsWith("read", "reading"));
+  EXPECT_TRUE(EndsWith("survey.pdf", ".pdf"));
+  EXPECT_FALSE(EndsWith(".pdf", "survey.pdf"));
+  EXPECT_TRUE(StartsWith("x", ""));
+  EXPECT_TRUE(EndsWith("x", ""));
+}
+
+TEST(ContainsIgnoreCaseTest, Basic) {
+  EXPECT_TRUE(ContainsIgnoreCase("A Survey on Hate Speech", "survey"));
+  EXPECT_TRUE(ContainsIgnoreCase("ABC", "abc"));
+  EXPECT_FALSE(ContainsIgnoreCase("abc", "abcd"));
+  EXPECT_TRUE(ContainsIgnoreCase("anything", ""));
+}
+
+TEST(StrFormatTest, FormatsLikePrintf) {
+  EXPECT_EQ(StrFormat("%d-%s", 42, "x"), "42-x");
+  EXPECT_EQ(StrFormat("%.2f", 3.14159), "3.14");
+  EXPECT_EQ(StrFormat("empty"), "empty");
+}
+
+TEST(FormatDoubleTest, Decimals) {
+  EXPECT_EQ(FormatDouble(0.23434, 4), "0.2343");
+  EXPECT_EQ(FormatDouble(1.0, 2), "1.00");
+  EXPECT_EQ(FormatDouble(-0.5, 1), "-0.5");
+}
+
+TEST(FormatWithCommasTest, GroupsThousands) {
+  EXPECT_EQ(FormatWithCommas(0), "0");
+  EXPECT_EQ(FormatWithCommas(999), "999");
+  EXPECT_EQ(FormatWithCommas(1000), "1,000");
+  EXPECT_EQ(FormatWithCommas(9321), "9,321");
+  EXPECT_EQ(FormatWithCommas(41194), "41,194");
+  EXPECT_EQ(FormatWithCommas(6000000), "6,000,000");
+  EXPECT_EQ(FormatWithCommas(-1234567), "-1,234,567");
+}
+
+}  // namespace
+}  // namespace rpg

@@ -1,0 +1,195 @@
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+#include "core/reading_path.h"
+#include "core/seed_reallocator.h"
+#include "graph/graph_builder.h"
+
+namespace rpg::core {
+namespace {
+
+using graph::PaperId;
+
+// ------------------------------------------------------ SeedReallocator
+
+graph::CitationGraph CoOccurrenceGraph() {
+  // Seeds 0, 1, 2. Paper 5 cited by all three; 6 by two; 7 by one.
+  graph::GraphBuilder b(8);
+  b.AddCitation(0, 5);
+  b.AddCitation(1, 5);
+  b.AddCitation(2, 5);
+  b.AddCitation(0, 6);
+  b.AddCitation(1, 6);
+  b.AddCitation(2, 7);
+  // Seed 1 is cited by seeds 0 and 2 (for the intersection mode).
+  b.AddCitation(0, 1);
+  b.AddCitation(2, 1);
+  return b.Build().value();
+}
+
+TEST(CoOccurrenceTest, ThresholdTwoFindsSharedReferences) {
+  auto g = CoOccurrenceGraph();
+  auto papers = CoOccurrencePapers(g, {0, 1, 2}, 2);
+  // 5 (count 3) before 6 (count 2); 7 (count 1) excluded; seed 1 excluded.
+  EXPECT_EQ(papers, (std::vector<PaperId>{5, 6}));
+}
+
+TEST(CoOccurrenceTest, ThresholdThreeIsStricter) {
+  auto g = CoOccurrenceGraph();
+  EXPECT_EQ(CoOccurrencePapers(g, {0, 1, 2}, 3),
+            (std::vector<PaperId>{5}));
+}
+
+TEST(CoOccurrenceTest, SeedsThemselvesExcluded) {
+  auto g = CoOccurrenceGraph();
+  for (PaperId p : CoOccurrencePapers(g, {0, 1, 2}, 1)) {
+    EXPECT_TRUE(p != 0 && p != 1 && p != 2);
+  }
+}
+
+TEST(CoOccurrenceTest, DuplicateSeedsCountOnce) {
+  auto g = CoOccurrenceGraph();
+  auto papers = CoOccurrencePapers(g, {0, 0, 0}, 2);
+  EXPECT_TRUE(papers.empty());  // one distinct seed -> max count 1
+}
+
+TEST(CoOccurrenceTest, InvalidSeedsIgnored) {
+  auto g = CoOccurrenceGraph();
+  EXPECT_EQ(CoOccurrencePapers(g, {0, 1, 2, 999}, 2),
+            (std::vector<PaperId>{5, 6}));
+}
+
+TEST(ReallocateTest, ModesProduceExpectedSets) {
+  auto g = CoOccurrenceGraph();
+  std::vector<PaperId> initial = {0, 1, 2};
+  EXPECT_EQ(ReallocateSeeds(g, initial, SeedMode::kInitial, 2), initial);
+  EXPECT_EQ(ReallocateSeeds(g, initial, SeedMode::kReallocated, 2),
+            (std::vector<PaperId>{5, 6}));
+  EXPECT_EQ(ReallocateSeeds(g, initial, SeedMode::kUnion, 2),
+            (std::vector<PaperId>{0, 1, 2, 5, 6}));
+  // Intersection: seeds co-cited by >= 2 fellow seeds -> seed 1.
+  EXPECT_EQ(ReallocateSeeds(g, initial, SeedMode::kIntersection, 2),
+            (std::vector<PaperId>{1}));
+}
+
+TEST(ReallocateTest, EmptyModesFallBackToInitial) {
+  graph::GraphBuilder b(3);  // no citations at all
+  auto g = b.Build().value();
+  std::vector<PaperId> initial = {0, 1};
+  EXPECT_EQ(ReallocateSeeds(g, initial, SeedMode::kReallocated, 2), initial);
+  EXPECT_EQ(ReallocateSeeds(g, initial, SeedMode::kIntersection, 2), initial);
+}
+
+// ---------------------------------------------------------- ReadingPath
+
+steiner::SteinerResult ChainTree() {
+  steiner::SteinerResult tree;
+  tree.nodes = {0, 1, 2};
+  tree.edges = {{0, 1}, {1, 2}};
+  return tree;
+}
+
+TEST(ReadingPathTest, EdgesPointOldToNew) {
+  // Years: paper 0 newest, paper 2 oldest.
+  std::vector<uint16_t> years = {2020, 2010, 2000};
+  ReadingPath path(ChainTree(), years);
+  // 2 (2000) -> 1 (2010) -> 0 (2020).
+  EXPECT_EQ(path.edges(),
+            (std::vector<std::pair<PaperId, PaperId>>{{1, 0}, {2, 1}}));
+  EXPECT_EQ(path.Roots(), (std::vector<PaperId>{2}));
+}
+
+TEST(ReadingPathTest, YearTiesBreakById) {
+  std::vector<uint16_t> years = {2010, 2010, 2010};
+  ReadingPath path(ChainTree(), years);
+  EXPECT_EQ(path.edges(),
+            (std::vector<std::pair<PaperId, PaperId>>{{0, 1}, {1, 2}}));
+}
+
+TEST(ReadingPathTest, FlattenedOrderIsTopological) {
+  std::vector<uint16_t> years = {2020, 2010, 2000};
+  ReadingPath path(ChainTree(), years);
+  auto order = path.FlattenedOrder(years);
+  ASSERT_EQ(order.size(), 3u);
+  EXPECT_EQ(order, (std::vector<PaperId>{2, 1, 0}));
+}
+
+TEST(ReadingPathTest, FlattenedOrderPrefersOlderAmongReady) {
+  // Star: 3 is the old root; children 0 (2015), 1 (2005), 2 (2010).
+  steiner::SteinerResult tree;
+  tree.nodes = {0, 1, 2, 3};
+  tree.edges = {{0, 3}, {1, 3}, {2, 3}};
+  std::vector<uint16_t> years = {2015, 2005, 2010, 1990};
+  ReadingPath path(tree, years);
+  auto order = path.FlattenedOrder(years);
+  EXPECT_EQ(order, (std::vector<PaperId>{3, 1, 2, 0}));
+}
+
+TEST(ReadingPathTest, EmptyTree) {
+  steiner::SteinerResult tree;
+  std::vector<uint16_t> years;
+  ReadingPath path(tree, years);
+  EXPECT_TRUE(path.empty());
+  EXPECT_TRUE(path.Roots().empty());
+  EXPECT_TRUE(path.FlattenedOrder(years).empty());
+}
+
+TEST(ReadingPathTest, SingletonNodeIsItsOwnRoot) {
+  steiner::SteinerResult tree;
+  tree.nodes = {7};
+  std::vector<uint16_t> years(8, 2000);
+  ReadingPath path(tree, years);
+  EXPECT_EQ(path.Roots(), (std::vector<PaperId>{7}));
+  EXPECT_EQ(path.FlattenedOrder(years), (std::vector<PaperId>{7}));
+}
+
+TEST(ReadingPathTest, AsciiRendersAllNodesAndHighlights) {
+  std::vector<uint16_t> years = {2020, 2010, 2000};
+  std::vector<std::string> titles = {"newest", "middle", "oldest"};
+  ReadingPath path(ChainTree(), years);
+  PaperInfo info{&titles, &years};
+  std::string ascii = path.ToAscii(info, {1});
+  EXPECT_NE(ascii.find("oldest (2000)"), std::string::npos);
+  EXPECT_NE(ascii.find("* middle (2010)"), std::string::npos);
+  EXPECT_NE(ascii.find("- newest (2020)"), std::string::npos);
+}
+
+TEST(ReadingPathTest, DotContainsDirectedEdges) {
+  std::vector<uint16_t> years = {2020, 2010, 2000};
+  ReadingPath path(ChainTree(), years);
+  PaperInfo info{nullptr, &years};
+  std::string dot = path.ToDot(info, {2});
+  EXPECT_NE(dot.find("n2 -> n1"), std::string::npos);
+  EXPECT_NE(dot.find("n1 -> n0"), std::string::npos);
+  EXPECT_NE(dot.find("palegreen"), std::string::npos);
+}
+
+TEST(ReadingPathTest, JsonIsWellFormedish) {
+  std::vector<uint16_t> years = {2020, 2010, 2000};
+  std::vector<std::string> titles = {"a", "b", "c"};
+  ReadingPath path(ChainTree(), years);
+  PaperInfo info{&titles, &years};
+  std::string json = path.ToJson(info);
+  EXPECT_EQ(json.front(), '{');
+  EXPECT_EQ(json.back(), '}');
+  EXPECT_NE(json.find("\"nodes\":["), std::string::npos);
+  EXPECT_NE(json.find("\"read_first\":"), std::string::npos);
+  EXPECT_NE(json.find("\"title\":\"c\""), std::string::npos);
+}
+
+TEST(ReadingPathTest, MultiPathNodeRenderedOnceWithBackReference) {
+  // Diamond: 3 old root, 1 and 2 middle, 0 newest reached twice.
+  steiner::SteinerResult tree;
+  tree.nodes = {0, 1, 2, 3};
+  tree.edges = {{0, 1}, {0, 2}, {1, 3}, {2, 3}};
+  std::vector<uint16_t> years = {2020, 2010, 2012, 2000};
+  ReadingPath path(tree, years);
+  PaperInfo info{nullptr, &years};
+  std::string ascii = path.ToAscii(info);
+  // Node 0 appears twice, once marked as a back-reference '^'.
+  EXPECT_NE(ascii.find("^"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace rpg::core

@@ -1,0 +1,80 @@
+#include "eval/metrics.h"
+
+#include <gtest/gtest.h>
+
+namespace rpg::eval {
+namespace {
+
+using graph::PaperId;
+
+TEST(OverlapTest, CountsIntersection) {
+  EXPECT_EQ(CountOverlap({1, 2, 3}, {2, 3, 4}), 2u);
+  EXPECT_EQ(CountOverlap({}, {1}), 0u);
+  EXPECT_EQ(CountOverlap({1}, {}), 0u);
+}
+
+TEST(OverlapTest, DuplicatesInItemsCountOnce) {
+  EXPECT_EQ(CountOverlap({2, 2, 2}, {2}), 1u);
+}
+
+TEST(PrfTest, PerfectPrefix) {
+  std::vector<PaperId> truth = {1, 2, 3, 4};
+  PrfAtK m = ComputePrfAtK({1, 2, 3, 4}, truth, 4);
+  EXPECT_DOUBLE_EQ(m.precision, 1.0);
+  EXPECT_DOUBLE_EQ(m.recall, 1.0);
+  EXPECT_DOUBLE_EQ(m.f1, 1.0);
+}
+
+TEST(PrfTest, HalfRight) {
+  std::vector<PaperId> truth = {1, 2};
+  PrfAtK m = ComputePrfAtK({1, 9, 2, 8}, truth, 4);
+  EXPECT_DOUBLE_EQ(m.precision, 0.5);
+  EXPECT_DOUBLE_EQ(m.recall, 1.0);
+  EXPECT_NEAR(m.f1, 2.0 * 0.5 / 1.5, 1e-12);
+}
+
+TEST(PrfTest, KTruncatesRanking) {
+  std::vector<PaperId> truth = {3};
+  // Hit is at rank 3; K = 2 misses it.
+  PrfAtK at2 = ComputePrfAtK({1, 2, 3}, truth, 2);
+  EXPECT_DOUBLE_EQ(at2.precision, 0.0);
+  PrfAtK at3 = ComputePrfAtK({1, 2, 3}, truth, 3);
+  EXPECT_NEAR(at3.precision, 1.0 / 3.0, 1e-12);
+}
+
+TEST(PrfTest, ShortRankingUsesActualLength) {
+  std::vector<PaperId> truth = {1, 2, 3, 4};
+  // Only 2 results though K = 50: precision over 2, not 50.
+  PrfAtK m = ComputePrfAtK({1, 2}, truth, 50);
+  EXPECT_DOUBLE_EQ(m.precision, 1.0);
+  EXPECT_DOUBLE_EQ(m.recall, 0.5);
+}
+
+TEST(PrfTest, DegenerateInputs) {
+  PrfAtK m = ComputePrfAtK({}, {1}, 10);
+  EXPECT_DOUBLE_EQ(m.f1, 0.0);
+  m = ComputePrfAtK({1}, {}, 10);
+  EXPECT_DOUBLE_EQ(m.f1, 0.0);
+  m = ComputePrfAtK({1}, {1}, 0);
+  EXPECT_DOUBLE_EQ(m.f1, 0.0);
+}
+
+TEST(PrfTest, DuplicateRankedEntriesNotDoubleCounted) {
+  std::vector<PaperId> truth = {1};
+  PrfAtK m = ComputePrfAtK({1, 1, 1, 1}, truth, 4);
+  EXPECT_DOUBLE_EQ(m.precision, 0.25);
+  EXPECT_DOUBLE_EQ(m.recall, 1.0);
+}
+
+TEST(MeanAccumulatorTest, Averages) {
+  MeanAccumulator acc;
+  EXPECT_DOUBLE_EQ(acc.mean(), 0.0);
+  acc.Add(1.0);
+  acc.Add(2.0);
+  acc.Add(6.0);
+  EXPECT_DOUBLE_EQ(acc.mean(), 3.0);
+  EXPECT_EQ(acc.count(), 3u);
+}
+
+}  // namespace
+}  // namespace rpg::eval

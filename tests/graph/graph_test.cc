@@ -1,0 +1,256 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "graph/citation_graph.h"
+#include "graph/graph_builder.h"
+#include "graph/graph_io.h"
+#include "graph/subgraph.h"
+#include "graph/traversal.h"
+
+namespace rpg::graph {
+namespace {
+
+CitationGraph BuildDiamond() {
+  // 0 cites 1 and 2; 1 and 2 cite 3.
+  GraphBuilder b(4);
+  b.AddCitation(0, 1);
+  b.AddCitation(0, 2);
+  b.AddCitation(1, 3);
+  b.AddCitation(2, 3);
+  auto g = b.Build();
+  EXPECT_TRUE(g.ok());
+  return std::move(g).value();
+}
+
+TEST(GraphBuilderTest, BasicCounts) {
+  CitationGraph g = BuildDiamond();
+  EXPECT_EQ(g.num_nodes(), 4u);
+  EXPECT_EQ(g.num_edges(), 4u);
+  EXPECT_EQ(g.OutDegree(0), 2u);
+  EXPECT_EQ(g.InDegree(3), 2u);
+  EXPECT_EQ(g.CitationCount(3), 2u);
+  EXPECT_EQ(g.OutDegree(3), 0u);
+  EXPECT_EQ(g.InDegree(0), 0u);
+}
+
+TEST(GraphBuilderTest, NeighborsAreSorted) {
+  GraphBuilder b(5);
+  b.AddCitation(0, 4);
+  b.AddCitation(0, 2);
+  b.AddCitation(0, 3);
+  b.AddCitation(4, 0);
+  b.AddCitation(2, 0);
+  auto g = b.Build().value();
+  auto out = g.OutNeighbors(0);
+  EXPECT_TRUE(std::is_sorted(out.begin(), out.end()));
+  auto in = g.InNeighbors(0);
+  EXPECT_TRUE(std::is_sorted(in.begin(), in.end()));
+}
+
+TEST(GraphBuilderTest, DropsDuplicatesAndSelfLoops) {
+  GraphBuilder b(3);
+  b.AddCitation(0, 1);
+  b.AddCitation(0, 1);
+  b.AddCitation(1, 1);
+  auto g = b.Build().value();
+  EXPECT_EQ(g.num_edges(), 1u);
+  EXPECT_EQ(g.OutDegree(1), 0u);
+}
+
+TEST(GraphBuilderTest, RejectsOutOfRangeIds) {
+  GraphBuilder b(2);
+  b.AddCitation(0, 5);
+  EXPECT_TRUE(b.Build().status().IsInvalidArgument());
+}
+
+TEST(GraphBuilderTest, EmptyGraph) {
+  GraphBuilder b(3);
+  auto g = b.Build().value();
+  EXPECT_EQ(g.num_nodes(), 3u);
+  EXPECT_EQ(g.num_edges(), 0u);
+  EXPECT_TRUE(g.OutNeighbors(0).empty());
+}
+
+TEST(GraphTest, HasEdge) {
+  CitationGraph g = BuildDiamond();
+  EXPECT_TRUE(g.HasEdge(0, 1));
+  EXPECT_TRUE(g.HasEdge(1, 3));
+  EXPECT_FALSE(g.HasEdge(1, 0));  // direction matters
+  EXPECT_FALSE(g.HasEdge(0, 3));
+}
+
+// ------------------------------------------------------------- traversal
+
+TEST(TraversalTest, KHopOutLevels) {
+  CitationGraph g = BuildDiamond();
+  KHopResult r = KHopNeighborhood(g, {0}, 2, Direction::kOut);
+  ASSERT_EQ(r.levels.size(), 3u);
+  EXPECT_EQ(r.levels[0], (std::vector<PaperId>{0}));
+  EXPECT_EQ(r.levels[1], (std::vector<PaperId>{1, 2}));
+  EXPECT_EQ(r.levels[2], (std::vector<PaperId>{3}));
+  EXPECT_EQ(r.TotalCount(), 4u);
+  EXPECT_EQ(r.AllNodes().size(), 4u);
+}
+
+TEST(TraversalTest, KHopInDirection) {
+  CitationGraph g = BuildDiamond();
+  KHopResult r = KHopNeighborhood(g, {3}, 2, Direction::kIn);
+  EXPECT_EQ(r.levels[1], (std::vector<PaperId>{1, 2}));
+  EXPECT_EQ(r.levels[2], (std::vector<PaperId>{0}));
+}
+
+TEST(TraversalTest, KHopDeduplicatesSeeds) {
+  CitationGraph g = BuildDiamond();
+  KHopResult r = KHopNeighborhood(g, {0, 0, 0}, 1, Direction::kOut);
+  EXPECT_EQ(r.levels[0].size(), 1u);
+}
+
+TEST(TraversalTest, KHopSkipsInvalidSeeds) {
+  CitationGraph g = BuildDiamond();
+  KHopResult r = KHopNeighborhood(g, {99}, 1, Direction::kOut);
+  EXPECT_TRUE(r.levels[0].empty());
+}
+
+TEST(TraversalTest, KHopZeroHops) {
+  CitationGraph g = BuildDiamond();
+  KHopResult r = KHopNeighborhood(g, {0}, 0, Direction::kOut);
+  EXPECT_EQ(r.levels.size(), 1u);
+}
+
+TEST(TraversalTest, NodesVisitedOnceAcrossLevels) {
+  // 0 -> 1 -> 2 and 0 -> 2: node 2 is reachable at hop 1 and 2 but must
+  // appear only once (at hop 1).
+  GraphBuilder b(3);
+  b.AddCitation(0, 1);
+  b.AddCitation(1, 2);
+  b.AddCitation(0, 2);
+  auto g = b.Build().value();
+  KHopResult r = KHopNeighborhood(g, {0}, 2, Direction::kOut);
+  EXPECT_EQ(r.levels[1], (std::vector<PaperId>{1, 2}));
+  EXPECT_TRUE(r.levels[2].empty());
+}
+
+TEST(TraversalTest, ConnectedComponents) {
+  GraphBuilder b(6);
+  b.AddCitation(0, 1);
+  b.AddCitation(2, 3);
+  // 4 and 5 isolated.
+  auto g = b.Build().value();
+  size_t n = 0;
+  auto comp = ConnectedComponents(g, &n);
+  EXPECT_EQ(n, 4u);
+  EXPECT_EQ(comp[0], comp[1]);
+  EXPECT_EQ(comp[2], comp[3]);
+  EXPECT_NE(comp[0], comp[2]);
+  EXPECT_NE(comp[4], comp[5]);
+  EXPECT_EQ(LargestComponentSize(g), 2u);
+}
+
+TEST(TraversalTest, ComponentsIgnoreDirection) {
+  GraphBuilder b(3);
+  b.AddCitation(0, 1);
+  b.AddCitation(2, 1);
+  auto g = b.Build().value();
+  EXPECT_EQ(LargestComponentSize(g), 3u);
+}
+
+// -------------------------------------------------------------- subgraph
+
+TEST(SubgraphTest, InducedEdgesOnly) {
+  CitationGraph g = BuildDiamond();
+  Subgraph sg(g, {0, 1, 3});
+  EXPECT_EQ(sg.num_nodes(), 3u);
+  // Edges 0->1 and 1->3 survive; 0->2->3 is cut.
+  EXPECT_EQ(sg.num_edges(), 2u);
+  uint32_t l0 = sg.ToLocal(0), l1 = sg.ToLocal(1), l3 = sg.ToLocal(3);
+  EXPECT_EQ(sg.OutNeighbors(l0), (std::vector<uint32_t>{l1}));
+  EXPECT_EQ(sg.InNeighbors(l3), (std::vector<uint32_t>{l1}));
+}
+
+TEST(SubgraphTest, LocalGlobalRoundTrip) {
+  CitationGraph g = BuildDiamond();
+  Subgraph sg(g, {3, 1});
+  for (uint32_t local = 0; local < sg.num_nodes(); ++local) {
+    EXPECT_EQ(sg.ToLocal(sg.ToGlobal(local)), local);
+  }
+  // Locals assigned in first-appearance order.
+  EXPECT_EQ(sg.ToGlobal(0), 3u);
+  EXPECT_EQ(sg.ToGlobal(1), 1u);
+}
+
+TEST(SubgraphTest, ContainsAndMisses) {
+  CitationGraph g = BuildDiamond();
+  Subgraph sg(g, {0, 2});
+  EXPECT_TRUE(sg.Contains(0));
+  EXPECT_FALSE(sg.Contains(1));
+  EXPECT_EQ(sg.ToLocal(1), UINT32_MAX);
+}
+
+TEST(SubgraphTest, DuplicatesAndInvalidIdsIgnored) {
+  CitationGraph g = BuildDiamond();
+  Subgraph sg(g, {0, 0, 99, 2});
+  EXPECT_EQ(sg.num_nodes(), 2u);
+}
+
+TEST(SubgraphTest, UndirectedNeighborsMergesBothDirections) {
+  CitationGraph g = BuildDiamond();
+  Subgraph sg(g, {0, 1, 3});
+  uint32_t l1 = sg.ToLocal(1);
+  auto undirected = sg.UndirectedNeighbors(l1);
+  EXPECT_EQ(undirected.size(), 2u);  // 0 (citer) and 3 (cited)
+}
+
+// -------------------------------------------------------------- graph io
+
+TEST(GraphIoTest, BinaryRoundTrip) {
+  CitationGraph g = BuildDiamond();
+  std::string path =
+      (std::filesystem::temp_directory_path() / "rpg_graph_test.bin").string();
+  ASSERT_TRUE(GraphIo::WriteBinary(g, path).ok());
+  auto loaded = GraphIo::ReadBinary(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->num_nodes(), g.num_nodes());
+  EXPECT_EQ(loaded->num_edges(), g.num_edges());
+  for (PaperId p = 0; p < g.num_nodes(); ++p) {
+    auto a = g.OutNeighbors(p);
+    auto b = loaded->OutNeighbors(p);
+    EXPECT_TRUE(std::equal(a.begin(), a.end(), b.begin(), b.end()));
+  }
+  std::remove(path.c_str());
+}
+
+TEST(GraphIoTest, ReadMissingFileFails) {
+  EXPECT_TRUE(GraphIo::ReadBinary("/nonexistent/graph.bin").status()
+                  .IsIoError());
+}
+
+TEST(GraphIoTest, ReadCorruptHeaderFails) {
+  std::string path =
+      (std::filesystem::temp_directory_path() / "rpg_graph_bad.bin").string();
+  {
+    std::ofstream os(path, std::ios::binary);
+    os << "not a graph file at all";
+  }
+  EXPECT_TRUE(GraphIo::ReadBinary(path).status().IsInvalidArgument());
+  std::remove(path.c_str());
+}
+
+TEST(GraphIoTest, DotContainsInducedEdgesOnly) {
+  CitationGraph g = BuildDiamond();
+  std::string dot = GraphIo::ToDot(g, {0, 1});
+  EXPECT_NE(dot.find("n0 -> n1"), std::string::npos);
+  EXPECT_EQ(dot.find("n1 -> n3"), std::string::npos);
+  EXPECT_NE(dot.find("digraph"), std::string::npos);
+}
+
+TEST(GraphIoTest, DotUsesLabelsWhenProvided) {
+  CitationGraph g = BuildDiamond();
+  std::string dot = GraphIo::ToDot(g, {0}, {"BERT paper"});
+  EXPECT_NE(dot.find("BERT paper"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace rpg::graph

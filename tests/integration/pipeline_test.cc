@@ -1,0 +1,259 @@
+// End-to-end tests over a small but fully wired workbench: corpus,
+// SurveyBank, engines, weights, RePaGer, baselines, evaluation.
+
+#include <gtest/gtest.h>
+
+#include <unordered_map>
+#include <unordered_set>
+
+#include "eval/baselines.h"
+#include "eval/evaluator.h"
+#include "eval/overlap.h"
+#include "eval/preference_judge.h"
+#include "eval/workbench.h"
+
+namespace rpg::eval {
+namespace {
+
+using graph::PaperId;
+
+class WorkbenchFixture : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    WorkbenchOptions options;
+    options.corpus.hierarchy.areas_per_domain = 2;
+    options.corpus.hierarchy.topics_per_area = 2;
+    options.corpus.papers_per_topic = 60;
+    options.corpus.papers_per_area = 20;
+    options.corpus.papers_per_domain = 15;
+    options.corpus.num_surveys = 100;
+    options.corpus.seed = 33;
+    wb_ = Workbench::Create(options).value().release();
+  }
+  static void TearDownTestSuite() {
+    delete wb_;
+    wb_ = nullptr;
+  }
+
+  /// First bank entry with a non-empty L3 label.
+  static const surveybank::SurveyEntry& AnyEntry() {
+    for (size_t i = 0; i < wb_->bank().size(); ++i) {
+      if (!wb_->bank().Get(i).label_l3.empty()) return wb_->bank().Get(i);
+    }
+    return wb_->bank().Get(0);
+  }
+
+  static const Workbench* wb_;
+};
+
+const Workbench* WorkbenchFixture::wb_ = nullptr;
+
+TEST_F(WorkbenchFixture, SubstratesAreWired) {
+  EXPECT_GT(wb_->corpus().num_papers(), 1000u);
+  EXPECT_GT(wb_->bank().size(), 20u);
+  EXPECT_EQ(wb_->pagerank().size(), wb_->corpus().num_papers());
+  EXPECT_EQ(wb_->venue_scores().size(), wb_->corpus().num_papers());
+  EXPECT_EQ(wb_->titles().size(), wb_->years().size());
+}
+
+TEST_F(WorkbenchFixture, RePagerProducesPathAndRanking) {
+  const auto& entry = AnyEntry();
+  core::RePagerOptions options;
+  options.year_cutoff = entry.year;
+  options.exclude = {entry.paper};
+  auto result = wb_->repager().Generate(entry.query, options).value();
+
+  EXPECT_FALSE(result.ranked.empty());
+  EXPECT_EQ(result.initial_seeds.size(), 30u);
+  EXPECT_FALSE(result.path.empty());
+  EXPECT_GT(result.subgraph_nodes, result.path.size());
+
+  // Ranking has no duplicates and respects exclusion + cutoff.
+  std::unordered_set<PaperId> seen;
+  for (PaperId p : result.ranked) {
+    EXPECT_TRUE(seen.insert(p).second) << "duplicate " << p;
+    EXPECT_NE(p, entry.paper);
+    EXPECT_LE(wb_->years()[p], entry.year);
+  }
+  // All terminals are in the path and the ranking.
+  std::unordered_set<PaperId> path_nodes(result.path.nodes().begin(),
+                                         result.path.nodes().end());
+  for (PaperId t : result.terminals) {
+    EXPECT_TRUE(path_nodes.contains(t));
+    EXPECT_TRUE(seen.contains(t));
+  }
+}
+
+TEST_F(WorkbenchFixture, RePagerIsDeterministic) {
+  const auto& entry = AnyEntry();
+  core::RePagerOptions options;
+  options.year_cutoff = entry.year;
+  options.exclude = {entry.paper};
+  auto a = wb_->repager().Generate(entry.query, options).value();
+  auto b = wb_->repager().Generate(entry.query, options).value();
+  EXPECT_EQ(a.ranked, b.ranked);
+  EXPECT_EQ(a.path.nodes(), b.path.nodes());
+  EXPECT_EQ(a.path.edges(), b.path.edges());
+}
+
+TEST_F(WorkbenchFixture, RePagerRejectsBadInput) {
+  EXPECT_TRUE(wb_->repager().Generate("").status().IsInvalidArgument());
+  core::RePagerOptions options;
+  options.num_initial_seeds = 0;
+  EXPECT_TRUE(
+      wb_->repager().Generate("x", options).status().IsInvalidArgument());
+  EXPECT_TRUE(wb_->repager()
+                  .Generate("zzzz qqqq xxxx vvvv")
+                  .status()
+                  .IsNotFound());
+}
+
+TEST_F(WorkbenchFixture, ReadingPathEdgesFollowYears) {
+  const auto& entry = AnyEntry();
+  core::RePagerOptions options;
+  options.year_cutoff = entry.year;
+  options.exclude = {entry.paper};
+  auto result = wb_->repager().Generate(entry.query, options).value();
+  for (const auto& [first, next] : result.path.edges()) {
+    EXPECT_LE(wb_->years()[first], wb_->years()[next]);
+  }
+  // Flattened order never reads a paper before its prerequisite.
+  auto order = result.path.FlattenedOrder(wb_->years());
+  std::unordered_map<PaperId, size_t> position;
+  for (size_t i = 0; i < order.size(); ++i) position[order[i]] = i;
+  for (const auto& [first, next] : result.path.edges()) {
+    EXPECT_LT(position[first], position[next]);
+  }
+}
+
+TEST_F(WorkbenchFixture, AllMethodsProduceValidRankings) {
+  const auto& entry = AnyEntry();
+  QuerySpec spec{entry.query, entry.year, entry.paper};
+  for (Method method : AllMethods()) {
+    auto ranked_or = RankedListFor(*wb_, method, spec, 30);
+    ASSERT_TRUE(ranked_or.ok()) << MethodName(method);
+    const auto& ranked = ranked_or.value();
+    EXPECT_FALSE(ranked.empty()) << MethodName(method);
+    EXPECT_LE(ranked.size(), 30u) << MethodName(method);
+    std::unordered_set<PaperId> seen;
+    for (PaperId p : ranked) {
+      EXPECT_TRUE(seen.insert(p).second) << MethodName(method);
+      EXPECT_NE(p, entry.paper) << MethodName(method);
+      EXPECT_LE(wb_->years()[p], entry.year) << MethodName(method);
+    }
+  }
+}
+
+TEST_F(WorkbenchFixture, EvaluatorProducesSaneMetrics) {
+  auto sample = Evaluator::SampleEntries(wb_->bank(), 8, 1);
+  ASSERT_FALSE(sample.empty());
+  Evaluator evaluator(wb_, sample);
+  auto cell = evaluator.Run(Method::kNewst, 30, LabelLevel::kAtLeast1).value();
+  EXPECT_GT(cell.f1, 0.0);
+  EXPECT_LE(cell.precision, 1.0);
+  EXPECT_LE(cell.recall, 1.0);
+  EXPECT_EQ(cell.queries, sample.size());
+}
+
+TEST_F(WorkbenchFixture, SweepMatchesSingleRuns) {
+  auto sample = Evaluator::SampleEntries(wb_->bank(), 6, 2);
+  Evaluator evaluator(wb_, sample);
+  auto grid = evaluator
+                  .RunSweep(Method::kGoogle, {20, 30},
+                            {LabelLevel::kAtLeast1, LabelLevel::kAtLeast2})
+                  .value();
+  ASSERT_EQ(grid.size(), 2u);
+  ASSERT_EQ(grid[0].size(), 2u);
+  auto single = evaluator.Run(Method::kGoogle, 30, LabelLevel::kAtLeast2)
+                    .value();
+  EXPECT_NEAR(grid[1][1].f1, single.f1, 1e-12);
+  EXPECT_NEAR(grid[1][1].precision, single.precision, 1e-12);
+}
+
+TEST_F(WorkbenchFixture, MoreRelaxedLabelsNeverHurtRecallAtFixedK) {
+  // L3 ⊆ L1, so recall against L3 >= recall against L1 is NOT implied,
+  // but precision against L1 >= precision against L3 is (more targets).
+  auto sample = Evaluator::SampleEntries(wb_->bank(), 6, 3);
+  Evaluator evaluator(wb_, sample);
+  auto l1 = evaluator.Run(Method::kNewst, 30, LabelLevel::kAtLeast1).value();
+  auto l3 = evaluator.Run(Method::kNewst, 30, LabelLevel::kAtLeast3).value();
+  EXPECT_GE(l1.precision, l3.precision);
+}
+
+TEST_F(WorkbenchFixture, OverlapRatiosIncreaseWithOrder) {
+  OverlapOptions options;
+  options.top_k = 30;
+  options.subset_size = 15;
+  auto result = RunOverlapExperiment(*wb_, options).value();
+  EXPECT_GT(result.surveys, 0u);
+  for (int label = 0; label < 3; ++label) {
+    EXPECT_LE(result.ratio[0][label], result.ratio[1][label] + 1e-9);
+    EXPECT_LE(result.ratio[1][label], result.ratio[2][label] + 1e-9);
+    for (int order = 0; order < 3; ++order) {
+      EXPECT_GE(result.ratio[order][label], 0.0);
+      EXPECT_LE(result.ratio[order][label], 1.0);
+    }
+  }
+}
+
+TEST_F(WorkbenchFixture, PreferenceStudyVotesSumToOne) {
+  PreferenceOptions options;
+  options.queries_per_domain = 5;
+  options.participants = 3;
+  auto result = RunPreferenceStudy(*wb_, 0, options).value();
+  EXPECT_GT(result.queries, 0u);
+  for (const CriterionOutcome* o :
+       {&result.prerequisite, &result.relevance, &result.completeness}) {
+    EXPECT_NEAR(o->prefer_a + o->same + o->prefer_b, 1.0, 1e-9);
+  }
+  // NEWST must dominate the prerequisite axis (it is the only system
+  // with reading order).
+  EXPECT_GT(result.prerequisite.prefer_b, 0.5);
+}
+
+TEST_F(WorkbenchFixture, AblationVariantsAllRun) {
+  const auto& entry = AnyEntry();
+  for (core::SeedMode mode :
+       {core::SeedMode::kReallocated, core::SeedMode::kInitial,
+        core::SeedMode::kUnion, core::SeedMode::kIntersection}) {
+    core::RePagerOptions options;
+    options.seed_mode = mode;
+    options.year_cutoff = entry.year;
+    options.exclude = {entry.paper};
+    auto result = wb_->repager().Generate(entry.query, options);
+    ASSERT_TRUE(result.ok());
+    EXPECT_FALSE(result->ranked.empty());
+  }
+  for (bool node_weights : {true, false}) {
+    for (bool edge_weights : {true, false}) {
+      core::RePagerOptions options;
+      options.newst.use_node_weights = node_weights;
+      options.newst.use_edge_weights = edge_weights;
+      options.year_cutoff = entry.year;
+      options.exclude = {entry.paper};
+      ASSERT_TRUE(wb_->repager().Generate(entry.query, options).ok());
+    }
+  }
+  core::RePagerOptions no_steiner;
+  no_steiner.run_steiner = false;
+  no_steiner.year_cutoff = entry.year;
+  no_steiner.exclude = {entry.paper};
+  auto result = wb_->repager().Generate(entry.query, no_steiner).value();
+  EXPECT_TRUE(result.path.empty());
+  EXPECT_FALSE(result.ranked.empty());
+}
+
+TEST_F(WorkbenchFixture, SeedCountChangesSubgraphScale) {
+  const auto& entry = AnyEntry();
+  core::RePagerOptions small, large;
+  small.num_initial_seeds = 10;
+  large.num_initial_seeds = 50;
+  small.year_cutoff = large.year_cutoff = entry.year;
+  small.exclude = large.exclude = {entry.paper};
+  auto a = wb_->repager().Generate(entry.query, small).value();
+  auto b = wb_->repager().Generate(entry.query, large).value();
+  EXPECT_LE(a.subgraph_nodes, b.subgraph_nodes);
+}
+
+}  // namespace
+}  // namespace rpg::eval

@@ -1,0 +1,126 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "match/hashed_embedder.h"
+#include "match/semantic_matcher.h"
+
+namespace rpg::match {
+namespace {
+
+TEST(HashedEmbedderTest, EmbeddingsAreUnitNorm) {
+  HashedEmbedder embedder;
+  Embedding e = embedder.EmbedDocument("neural parsing", "parsing abstracts");
+  double norm = 0.0;
+  for (float v : e) norm += static_cast<double>(v) * v;
+  EXPECT_NEAR(std::sqrt(norm), 1.0, 1e-5);
+  EXPECT_EQ(static_cast<int>(e.size()), embedder.dim());
+}
+
+TEST(HashedEmbedderTest, EmptyTextIsZeroVector) {
+  HashedEmbedder embedder;
+  Embedding e = embedder.EmbedQuery("");
+  for (float v : e) EXPECT_FLOAT_EQ(v, 0.0f);
+}
+
+TEST(HashedEmbedderTest, DeterministicAcrossInstances) {
+  HashedEmbedder a, b;
+  EXPECT_EQ(a.EmbedQuery("steiner trees"), b.EmbedQuery("steiner trees"));
+}
+
+TEST(HashedEmbedderTest, SimilarTextsCloserThanDissimilar) {
+  HashedEmbedder embedder;
+  Embedding q = embedder.EmbedQuery("hate speech detection");
+  Embedding close = embedder.EmbedDocument(
+      "hate speech detection on social media", "detecting hateful speech");
+  Embedding far = embedder.EmbedDocument("cache coherence protocols",
+                                         "multiprocessor memory systems");
+  EXPECT_GT(CosineSimilarity(q, close), CosineSimilarity(q, far));
+}
+
+TEST(HashedEmbedderTest, StemmingUnifiesInflections) {
+  HashedEmbedder embedder;
+  Embedding singular = embedder.EmbedQuery("citation network");
+  Embedding plural = embedder.EmbedQuery("citations networks");
+  EXPECT_GT(CosineSimilarity(singular, plural), 0.9);
+}
+
+TEST(HashedEmbedderTest, DimensionOption) {
+  HashedEmbedderOptions options;
+  options.dim = 64;
+  HashedEmbedder embedder(options);
+  EXPECT_EQ(embedder.EmbedQuery("x y z").size(), 64u);
+}
+
+TEST(HashedEmbedderTest, BigramsAddSignal) {
+  HashedEmbedderOptions with;
+  HashedEmbedderOptions without;
+  without.use_bigrams = false;
+  HashedEmbedder a(with), b(without);
+  // Same unigrams, different order: bigram version distinguishes them.
+  double with_sim = CosineSimilarity(a.EmbedQuery("machine learning theory"),
+                                     a.EmbedQuery("theory learning machine"));
+  double without_sim =
+      CosineSimilarity(b.EmbedQuery("machine learning theory"),
+                       b.EmbedQuery("theory learning machine"));
+  EXPECT_LT(with_sim, without_sim + 1e-9);
+  EXPECT_NEAR(without_sim, 1.0, 1e-5);
+}
+
+TEST(CosineSimilarityTest, MismatchedDimensionsScoreZero) {
+  Embedding a(8, 0.5f), b(16, 0.5f);
+  EXPECT_DOUBLE_EQ(CosineSimilarity(a, b), 0.0);
+  EXPECT_DOUBLE_EQ(CosineSimilarity({}, {}), 0.0);
+}
+
+// --------------------------------------------------------- SemanticMatcher
+
+class MatcherFixture : public ::testing::Test {
+ protected:
+  MatcherFixture()
+      : matcher_({"steiner tree algorithms", "hate speech detection",
+                  "reading path generation", "cache coherence"},
+                 {"steiner trees in graphs", "detecting hate speech online",
+                  "generating reading paths for surveys",
+                  "multiprocessor caches"}) {}
+  SemanticMatcher matcher_;
+};
+
+TEST_F(MatcherFixture, RerankPutsBestMatchFirst) {
+  auto matches = matcher_.Rerank("hate speech", {0, 1, 2, 3}, 4);
+  ASSERT_EQ(matches.size(), 4u);
+  EXPECT_EQ(matches[0].doc, 1u);
+}
+
+TEST_F(MatcherFixture, RerankTruncatesToTopK) {
+  auto matches = matcher_.Rerank("steiner", {0, 1, 2, 3}, 2);
+  EXPECT_EQ(matches.size(), 2u);
+  EXPECT_EQ(matches[0].doc, 0u);
+}
+
+TEST_F(MatcherFixture, RerankRespectsCandidateSet) {
+  auto matches = matcher_.Rerank("hate speech", {0, 2}, 10);
+  for (const auto& m : matches) {
+    EXPECT_TRUE(m.doc == 0 || m.doc == 2);
+  }
+}
+
+TEST_F(MatcherFixture, RerankSkipsOutOfRangeCandidates) {
+  auto matches = matcher_.Rerank("steiner", {0, 99}, 10);
+  ASSERT_EQ(matches.size(), 1u);
+  EXPECT_EQ(matches[0].doc, 0u);
+}
+
+TEST_F(MatcherFixture, ScoresSortedDescending) {
+  auto matches = matcher_.Rerank("reading paths", {0, 1, 2, 3}, 4);
+  for (size_t i = 1; i < matches.size(); ++i) {
+    EXPECT_GE(matches[i - 1].score, matches[i].score);
+  }
+}
+
+TEST_F(MatcherFixture, EmptyCandidatesYieldEmpty) {
+  EXPECT_TRUE(matcher_.Rerank("anything", {}, 5).empty());
+}
+
+}  // namespace
+}  // namespace rpg::match

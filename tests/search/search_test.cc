@@ -1,0 +1,176 @@
+#include <gtest/gtest.h>
+
+#include "search/bm25.h"
+#include "search/inverted_index.h"
+#include "search/search_engine.h"
+
+namespace rpg::search {
+namespace {
+
+// ------------------------------------------------------------------ BM25
+
+TEST(Bm25Test, IdfDecreasesWithDocumentFrequency) {
+  EXPECT_GT(Bm25Idf(1, 1000), Bm25Idf(10, 1000));
+  EXPECT_GT(Bm25Idf(10, 1000), Bm25Idf(500, 1000));
+  EXPECT_GE(Bm25Idf(1000, 1000), 0.0);  // never negative
+}
+
+TEST(Bm25Test, TermScoreSaturatesWithTf) {
+  Bm25Params params;
+  double idf = 2.0;
+  double s1 = Bm25TermScore(1, 10, 10, idf, params);
+  double s5 = Bm25TermScore(5, 10, 10, idf, params);
+  double s50 = Bm25TermScore(50, 10, 10, idf, params);
+  EXPECT_GT(s5, s1);
+  EXPECT_GT(s50, s5);
+  // Diminishing returns: the jump 5 -> 50 is smaller than 10x.
+  EXPECT_LT(s50, 2.0 * s5);
+  // Bounded by idf * (k1 + 1).
+  EXPECT_LT(s50, idf * (params.k1 + 1.0));
+}
+
+TEST(Bm25Test, LongDocumentsPenalized) {
+  Bm25Params params;
+  double short_doc = Bm25TermScore(2, 5, 10, 1.5, params);
+  double long_doc = Bm25TermScore(2, 50, 10, 1.5, params);
+  EXPECT_GT(short_doc, long_doc);
+}
+
+TEST(Bm25Test, ZeroTfScoresZero) {
+  EXPECT_DOUBLE_EQ(Bm25TermScore(0, 10, 10, 2.0, {}), 0.0);
+}
+
+// --------------------------------------------------------- InvertedIndex
+
+TEST(InvertedIndexTest, TitleWeightBoostsTermFrequency) {
+  InvertedIndex index;
+  index.AddDocument("neural parsing", "parsing abstracts discuss parsing");
+  index.Finalize();
+  const auto& postings = index.PostingsFor("pars");  // stemmed
+  ASSERT_EQ(postings.size(), 1u);
+  // 1 title occurrence (weight 3) + 2 abstract occurrences = 5.
+  EXPECT_FLOAT_EQ(postings[0].weighted_tf, 5.0f);
+}
+
+TEST(InvertedIndexTest, QueriesAreStemmed) {
+  InvertedIndex index;
+  index.AddDocument("citation networks", "");
+  index.Finalize();
+  auto terms = InvertedIndex::AnalyzeQuery("Citations Network");
+  ASSERT_EQ(terms.size(), 2u);
+  EXPECT_FALSE(index.PostingsFor(terms[0]).empty());
+  EXPECT_FALSE(index.PostingsFor(terms[1]).empty());
+}
+
+TEST(InvertedIndexTest, UnknownTermHasEmptyPostings) {
+  InvertedIndex index;
+  index.AddDocument("a", "b");
+  index.Finalize();
+  EXPECT_TRUE(index.PostingsFor("zzz").empty());
+  EXPECT_EQ(index.DocumentFrequency("zzz"), 0u);
+}
+
+TEST(InvertedIndexTest, DocumentFrequencyCounts) {
+  InvertedIndex index;
+  index.AddDocument("graph algorithms", "");
+  index.AddDocument("graph theory", "");
+  index.AddDocument("speech recognition", "");
+  index.Finalize();
+  EXPECT_EQ(index.DocumentFrequency("graph"), 2u);
+  EXPECT_EQ(index.num_documents(), 3u);
+  EXPECT_GT(index.average_doc_length(), 0.0);
+}
+
+// ------------------------------------------------------------ SearchEngine
+
+std::vector<EngineDocument> TestDocs() {
+  return {
+      {"steiner tree algorithms", "steiner tree optimization", 2000, 500},
+      {"steiner tree in networks", "network steiner applications", 2010, 50},
+      {"reading path generation", "survey reading paths", 2020, 5},
+      {"unrelated biology paper", "genome sequencing", 2015, 1000},
+  };
+}
+
+TEST(SearchEngineTest, RanksLexicalMatchesFirst) {
+  auto engine = SearchEngine::Build(TestDocs(), GoogleScholarProfile()).value();
+  auto hits = engine->Search("steiner tree", 10, INT32_MAX);
+  ASSERT_GE(hits.size(), 2u);
+  EXPECT_TRUE(hits[0].doc == 0 || hits[0].doc == 1);
+  // The biology paper does not match at all.
+  for (const auto& h : hits) EXPECT_NE(h.doc, 3u);
+}
+
+TEST(SearchEngineTest, YearCutoffFilters) {
+  auto engine = SearchEngine::Build(TestDocs(), GoogleScholarProfile()).value();
+  auto hits = engine->Search("steiner tree", 10, 2005);
+  for (const auto& h : hits) {
+    EXPECT_LE(TestDocs()[h.doc].year, 2005);
+  }
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_EQ(hits[0].doc, 0u);
+}
+
+TEST(SearchEngineTest, ExclusionRemovesDocuments) {
+  auto engine = SearchEngine::Build(TestDocs(), GoogleScholarProfile()).value();
+  auto hits = engine->Search("steiner tree", 10, INT32_MAX, {0});
+  for (const auto& h : hits) EXPECT_NE(h.doc, 0u);
+}
+
+TEST(SearchEngineTest, TopKTruncates) {
+  auto engine = SearchEngine::Build(TestDocs(), GoogleScholarProfile()).value();
+  auto hits = engine->Search("steiner tree reading", 1, INT32_MAX);
+  EXPECT_EQ(hits.size(), 1u);
+}
+
+TEST(SearchEngineTest, NoMatchesYieldsEmpty) {
+  auto engine = SearchEngine::Build(TestDocs(), GoogleScholarProfile()).value();
+  EXPECT_TRUE(engine->Search("quantum chromodynamics", 10, INT32_MAX).empty());
+  EXPECT_TRUE(engine->Search("", 10, INT32_MAX).empty());
+}
+
+TEST(SearchEngineTest, ScoresAreSortedDescending) {
+  auto engine = SearchEngine::Build(TestDocs(), GoogleScholarProfile()).value();
+  auto hits = engine->Search("steiner tree network reading", 10, INT32_MAX);
+  for (size_t i = 1; i < hits.size(); ++i) {
+    EXPECT_GE(hits[i - 1].score, hits[i].score);
+  }
+}
+
+TEST(SearchEngineTest, EmptyCorpusRejected) {
+  EXPECT_TRUE(SearchEngine::Build({}, GoogleScholarProfile())
+                  .status()
+                  .IsInvalidArgument());
+}
+
+TEST(SearchEngineTest, CitationBoostBreaksLexicalTies) {
+  // Two identical documents except citations; Scholar prefers the cited.
+  std::vector<EngineDocument> docs = {
+      {"steiner tree", "same abstract", 2000, 0},
+      {"steiner tree", "same abstract", 2000, 10000},
+  };
+  auto engine = SearchEngine::Build(docs, GoogleScholarProfile()).value();
+  auto hits = engine->Search("steiner tree", 2, INT32_MAX);
+  ASSERT_EQ(hits.size(), 2u);
+  EXPECT_EQ(hits[0].doc, 1u);
+}
+
+TEST(SearchEngineTest, RecencyBoostPrefersNewer) {
+  std::vector<EngineDocument> docs = {
+      {"steiner tree", "same abstract", 1990, 10},
+      {"steiner tree", "same abstract", 2020, 10},
+  };
+  auto engine = SearchEngine::Build(docs, AMinerProfile()).value();
+  auto hits = engine->Search("steiner tree", 2, INT32_MAX);
+  ASSERT_EQ(hits.size(), 2u);
+  EXPECT_EQ(hits[0].doc, 1u);
+}
+
+TEST(SearchEngineTest, ProfilesHaveDistinctNames) {
+  EXPECT_EQ(GoogleScholarProfile().name, "Google");
+  EXPECT_EQ(MicrosoftAcademicProfile().name, "Microsoft");
+  EXPECT_EQ(AMinerProfile().name, "Aminer");
+}
+
+}  // namespace
+}  // namespace rpg::search

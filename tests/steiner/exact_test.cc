@@ -1,0 +1,158 @@
+#include <gtest/gtest.h>
+
+#include <limits>
+
+#include "common/rng.h"
+#include "steiner/exact.h"
+#include "steiner/newst.h"
+#include "steiner/takahashi.h"
+
+namespace rpg::steiner {
+namespace {
+
+WeightedGraph RandomConnected(Rng* rng, uint32_t n, int extra_edges) {
+  WeightedGraph g(n);
+  for (uint32_t v = 0; v < n; ++v) {
+    g.SetNodeWeight(v, rng->UniformDouble(0.0, 2.0));
+  }
+  for (uint32_t i = 0; i < n; ++i) {
+    g.AddEdge(i, (i + 1) % n, rng->UniformDouble(0.2, 3.0));
+  }
+  for (int e = 0; e < extra_edges; ++e) {
+    uint32_t u = static_cast<uint32_t>(rng->NextBounded(n));
+    uint32_t v = static_cast<uint32_t>(rng->NextBounded(n));
+    if (u != v) g.AddEdge(u, v, rng->UniformDouble(0.2, 3.0));
+  }
+  return g;
+}
+
+std::vector<uint32_t> RandomTerminals(Rng* rng, uint32_t n, uint32_t k) {
+  std::vector<uint32_t> terminals;
+  for (uint64_t t : rng->SampleWithoutReplacement(n, k)) {
+    terminals.push_back(static_cast<uint32_t>(t));
+  }
+  return terminals;
+}
+
+TEST(ExactSteinerTest, SingleTerminal) {
+  WeightedGraph g(3);
+  g.AddEdge(0, 1, 1.0);
+  g.SetNodeWeight(2, 4.0);
+  auto r = SolveExactSteiner(g, {2});
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->nodes, (std::vector<uint32_t>{2}));
+  EXPECT_DOUBLE_EQ(r->total_cost, 4.0);
+}
+
+TEST(ExactSteinerTest, TwoTerminalsIsShortestPath) {
+  WeightedGraph g(4);
+  g.AddEdge(0, 1, 1.0);
+  g.AddEdge(1, 2, 1.0);
+  g.AddEdge(0, 3, 5.0);
+  g.AddEdge(3, 2, 5.0);
+  auto r = SolveExactSteiner(g, {0, 2});
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->nodes, (std::vector<uint32_t>{0, 1, 2}));
+  EXPECT_DOUBLE_EQ(r->total_cost, 2.0);
+}
+
+TEST(ExactSteinerTest, RejectsBadInput) {
+  WeightedGraph g(2);
+  g.AddEdge(0, 1, 1.0);
+  EXPECT_TRUE(SolveExactSteiner(g, {}).status().IsInvalidArgument());
+  EXPECT_TRUE(SolveExactSteiner(g, {9}).status().IsInvalidArgument());
+  std::vector<uint32_t> too_many;
+  for (uint32_t i = 0; i < 13; ++i) too_many.push_back(i);
+  WeightedGraph big(13);
+  for (uint32_t i = 0; i + 1 < 13; ++i) big.AddEdge(i, i + 1, 1.0);
+  EXPECT_TRUE(SolveExactSteiner(big, too_many).status().IsInvalidArgument());
+}
+
+TEST(ExactSteinerTest, DisconnectedTerminalsFail) {
+  WeightedGraph g(4);
+  g.AddEdge(0, 1, 1.0);
+  g.AddEdge(2, 3, 1.0);
+  EXPECT_EQ(SolveExactSteiner(g, {0, 2}).status().code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(ExactSteinerTest, NeverWorseThanHeuristics) {
+  Rng rng(777);
+  for (int trial = 0; trial < 20; ++trial) {
+    WeightedGraph g = RandomConnected(&rng, 12, 10);
+    auto terminals = RandomTerminals(&rng, 12, 4);
+    auto exact = SolveExactSteiner(g, terminals);
+    auto kmb = SolveNewst(g, terminals);
+    auto tm = SolveTakahashiMatsuyama(g, terminals);
+    ASSERT_TRUE(exact.ok() && kmb.ok() && tm.ok());
+    EXPECT_LE(exact->total_cost, kmb->total_cost + 1e-9) << trial;
+    EXPECT_LE(exact->total_cost, tm->total_cost + 1e-9) << trial;
+    // KMB guarantee relative to the true optimum.
+    EXPECT_LE(kmb->total_cost, 2.0 * exact->total_cost + 1e-9) << trial;
+    EXPECT_LE(tm->total_cost, 2.0 * exact->total_cost + 1e-9) << trial;
+  }
+}
+
+TEST(ExactSteinerTest, AblationFlagsRespected) {
+  Rng rng(778);
+  WeightedGraph g = RandomConnected(&rng, 10, 8);
+  auto terminals = RandomTerminals(&rng, 10, 3);
+  for (bool node_weights : {true, false}) {
+    for (bool edge_weights : {true, false}) {
+      NewstOptions options;
+      options.use_node_weights = node_weights;
+      options.use_edge_weights = edge_weights;
+      auto exact = SolveExactSteiner(g, terminals, options);
+      auto kmb = SolveNewst(g, terminals, options);
+      ASSERT_TRUE(exact.ok() && kmb.ok());
+      EXPECT_LE(exact->total_cost, kmb->total_cost + 1e-9);
+    }
+  }
+}
+
+TEST(TakahashiTest, SingleAndTwoTerminals) {
+  WeightedGraph g(3);
+  g.AddEdge(0, 1, 1.0);
+  g.AddEdge(1, 2, 1.0);
+  auto one = SolveTakahashiMatsuyama(g, {1});
+  ASSERT_TRUE(one.ok());
+  EXPECT_EQ(one->nodes, (std::vector<uint32_t>{1}));
+  auto two = SolveTakahashiMatsuyama(g, {0, 2});
+  ASSERT_TRUE(two.ok());
+  EXPECT_EQ(two->nodes, (std::vector<uint32_t>{0, 1, 2}));
+  EXPECT_EQ(two->edges.size(), 2u);
+}
+
+TEST(TakahashiTest, AvoidsHeavyNodes) {
+  WeightedGraph g(4);
+  g.AddEdge(0, 1, 1.0);
+  g.AddEdge(1, 2, 1.0);
+  g.AddEdge(0, 3, 1.2);
+  g.AddEdge(3, 2, 1.2);
+  g.SetNodeWeight(1, 50.0);
+  auto r = SolveTakahashiMatsuyama(g, {0, 2});
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(std::find(r->nodes.begin(), r->nodes.end(), 3) !=
+              r->nodes.end());
+}
+
+TEST(TakahashiTest, UnreachableTerminalsReported) {
+  WeightedGraph g(4);
+  g.AddEdge(0, 1, 1.0);
+  g.AddEdge(2, 3, 1.0);
+  auto r = SolveTakahashiMatsuyama(g, {0, 2});
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->unreachable_terminals, (std::vector<uint32_t>{2}));
+}
+
+TEST(TakahashiTest, CostMatchesTreeCost) {
+  Rng rng(779);
+  WeightedGraph g = RandomConnected(&rng, 15, 12);
+  auto terminals = RandomTerminals(&rng, 15, 5);
+  auto r = SolveTakahashiMatsuyama(g, terminals);
+  ASSERT_TRUE(r.ok());
+  EXPECT_NEAR(r->total_cost, g.TreeCost(r->edges), 1e-9);
+}
+
+}  // namespace
+}  // namespace rpg::steiner

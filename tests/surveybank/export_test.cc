@@ -1,0 +1,99 @@
+#include "surveybank/export.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "surveybank/builder.h"
+#include "synth/corpus_generator.h"
+
+namespace rpg::surveybank {
+namespace {
+
+class ExportFixture : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    synth::CorpusOptions options;
+    options.hierarchy.areas_per_domain = 1;
+    options.hierarchy.topics_per_area = 2;
+    options.papers_per_topic = 30;
+    options.papers_per_area = 10;
+    options.papers_per_domain = 8;
+    options.num_surveys = 25;
+    options.seed = 21;
+    corpus_ = synth::GenerateCorpus(options).value().release();
+    bank_ = new SurveyBank(BuildSurveyBank(*corpus_).value());
+  }
+  static void TearDownTestSuite() {
+    delete bank_;
+    delete corpus_;
+  }
+  static std::string TempPath(const char* name) {
+    return (std::filesystem::temp_directory_path() / name).string();
+  }
+  static const synth::Corpus* corpus_;
+  static const SurveyBank* bank_;
+};
+
+const synth::Corpus* ExportFixture::corpus_ = nullptr;
+const SurveyBank* ExportFixture::bank_ = nullptr;
+
+TEST_F(ExportFixture, BankJsonlHasOneRecordPerEntry) {
+  std::string path = TempPath("rpg_bank.jsonl");
+  ASSERT_TRUE(ExportSurveyBankJsonl(*bank_, path).ok());
+  auto count = CountJsonlRecords(path);
+  ASSERT_TRUE(count.ok());
+  EXPECT_EQ(count.value(), bank_->size());
+  std::remove(path.c_str());
+}
+
+TEST_F(ExportFixture, BankJsonlLinesAreObjectsWithLabels) {
+  std::string path = TempPath("rpg_bank2.jsonl");
+  ASSERT_TRUE(ExportSurveyBankJsonl(*bank_, path).ok());
+  std::ifstream is(path);
+  std::string line;
+  size_t checked = 0;
+  while (std::getline(is, line) && checked < 5) {
+    EXPECT_EQ(line.front(), '{');
+    EXPECT_EQ(line.back(), '}');
+    EXPECT_NE(line.find("\"query\":"), std::string::npos);
+    EXPECT_NE(line.find("\"l1\":["), std::string::npos);
+    EXPECT_NE(line.find("\"l3\":["), std::string::npos);
+    ++checked;
+  }
+  EXPECT_GT(checked, 0u);
+  std::remove(path.c_str());
+}
+
+TEST_F(ExportFixture, PapersJsonlCoversCorpus) {
+  std::string path = TempPath("rpg_papers.jsonl");
+  ASSERT_TRUE(ExportPapersJsonl(*corpus_, path).ok());
+  auto count = CountJsonlRecords(path);
+  ASSERT_TRUE(count.ok());
+  EXPECT_EQ(count.value(), corpus_->num_papers());
+  std::remove(path.c_str());
+}
+
+TEST_F(ExportFixture, MissingVenueSerializesAsNull) {
+  std::string path = TempPath("rpg_papers2.jsonl");
+  ASSERT_TRUE(ExportPapersJsonl(*corpus_, path).ok());
+  std::ifstream is(path);
+  std::string all((std::istreambuf_iterator<char>(is)),
+                  std::istreambuf_iterator<char>());
+  EXPECT_NE(all.find("\"venue\":null"), std::string::npos);
+  EXPECT_NE(all.find("\"venue\":\"VENUE-"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST_F(ExportFixture, UnwritablePathFails) {
+  EXPECT_TRUE(ExportSurveyBankJsonl(*bank_, "/nonexistent/dir/x.jsonl")
+                  .IsIoError());
+  EXPECT_TRUE(ExportPapersJsonl(*corpus_, "/nonexistent/dir/x.jsonl")
+                  .IsIoError());
+  EXPECT_TRUE(CountJsonlRecords("/nonexistent/x.jsonl").status().IsIoError());
+}
+
+}  // namespace
+}  // namespace rpg::surveybank

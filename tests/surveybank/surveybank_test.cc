@@ -1,0 +1,180 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "surveybank/builder.h"
+#include "surveybank/stats.h"
+#include "surveybank/survey_bank.h"
+#include "synth/corpus_generator.h"
+
+namespace rpg::surveybank {
+namespace {
+
+class BankFixture : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    synth::CorpusOptions options;
+    options.hierarchy.areas_per_domain = 2;
+    options.hierarchy.topics_per_area = 2;
+    options.papers_per_topic = 40;
+    options.papers_per_area = 15;
+    options.papers_per_domain = 10;
+    options.num_surveys = 80;
+    options.seed = 11;
+    corpus_ = synth::GenerateCorpus(options).value().release();
+    bank_ = new SurveyBank(BuildSurveyBank(*corpus_).value());
+  }
+  static void TearDownTestSuite() {
+    delete bank_;
+    delete corpus_;
+  }
+  static const synth::Corpus* corpus_;
+  static const SurveyBank* bank_;
+};
+
+const synth::Corpus* BankFixture::corpus_ = nullptr;
+const SurveyBank* BankFixture::bank_ = nullptr;
+
+TEST_F(BankFixture, FunnelCountersAreConsistent) {
+  const BuildStats& s = bank_->build_stats();
+  EXPECT_GE(s.initial_collection, s.after_deduplication);
+  EXPECT_EQ(s.after_deduplication, corpus_->surveys.size());
+  EXPECT_LE(s.final_dataset, s.after_deduplication);
+  EXPECT_EQ(s.final_dataset, bank_->size());
+  EXPECT_GE(s.after_deduplication,
+            s.final_dataset + s.dropped_unparseable + s.dropped_page_range);
+}
+
+TEST_F(BankFixture, FilteringDropsSomeButNotAll) {
+  EXPECT_GT(bank_->size(), 0u);
+  EXPECT_LT(bank_->size(), corpus_->surveys.size());
+}
+
+TEST_F(BankFixture, LabelsAreNested) {
+  for (const auto& e : bank_->entries()) {
+    // L3 ⊆ L2 ⊆ L1 (each Li sorted).
+    EXPECT_TRUE(std::includes(e.label_l1.begin(), e.label_l1.end(),
+                              e.label_l2.begin(), e.label_l2.end()));
+    EXPECT_TRUE(std::includes(e.label_l2.begin(), e.label_l2.end(),
+                              e.label_l3.begin(), e.label_l3.end()));
+    EXPECT_GE(e.label_l1.size(), 20u);  // every survey cites >= 20 papers
+  }
+}
+
+TEST_F(BankFixture, LabelsMatchOccurrenceCounts) {
+  for (const auto& e : bank_->entries()) {
+    int index = corpus_->SurveyIndexOf(e.paper);
+    ASSERT_GE(index, 0);
+    const auto& record = corpus_->surveys[static_cast<size_t>(index)];
+    size_t expect_l2 = 0, expect_l3 = 0;
+    for (uint32_t occ : record.occurrence) {
+      if (occ >= 2) ++expect_l2;
+      if (occ >= 3) ++expect_l3;
+    }
+    EXPECT_EQ(e.label_l1.size(), record.references.size());
+    EXPECT_EQ(e.label_l2.size(), expect_l2);
+    EXPECT_EQ(e.label_l3.size(), expect_l3);
+  }
+}
+
+TEST_F(BankFixture, QueriesComeFromTitles) {
+  for (const auto& e : bank_->entries()) {
+    ASSERT_FALSE(e.key_phrases.empty());
+    EXPECT_FALSE(e.query.empty());
+    // The survey's topic phrase is recovered as a key phrase.
+    const auto& phrase = corpus_->topics.Get(e.topic).phrase;
+    bool found = false;
+    for (const auto& kp : e.key_phrases) found |= kp == phrase;
+    EXPECT_TRUE(found) << e.title << " -> " << e.query;
+  }
+}
+
+TEST_F(BankFixture, ScoreFormulaMatchesPaper) {
+  for (const auto& e : bank_->entries()) {
+    double citations =
+        static_cast<double>(corpus_->citations.CitationCount(e.paper));
+    double expected = citations / (2020 - e.year + 1);
+    if (e.year <= 2020) {
+      EXPECT_NEAR(e.score, expected, 1e-9);
+    }
+  }
+}
+
+TEST_F(BankFixture, HighScoreSubsetIsSortedAndBounded) {
+  auto subset = bank_->HighScoreSubset(10);
+  ASSERT_LE(subset.size(), 10u);
+  for (size_t i = 1; i < subset.size(); ++i) {
+    EXPECT_GE(bank_->Get(subset[i - 1]).score, bank_->Get(subset[i]).score);
+  }
+  auto all = bank_->HighScoreSubset(bank_->size() + 100);
+  EXPECT_EQ(all.size(), bank_->size());
+}
+
+TEST_F(BankFixture, ByDomainPartitionsEntries) {
+  size_t total = 0;
+  for (uint32_t d = 0; d < 10; ++d) {
+    for (size_t i : bank_->ByDomain(d)) {
+      EXPECT_EQ(bank_->Get(i).domain_index, d);
+      ++total;
+    }
+  }
+  total += bank_->ByDomain(kUncertainDomain).size();
+  EXPECT_EQ(total, bank_->size());
+}
+
+TEST_F(BankFixture, UncertainBucketIsLarge) {
+  // The default missing-venue rate is 64.2% (Table I).
+  double uncertain = static_cast<double>(
+      bank_->ByDomain(kUncertainDomain).size());
+  EXPECT_GT(uncertain / static_cast<double>(bank_->size()), 0.45);
+}
+
+TEST_F(BankFixture, StatsTotalsMatchBank) {
+  SurveyBankStats stats = ComputeStats(*bank_, *corpus_);
+  size_t domain_total = 0;
+  for (size_t c : stats.domain_counts) domain_total += c;
+  EXPECT_EQ(domain_total, bank_->size());
+  EXPECT_EQ(stats.publication_years.total(), bank_->size());
+  EXPECT_GT(stats.avg_references, 20.0);
+  EXPECT_GE(stats.fraction_recent_20y, 0.5);
+  std::string table = FormatTableOne(stats);
+  EXPECT_NE(table.find("Uncertain Topics"), std::string::npos);
+  EXPECT_NE(table.find("Artificial Intelligence"), std::string::npos);
+  EXPECT_NE(table.find("Total"), std::string::npos);
+}
+
+TEST(BuilderOptionsTest, RejectsInvertedPageRange) {
+  synth::CorpusOptions corpus_options;
+  corpus_options.hierarchy.areas_per_domain = 1;
+  corpus_options.hierarchy.topics_per_area = 1;
+  corpus_options.papers_per_topic = 10;
+  corpus_options.papers_per_area = 5;
+  corpus_options.papers_per_domain = 5;
+  corpus_options.num_surveys = 5;
+  auto corpus = synth::GenerateCorpus(corpus_options).value();
+  BuilderOptions options;
+  options.min_pages = 200;
+  options.max_pages = 100;
+  EXPECT_TRUE(
+      BuildSurveyBank(*corpus, options).status().IsInvalidArgument());
+}
+
+TEST(BuilderOptionsTest, ZeroDefectRatesKeepEverything) {
+  synth::CorpusOptions corpus_options;
+  corpus_options.hierarchy.areas_per_domain = 1;
+  corpus_options.hierarchy.topics_per_area = 1;
+  corpus_options.papers_per_topic = 20;
+  corpus_options.papers_per_area = 8;
+  corpus_options.papers_per_domain = 5;
+  corpus_options.num_surveys = 12;
+  auto corpus = synth::GenerateCorpus(corpus_options).value();
+  BuilderOptions options;
+  options.duplicate_rate = 0.0;
+  options.parse_failure_rate = 0.0;
+  options.pages_stddev = 0.0;  // everyone right at the mean, in range
+  auto bank = BuildSurveyBank(*corpus, options).value();
+  EXPECT_EQ(bank.size(), corpus->surveys.size());
+}
+
+}  // namespace
+}  // namespace rpg::surveybank

@@ -1,0 +1,111 @@
+#include "text/tfidf.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace rpg::text {
+namespace {
+
+TEST(VocabularyTest, InternsInFirstSeenOrder) {
+  Vocabulary v;
+  EXPECT_EQ(v.GetOrAdd("alpha"), 0u);
+  EXPECT_EQ(v.GetOrAdd("beta"), 1u);
+  EXPECT_EQ(v.GetOrAdd("alpha"), 0u);
+  EXPECT_EQ(v.size(), 2u);
+  EXPECT_EQ(v.TermOf(1), "beta");
+}
+
+TEST(VocabularyTest, LookupMissReturnsInvalid) {
+  Vocabulary v;
+  v.GetOrAdd("x");
+  EXPECT_EQ(v.Lookup("y"), kInvalidTerm);
+  EXPECT_EQ(v.Lookup("x"), 0u);
+}
+
+TEST(VocabularyTest, EncodeInternsAndEncodeExistingSkips) {
+  Vocabulary v;
+  auto ids = v.Encode({"a", "b", "a"});
+  EXPECT_EQ(ids, (std::vector<TermId>{0, 1, 0}));
+  auto existing = v.EncodeExisting({"a", "zzz", "b"});
+  EXPECT_EQ(existing, (std::vector<TermId>{0, 1}));
+  EXPECT_EQ(v.size(), 2u);  // zzz was not interned
+}
+
+class TfIdfFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    // 3 documents over terms 0..3. Term 0 in all docs, term 3 in one.
+    model_.AddDocument({0, 1});
+    model_.AddDocument({0, 1, 2});
+    model_.AddDocument({0, 2, 3, 3});
+    model_.Finalize();
+  }
+  TfIdfModel model_;
+};
+
+TEST_F(TfIdfFixture, DocumentFrequencies) {
+  EXPECT_EQ(model_.num_documents(), 3u);
+  EXPECT_EQ(model_.DocumentFrequency(0), 3u);
+  EXPECT_EQ(model_.DocumentFrequency(1), 2u);
+  EXPECT_EQ(model_.DocumentFrequency(3), 1u);  // duplicates count once
+  EXPECT_EQ(model_.DocumentFrequency(99), 0u);
+}
+
+TEST_F(TfIdfFixture, IdfOrdering) {
+  // Rarer terms get larger IDF.
+  EXPECT_LT(model_.Idf(0), model_.Idf(1));
+  EXPECT_LT(model_.Idf(1), model_.Idf(3));
+  // Unseen terms get the maximal IDF.
+  EXPECT_GE(model_.Idf(99), model_.Idf(3));
+}
+
+TEST_F(TfIdfFixture, VectorizeIsL2Normalized) {
+  SparseVector v = model_.Vectorize({0, 1, 1, 3});
+  EXPECT_NEAR(v.Norm(), 1.0, 1e-6);
+  EXPECT_EQ(v.size(), 3u);
+  // Terms sorted ascending.
+  EXPECT_TRUE(std::is_sorted(v.terms.begin(), v.terms.end()));
+}
+
+TEST_F(TfIdfFixture, VectorizeEmptyDocument) {
+  SparseVector v = model_.Vectorize({});
+  EXPECT_EQ(v.size(), 0u);
+  EXPECT_DOUBLE_EQ(v.Norm(), 0.0);
+}
+
+TEST(CosineTest, IdenticalVectorsScoreOne) {
+  SparseVector a{{1, 2, 3}, {0.5f, 0.5f, 0.7071f}};
+  EXPECT_NEAR(CosineSimilarity(a, a), 1.0, 1e-3);
+}
+
+TEST(CosineTest, DisjointVectorsScoreZero) {
+  SparseVector a{{1, 2}, {1.0f, 1.0f}};
+  SparseVector b{{3, 4}, {1.0f, 1.0f}};
+  EXPECT_DOUBLE_EQ(CosineSimilarity(a, b), 0.0);
+}
+
+TEST(CosineTest, EmptyVectorScoresZero) {
+  SparseVector a{{1}, {1.0f}};
+  SparseVector empty;
+  EXPECT_DOUBLE_EQ(CosineSimilarity(a, empty), 0.0);
+  EXPECT_DOUBLE_EQ(CosineSimilarity(empty, empty), 0.0);
+}
+
+TEST(CosineTest, PartialOverlapBetweenZeroAndOne) {
+  SparseVector a{{1, 2}, {1.0f, 1.0f}};
+  SparseVector b{{2, 3}, {1.0f, 1.0f}};
+  double sim = CosineSimilarity(a, b);
+  EXPECT_GT(sim, 0.0);
+  EXPECT_LT(sim, 1.0);
+  EXPECT_NEAR(sim, 0.5, 1e-9);
+}
+
+TEST(CosineTest, IsSymmetric) {
+  SparseVector a{{1, 5, 9}, {0.2f, 0.4f, 0.6f}};
+  SparseVector b{{1, 9}, {0.9f, 0.1f}};
+  EXPECT_DOUBLE_EQ(CosineSimilarity(a, b), CosineSimilarity(b, a));
+}
+
+}  // namespace
+}  // namespace rpg::text

@@ -1,0 +1,93 @@
+#include "text/tokenizer.h"
+
+#include <gtest/gtest.h>
+
+#include "text/stopwords.h"
+
+namespace rpg::text {
+namespace {
+
+TEST(TokenizerTest, LowercasesAndSplitsOnPunctuation) {
+  EXPECT_EQ(Tokenize("Hate-Speech Detection!"),
+            (std::vector<std::string>{"hate", "speech", "detection"}));
+}
+
+TEST(TokenizerTest, ApostrophesVanish) {
+  EXPECT_EQ(Tokenize("don't can't"),
+            (std::vector<std::string>{"dont", "cant"}));
+}
+
+TEST(TokenizerTest, KeepsNumbersByDefault) {
+  EXPECT_EQ(Tokenize("bert 2018"),
+            (std::vector<std::string>{"bert", "2018"}));
+}
+
+TEST(TokenizerTest, DropNumbersOption) {
+  TokenizerOptions options;
+  options.keep_numbers = false;
+  EXPECT_EQ(Tokenize("bert 2018 v2", options),
+            (std::vector<std::string>{"bert", "v2"}));
+}
+
+TEST(TokenizerTest, MinLengthFilter) {
+  TokenizerOptions options;
+  options.min_token_length = 3;
+  EXPECT_EQ(Tokenize("a an the cat", options),
+            (std::vector<std::string>{"the", "cat"}));
+}
+
+TEST(TokenizerTest, NoLowercaseOption) {
+  TokenizerOptions options;
+  options.lowercase = false;
+  EXPECT_EQ(Tokenize("BERT", options), (std::vector<std::string>{"BERT"}));
+}
+
+TEST(TokenizerTest, EmptyAndSeparatorOnlyInput) {
+  EXPECT_TRUE(Tokenize("").empty());
+  EXPECT_TRUE(Tokenize("--- ... !!!").empty());
+}
+
+TEST(TokenizerTest, UnicodeBytesActAsSeparators) {
+  // Non-ASCII bytes are treated as separators, not crashes.
+  EXPECT_EQ(Tokenize("caf\xc3\xa9 time"),
+            (std::vector<std::string>{"caf", "time"}));
+}
+
+TEST(NGramsTest, BigramsJoinWithUnderscore) {
+  EXPECT_EQ(NGrams({"a", "b", "c"}, 2),
+            (std::vector<std::string>{"a_b", "b_c"}));
+}
+
+TEST(NGramsTest, UnigramsIdentity) {
+  EXPECT_EQ(NGrams({"a", "b"}, 1), (std::vector<std::string>{"a", "b"}));
+}
+
+TEST(NGramsTest, DegenerateCases) {
+  EXPECT_TRUE(NGrams({"a"}, 2).empty());
+  EXPECT_TRUE(NGrams({}, 1).empty());
+  EXPECT_TRUE(NGrams({"a", "b"}, 0).empty());
+}
+
+TEST(StopwordsTest, CommonFunctionWords) {
+  for (const char* w : {"a", "the", "of", "with", "survey", "review", "via"}) {
+    EXPECT_TRUE(IsStopword(w)) << w;
+  }
+}
+
+TEST(StopwordsTest, ContentWordsPass) {
+  for (const char* w : {"neural", "steiner", "citation", "graph", "speech"}) {
+    EXPECT_FALSE(IsStopword(w)) << w;
+  }
+}
+
+TEST(StopwordsTest, ListIsSortedForBinarySearch) {
+  // IsStopword relies on binary search; verify a few ordering-sensitive
+  // probes resolve correctly (this would fail if the table were unsorted).
+  EXPECT_TRUE(IsStopword("about"));
+  EXPECT_TRUE(IsStopword("yourself"));
+  EXPECT_TRUE(IsStopword("methods"));
+  EXPECT_GT(StopwordCount(), 100u);
+}
+
+}  // namespace
+}  // namespace rpg::text

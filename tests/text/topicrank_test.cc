@@ -1,0 +1,125 @@
+#include "text/topicrank.h"
+
+#include <gtest/gtest.h>
+
+namespace rpg::text {
+namespace {
+
+using internal::Candidate;
+using internal::ClusterCandidates;
+using internal::ExtractCandidates;
+using internal::StemOverlap;
+
+TEST(CandidateExtractionTest, SplitsOnStopwords) {
+  auto candidates =
+      ExtractCandidates("a survey on hate speech detection using natural "
+                        "language processing");
+  // "hate speech detection" and "natural language processing".
+  ASSERT_EQ(candidates.size(), 2u);
+}
+
+TEST(CandidateExtractionTest, MergesRepeatedPhrases) {
+  auto candidates = ExtractCandidates("neural parsing and neural parsing");
+  ASSERT_EQ(candidates.size(), 1u);
+  EXPECT_EQ(candidates[0].first_word_positions.size(), 2u);
+}
+
+TEST(CandidateExtractionTest, EmptyAndAllStopwordInput) {
+  EXPECT_TRUE(ExtractCandidates("").empty());
+  EXPECT_TRUE(ExtractCandidates("the of a with").empty());
+}
+
+TEST(StemOverlapTest, SharedStemCounts) {
+  auto c = ExtractCandidates("neural networks and neural parsing");
+  ASSERT_EQ(c.size(), 2u);
+  // Both share the stem "neural" and the smaller set has 2 stems.
+  EXPECT_NEAR(StemOverlap(c[0], c[1]), 0.5, 1e-9);
+}
+
+TEST(StemOverlapTest, InflectionsOverlapViaStemming) {
+  auto c = ExtractCandidates("citation graph for citations analysis");
+  ASSERT_EQ(c.size(), 2u);
+  EXPECT_GT(StemOverlap(c[0], c[1]), 0.0);
+}
+
+TEST(ClusterTest, HighOverlapMerges) {
+  auto c = ExtractCandidates("neural parsing and neural parsers");
+  ASSERT_EQ(c.size(), 2u);
+  auto clusters = ClusterCandidates(c, 0.25);
+  EXPECT_EQ(clusters[0], clusters[1]);
+}
+
+TEST(ClusterTest, DisjointStaySeparate) {
+  auto c = ExtractCandidates("steiner trees and speech recognition");
+  ASSERT_EQ(c.size(), 2u);
+  auto clusters = ClusterCandidates(c, 0.25);
+  EXPECT_NE(clusters[0], clusters[1]);
+}
+
+TEST(ClusterTest, ThresholdOneKeepsAllSeparateUnlessIdentical) {
+  auto c = ExtractCandidates("neural parsing and neural networks");
+  ASSERT_EQ(c.size(), 2u);
+  auto clusters = ClusterCandidates(c, 1.01);
+  EXPECT_NE(clusters[0], clusters[1]);
+}
+
+TEST(TopicRankTest, ExtractsSurveyTitlePhrases) {
+  TopicRankOptions options;
+  options.top_n = 2;
+  auto phrases = ExtractKeyphrases(
+      "a survey on hate speech detection using natural language processing",
+      options);
+  ASSERT_EQ(phrases.size(), 2u);
+  std::vector<std::string> texts = {phrases[0].phrase, phrases[1].phrase};
+  EXPECT_TRUE((texts[0] == "hate speech detection" &&
+               texts[1] == "natural language processing") ||
+              (texts[1] == "hate speech detection" &&
+               texts[0] == "natural language processing"));
+}
+
+TEST(TopicRankTest, TemplateTitlesReduceToThePhrase) {
+  const char* templates[] = {
+      "a survey on steiner trees", "steiner trees: a survey",
+      "a comprehensive survey on steiner trees", "a review of steiner trees",
+      "recent trends in steiner trees: a survey"};
+  for (const char* title : templates) {
+    auto phrases = ExtractKeyphrases(title);
+    ASSERT_FALSE(phrases.empty()) << title;
+    EXPECT_EQ(phrases[0].phrase, "steiner trees") << title;
+  }
+}
+
+TEST(TopicRankTest, TopNLimitsOutput) {
+  TopicRankOptions options;
+  options.top_n = 1;
+  auto phrases = ExtractKeyphrases(
+      "hate speech detection using natural language processing", options);
+  EXPECT_EQ(phrases.size(), 1u);
+  options.top_n = 0;  // no limit
+  phrases = ExtractKeyphrases(
+      "hate speech detection using natural language processing", options);
+  EXPECT_GE(phrases.size(), 2u);
+}
+
+TEST(TopicRankTest, ScoresAreSortedDescending) {
+  auto phrases = ExtractKeyphrases(
+      "query optimization for streaming joins over relational engines",
+      TopicRankOptions{.top_n = 0});
+  for (size_t i = 1; i < phrases.size(); ++i) {
+    EXPECT_GE(phrases[i - 1].score, phrases[i].score);
+  }
+}
+
+TEST(TopicRankTest, EmptyInputYieldsNothing) {
+  EXPECT_TRUE(ExtractKeyphrases("").empty());
+  EXPECT_TRUE(ExtractKeyphrases("the of a").empty());
+}
+
+TEST(TopicRankTest, SingleCandidateIsReturned) {
+  auto phrases = ExtractKeyphrases("steiner trees");
+  ASSERT_EQ(phrases.size(), 1u);
+  EXPECT_EQ(phrases[0].phrase, "steiner trees");
+}
+
+}  // namespace
+}  // namespace rpg::text

@@ -1,0 +1,207 @@
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstring>
+
+#include "eval/workbench.h"
+#include "ui/http_server.h"
+#include "ui/repager_service.h"
+
+namespace rpg::ui {
+namespace {
+
+// ----------------------------------------------------------- UrlDecode
+
+TEST(UrlDecodeTest, DecodesPercentAndPlus) {
+  EXPECT_EQ(UrlDecode("hate%20speech+detection"), "hate speech detection");
+  EXPECT_EQ(UrlDecode("a%2Bb"), "a+b");
+  EXPECT_EQ(UrlDecode("plain"), "plain");
+  EXPECT_EQ(UrlDecode(""), "");
+}
+
+TEST(UrlDecodeTest, MalformedPercentPassesThrough) {
+  EXPECT_EQ(UrlDecode("50%"), "50%");
+  EXPECT_EQ(UrlDecode("%zz"), "%zz");
+}
+
+// ----------------------------------------------------- ParseRequestLine
+
+TEST(ParseRequestTest, PlainPath) {
+  auto r = ParseRequestLine("GET /api/path HTTP/1.1");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->method, "GET");
+  EXPECT_EQ(r->path, "/api/path");
+  EXPECT_TRUE(r->query.empty());
+}
+
+TEST(ParseRequestTest, QueryParameters) {
+  auto r = ParseRequestLine(
+      "GET /api/path?q=pretrained%20language+model&seeds=30 HTTP/1.1");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->query.at("q"), "pretrained language model");
+  EXPECT_EQ(r->query.at("seeds"), "30");
+}
+
+TEST(ParseRequestTest, ValuelessParameter) {
+  auto r = ParseRequestLine("GET /x?flag HTTP/1.1");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->query.at("flag"), "");
+}
+
+TEST(ParseRequestTest, MalformedLinesRejected) {
+  EXPECT_FALSE(ParseRequestLine("").ok());
+  EXPECT_FALSE(ParseRequestLine("GET /x").ok());
+  EXPECT_FALSE(ParseRequestLine("GET /x NOTHTTP").ok());
+  EXPECT_FALSE(ParseRequestLine("GET relative HTTP/1.1").ok());
+}
+
+// ------------------------------------------------------------ HttpServer
+
+std::string FetchOnce(int port, const std::string& request_line) {
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  EXPECT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  EXPECT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)),
+            0);
+  std::string request = request_line + "\r\nHost: localhost\r\n\r\n";
+  EXPECT_EQ(::write(fd, request.data(), request.size()),
+            static_cast<ssize_t>(request.size()));
+  std::string response;
+  char buf[4096];
+  ssize_t n;
+  while ((n = ::read(fd, buf, sizeof(buf))) > 0) {
+    response.append(buf, static_cast<size_t>(n));
+  }
+  ::close(fd);
+  return response;
+}
+
+TEST(HttpServerTest, ServesHandlerResponses) {
+  HttpServer server([](const HttpRequest& request) {
+    HttpResponse response;
+    response.content_type = "text/plain";
+    response.body = "echo:" + request.path;
+    return response;
+  });
+  int port = server.Start(0).value();
+  ASSERT_GT(port, 0);
+  std::string response = FetchOnce(port, "GET /hello HTTP/1.1");
+  EXPECT_NE(response.find("200 OK"), std::string::npos);
+  EXPECT_NE(response.find("echo:/hello"), std::string::npos);
+  server.Stop();
+  EXPECT_FALSE(server.running());
+}
+
+TEST(HttpServerTest, MalformedRequestGets400) {
+  HttpServer server([](const HttpRequest&) { return HttpResponse{}; });
+  int port = server.Start(0).value();
+  std::string response = FetchOnce(port, "BOGUS");
+  EXPECT_NE(response.find("400"), std::string::npos);
+  server.Stop();
+}
+
+TEST(HttpServerTest, StopIsIdempotent) {
+  HttpServer server([](const HttpRequest&) { return HttpResponse{}; });
+  server.Start(0).value();
+  server.Stop();
+  server.Stop();
+}
+
+TEST(HttpServerTest, DoubleStartRejected) {
+  HttpServer server([](const HttpRequest&) { return HttpResponse{}; });
+  server.Start(0).value();
+  EXPECT_FALSE(server.Start(0).ok());
+  server.Stop();
+}
+
+// --------------------------------------------------------- RePagerService
+
+class ServiceFixture : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    eval::WorkbenchOptions options;
+    options.corpus.hierarchy.areas_per_domain = 2;
+    options.corpus.hierarchy.topics_per_area = 2;
+    options.corpus.papers_per_topic = 50;
+    options.corpus.papers_per_area = 15;
+    options.corpus.papers_per_domain = 10;
+    options.corpus.num_surveys = 40;
+    options.corpus.seed = 55;
+    wb_ = eval::Workbench::Create(options).value().release();
+    service_ = new RePagerService(&wb_->repager(), &wb_->titles(),
+                                  &wb_->years());
+  }
+  static void TearDownTestSuite() {
+    delete service_;
+    delete wb_;
+  }
+  static const eval::Workbench* wb_;
+  static const RePagerService* service_;
+};
+
+const eval::Workbench* ServiceFixture::wb_ = nullptr;
+const RePagerService* ServiceFixture::service_ = nullptr;
+
+TEST_F(ServiceFixture, IndexPageServed) {
+  HttpRequest request{"GET", "/", {}};
+  HttpResponse response = service_->Handle(request);
+  EXPECT_EQ(response.status, 200);
+  EXPECT_NE(response.body.find("RePaGer"), std::string::npos);
+  EXPECT_NE(response.content_type.find("text/html"), std::string::npos);
+}
+
+TEST_F(ServiceFixture, PathApiReturnsJson) {
+  const auto& entry = wb_->bank().Get(0);
+  HttpRequest request{"GET", "/api/path", {{"q", entry.query}}};
+  HttpResponse response = service_->Handle(request);
+  ASSERT_EQ(response.status, 200) << response.body;
+  EXPECT_NE(response.body.find("\"nodes\":["), std::string::npos);
+  EXPECT_NE(response.body.find("\"read_first\":"), std::string::npos);
+  EXPECT_NE(response.body.find("\"reading_order\":["), std::string::npos);
+  EXPECT_NE(response.body.find("\"from_engine\":"), std::string::npos);
+}
+
+TEST_F(ServiceFixture, MissingQueryParameterIs400) {
+  HttpRequest request{"GET", "/api/path", {}};
+  EXPECT_EQ(service_->Handle(request).status, 400);
+}
+
+TEST_F(ServiceFixture, UnknownRouteIs404) {
+  HttpRequest request{"GET", "/nope", {}};
+  EXPECT_EQ(service_->Handle(request).status, 404);
+}
+
+TEST_F(ServiceFixture, NonGetRejected) {
+  HttpRequest request{"POST", "/api/path", {{"q", "x"}}};
+  EXPECT_EQ(service_->Handle(request).status, 400);
+}
+
+TEST_F(ServiceFixture, HopelessQueryIsClientVisibleError) {
+  HttpRequest request{"GET", "/api/path", {{"q", "zzzz qqqq wwww"}}};
+  HttpResponse response = service_->Handle(request);
+  EXPECT_EQ(response.status, 404);
+  EXPECT_NE(response.body.find("error"), std::string::npos);
+}
+
+TEST_F(ServiceFixture, EndToEndOverSocket) {
+  HttpServer server(
+      [&](const HttpRequest& request) { return service_->Handle(request); });
+  int port = server.Start(0).value();
+  const auto& entry = wb_->bank().Get(0);
+  std::string q;
+  for (char c : entry.query) q += (c == ' ') ? '+' : c;
+  std::string response = FetchOnce(port, "GET /api/path?q=" + q + " HTTP/1.1");
+  EXPECT_NE(response.find("200 OK"), std::string::npos);
+  EXPECT_NE(response.find("reading_order"), std::string::npos);
+  server.Stop();
+}
+
+}  // namespace
+}  // namespace rpg::ui
