@@ -26,11 +26,11 @@ int main() {
   auto sample = eval::Evaluator::SampleEntries(wb->bank(), 12,
                                                config.sample_seed);
 
-  std::printf("=== Heuristic ablation: KMB (paper) vs Takahashi-Matsuyama "
-              "vs exact ===\n\n");
-  TablePrinter table({"query", "|V|", "|S|", "KMB cost", "TM cost",
-                      "TM/KMB", "KMB ms", "TM ms"});
-  double kmb_total = 0.0, tm_total = 0.0;
+  std::printf("=== Heuristic ablation: KMB classic vs KMB-Mehlhorn (fast) "
+              "vs Takahashi-Matsuyama vs exact ===\n\n");
+  TablePrinter table({"query", "|V|", "|S|", "KMB cost", "fast cost",
+                      "TM cost", "TM/KMB", "KMB ms", "fast ms", "TM ms"});
+  double kmb_total = 0.0, tm_total = 0.0, fast_total = 0.0;
   for (size_t index : sample) {
     const auto& entry = wb->bank().Get(index);
     // Build the same weighted sub-graph RePaGer would use.
@@ -51,27 +51,37 @@ int main() {
     }
     if (terminals.size() < 3) continue;
 
+    steiner::NewstOptions classic_options;
+    classic_options.closure_mode = steiner::ClosureMode::kClassic;
     Timer kmb_timer;
-    auto kmb = SolveNewst(g, terminals);
+    auto kmb = SolveNewst(g, terminals, classic_options);
     double kmb_ms = kmb_timer.ElapsedMillis();
+    Timer fast_timer;
+    auto fast = SolveNewstFast(g, terminals);
+    double fast_ms = fast_timer.ElapsedMillis();
     Timer tm_timer;
     auto tm = SolveTakahashiMatsuyama(g, terminals);
     double tm_ms = tm_timer.ElapsedMillis();
-    if (!kmb.ok() || !tm.ok()) continue;
+    if (!kmb.ok() || !fast.ok() || !tm.ok()) continue;
     kmb_total += kmb->total_cost;
+    fast_total += fast->total_cost;
     tm_total += tm->total_cost;
     std::string query = entry.query.substr(0, 24);
     table.AddRow({query, std::to_string(g.num_nodes()),
                   std::to_string(terminals.size()),
                   FormatDouble(kmb->total_cost, 1),
+                  FormatDouble(fast->total_cost, 1),
                   FormatDouble(tm->total_cost, 1),
                   FormatDouble(tm->total_cost / kmb->total_cost, 3),
-                  FormatDouble(kmb_ms, 1), FormatDouble(tm_ms, 1)});
+                  FormatDouble(kmb_ms, 1), FormatDouble(fast_ms, 1),
+                  FormatDouble(tm_ms, 1)});
   }
   table.Print(std::cout);
   if (kmb_total > 0.0) {
     std::printf("\naggregate TM/KMB cost ratio: %.4f\n",
                 tm_total / kmb_total);
+    std::printf("aggregate fast/KMB cost ratio: %.4f\n",
+                fast_total / kmb_total);
   }
 
   // Exact comparison on small instances (few terminals).

@@ -29,17 +29,18 @@ double RePaGer::Importance(PaperId p) const {
 
 steiner::WeightedGraph BuildWeightedSubgraph(const graph::Subgraph& sg,
                                              const rank::WeightModel& weights) {
-  steiner::WeightedGraph wg(sg.num_nodes());
+  steiner::WeightedGraphBuilder builder(sg.num_nodes());
+  builder.ReserveEdges(sg.num_edges());
   for (uint32_t local = 0; local < sg.num_nodes(); ++local) {
-    wg.SetNodeWeight(local, weights.NodeWeight(sg.ToGlobal(local)));
+    builder.SetNodeWeight(local, weights.NodeWeight(sg.ToGlobal(local)));
     // Out-edges only, so each undirected edge is added exactly once.
     for (uint32_t cited : sg.OutNeighbors(local)) {
       PaperId gu = sg.ToGlobal(local);
       PaperId gv = sg.ToGlobal(cited);
-      wg.AddEdge(local, cited, weights.EdgeCost(gu, gv));
+      builder.AddEdge(local, cited, weights.EdgeCost(gu, gv));
     }
   }
-  return wg;
+  return builder.Build();
 }
 
 Result<RePagerResult> RePaGer::Generate(const std::string& query,
@@ -105,15 +106,11 @@ Result<RePagerResult> RePaGer::Generate(const std::string& query,
   // drives the final ranking (a paper referenced by many query-relevant
   // articles is very likely on the survey's reference list).
   std::unordered_map<PaperId, int> cooccurrence;
-  {
-    std::unordered_set<PaperId> seed_set(result.initial_seeds.begin(),
-                                         result.initial_seeds.end());
-    for (PaperId s : seed_set) {
-      for (PaperId cited : graph_->OutNeighbors(s)) ++cooccurrence[cited];
-    }
-  }
   std::unordered_set<PaperId> seed_set(result.initial_seeds.begin(),
                                        result.initial_seeds.end());
+  for (PaperId s : seed_set) {
+    for (PaperId cited : graph_->OutNeighbors(s)) ++cooccurrence[cited];
+  }
   // Unified candidate score: co-occurrence count, with a bonus for being
   // a direct engine hit (a seed without citation evidence still carries
   // lexical relevance worth roughly one co-citing seed).
@@ -136,6 +133,7 @@ Result<RePagerResult> RePaGer::Generate(const std::string& query,
     RPG_ASSIGN_OR_RETURN(steiner::SteinerResult local_tree,
                          SolveNewst(wg, local_terminals, options.newst));
     result.steiner_seconds = steiner_timer.ElapsedSeconds();
+    result.steiner_stats = local_tree.stats;
 
     // Map back to global ids.
     steiner::SteinerResult tree;
@@ -171,7 +169,9 @@ Result<RePagerResult> RePaGer::Generate(const std::string& query,
   rank_by_evidence(&tree_nodes);
   std::unordered_set<PaperId> emitted(tree_nodes.begin(), tree_nodes.end());
   result.ranked = std::move(tree_nodes);
+  result.ranked.reserve(sg.num_nodes());
   std::vector<PaperId> seed_block;
+  seed_block.reserve(result.initial_seeds.size());
   for (PaperId s : result.initial_seeds) {
     if (sg.Contains(s) && !emitted.contains(s)) seed_block.push_back(s);
   }

@@ -57,6 +57,8 @@ struct RePagerResult {
   size_t subgraph_edges = 0;
   double steiner_seconds = 0.0;
   double total_seconds = 0.0;
+  /// Work counters from the NEWST run (zeros when run_steiner is false).
+  steiner::SteinerStats steiner_stats;
 };
 
 /// The RePaGer system (§IV-A): seed retrieval -> weighted citation graph

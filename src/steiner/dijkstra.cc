@@ -6,9 +6,14 @@
 
 namespace rpg::steiner {
 
+namespace {
+constexpr double kInf = std::numeric_limits<double>::infinity();
+using Entry = std::pair<double, uint32_t>;  // (dist, node)
+using MinHeap = std::priority_queue<Entry, std::vector<Entry>, std::greater<>>;
+}  // namespace
+
 std::vector<uint32_t> ShortestPathTree::PathTo(uint32_t target) const {
-  if (target >= dist.size() ||
-      dist[target] == std::numeric_limits<double>::infinity()) {
+  if (target >= dist.size() || dist[target] == kInf) {
     return {};
   }
   std::vector<uint32_t> path;
@@ -22,21 +27,22 @@ std::vector<uint32_t> ShortestPathTree::PathTo(uint32_t target) const {
 }
 
 ShortestPathTree Dijkstra(const WeightedGraph& g, uint32_t source,
-                          bool include_node_weights) {
+                          bool include_node_weights, SteinerStats* stats) {
   const size_t n = g.num_nodes();
   ShortestPathTree tree;
-  tree.dist.assign(n, std::numeric_limits<double>::infinity());
+  tree.dist.assign(n, kInf);
   tree.parent.assign(n, UINT32_MAX);
   if (source >= n) return tree;
 
-  using Entry = std::pair<double, uint32_t>;  // (dist, node)
-  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> pq;
+  MinHeap pq;
   tree.dist[source] = 0.0;
   pq.emplace(0.0, source);
+  uint64_t settled = 0, pushes = 1;
   while (!pq.empty()) {
     auto [d, u] = pq.top();
     pq.pop();
     if (d > tree.dist[u]) continue;  // stale entry
+    ++settled;
     for (const auto& [v, cost] : g.Neighbors(u)) {
       double nd = d + cost;
       if (include_node_weights) nd += g.NodeWeight(v);
@@ -44,10 +50,74 @@ ShortestPathTree Dijkstra(const WeightedGraph& g, uint32_t source,
         tree.dist[v] = nd;
         tree.parent[v] = u;
         pq.emplace(nd, v);
+        ++pushes;
       }
     }
   }
+  if (stats != nullptr) {
+    stats->nodes_settled += settled;
+    stats->heap_pushes += pushes;
+    ++stats->dijkstra_runs;
+  }
   return tree;
+}
+
+std::vector<uint32_t> VoronoiPartition::PathFromSource(uint32_t v) const {
+  if (v >= dist.size() || source[v] == UINT32_MAX) return {};
+  std::vector<uint32_t> path;
+  uint32_t cur = v;
+  while (cur != UINT32_MAX) {
+    path.push_back(cur);
+    cur = parent[cur];
+  }
+  std::reverse(path.begin(), path.end());
+  return path;
+}
+
+VoronoiPartition MultiSourceDijkstra(const WeightedGraph& g,
+                                     const std::vector<uint32_t>& sources,
+                                     bool include_node_weights,
+                                     SteinerStats* stats) {
+  const size_t n = g.num_nodes();
+  VoronoiPartition vp;
+  vp.dist.assign(n, kInf);
+  vp.parent.assign(n, UINT32_MAX);
+  vp.source.assign(n, UINT32_MAX);
+
+  MinHeap pq;
+  uint64_t settled = 0, pushes = 0;
+  for (uint32_t i = 0; i < sources.size(); ++i) {
+    uint32_t s = sources[i];
+    if (s >= n || vp.source[s] != UINT32_MAX) continue;  // skip duplicates
+    vp.dist[s] = 0.0;
+    vp.source[s] = i;
+    pq.emplace(0.0, s);
+    ++pushes;
+  }
+  while (!pq.empty()) {
+    auto [d, u] = pq.top();
+    pq.pop();
+    if (d > vp.dist[u]) continue;
+    ++settled;
+    uint32_t owner = vp.source[u];
+    for (const auto& [v, cost] : g.Neighbors(u)) {
+      double nd = d + cost;
+      if (include_node_weights) nd += g.NodeWeight(v);
+      if (nd < vp.dist[v]) {
+        vp.dist[v] = nd;
+        vp.parent[v] = u;
+        vp.source[v] = owner;
+        pq.emplace(nd, v);
+        ++pushes;
+      }
+    }
+  }
+  if (stats != nullptr) {
+    stats->nodes_settled += settled;
+    stats->heap_pushes += pushes;
+    ++stats->dijkstra_runs;
+  }
+  return vp;
 }
 
 }  // namespace rpg::steiner

@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "steiner/stats.h"
 #include "steiner/weighted_graph.h"
 
 namespace rpg::steiner {
@@ -30,9 +31,36 @@ struct ShortestPathTree {
 /// exactly once along the union of paths.
 ///
 /// When `include_node_weights` is false, node weights are ignored
-/// (the NEWST-N ablation).
+/// (the NEWST-N ablation). When `stats` is non-null, settled-node and
+/// heap-push counters are accumulated into it.
 ShortestPathTree Dijkstra(const WeightedGraph& g, uint32_t source,
-                          bool include_node_weights = true);
+                          bool include_node_weights = true,
+                          SteinerStats* stats = nullptr);
+
+/// Voronoi partition of the graph around a set of source nodes, computed
+/// by ONE multi-source Dijkstra (Mehlhorn 1988). For every node v:
+///   dist[v]   — distance to the nearest source (same node-weight
+///               semantics as Dijkstra above: the owning source's weight
+///               is never counted, v's own weight is),
+///   parent[v] — predecessor on the shortest path back to that source,
+///   source[v] — *index into `sources`* of the owning source
+///               (UINT32_MAX when v is unreachable from every source).
+/// Sources themselves have dist 0 and source[s] = their own index; a
+/// duplicate source id keeps the first index.
+struct VoronoiPartition {
+  std::vector<double> dist;
+  std::vector<uint32_t> parent;
+  std::vector<uint32_t> source;
+
+  /// Walks v's parent chain back to its owning source (inclusive),
+  /// returning the path source -> ... -> v. Empty when unreachable.
+  std::vector<uint32_t> PathFromSource(uint32_t v) const;
+};
+
+VoronoiPartition MultiSourceDijkstra(const WeightedGraph& g,
+                                     const std::vector<uint32_t>& sources,
+                                     bool include_node_weights = true,
+                                     SteinerStats* stats = nullptr);
 
 }  // namespace rpg::steiner
 

@@ -14,33 +14,13 @@ namespace {
 
 constexpr double kInf = std::numeric_limits<double>::infinity();
 
-WeightedGraph UnitCostCopy(const WeightedGraph& g) {
-  WeightedGraph unit(g.num_nodes());
-  for (uint32_t u = 0; u < g.num_nodes(); ++u) {
-    unit.SetNodeWeight(u, g.NodeWeight(u));
-    for (const auto& [v, cost] : g.Neighbors(u)) {
-      if (u < v) unit.AddEdge(u, v, 1.0);
-    }
-  }
-  return unit;
-}
-
 }  // namespace
 
 Result<SteinerResult> SolveExactSteiner(const WeightedGraph& g,
                                         const std::vector<uint32_t>& terminals,
                                         const NewstOptions& options) {
-  if (terminals.empty()) {
-    return Status::InvalidArgument("terminal set is empty");
-  }
-  std::vector<uint32_t> terms = terminals;
-  std::sort(terms.begin(), terms.end());
-  terms.erase(std::unique(terms.begin(), terms.end()), terms.end());
-  for (uint32_t t : terms) {
-    if (t >= g.num_nodes()) {
-      return Status::InvalidArgument(StrFormat("terminal %u out of range", t));
-    }
-  }
+  RPG_ASSIGN_OR_RETURN(std::vector<uint32_t> terms,
+                       CanonicalTerminals(g, terminals));
   if (terms.size() > 12) {
     return Status::InvalidArgument(
         StrFormat("Dreyfus-Wagner supports at most 12 terminals, got %zu",

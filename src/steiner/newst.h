@@ -6,9 +6,26 @@
 #include <vector>
 
 #include "common/result.h"
+#include "steiner/stats.h"
 #include "steiner/weighted_graph.h"
 
 namespace rpg::steiner {
+
+/// How the terminal metric closure (KMB step 1) is built.
+enum class ClosureMode : uint8_t {
+  /// Mehlhorn (1988): ONE multi-source Dijkstra computes the Voronoi
+  /// partition around the terminals; a scan over Voronoi-boundary edges
+  /// yields a sparse closure subgraph whose MST carries the same
+  /// 2(1 - 1/l) approximation guarantee as the full KMB closure. The
+  /// resulting tree may differ from classic mode on instances where
+  /// boundary paths are not global shortest paths (both trees stay
+  /// within the bound). O(E log V) regardless of |S|. The default hot
+  /// path.
+  kMehlhorn = 0,
+  /// The textbook KMB closure: one full Dijkstra per terminal,
+  /// O(|S| E log V). Kept as the ablation / cross-verification mode.
+  kClassic = 1,
+};
 
 /// Variant switches for the ablation study (§VI-B, Table III right).
 struct NewstOptions {
@@ -17,6 +34,9 @@ struct NewstOptions {
   bool use_node_weights = true;
   /// Use per-edge costs; when false every edge costs 1 (NEWST-E).
   bool use_edge_weights = true;
+  /// Metric-closure construction; both modes produce trees within the
+  /// same 2(1 - 1/l) bound, kClassic exists for ablations and tests.
+  ClosureMode closure_mode = ClosureMode::kMehlhorn;
 };
 
 /// Output of the solver: a Steiner tree (or forest when some terminals
@@ -32,25 +52,44 @@ struct SteinerResult {
   /// Terminals dropped because no path connected them to the first
   /// terminal's component.
   std::vector<uint32_t> unreachable_terminals;
+  /// Work counters (settled nodes, heap pushes, closure edges, closure
+  /// wall clock) for the run that produced this tree.
+  SteinerStats stats;
 };
+
+/// Validates + dedups a terminal set: sorts, collapses duplicates, and
+/// rejects empty sets or out-of-range ids with InvalidArgument. Shared by
+/// every Steiner solver so the rules cannot drift.
+Result<std::vector<uint32_t>> CanonicalTerminals(
+    const WeightedGraph& g, const std::vector<uint32_t>& terminals);
 
 /// Node-Edge Weighted Steiner Tree heuristic — Algorithm 1 of the paper
 /// (the KMB construction of Kou, Markowsky & Berman 1981 generalized to
 /// node weights):
 ///   1. build the metric closure over the terminals S (shortest paths
-///      account for node weights + edge costs),
+///      account for node weights + edge costs) — per options.closure_mode
+///      either the classic per-terminal closure or Mehlhorn's single-pass
+///      Voronoi construction,
 ///   2. MST of the closure,
 ///   3. expand each MST edge into its underlying shortest path, forming
 ///      the subgraph Gs,
 ///   4. MST of Gs, then repeatedly prune non-terminal leaves.
 /// Guarantees cost(T) <= 2(1 - 1/l) * OPT with l the number of leaves in
-/// the optimal tree. Worst-case time O(|S| |V|^2).
+/// the optimal tree (both closure modes). Time O(E log V) in Mehlhorn
+/// mode, O(|S| E log V) classic.
 ///
 /// Returns InvalidArgument for an empty terminal set or out-of-range
 /// terminal ids. Duplicate terminals are collapsed.
 Result<SteinerResult> SolveNewst(const WeightedGraph& g,
                                  const std::vector<uint32_t>& terminals,
                                  const NewstOptions& options = {});
+
+/// SolveNewst with options.closure_mode forced to kMehlhorn — the
+/// single-pass fast path, exposed by name for benches and call sites that
+/// want the speedup regardless of ambient options.
+Result<SteinerResult> SolveNewstFast(const WeightedGraph& g,
+                                     const std::vector<uint32_t>& terminals,
+                                     const NewstOptions& options = {});
 
 }  // namespace rpg::steiner
 

@@ -1,0 +1,37 @@
+#ifndef RPG_STEINER_STATS_H_
+#define RPG_STEINER_STATS_H_
+
+#include <cstdint>
+
+namespace rpg::steiner {
+
+/// Work counters threaded through the Steiner solvers so benchmarks can
+/// report algorithmic effort (not just wall clock). The classic KMB
+/// closure runs one Dijkstra per terminal — O(|S| E log V) — while the
+/// Mehlhorn closure settles every node exactly once; these counters make
+/// that difference observable.
+struct SteinerStats {
+  /// Nodes popped from a Dijkstra heap with a fresh (non-stale) distance.
+  uint64_t nodes_settled = 0;
+  /// Total priority-queue insertions across all Dijkstra runs.
+  uint64_t heap_pushes = 0;
+  /// Candidate terminal-to-terminal edges fed to the closure MST.
+  uint64_t closure_edges = 0;
+  /// Number of (single- or multi-source) Dijkstra executions.
+  uint64_t dijkstra_runs = 0;
+  /// Wall-clock seconds spent building the terminal metric closure
+  /// (phase 1 of KMB) — the part the Mehlhorn construction accelerates.
+  double closure_seconds = 0.0;
+
+  void Add(const SteinerStats& o) {
+    nodes_settled += o.nodes_settled;
+    heap_pushes += o.heap_pushes;
+    closure_edges += o.closure_edges;
+    dijkstra_runs += o.dijkstra_runs;
+    closure_seconds += o.closure_seconds;
+  }
+};
+
+}  // namespace rpg::steiner
+
+#endif  // RPG_STEINER_STATS_H_

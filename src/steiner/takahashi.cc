@@ -4,75 +4,18 @@
 #include <limits>
 #include <optional>
 #include <queue>
-#include <set>
-
-#include "common/string_util.h"
 
 namespace rpg::steiner {
 
 namespace {
-
 constexpr double kInf = std::numeric_limits<double>::infinity();
-
-WeightedGraph UnitCostCopy(const WeightedGraph& g) {
-  WeightedGraph unit(g.num_nodes());
-  for (uint32_t u = 0; u < g.num_nodes(); ++u) {
-    unit.SetNodeWeight(u, g.NodeWeight(u));
-    for (const auto& [v, cost] : g.Neighbors(u)) {
-      if (u < v) unit.AddEdge(u, v, 1.0);
-    }
-  }
-  return unit;
-}
-
-/// Multi-source Dijkstra from every node already in the tree (cost 0
-/// sources), yielding per-node distance and the parent links back toward
-/// the tree. Distances count edge costs plus (optionally) the weights of
-/// nodes outside the tree.
-void DistanceFromTree(const WeightedGraph& g, const std::set<uint32_t>& tree,
-                      bool use_node_weights, std::vector<double>* dist,
-                      std::vector<uint32_t>* parent) {
-  const size_t n = g.num_nodes();
-  dist->assign(n, kInf);
-  parent->assign(n, UINT32_MAX);
-  using Entry = std::pair<double, uint32_t>;
-  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> pq;
-  for (uint32_t v : tree) {
-    (*dist)[v] = 0.0;
-    pq.emplace(0.0, v);
-  }
-  while (!pq.empty()) {
-    auto [d, u] = pq.top();
-    pq.pop();
-    if (d > (*dist)[u]) continue;
-    for (const auto& [v, cost] : g.Neighbors(u)) {
-      double nd = d + cost;
-      if (use_node_weights && !tree.contains(v)) nd += g.NodeWeight(v);
-      if (nd < (*dist)[v]) {
-        (*dist)[v] = nd;
-        (*parent)[v] = u;
-        pq.emplace(nd, v);
-      }
-    }
-  }
-}
-
 }  // namespace
 
 Result<SteinerResult> SolveTakahashiMatsuyama(
     const WeightedGraph& g, const std::vector<uint32_t>& terminals,
     const NewstOptions& options) {
-  if (terminals.empty()) {
-    return Status::InvalidArgument("terminal set is empty");
-  }
-  std::vector<uint32_t> terms = terminals;
-  std::sort(terms.begin(), terms.end());
-  terms.erase(std::unique(terms.begin(), terms.end()), terms.end());
-  for (uint32_t t : terms) {
-    if (t >= g.num_nodes()) {
-      return Status::InvalidArgument(StrFormat("terminal %u out of range", t));
-    }
-  }
+  RPG_ASSIGN_OR_RETURN(std::vector<uint32_t> terms,
+                       CanonicalTerminals(g, terminals));
   std::optional<WeightedGraph> unit;
   const WeightedGraph* eg = &g;
   if (!options.use_edge_weights) {
@@ -80,43 +23,100 @@ Result<SteinerResult> SolveTakahashiMatsuyama(
     eg = &*unit;
   }
 
+  const size_t n = eg->num_nodes();
   SteinerResult result;
-  std::set<uint32_t> tree = {terms[0]};
-  std::set<uint32_t> remaining(terms.begin() + 1, terms.end());
-  std::set<std::pair<uint32_t, uint32_t>> edges;
+  SteinerStats& stats = result.stats;
 
-  std::vector<double> dist;
-  std::vector<uint32_t> parent;
-  while (!remaining.empty()) {
-    DistanceFromTree(*eg, tree, options.use_node_weights, &dist, &parent);
+  // Incremental multi-source Dijkstra from the growing tree: tree nodes
+  // are 0-distance sources. After attaching a path we RE-SEED the
+  // persistent heap with just the new tree nodes and resume relaxation,
+  // instead of recomputing distance-from-tree from scratch per terminal
+  // (the seed behaviour, which cost one full Dijkstra per terminal).
+  // Continuing a Dijkstra after adding 0-cost sources reaches the same
+  // fixpoint as restarting, because distances only ever decrease and
+  // stale heap entries are skipped.
+  std::vector<double> dist(n, kInf);
+  std::vector<uint32_t> parent(n, UINT32_MAX);
+  std::vector<uint8_t> in_tree(n, 0);
+  std::vector<uint32_t> tree_nodes;
+  using Entry = std::pair<double, uint32_t>;
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> pq;
+
+  auto add_tree_node = [&](uint32_t v) {
+    in_tree[v] = 1;
+    tree_nodes.push_back(v);
+    dist[v] = 0.0;
+    parent[v] = UINT32_MAX;
+    pq.emplace(0.0, v);
+    ++stats.heap_pushes;
+  };
+  add_tree_node(terms[0]);
+
+  std::vector<uint8_t> remaining(n, 0);
+  size_t remaining_count = terms.size() - 1;
+  for (size_t i = 1; i < terms.size(); ++i) remaining[terms[i]] = 1;
+
+  result.edges.reserve(terms.size());
+  while (remaining_count > 0) {
+    // Relax to fixpoint from the current tree frontier.
+    while (!pq.empty()) {
+      auto [d, u] = pq.top();
+      pq.pop();
+      if (d > dist[u]) continue;
+      ++stats.nodes_settled;
+      for (const auto& [v, cost] : eg->Neighbors(u)) {
+        // in_tree[v] implies dist[v] == 0, which no relaxation beats, so
+        // the node-weight term only matters for non-tree nodes.
+        double nd = d + cost;
+        if (options.use_node_weights) nd += g.NodeWeight(v);
+        if (nd < dist[v]) {
+          dist[v] = nd;
+          parent[v] = u;
+          pq.emplace(nd, v);
+          ++stats.heap_pushes;
+        }
+      }
+    }
+    ++stats.dijkstra_runs;
     // Closest remaining terminal.
     uint32_t best = UINT32_MAX;
-    for (uint32_t t : remaining) {
-      if (dist[t] == kInf) continue;
+    for (size_t i = 1; i < terms.size(); ++i) {
+      uint32_t t = terms[i];
+      if (!remaining[t] || dist[t] == kInf) continue;
       if (best == UINT32_MAX || dist[t] < dist[best]) best = t;
     }
     if (best == UINT32_MAX) {
       // Everything left is unreachable from the growing tree.
-      for (uint32_t t : remaining) {
+      for (size_t i = 1; i < terms.size(); ++i) {
+        uint32_t t = terms[i];
+        if (!remaining[t]) continue;
         result.unreachable_terminals.push_back(t);
-        tree.insert(t);  // keep it as an isolated node, like SolveNewst
+        if (!in_tree[t]) {
+          // Keep it as an isolated node, like SolveNewst. Do NOT seed the
+          // heap from it: its component is disjoint from the tree's.
+          in_tree[t] = 1;
+          tree_nodes.push_back(t);
+        }
       }
       break;
     }
-    // Walk the path back into the tree.
+    // Walk the path back into the tree, re-seeding the heap with every
+    // node that joins.
     uint32_t cur = best;
-    while (!tree.contains(cur)) {
+    while (!in_tree[cur]) {
       uint32_t up = parent[cur];
-      edges.insert({std::min(cur, up), std::max(cur, up)});
-      tree.insert(cur);
+      result.edges.emplace_back(std::min(cur, up), std::max(cur, up));
+      add_tree_node(cur);
       cur = up;
     }
-    remaining.erase(best);
+    remaining[best] = 0;
+    --remaining_count;
   }
 
-  result.nodes.assign(tree.begin(), tree.end());
-  for (const auto& [a, b] : edges) {
-    result.edges.emplace_back(a, b);
+  std::sort(tree_nodes.begin(), tree_nodes.end());
+  result.nodes = std::move(tree_nodes);
+  std::sort(result.edges.begin(), result.edges.end());
+  for (const auto& [a, b] : result.edges) {
     result.total_cost += eg->EdgeCost(a, b);
   }
   if (options.use_node_weights) {

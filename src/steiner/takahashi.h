@@ -14,9 +14,11 @@ namespace rpg::steiner {
 /// the terminal closest to the current tree via its cheapest path. Same
 /// 2(1 - 1/l) guarantee as KMB but a different construction — implemented
 /// as the alternative the heuristic-ablation bench compares against
-/// (DESIGN.md §6). Interface matches SolveNewst; terminals disconnected
-/// from the first terminal are reported in unreachable_terminals and left
-/// out of the tree.
+/// (DESIGN.md §6). The tree grows incrementally: one persistent
+/// distance-from-tree Dijkstra is re-seeded from the nodes that join the
+/// tree each round, rather than recomputed per terminal. Interface
+/// matches SolveNewst; terminals disconnected from the first terminal are
+/// reported in unreachable_terminals and left out of the tree.
 Result<SteinerResult> SolveTakahashiMatsuyama(
     const WeightedGraph& g, const std::vector<uint32_t>& terminals,
     const NewstOptions& options = {});

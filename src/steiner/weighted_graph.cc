@@ -2,40 +2,112 @@
 
 #include <algorithm>
 #include <limits>
-#include <set>
+#include <numeric>
 
 #include "common/logging.h"
 
 namespace rpg::steiner {
 
-void WeightedGraph::AddEdge(uint32_t u, uint32_t v, double cost) {
-  RPG_CHECK(u < adj_.size() && v < adj_.size()) << "edge endpoint out of range";
-  RPG_CHECK(u != v) << "self loops are not allowed";
-  RPG_CHECK(cost > 0.0) << "edge costs must be positive";
-  adj_[u].emplace_back(v, cost);
-  adj_[v].emplace_back(u, cost);
-  ++num_edges_;
-}
-
 double WeightedGraph::TreeCost(
     const std::vector<std::pair<uint32_t, uint32_t>>& edges) const {
   double cost = 0.0;
-  std::set<uint32_t> nodes;
+  std::vector<uint8_t> seen(num_nodes(), 0);
   for (const auto& [u, v] : edges) {
     cost += EdgeCost(u, v);
-    nodes.insert(u);
-    nodes.insert(v);
+    if (!seen[u]) {
+      seen[u] = 1;
+      cost += node_weight_[u];
+    }
+    if (!seen[v]) {
+      seen[v] = 1;
+      cost += node_weight_[v];
+    }
   }
-  for (uint32_t v : nodes) cost += node_weight_[v];
   return cost;
 }
 
 double WeightedGraph::EdgeCost(uint32_t u, uint32_t v) const {
-  double best = std::numeric_limits<double>::infinity();
-  for (const auto& [n, c] : adj_[u]) {
-    if (n == v) best = std::min(best, c);
+  std::span<const uint32_t> targets = Targets(u);
+  auto it = std::lower_bound(targets.begin(), targets.end(), v);
+  if (it == targets.end() || *it != v) {
+    return std::numeric_limits<double>::infinity();
   }
-  return best;
+  // Spans are sorted by (target, cost), so the first hit is the cheapest
+  // parallel edge.
+  return Costs(u)[static_cast<size_t>(it - targets.begin())];
+}
+
+void WeightedGraphBuilder::AddEdge(uint32_t u, uint32_t v, double cost) {
+  RPG_CHECK(u < num_nodes_ && v < num_nodes_) << "edge endpoint out of range";
+  RPG_CHECK(u != v) << "self loops are not allowed";
+  RPG_CHECK(cost > 0.0) << "edge costs must be positive";
+  edges_.push_back({u, v, cost});
+}
+
+WeightedGraph WeightedGraphBuilder::Build() {
+  WeightedGraph g;
+  const size_t n = num_nodes_;
+  const size_t m = edges_.size();
+  g.num_edges_ = m;
+  g.node_weight_ = std::move(node_weight_);
+  node_weight_.assign(n, 0.0);
+
+  // Counting sort into CSR: each undirected edge lands in both endpoints'
+  // spans.
+  g.offsets_.assign(n + 1, 0);
+  for (const PendingEdge& e : edges_) {
+    ++g.offsets_[e.u + 1];
+    ++g.offsets_[e.v + 1];
+  }
+  std::partial_sum(g.offsets_.begin(), g.offsets_.end(), g.offsets_.begin());
+  g.targets_.resize(2 * m);
+  g.costs_.resize(2 * m);
+  std::vector<uint64_t> cursor(g.offsets_.begin(), g.offsets_.end() - 1);
+  for (const PendingEdge& e : edges_) {
+    uint64_t pu = cursor[e.u]++;
+    g.targets_[pu] = e.v;
+    g.costs_[pu] = e.cost;
+    uint64_t pv = cursor[e.v]++;
+    g.targets_[pv] = e.u;
+    g.costs_[pv] = e.cost;
+  }
+  edges_.clear();
+
+  // Sort each span by (target, cost) so membership is a binary search and
+  // the cheapest parallel edge comes first.
+  std::vector<uint32_t> perm;
+  std::vector<uint32_t> tmp_t;
+  std::vector<double> tmp_c;
+  for (size_t v = 0; v < n; ++v) {
+    size_t b = g.offsets_[v], e = g.offsets_[v + 1];
+    size_t d = e - b;
+    if (d < 2) continue;
+    perm.resize(d);
+    std::iota(perm.begin(), perm.end(), 0u);
+    uint32_t* t = g.targets_.data() + b;
+    double* c = g.costs_.data() + b;
+    std::sort(perm.begin(), perm.end(), [&](uint32_t a, uint32_t o) {
+      if (t[a] != t[o]) return t[a] < t[o];
+      return c[a] < c[o];
+    });
+    tmp_t.assign(t, t + d);
+    tmp_c.assign(c, c + d);
+    for (size_t i = 0; i < d; ++i) {
+      t[i] = tmp_t[perm[i]];
+      c[i] = tmp_c[perm[i]];
+    }
+  }
+  return g;
+}
+
+WeightedGraph UnitCostCopy(const WeightedGraph& g) {
+  WeightedGraph unit;
+  unit.offsets_ = g.offsets_;
+  unit.targets_ = g.targets_;
+  unit.costs_.assign(g.costs_.size(), 1.0);
+  unit.node_weight_ = g.node_weight_;
+  unit.num_edges_ = g.num_edges_;
+  return unit;
 }
 
 }  // namespace rpg::steiner

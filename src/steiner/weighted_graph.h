@@ -3,6 +3,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <span>
 #include <utility>
 #include <vector>
 
@@ -12,25 +13,76 @@ namespace rpg::steiner {
 /// weights — the input to the NEWST solver (G = (V, E, S, w, c) of
 /// §IV-B). Node ids are dense local ids 0..n-1; the RePaGer pipeline maps
 /// them back to global paper ids.
+///
+/// Immutable compressed-sparse-row storage (same design as
+/// graph::CitationGraph): flat offsets/targets/costs arrays, each node's
+/// neighbor span sorted ascending by (target, cost). Construct via
+/// WeightedGraphBuilder. Sorted spans give O(log d) EdgeCost via binary
+/// search and cache-friendly sequential scans in the solver hot loops.
 class WeightedGraph {
  public:
-  explicit WeightedGraph(size_t num_nodes)
-      : adj_(num_nodes), node_weight_(num_nodes, 0.0) {}
+  /// Lightweight view over one node's (neighbor, cost) pairs, backed by
+  /// the parallel targets/costs arrays. Iteration yields
+  /// std::pair<uint32_t, double> by value, so existing structured-binding
+  /// call sites (`for (const auto& [v, c] : g.Neighbors(u))`) work
+  /// unchanged.
+  class NeighborView {
+   public:
+    class iterator {
+     public:
+      iterator(const uint32_t* t, const double* c) : t_(t), c_(c) {}
+      std::pair<uint32_t, double> operator*() const { return {*t_, *c_}; }
+      iterator& operator++() {
+        ++t_;
+        ++c_;
+        return *this;
+      }
+      bool operator==(const iterator& o) const { return t_ == o.t_; }
+      bool operator!=(const iterator& o) const { return t_ != o.t_; }
 
-  size_t num_nodes() const { return adj_.size(); }
+     private:
+      const uint32_t* t_;
+      const double* c_;
+    };
+
+    NeighborView(const uint32_t* targets, const double* costs, size_t size)
+        : targets_(targets), costs_(costs), size_(size) {}
+
+    size_t size() const { return size_; }
+    bool empty() const { return size_ == 0; }
+    std::pair<uint32_t, double> operator[](size_t i) const {
+      return {targets_[i], costs_[i]};
+    }
+    iterator begin() const { return {targets_, costs_}; }
+    iterator end() const { return {targets_ + size_, costs_ + size_}; }
+
+   private:
+    const uint32_t* targets_;
+    const double* costs_;
+    size_t size_;
+  };
+
+  WeightedGraph() = default;
+
+  size_t num_nodes() const { return node_weight_.size(); }
   size_t num_edges() const { return num_edges_; }
 
-  /// Adds an undirected edge with a positive cost. Parallel edges are
-  /// allowed but the algorithms treat the cheapest as effective.
-  void AddEdge(uint32_t u, uint32_t v, double cost);
-
-  void SetNodeWeight(uint32_t v, double w) { node_weight_[v] = w; }
   double NodeWeight(uint32_t v) const { return node_weight_[v]; }
 
-  /// (neighbor, cost) pairs.
-  const std::vector<std::pair<uint32_t, double>>& Neighbors(uint32_t v) const {
-    return adj_[v];
+  /// (neighbor, cost) pairs, sorted ascending by neighbor id.
+  NeighborView Neighbors(uint32_t v) const {
+    size_t b = offsets_[v], e = offsets_[v + 1];
+    return {targets_.data() + b, costs_.data() + b, e - b};
   }
+
+  /// Raw CSR spans for hot loops that want structure-of-arrays access.
+  std::span<const uint32_t> Targets(uint32_t v) const {
+    return {targets_.data() + offsets_[v], offsets_[v + 1] - offsets_[v]};
+  }
+  std::span<const double> Costs(uint32_t v) const {
+    return {costs_.data() + offsets_[v], offsets_[v + 1] - offsets_[v]};
+  }
+  size_t Degree(uint32_t v) const { return offsets_[v + 1] - offsets_[v]; }
 
   /// Total cost of a tree given by its edges: Eq. (1), i.e. the sum of
   /// edge costs plus the weights of all incident nodes (each counted
@@ -39,13 +91,55 @@ class WeightedGraph {
       const;
 
   /// Cheapest direct edge cost between u and v; +inf when absent.
+  /// O(log d) binary search over u's sorted neighbor span.
   double EdgeCost(uint32_t u, uint32_t v) const;
 
  private:
-  std::vector<std::vector<std::pair<uint32_t, double>>> adj_;
+  friend class WeightedGraphBuilder;
+  friend WeightedGraph UnitCostCopy(const WeightedGraph& g);
+
+  std::vector<uint64_t> offsets_;  // size num_nodes + 1 (empty graph: {0})
+  std::vector<uint32_t> targets_;
+  std::vector<double> costs_;
   std::vector<double> node_weight_;
   size_t num_edges_ = 0;
 };
+
+/// Accumulates edges and node weights, then freezes them into the CSR
+/// WeightedGraph. Parallel edges are allowed but the algorithms treat the
+/// cheapest as effective.
+class WeightedGraphBuilder {
+ public:
+  explicit WeightedGraphBuilder(size_t num_nodes)
+      : num_nodes_(num_nodes), node_weight_(num_nodes, 0.0) {}
+
+  /// Adds an undirected edge with a positive cost.
+  void AddEdge(uint32_t u, uint32_t v, double cost);
+
+  void SetNodeWeight(uint32_t v, double w) { node_weight_[v] = w; }
+
+  size_t num_nodes() const { return num_nodes_; }
+  size_t num_edges() const { return edges_.size(); }
+
+  void ReserveEdges(size_t n) { edges_.reserve(n); }
+
+  /// Freezes into the immutable CSR form. The builder is left empty.
+  WeightedGraph Build();
+
+ private:
+  struct PendingEdge {
+    uint32_t u, v;
+    double cost;
+  };
+  size_t num_nodes_;
+  std::vector<PendingEdge> edges_;
+  std::vector<double> node_weight_;
+};
+
+/// Copy of g with every edge cost replaced by 1 (the NEWST-E ablation).
+/// Shared by the NEWST, Takahashi-Matsuyama and exact solvers. With CSR
+/// storage this is a flat array copy — no rebuild.
+WeightedGraph UnitCostCopy(const WeightedGraph& g);
 
 }  // namespace rpg::steiner
 

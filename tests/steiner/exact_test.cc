@@ -6,38 +6,16 @@
 #include "steiner/exact.h"
 #include "steiner/newst.h"
 #include "steiner/takahashi.h"
+#include "test_graphs.h"
 
 namespace rpg::steiner {
 namespace {
 
-WeightedGraph RandomConnected(Rng* rng, uint32_t n, int extra_edges) {
-  WeightedGraph g(n);
-  for (uint32_t v = 0; v < n; ++v) {
-    g.SetNodeWeight(v, rng->UniformDouble(0.0, 2.0));
-  }
-  for (uint32_t i = 0; i < n; ++i) {
-    g.AddEdge(i, (i + 1) % n, rng->UniformDouble(0.2, 3.0));
-  }
-  for (int e = 0; e < extra_edges; ++e) {
-    uint32_t u = static_cast<uint32_t>(rng->NextBounded(n));
-    uint32_t v = static_cast<uint32_t>(rng->NextBounded(n));
-    if (u != v) g.AddEdge(u, v, rng->UniformDouble(0.2, 3.0));
-  }
-  return g;
-}
-
-std::vector<uint32_t> RandomTerminals(Rng* rng, uint32_t n, uint32_t k) {
-  std::vector<uint32_t> terminals;
-  for (uint64_t t : rng->SampleWithoutReplacement(n, k)) {
-    terminals.push_back(static_cast<uint32_t>(t));
-  }
-  return terminals;
-}
-
 TEST(ExactSteinerTest, SingleTerminal) {
-  WeightedGraph g(3);
-  g.AddEdge(0, 1, 1.0);
-  g.SetNodeWeight(2, 4.0);
+  WeightedGraphBuilder b(3);
+  b.AddEdge(0, 1, 1.0);
+  b.SetNodeWeight(2, 4.0);
+  WeightedGraph g = b.Build();
   auto r = SolveExactSteiner(g, {2});
   ASSERT_TRUE(r.ok());
   EXPECT_EQ(r->nodes, (std::vector<uint32_t>{2}));
@@ -45,11 +23,12 @@ TEST(ExactSteinerTest, SingleTerminal) {
 }
 
 TEST(ExactSteinerTest, TwoTerminalsIsShortestPath) {
-  WeightedGraph g(4);
-  g.AddEdge(0, 1, 1.0);
-  g.AddEdge(1, 2, 1.0);
-  g.AddEdge(0, 3, 5.0);
-  g.AddEdge(3, 2, 5.0);
+  WeightedGraphBuilder b(4);
+  b.AddEdge(0, 1, 1.0);
+  b.AddEdge(1, 2, 1.0);
+  b.AddEdge(0, 3, 5.0);
+  b.AddEdge(3, 2, 5.0);
+  WeightedGraph g = b.Build();
   auto r = SolveExactSteiner(g, {0, 2});
   ASSERT_TRUE(r.ok());
   EXPECT_EQ(r->nodes, (std::vector<uint32_t>{0, 1, 2}));
@@ -57,21 +36,24 @@ TEST(ExactSteinerTest, TwoTerminalsIsShortestPath) {
 }
 
 TEST(ExactSteinerTest, RejectsBadInput) {
-  WeightedGraph g(2);
-  g.AddEdge(0, 1, 1.0);
+  WeightedGraphBuilder b(2);
+  b.AddEdge(0, 1, 1.0);
+  WeightedGraph g = b.Build();
   EXPECT_TRUE(SolveExactSteiner(g, {}).status().IsInvalidArgument());
   EXPECT_TRUE(SolveExactSteiner(g, {9}).status().IsInvalidArgument());
   std::vector<uint32_t> too_many;
   for (uint32_t i = 0; i < 13; ++i) too_many.push_back(i);
-  WeightedGraph big(13);
-  for (uint32_t i = 0; i + 1 < 13; ++i) big.AddEdge(i, i + 1, 1.0);
+  WeightedGraphBuilder big_builder(13);
+  for (uint32_t i = 0; i + 1 < 13; ++i) big_builder.AddEdge(i, i + 1, 1.0);
+  WeightedGraph big = big_builder.Build();
   EXPECT_TRUE(SolveExactSteiner(big, too_many).status().IsInvalidArgument());
 }
 
 TEST(ExactSteinerTest, DisconnectedTerminalsFail) {
-  WeightedGraph g(4);
-  g.AddEdge(0, 1, 1.0);
-  g.AddEdge(2, 3, 1.0);
+  WeightedGraphBuilder b(4);
+  b.AddEdge(0, 1, 1.0);
+  b.AddEdge(2, 3, 1.0);
+  WeightedGraph g = b.Build();
   EXPECT_EQ(SolveExactSteiner(g, {0, 2}).status().code(),
             StatusCode::kFailedPrecondition);
 }
@@ -111,9 +93,10 @@ TEST(ExactSteinerTest, AblationFlagsRespected) {
 }
 
 TEST(TakahashiTest, SingleAndTwoTerminals) {
-  WeightedGraph g(3);
-  g.AddEdge(0, 1, 1.0);
-  g.AddEdge(1, 2, 1.0);
+  WeightedGraphBuilder b(3);
+  b.AddEdge(0, 1, 1.0);
+  b.AddEdge(1, 2, 1.0);
+  WeightedGraph g = b.Build();
   auto one = SolveTakahashiMatsuyama(g, {1});
   ASSERT_TRUE(one.ok());
   EXPECT_EQ(one->nodes, (std::vector<uint32_t>{1}));
@@ -124,12 +107,13 @@ TEST(TakahashiTest, SingleAndTwoTerminals) {
 }
 
 TEST(TakahashiTest, AvoidsHeavyNodes) {
-  WeightedGraph g(4);
-  g.AddEdge(0, 1, 1.0);
-  g.AddEdge(1, 2, 1.0);
-  g.AddEdge(0, 3, 1.2);
-  g.AddEdge(3, 2, 1.2);
-  g.SetNodeWeight(1, 50.0);
+  WeightedGraphBuilder b(4);
+  b.AddEdge(0, 1, 1.0);
+  b.AddEdge(1, 2, 1.0);
+  b.AddEdge(0, 3, 1.2);
+  b.AddEdge(3, 2, 1.2);
+  b.SetNodeWeight(1, 50.0);
+  WeightedGraph g = b.Build();
   auto r = SolveTakahashiMatsuyama(g, {0, 2});
   ASSERT_TRUE(r.ok());
   EXPECT_TRUE(std::find(r->nodes.begin(), r->nodes.end(), 3) !=
@@ -137,9 +121,10 @@ TEST(TakahashiTest, AvoidsHeavyNodes) {
 }
 
 TEST(TakahashiTest, UnreachableTerminalsReported) {
-  WeightedGraph g(4);
-  g.AddEdge(0, 1, 1.0);
-  g.AddEdge(2, 3, 1.0);
+  WeightedGraphBuilder b(4);
+  b.AddEdge(0, 1, 1.0);
+  b.AddEdge(2, 3, 1.0);
+  WeightedGraph g = b.Build();
   auto r = SolveTakahashiMatsuyama(g, {0, 2});
   ASSERT_TRUE(r.ok());
   EXPECT_EQ(r->unreachable_terminals, (std::vector<uint32_t>{2}));

@@ -19,8 +19,9 @@ constexpr double kInf = std::numeric_limits<double>::infinity();
 // --------------------------------------------------------- WeightedGraph
 
 TEST(WeightedGraphTest, EdgesAreUndirected) {
-  WeightedGraph g(3);
-  g.AddEdge(0, 1, 2.0);
+  WeightedGraphBuilder b(3);
+  b.AddEdge(0, 1, 2.0);
+  WeightedGraph g = b.Build();
   EXPECT_EQ(g.num_edges(), 1u);
   ASSERT_EQ(g.Neighbors(0).size(), 1u);
   ASSERT_EQ(g.Neighbors(1).size(), 1u);
@@ -29,38 +30,74 @@ TEST(WeightedGraphTest, EdgesAreUndirected) {
 }
 
 TEST(WeightedGraphTest, EdgeCostPicksCheapestParallel) {
-  WeightedGraph g(2);
-  g.AddEdge(0, 1, 5.0);
-  g.AddEdge(0, 1, 2.0);
+  WeightedGraphBuilder b(2);
+  b.AddEdge(0, 1, 5.0);
+  b.AddEdge(0, 1, 2.0);
+  WeightedGraph g = b.Build();
   EXPECT_DOUBLE_EQ(g.EdgeCost(0, 1), 2.0);
   EXPECT_EQ(g.EdgeCost(0, 0), kInf);
 }
 
+TEST(WeightedGraphTest, NeighborsSortedByTarget) {
+  WeightedGraphBuilder b(5);
+  b.AddEdge(2, 4, 1.0);
+  b.AddEdge(2, 0, 3.0);
+  b.AddEdge(2, 3, 2.0);
+  b.AddEdge(2, 1, 4.0);
+  WeightedGraph g = b.Build();
+  ASSERT_EQ(g.Neighbors(2).size(), 4u);
+  std::vector<uint32_t> targets;
+  for (const auto& [v, c] : g.Neighbors(2)) targets.push_back(v);
+  EXPECT_EQ(targets, (std::vector<uint32_t>{0, 1, 3, 4}));
+  // CSR spans expose the same data structure-of-arrays style.
+  EXPECT_EQ(g.Targets(2).size(), 4u);
+  EXPECT_EQ(g.Costs(2).size(), 4u);
+  EXPECT_EQ(g.Degree(2), 4u);
+  EXPECT_DOUBLE_EQ(g.EdgeCost(2, 3), 2.0);
+  EXPECT_EQ(g.EdgeCost(2, 2), kInf);
+}
+
 TEST(WeightedGraphTest, TreeCostSumsEdgesAndNodes) {
-  WeightedGraph g(3);
-  g.AddEdge(0, 1, 1.0);
-  g.AddEdge(1, 2, 2.0);
-  g.SetNodeWeight(0, 10.0);
-  g.SetNodeWeight(1, 20.0);
-  g.SetNodeWeight(2, 30.0);
+  WeightedGraphBuilder b(3);
+  b.AddEdge(0, 1, 1.0);
+  b.AddEdge(1, 2, 2.0);
+  b.SetNodeWeight(0, 10.0);
+  b.SetNodeWeight(1, 20.0);
+  b.SetNodeWeight(2, 30.0);
+  WeightedGraph g = b.Build();
   EXPECT_DOUBLE_EQ(g.TreeCost({{0, 1}, {1, 2}}), 1.0 + 2.0 + 60.0);
   EXPECT_DOUBLE_EQ(g.TreeCost({{0, 1}}), 1.0 + 30.0);
   EXPECT_DOUBLE_EQ(g.TreeCost({}), 0.0);
+}
+
+TEST(WeightedGraphTest, UnitCostCopyKeepsTopology) {
+  WeightedGraphBuilder b(3);
+  b.AddEdge(0, 1, 7.5);
+  b.AddEdge(1, 2, 0.25);
+  b.SetNodeWeight(1, 4.0);
+  WeightedGraph g = b.Build();
+  WeightedGraph unit = UnitCostCopy(g);
+  EXPECT_EQ(unit.num_nodes(), 3u);
+  EXPECT_EQ(unit.num_edges(), 2u);
+  EXPECT_DOUBLE_EQ(unit.EdgeCost(0, 1), 1.0);
+  EXPECT_DOUBLE_EQ(unit.EdgeCost(1, 2), 1.0);
+  EXPECT_DOUBLE_EQ(unit.NodeWeight(1), 4.0);
+  EXPECT_EQ(unit.EdgeCost(0, 2), kInf);
 }
 
 // -------------------------------------------------------------- Dijkstra
 
 WeightedGraph Chain(const std::vector<double>& edge_costs,
                     const std::vector<double>& node_weights) {
-  WeightedGraph g(node_weights.size());
+  WeightedGraphBuilder b(node_weights.size());
   for (size_t i = 0; i < node_weights.size(); ++i) {
-    g.SetNodeWeight(static_cast<uint32_t>(i), node_weights[i]);
+    b.SetNodeWeight(static_cast<uint32_t>(i), node_weights[i]);
   }
   for (size_t i = 0; i < edge_costs.size(); ++i) {
-    g.AddEdge(static_cast<uint32_t>(i), static_cast<uint32_t>(i + 1),
+    b.AddEdge(static_cast<uint32_t>(i), static_cast<uint32_t>(i + 1),
               edge_costs[i]);
   }
-  return g;
+  return b.Build();
 }
 
 TEST(DijkstraTest, ChainDistancesIncludeNodeWeights) {
@@ -80,37 +117,50 @@ TEST(DijkstraTest, NodeWeightsCanBeDisabled) {
 
 TEST(DijkstraTest, HeavyNodeIsRoutedAround) {
   // 0-1-3 via cheap edges but heavy node 1; 0-2-3 longer edges, light node.
-  WeightedGraph g(4);
-  g.AddEdge(0, 1, 1.0);
-  g.AddEdge(1, 3, 1.0);
-  g.AddEdge(0, 2, 2.0);
-  g.AddEdge(2, 3, 2.0);
-  g.SetNodeWeight(1, 50.0);
-  g.SetNodeWeight(2, 1.0);
+  WeightedGraphBuilder b(4);
+  b.AddEdge(0, 1, 1.0);
+  b.AddEdge(1, 3, 1.0);
+  b.AddEdge(0, 2, 2.0);
+  b.AddEdge(2, 3, 2.0);
+  b.SetNodeWeight(1, 50.0);
+  b.SetNodeWeight(2, 1.0);
+  WeightedGraph g = b.Build();
   ShortestPathTree t = Dijkstra(g, 0);
   EXPECT_EQ(t.PathTo(3), (std::vector<uint32_t>{0, 2, 3}));
 }
 
 TEST(DijkstraTest, UnreachableNodes) {
-  WeightedGraph g(3);
-  g.AddEdge(0, 1, 1.0);
+  WeightedGraphBuilder b(3);
+  b.AddEdge(0, 1, 1.0);
+  WeightedGraph g = b.Build();
   ShortestPathTree t = Dijkstra(g, 0);
   EXPECT_EQ(t.dist[2], kInf);
   EXPECT_TRUE(t.PathTo(2).empty());
 }
 
 TEST(DijkstraTest, PathToSelf) {
-  WeightedGraph g(2);
-  g.AddEdge(0, 1, 1.0);
+  WeightedGraphBuilder b(2);
+  b.AddEdge(0, 1, 1.0);
+  WeightedGraph g = b.Build();
   ShortestPathTree t = Dijkstra(g, 0);
   EXPECT_EQ(t.PathTo(0), (std::vector<uint32_t>{0}));
 }
 
 TEST(DijkstraTest, InvalidSourceYieldsAllUnreachable) {
-  WeightedGraph g(2);
-  g.AddEdge(0, 1, 1.0);
+  WeightedGraphBuilder b(2);
+  b.AddEdge(0, 1, 1.0);
+  WeightedGraph g = b.Build();
   ShortestPathTree t = Dijkstra(g, 7);
   EXPECT_EQ(t.dist[0], kInf);
+}
+
+TEST(DijkstraTest, StatsCountWork) {
+  WeightedGraph g = Chain({1.0, 2.0, 3.0}, {0.0, 0.0, 0.0, 0.0});
+  SteinerStats stats;
+  Dijkstra(g, 0, true, &stats);
+  EXPECT_EQ(stats.nodes_settled, 4u);
+  EXPECT_GE(stats.heap_pushes, 4u);
+  EXPECT_EQ(stats.dijkstra_runs, 1u);
 }
 
 TEST(DijkstraTest, MatchesBruteForceOnRandomGraphs) {
@@ -118,9 +168,9 @@ TEST(DijkstraTest, MatchesBruteForceOnRandomGraphs) {
   Rng rng(404);
   for (int trial = 0; trial < 20; ++trial) {
     const uint32_t n = 12;
-    WeightedGraph g(n);
+    WeightedGraphBuilder b(n);
     for (uint32_t v = 0; v < n; ++v) {
-      g.SetNodeWeight(v, rng.UniformDouble(0.0, 5.0));
+      b.SetNodeWeight(v, rng.UniformDouble(0.0, 5.0));
     }
     std::set<std::pair<uint32_t, uint32_t>> used;
     for (int e = 0; e < 25; ++e) {
@@ -128,8 +178,9 @@ TEST(DijkstraTest, MatchesBruteForceOnRandomGraphs) {
       uint32_t v = static_cast<uint32_t>(rng.NextBounded(n));
       if (u == v) continue;
       if (!used.insert({std::min(u, v), std::max(u, v)}).second) continue;
-      g.AddEdge(u, v, rng.UniformDouble(0.1, 4.0));
+      b.AddEdge(u, v, rng.UniformDouble(0.1, 4.0));
     }
+    WeightedGraph g = b.Build();
     ShortestPathTree t = Dijkstra(g, 0);
     // Bellman-Ford over the same relaxation rule.
     std::vector<double> dist(n, kInf);
@@ -151,6 +202,70 @@ TEST(DijkstraTest, MatchesBruteForceOnRandomGraphs) {
       }
     }
   }
+}
+
+// -------------------------------------------------- MultiSourceDijkstra
+
+TEST(MultiSourceDijkstraTest, VoronoiCellsAndDistances) {
+  // 0 - 1 - 2 - 3 - 4 chain, sources {0, 4}.
+  WeightedGraph g = Chain({1.0, 1.0, 1.0, 1.0}, {0, 0, 0, 0, 0});
+  VoronoiPartition vp = MultiSourceDijkstra(g, {0, 4}, false);
+  EXPECT_DOUBLE_EQ(vp.dist[0], 0.0);
+  EXPECT_DOUBLE_EQ(vp.dist[4], 0.0);
+  EXPECT_EQ(vp.source[0], 0u);
+  EXPECT_EQ(vp.source[4], 1u);
+  EXPECT_EQ(vp.source[1], 0u);
+  EXPECT_EQ(vp.source[3], 1u);
+  EXPECT_DOUBLE_EQ(vp.dist[1], 1.0);
+  EXPECT_DOUBLE_EQ(vp.dist[3], 1.0);
+  // Node 2 is equidistant; it belongs to exactly one of the two cells.
+  EXPECT_DOUBLE_EQ(vp.dist[2], 2.0);
+  EXPECT_TRUE(vp.source[2] == 0u || vp.source[2] == 1u);
+}
+
+TEST(MultiSourceDijkstraTest, MatchesPerSourceMinimum) {
+  Rng rng(909);
+  for (int trial = 0; trial < 10; ++trial) {
+    const uint32_t n = 14;
+    WeightedGraphBuilder b(n);
+    for (uint32_t v = 0; v < n; ++v) {
+      b.SetNodeWeight(v, rng.UniformDouble(0.0, 2.0));
+    }
+    for (uint32_t i = 0; i < n; ++i) {
+      b.AddEdge(i, (i + 1) % n, rng.UniformDouble(0.2, 3.0));
+    }
+    for (int e = 0; e < 10; ++e) {
+      uint32_t u = static_cast<uint32_t>(rng.NextBounded(n));
+      uint32_t v = static_cast<uint32_t>(rng.NextBounded(n));
+      if (u != v) b.AddEdge(u, v, rng.UniformDouble(0.2, 3.0));
+    }
+    WeightedGraph g = b.Build();
+    std::vector<uint32_t> sources = {1, 5, 9};
+    VoronoiPartition vp = MultiSourceDijkstra(g, sources, true);
+    std::vector<ShortestPathTree> trees;
+    for (uint32_t s : sources) trees.push_back(Dijkstra(g, s, true));
+    for (uint32_t v = 0; v < n; ++v) {
+      double best = kInf;
+      for (const auto& t : trees) best = std::min(best, t.dist[v]);
+      EXPECT_NEAR(vp.dist[v], best, 1e-9) << "node " << v;
+      // The owning cell achieves the minimum distance.
+      ASSERT_NE(vp.source[v], UINT32_MAX);
+      EXPECT_NEAR(trees[vp.source[v]].dist[v], best, 1e-9);
+    }
+  }
+}
+
+TEST(MultiSourceDijkstraTest, UnreachableAndPathFromSource) {
+  WeightedGraphBuilder b(5);
+  b.AddEdge(0, 1, 1.0);
+  b.AddEdge(1, 2, 1.0);
+  // 3, 4 disconnected island.
+  b.AddEdge(3, 4, 1.0);
+  WeightedGraph g = b.Build();
+  VoronoiPartition vp = MultiSourceDijkstra(g, {0}, false);
+  EXPECT_EQ(vp.source[3], UINT32_MAX);
+  EXPECT_TRUE(vp.PathFromSource(3).empty());
+  EXPECT_EQ(vp.PathFromSource(2), (std::vector<uint32_t>{0, 1, 2}));
 }
 
 // ------------------------------------------------------------------- MST
@@ -189,12 +304,12 @@ TEST(PrimTest, MatchesKruskalCostOnRandomGraphs) {
   Rng rng(505);
   for (int trial = 0; trial < 15; ++trial) {
     const uint32_t n = 10;
-    WeightedGraph g(n);
+    WeightedGraphBuilder b(n);
     std::vector<Edge> edges;
     // Ring + chords guarantees connectivity.
     for (uint32_t i = 0; i < n; ++i) {
       double c = rng.UniformDouble(0.1, 3.0);
-      g.AddEdge(i, (i + 1) % n, c);
+      b.AddEdge(i, (i + 1) % n, c);
       edges.push_back({i, (i + 1) % n, c});
     }
     for (int e = 0; e < 8; ++e) {
@@ -202,9 +317,10 @@ TEST(PrimTest, MatchesKruskalCostOnRandomGraphs) {
       uint32_t v = static_cast<uint32_t>(rng.NextBounded(n));
       if (u == v) continue;
       double c = rng.UniformDouble(0.1, 3.0);
-      g.AddEdge(u, v, c);
+      b.AddEdge(u, v, c);
       edges.push_back({u, v, c});
     }
+    WeightedGraph g = b.Build();
     auto prim = PrimMst(g, 0);
     auto kruskal = KruskalMst(n, edges);
     ASSERT_EQ(prim.size(), n - 1);
@@ -217,13 +333,37 @@ TEST(PrimTest, MatchesKruskalCostOnRandomGraphs) {
 }
 
 TEST(PrimTest, CoversOnlyStartComponent) {
-  WeightedGraph g(4);
-  g.AddEdge(0, 1, 1.0);
-  g.AddEdge(2, 3, 1.0);
+  WeightedGraphBuilder b(4);
+  b.AddEdge(0, 1, 1.0);
+  b.AddEdge(2, 3, 1.0);
+  WeightedGraph g = b.Build();
   EXPECT_EQ(PrimMst(g, 0).size(), 1u);
 }
 
 // ----------------------------------------------------------------- NEWST
+//
+// Every NEWST behaviour test runs in BOTH closure modes: the Mehlhorn
+// single-pass construction is the default hot path, the classic
+// per-terminal closure the verification mode — they must agree on all of
+// these deterministic instances.
+
+class NewstTest : public ::testing::TestWithParam<ClosureMode> {
+ protected:
+  NewstOptions Options() const {
+    NewstOptions o;
+    o.closure_mode = GetParam();
+    return o;
+  }
+};
+
+INSTANTIATE_TEST_SUITE_P(BothClosureModes, NewstTest,
+                         ::testing::Values(ClosureMode::kMehlhorn,
+                                           ClosureMode::kClassic),
+                         [](const auto& info) {
+                           return info.param == ClosureMode::kMehlhorn
+                                      ? "Mehlhorn"
+                                      : "Classic";
+                         });
 
 /// Validates that a SteinerResult is a forest spanning the terminals.
 void CheckTreeInvariants(const WeightedGraph& g, const SteinerResult& r,
@@ -245,53 +385,57 @@ void CheckTreeInvariants(const WeightedGraph& g, const SteinerResult& r,
   }
 }
 
-TEST(NewstTest, SingleTerminalIsTrivial) {
-  WeightedGraph g(3);
-  g.AddEdge(0, 1, 1.0);
-  auto r = SolveNewst(g, {1});
+TEST_P(NewstTest, SingleTerminalIsTrivial) {
+  WeightedGraphBuilder b(3);
+  b.AddEdge(0, 1, 1.0);
+  WeightedGraph g = b.Build();
+  auto r = SolveNewst(g, {1}, Options());
   ASSERT_TRUE(r.ok());
   EXPECT_EQ(r->nodes, (std::vector<uint32_t>{1}));
   EXPECT_TRUE(r->edges.empty());
 }
 
-TEST(NewstTest, TwoTerminalsUseShortestPath) {
+TEST_P(NewstTest, TwoTerminalsUseShortestPath) {
   // 0 - 1 - 2 with cheap middle vs direct expensive edge.
-  WeightedGraph g(3);
-  g.AddEdge(0, 1, 1.0);
-  g.AddEdge(1, 2, 1.0);
-  g.AddEdge(0, 2, 10.0);
-  auto r = SolveNewst(g, {0, 2});
+  WeightedGraphBuilder b(3);
+  b.AddEdge(0, 1, 1.0);
+  b.AddEdge(1, 2, 1.0);
+  b.AddEdge(0, 2, 10.0);
+  WeightedGraph g = b.Build();
+  auto r = SolveNewst(g, {0, 2}, Options());
   ASSERT_TRUE(r.ok());
   EXPECT_EQ(r->nodes, (std::vector<uint32_t>{0, 1, 2}));
   EXPECT_EQ(r->edges.size(), 2u);
   CheckTreeInvariants(g, r.value(), {0, 2});
 }
 
-TEST(NewstTest, NodeWeightSteersSteinerPoint) {
+TEST_P(NewstTest, NodeWeightSteersSteinerPoint) {
   // Terminals 0, 2; two possible connectors: 1 (heavy) and 3 (light).
-  WeightedGraph g(4);
-  g.AddEdge(0, 1, 1.0);
-  g.AddEdge(1, 2, 1.0);
-  g.AddEdge(0, 3, 1.0);
-  g.AddEdge(3, 2, 1.0);
-  g.SetNodeWeight(1, 100.0);
-  g.SetNodeWeight(3, 0.5);
-  auto r = SolveNewst(g, {0, 2});
+  WeightedGraphBuilder b(4);
+  b.AddEdge(0, 1, 1.0);
+  b.AddEdge(1, 2, 1.0);
+  b.AddEdge(0, 3, 1.0);
+  b.AddEdge(3, 2, 1.0);
+  b.SetNodeWeight(1, 100.0);
+  b.SetNodeWeight(3, 0.5);
+  WeightedGraph g = b.Build();
+  auto r = SolveNewst(g, {0, 2}, Options());
   ASSERT_TRUE(r.ok());
   EXPECT_TRUE(std::find(r->nodes.begin(), r->nodes.end(), 3) != r->nodes.end());
   EXPECT_TRUE(std::find(r->nodes.begin(), r->nodes.end(), 1) == r->nodes.end());
 }
 
-TEST(NewstTest, DisablingNodeWeightsChangesChoice) {
-  WeightedGraph g(4);
-  g.AddEdge(0, 1, 1.0);
-  g.AddEdge(1, 2, 1.0);
-  g.AddEdge(0, 3, 1.5);
-  g.AddEdge(3, 2, 1.5);
-  g.SetNodeWeight(1, 100.0);
+TEST_P(NewstTest, DisablingNodeWeightsChangesChoice) {
+  WeightedGraphBuilder b(4);
+  b.AddEdge(0, 1, 1.0);
+  b.AddEdge(1, 2, 1.0);
+  b.AddEdge(0, 3, 1.5);
+  b.AddEdge(3, 2, 1.5);
+  b.SetNodeWeight(1, 100.0);
+  WeightedGraph g = b.Build();
   // With node weights: route via 3. Without: via 1 (cheaper edges).
-  auto with = SolveNewst(g, {0, 2});
-  NewstOptions options;
+  auto with = SolveNewst(g, {0, 2}, Options());
+  NewstOptions options = Options();
   options.use_node_weights = false;
   auto without = SolveNewst(g, {0, 2}, options);
   ASSERT_TRUE(with.ok() && without.ok());
@@ -301,13 +445,14 @@ TEST(NewstTest, DisablingNodeWeightsChangesChoice) {
               without->nodes.end());
 }
 
-TEST(NewstTest, DisablingEdgeWeightsUsesFewestHops) {
+TEST_P(NewstTest, DisablingEdgeWeightsUsesFewestHops) {
   // Path 0-1-2 has 2 cheap hops; direct 0-2 is expensive but 1 hop.
-  WeightedGraph g(3);
-  g.AddEdge(0, 1, 0.1);
-  g.AddEdge(1, 2, 0.1);
-  g.AddEdge(0, 2, 9.0);
-  NewstOptions options;
+  WeightedGraphBuilder b(3);
+  b.AddEdge(0, 1, 0.1);
+  b.AddEdge(1, 2, 0.1);
+  b.AddEdge(0, 2, 9.0);
+  WeightedGraph g = b.Build();
+  NewstOptions options = Options();
   options.use_edge_weights = false;
   auto r = SolveNewst(g, {0, 2}, options);
   ASSERT_TRUE(r.ok());
@@ -315,73 +460,98 @@ TEST(NewstTest, DisablingEdgeWeightsUsesFewestHops) {
   EXPECT_EQ(r->nodes, (std::vector<uint32_t>{0, 2}));
 }
 
-TEST(NewstTest, StarTerminalsShareTheHub) {
+TEST_P(NewstTest, StarTerminalsShareTheHub) {
   // Terminals 1, 2, 3 all attach to hub 0.
-  WeightedGraph g(4);
-  g.AddEdge(0, 1, 1.0);
-  g.AddEdge(0, 2, 1.0);
-  g.AddEdge(0, 3, 1.0);
-  auto r = SolveNewst(g, {1, 2, 3});
+  WeightedGraphBuilder b(4);
+  b.AddEdge(0, 1, 1.0);
+  b.AddEdge(0, 2, 1.0);
+  b.AddEdge(0, 3, 1.0);
+  WeightedGraph g = b.Build();
+  auto r = SolveNewst(g, {1, 2, 3}, Options());
   ASSERT_TRUE(r.ok());
   EXPECT_EQ(r->nodes.size(), 4u);
   EXPECT_EQ(r->edges.size(), 3u);
   CheckTreeInvariants(g, r.value(), {1, 2, 3});
 }
 
-TEST(NewstTest, PrunesNonTerminalLeaves) {
+TEST_P(NewstTest, PrunesNonTerminalLeaves) {
   // A dangling high-value path must not survive in the tree.
-  WeightedGraph g(4);
-  g.AddEdge(0, 1, 1.0);
-  g.AddEdge(1, 2, 1.0);
-  g.AddEdge(1, 3, 0.01);  // tempting but dangling
-  auto r = SolveNewst(g, {0, 2});
+  WeightedGraphBuilder b(4);
+  b.AddEdge(0, 1, 1.0);
+  b.AddEdge(1, 2, 1.0);
+  b.AddEdge(1, 3, 0.01);  // tempting but dangling
+  WeightedGraph g = b.Build();
+  auto r = SolveNewst(g, {0, 2}, Options());
   ASSERT_TRUE(r.ok());
   EXPECT_TRUE(std::find(r->nodes.begin(), r->nodes.end(), 3) == r->nodes.end());
 }
 
-TEST(NewstTest, DuplicateTerminalsCollapse) {
-  WeightedGraph g(2);
-  g.AddEdge(0, 1, 1.0);
-  auto r = SolveNewst(g, {0, 0, 1, 1});
+TEST_P(NewstTest, DuplicateTerminalsCollapse) {
+  WeightedGraphBuilder b(2);
+  b.AddEdge(0, 1, 1.0);
+  WeightedGraph g = b.Build();
+  auto r = SolveNewst(g, {0, 0, 1, 1}, Options());
   ASSERT_TRUE(r.ok());
   EXPECT_EQ(r->nodes.size(), 2u);
   EXPECT_EQ(r->edges.size(), 1u);
 }
 
-TEST(NewstTest, EmptyTerminalsRejected) {
-  WeightedGraph g(2);
-  g.AddEdge(0, 1, 1.0);
-  EXPECT_TRUE(SolveNewst(g, {}).status().IsInvalidArgument());
+TEST_P(NewstTest, EmptyTerminalsRejected) {
+  WeightedGraphBuilder b(2);
+  b.AddEdge(0, 1, 1.0);
+  WeightedGraph g = b.Build();
+  EXPECT_TRUE(SolveNewst(g, {}, Options()).status().IsInvalidArgument());
 }
 
-TEST(NewstTest, OutOfRangeTerminalRejected) {
-  WeightedGraph g(2);
-  g.AddEdge(0, 1, 1.0);
-  EXPECT_TRUE(SolveNewst(g, {5}).status().IsInvalidArgument());
+TEST_P(NewstTest, OutOfRangeTerminalRejected) {
+  WeightedGraphBuilder b(2);
+  b.AddEdge(0, 1, 1.0);
+  WeightedGraph g = b.Build();
+  EXPECT_TRUE(SolveNewst(g, {5}, Options()).status().IsInvalidArgument());
 }
 
-TEST(NewstTest, DisconnectedTerminalsReportUnreachable) {
-  WeightedGraph g(4);
-  g.AddEdge(0, 1, 1.0);
-  g.AddEdge(2, 3, 1.0);
-  auto r = SolveNewst(g, {0, 1, 2, 3});
+TEST_P(NewstTest, DisconnectedTerminalsReportUnreachable) {
+  WeightedGraphBuilder b(4);
+  b.AddEdge(0, 1, 1.0);
+  b.AddEdge(2, 3, 1.0);
+  WeightedGraph g = b.Build();
+  auto r = SolveNewst(g, {0, 1, 2, 3}, Options());
   ASSERT_TRUE(r.ok());
   // Forest spans both islands; terminals outside component of 0 reported.
   EXPECT_EQ(r->edges.size(), 2u);
   EXPECT_EQ(r->unreachable_terminals, (std::vector<uint32_t>{2, 3}));
 }
 
-TEST(NewstTest, TotalCostMatchesTreeCost) {
-  WeightedGraph g(5);
-  g.AddEdge(0, 1, 1.0);
-  g.AddEdge(1, 2, 2.0);
-  g.AddEdge(2, 3, 1.5);
-  g.AddEdge(3, 4, 0.5);
-  g.AddEdge(0, 4, 10.0);
-  for (uint32_t v = 0; v < 5; ++v) g.SetNodeWeight(v, 0.25 * (v + 1));
-  auto r = SolveNewst(g, {0, 2, 4});
+TEST_P(NewstTest, TotalCostMatchesTreeCost) {
+  WeightedGraphBuilder b(5);
+  b.AddEdge(0, 1, 1.0);
+  b.AddEdge(1, 2, 2.0);
+  b.AddEdge(2, 3, 1.5);
+  b.AddEdge(3, 4, 0.5);
+  b.AddEdge(0, 4, 10.0);
+  for (uint32_t v = 0; v < 5; ++v) b.SetNodeWeight(v, 0.25 * (v + 1));
+  WeightedGraph g = b.Build();
+  auto r = SolveNewst(g, {0, 2, 4}, Options());
   ASSERT_TRUE(r.ok());
   EXPECT_NEAR(r->total_cost, g.TreeCost(r->edges), 1e-9);
+}
+
+TEST_P(NewstTest, StatsReflectClosureWork) {
+  WeightedGraphBuilder b(6);
+  for (uint32_t i = 0; i + 1 < 6; ++i) b.AddEdge(i, i + 1, 1.0);
+  WeightedGraph g = b.Build();
+  auto r = SolveNewst(g, {0, 2, 5}, Options());
+  ASSERT_TRUE(r.ok());
+  EXPECT_GT(r->stats.nodes_settled, 0u);
+  EXPECT_GT(r->stats.heap_pushes, 0u);
+  EXPECT_GT(r->stats.closure_edges, 0u);
+  EXPECT_GE(r->stats.closure_seconds, 0.0);
+  // One multi-source run vs one per terminal.
+  if (GetParam() == ClosureMode::kMehlhorn) {
+    EXPECT_EQ(r->stats.dijkstra_runs, 1u);
+  } else {
+    EXPECT_EQ(r->stats.dijkstra_runs, 3u);
+  }
 }
 
 /// Brute-force optimal Steiner tree by enumerating Steiner-node subsets
@@ -429,29 +599,30 @@ double BruteForceSteinerCost(const WeightedGraph& g,
   return best;
 }
 
-TEST(NewstTest, WithinKmbBoundOfOptimumOnRandomGraphs) {
+TEST_P(NewstTest, WithinKmbBoundOfOptimumOnRandomGraphs) {
   Rng rng(606);
   int solved = 0;
   for (int trial = 0; trial < 25; ++trial) {
     const uint32_t n = 9;
-    WeightedGraph g(n);
+    WeightedGraphBuilder b(n);
     for (uint32_t v = 0; v < n; ++v) {
-      g.SetNodeWeight(v, rng.UniformDouble(0.0, 2.0));
+      b.SetNodeWeight(v, rng.UniformDouble(0.0, 2.0));
     }
     // Ring for connectivity + random chords.
     for (uint32_t i = 0; i < n; ++i) {
-      g.AddEdge(i, (i + 1) % n, rng.UniformDouble(0.2, 3.0));
+      b.AddEdge(i, (i + 1) % n, rng.UniformDouble(0.2, 3.0));
     }
     for (int e = 0; e < 6; ++e) {
       uint32_t u = static_cast<uint32_t>(rng.NextBounded(n));
       uint32_t v = static_cast<uint32_t>(rng.NextBounded(n));
-      if (u != v) g.AddEdge(u, v, rng.UniformDouble(0.2, 3.0));
+      if (u != v) b.AddEdge(u, v, rng.UniformDouble(0.2, 3.0));
     }
+    WeightedGraph g = b.Build();
     std::vector<uint32_t> terminals;
     for (uint64_t t : rng.SampleWithoutReplacement(n, 3)) {
       terminals.push_back(static_cast<uint32_t>(t));
     }
-    auto r = SolveNewst(g, terminals);
+    auto r = SolveNewst(g, terminals, Options());
     ASSERT_TRUE(r.ok());
     CheckTreeInvariants(g, r.value(), terminals);
     double opt = BruteForceSteinerCost(g, terminals, /*node_weights=*/true);

@@ -1,0 +1,43 @@
+#ifndef RPG_TESTS_STEINER_TEST_GRAPHS_H_
+#define RPG_TESTS_STEINER_TEST_GRAPHS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "steiner/weighted_graph.h"
+
+namespace rpg::steiner {
+
+/// Random connected graph: a ring (guaranteeing connectivity) plus
+/// `extra_edges` random chords, with random node weights. Shared by the
+/// Steiner solver test suites.
+inline WeightedGraph RandomConnected(Rng* rng, uint32_t n, int extra_edges) {
+  WeightedGraphBuilder b(n);
+  for (uint32_t v = 0; v < n; ++v) {
+    b.SetNodeWeight(v, rng->UniformDouble(0.0, 2.0));
+  }
+  for (uint32_t i = 0; i < n; ++i) {
+    b.AddEdge(i, (i + 1) % n, rng->UniformDouble(0.2, 3.0));
+  }
+  for (int e = 0; e < extra_edges; ++e) {
+    uint32_t u = static_cast<uint32_t>(rng->NextBounded(n));
+    uint32_t v = static_cast<uint32_t>(rng->NextBounded(n));
+    if (u != v) b.AddEdge(u, v, rng->UniformDouble(0.2, 3.0));
+  }
+  return b.Build();
+}
+
+/// k distinct random terminals in [0, n).
+inline std::vector<uint32_t> RandomTerminals(Rng* rng, uint32_t n,
+                                             uint32_t k) {
+  std::vector<uint32_t> terminals;
+  for (uint64_t t : rng->SampleWithoutReplacement(n, k)) {
+    terminals.push_back(static_cast<uint32_t>(t));
+  }
+  return terminals;
+}
+
+}  // namespace rpg::steiner
+
+#endif  // RPG_TESTS_STEINER_TEST_GRAPHS_H_
