@@ -28,6 +28,7 @@
 #include "common/string_util.h"
 #include "common/table_printer.h"
 #include "common/timer.h"
+#include "core/batch_engine.h"
 #include "core/repager.h"
 #include "eval/evaluator.h"
 #include "graph/subgraph.h"
@@ -288,6 +289,126 @@ int main(int argc, char** argv) {
     std::printf("\nworst-case closure speedup (Mehlhorn vs classic): %.1fx\n",
                 worst_closure_speedup);
   }
+
+  // --- Batched end-to-end: serial Generate vs BatchEngine --------------
+  // The whole evaluation sample (twice, so the pool has enough work per
+  // worker) at the default 30 seeds, swept over 1/2/4/8 threads with
+  // per-worker scratch reuse on and off. Per-query results must be
+  // bit-identical to serial.
+  std::printf("\n=== Batched query engine: serial vs BatchEngine "
+              "(1/2/4/8 threads, scratch on/off) ===\n");
+  std::vector<core::BatchQuery> batch_queries;
+  const size_t batch_sample = std::min<size_t>(g_sample.size(), 20);
+  for (int rep = 0; rep < 2; ++rep) {
+    for (size_t i = 0; i < batch_sample; ++i) {
+      const auto& entry = g_wb->bank().Get(g_sample[i]);
+      core::BatchQuery q;
+      q.query = entry.query;
+      q.options.num_initial_seeds = 30;
+      q.options.year_cutoff = entry.year;
+      q.options.exclude = {entry.paper};
+      batch_queries.push_back(std::move(q));
+    }
+  }
+
+  // Serial baseline: plain Generate per query (fresh scratch every call,
+  // the pre-batching behaviour).
+  std::vector<core::RePagerResult> serial_results;
+  serial_results.reserve(batch_queries.size());
+  Timer serial_timer;
+  for (const auto& q : batch_queries) {
+    auto r = g_wb->repager().Generate(q.query, q.options);
+    if (!r.ok()) {
+      std::fprintf(stderr, "serial batch query failed: %s\n",
+                   r.status().ToString().c_str());
+      std::exit(1);
+    }
+    serial_results.push_back(std::move(r).value());
+  }
+  double serial_seconds = serial_timer.ElapsedSeconds();
+
+  // Serial + one reused scratch: isolates the allocation-reuse win from
+  // the threading win.
+  {
+    core::QueryScratch scratch;
+    // Mirror the serial baseline's timed work exactly (Generate + store);
+    // the identity check runs after the clock stops.
+    std::vector<core::RePagerResult> scratch_results;
+    scratch_results.reserve(batch_queries.size());
+    Timer t;
+    for (const auto& q : batch_queries) {
+      auto r = g_wb->repager().Generate(q.query, q.options, &scratch);
+      if (!r.ok()) {
+        std::fprintf(stderr, "serial+scratch query failed: %s\n",
+                     r.status().ToString().c_str());
+        std::exit(1);
+      }
+      scratch_results.push_back(std::move(r).value());
+    }
+    double scratch_seconds = t.ElapsedSeconds();
+    for (size_t i = 0; i < scratch_results.size(); ++i) {
+      if (scratch_results[i].ranked != serial_results[i].ranked) {
+        std::fprintf(stderr,
+                     "serial+scratch results diverged at query %zu\n", i);
+        std::exit(1);
+      }
+    }
+    std::printf("serial: %.3fs   serial+scratch: %.3fs (%.2fx)\n",
+                serial_seconds, scratch_seconds,
+                scratch_seconds > 0 ? serial_seconds / scratch_seconds : 0.0);
+    json.Key("batched").BeginObject();
+    json.Key("num_queries").UInt(batch_queries.size());
+    json.Key("serial_seconds").Double(serial_seconds);
+    json.Key("serial_scratch_seconds").Double(scratch_seconds);
+  }
+
+  TablePrinter batch_table({"threads", "scratch", "seconds", "speedup",
+                            "identical"});
+  json.Key("runs").BeginArray();
+  for (int threads : {1, 2, 4, 8}) {
+    for (bool reuse_scratch : {true, false}) {
+      core::BatchEngineOptions be_options;
+      be_options.num_threads = threads;
+      be_options.reuse_scratch = reuse_scratch;
+      core::BatchEngine engine(&g_wb->repager(), be_options);
+      core::BatchResult batch = engine.Run(batch_queries);
+      bool identical = batch.num_ok == batch_queries.size();
+      for (size_t i = 0; identical && i < batch.results.size(); ++i) {
+        const auto& r = batch.results[i];
+        identical = r.ok() && r->ranked == serial_results[i].ranked &&
+                    r->path.nodes() == serial_results[i].path.nodes() &&
+                    r->path.edges() == serial_results[i].path.edges();
+      }
+      double speedup =
+          batch.wall_seconds > 0 ? serial_seconds / batch.wall_seconds : 0.0;
+      batch_table.AddRow({std::to_string(threads),
+                          reuse_scratch ? "on" : "off",
+                          FormatDouble(batch.wall_seconds, 3),
+                          FormatDouble(speedup, 2),
+                          identical ? "yes" : "NO"});
+      json.BeginObject();
+      json.Key("threads").Int(threads);
+      json.Key("reuse_scratch").Bool(reuse_scratch);
+      json.Key("seconds").Double(batch.wall_seconds);
+      json.Key("speedup").Double(speedup);
+      json.Key("identical").Bool(identical);
+      json.Key("sum_query_seconds").Double(batch.sum_query_seconds);
+      json.Key("steiner_nodes_settled")
+          .UInt(batch.steiner_stats.nodes_settled);
+      json.EndObject();
+      if (!identical) {
+        std::fprintf(stderr,
+                     "batched results diverged from serial (threads=%d, "
+                     "scratch=%d)\n",
+                     threads, reuse_scratch ? 1 : 0);
+        std::exit(1);
+      }
+    }
+  }
+  json.EndArray();
+  json.EndObject();  // batched
+  batch_table.Print(std::cout);
+
   json.EndObject();
 
   std::ofstream out("BENCH_table4.json");

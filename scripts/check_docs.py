@@ -1,0 +1,85 @@
+#!/usr/bin/env python3
+"""Checks that documentation references point at things that exist.
+
+Scans the backtick-quoted tokens in README.md and docs/benchmarks.md and
+fails (exit 1) when one references a missing file/directory, an unknown
+bench binary (`bench_*` must have bench/<name>.cpp), or an unknown test
+binary (`rpg_<dir>_test` must have tests/<dir>/). Wired into the tier-1
+flow as the `docs_check` ctest and the `docs_check` build target, so docs
+rot is caught the same way a failing unit test is.
+
+Run from the repository root: python3 scripts/check_docs.py
+"""
+
+import itertools
+import re
+import sys
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+DOC_FILES = ["README.md", "docs/benchmarks.md"]
+
+# Backticked tokens that look like repo paths must exist on disk.
+PATH_PREFIXES = ("src/", "tests/", "bench/", "docs/", "examples/", "scripts/")
+PATH_RE = re.compile(r"^[A-Za-z0-9_.{},/-]+$")
+
+
+def expand_braces(token: str):
+    """repager.{h,cc} -> [repager.h, repager.cc]; nested braces unsupported."""
+    m = re.search(r"\{([^{}]*)\}", token)
+    if not m:
+        return [token]
+    head, tail = token[: m.start()], token[m.end():]
+    return list(
+        itertools.chain.from_iterable(
+            expand_braces(head + alt + tail) for alt in m.group(1).split(",")
+        )
+    )
+
+
+def check_token(token: str):
+    """Returns a list of problems for one backticked token."""
+    problems = []
+    if token.startswith(PATH_PREFIXES) and PATH_RE.match(token):
+        for path in expand_braces(token):
+            target = ROOT / path.rstrip("/")
+            if not target.exists():
+                problems.append(f"path `{token}` -> missing {path}")
+    elif re.fullmatch(r"bench_[a-z0-9_]+", token):
+        if not (ROOT / "bench" / f"{token}.cpp").exists():
+            problems.append(f"bench target `{token}` has no bench/{token}.cpp")
+    elif re.fullmatch(r"rpg_([a-z0-9]+)_test", token):
+        suite = re.fullmatch(r"rpg_([a-z0-9]+)_test", token).group(1)
+        if not (ROOT / "tests" / suite).is_dir():
+            problems.append(f"test binary `{token}` has no tests/{suite}/")
+    return problems
+
+
+def main() -> int:
+    failures = []
+    for doc in DOC_FILES:
+        doc_path = ROOT / doc
+        if not doc_path.exists():
+            failures.append(f"{doc}: file missing")
+            continue
+        text = doc_path.read_text(encoding="utf-8")
+        # Strip fenced code blocks (commands there may reference build
+        # outputs that only exist after a build), preserving line numbers.
+        text = re.sub(
+            r"```.*?```", lambda m: "\n" * m.group(0).count("\n"), text,
+            flags=re.S)
+        for line_no, line in enumerate(text.splitlines(), 1):
+            for token in re.findall(r"`([^`\n]+)`", line):
+                for problem in check_token(token.strip()):
+                    failures.append(f"{doc}:{line_no}: {problem}")
+    if failures:
+        print("docs_check FAILED:", file=sys.stderr)
+        for f in failures:
+            print(f"  {f}", file=sys.stderr)
+        return 1
+    print(f"docs_check OK ({', '.join(DOC_FILES)})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,83 @@
+#include "core/batch_engine.h"
+
+#include <algorithm>
+#include <atomic>
+#include <exception>
+#include <future>
+
+#include "common/logging.h"
+#include "common/timer.h"
+
+namespace rpg::core {
+
+namespace {
+
+size_t ResolveThreads(int requested) {
+  if (requested > 0) return static_cast<size_t>(requested);
+  unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : hw;
+}
+
+}  // namespace
+
+BatchEngine::BatchEngine(const RePaGer* repager, BatchEngineOptions options)
+    : repager_(repager),
+      options_(options),
+      pool_(ResolveThreads(options.num_threads)) {
+  RPG_CHECK(repager_ != nullptr);
+}
+
+BatchResult BatchEngine::Run(const std::vector<BatchQuery>& queries) {
+  Timer wall;
+  BatchResult batch;
+  batch.results.assign(queries.size(),
+                       Status::Internal("query not executed"));
+
+  // Dynamic scheduling: workers pull the next unclaimed query index.
+  // Queries vary a lot in sub-graph size, so static striping would leave
+  // workers idle at the tail.
+  std::atomic<size_t> next{0};
+  const size_t workers = std::min(pool_.num_threads(), queries.size());
+  std::vector<std::future<void>> done;
+  done.reserve(workers);
+  for (size_t w = 0; w < workers; ++w) {
+    done.push_back(pool_.Submit([this, &queries, &batch, &next] {
+      QueryScratch scratch;
+      for (size_t i = next.fetch_add(1); i < queries.size();
+           i = next.fetch_add(1)) {
+        // Distinct slots: no synchronization needed on the writes.
+        if (options_.reuse_scratch) {
+          batch.results[i] =
+              repager_->Generate(queries[i].query, queries[i].options,
+                                 &scratch);
+        } else {
+          batch.results[i] =
+              repager_->Generate(queries[i].query, queries[i].options);
+        }
+      }
+    }));
+  }
+  // Wait for every worker before (re)throwing: an early rethrow would
+  // unwind and destroy `batch`/`next` while other workers still write
+  // through them.
+  std::exception_ptr first_error;
+  for (std::future<void>& f : done) {
+    try {
+      f.get();
+    } catch (...) {
+      if (!first_error) first_error = std::current_exception();
+    }
+  }
+  if (first_error) std::rethrow_exception(first_error);
+
+  for (const Result<RePagerResult>& r : batch.results) {
+    if (!r.ok()) continue;
+    ++batch.num_ok;
+    batch.sum_query_seconds += r->total_seconds;
+    batch.steiner_stats.Add(r->steiner_stats);
+  }
+  batch.wall_seconds = wall.ElapsedSeconds();
+  return batch;
+}
+
+}  // namespace rpg::core

@@ -1,0 +1,86 @@
+#ifndef RPG_CORE_BATCH_ENGINE_H_
+#define RPG_CORE_BATCH_ENGINE_H_
+
+/// \file
+/// Batched parallel query engine for RePaGer. The paper's serving
+/// scenario is many independent survey queries against one immutable
+/// citation graph — embarrassingly parallel — so BatchEngine fans a batch
+/// of queries across a fixed-size ThreadPool, each worker reusing one
+/// core::QueryScratch so per-query allocations drop to near zero after
+/// warm-up (the dominant cost now that the NEWST solver is fast; see
+/// ROADMAP "Perf — Steiner hot path").
+///
+/// Ownership / thread-safety model:
+///  - The RePaGer (and, through it, the CitationGraph, SearchEngine and
+///    WeightModel) is shared, immutable, and read concurrently by all
+///    workers. It must outlive the BatchEngine.
+///  - Each pool worker owns one QueryScratch for the duration of a
+///    Run(); scratches are never shared between threads.
+///  - Run() may be called repeatedly (the pool persists across batches)
+///    but not concurrently from multiple threads on the same BatchEngine.
+///  - Per-query results are bit-identical to calling
+///    RePaGer::Generate() serially — verified by
+///    tests/core/batch_engine_test.cc.
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/thread_pool.h"
+#include "core/repager.h"
+#include "steiner/stats.h"
+
+namespace rpg::core {
+
+/// One query in a batch: the free-text query plus its pipeline options.
+struct BatchQuery {
+  std::string query;
+  RePagerOptions options;
+};
+
+/// Result of a batch run. `results[i]` corresponds to `queries[i]` —
+/// per-query failures (empty query, no hits, ...) land in their slot
+/// without affecting the rest of the batch.
+struct BatchResult {
+  std::vector<Result<RePagerResult>> results;
+  /// Number of queries that produced a RePagerResult.
+  size_t num_ok = 0;
+  /// Wall-clock seconds for the whole batch (the throughput number).
+  double wall_seconds = 0.0;
+  /// Sum of per-query total_seconds over successful queries — compare
+  /// against wall_seconds to see the parallel speedup.
+  double sum_query_seconds = 0.0;
+  /// NEWST work counters summed over successful queries.
+  steiner::SteinerStats steiner_stats;
+};
+
+struct BatchEngineOptions {
+  /// Worker threads; <= 0 means std::thread::hardware_concurrency().
+  int num_threads = 0;
+  /// When false, every query builds a fresh QueryScratch (the "scratch
+  /// off" ablation in bench_table4_runtime). Keep true in production.
+  bool reuse_scratch = true;
+};
+
+/// Runs batches of independent RePaGer queries on a worker pool.
+class BatchEngine {
+ public:
+  /// `repager` must outlive the engine. Spawns the pool immediately.
+  explicit BatchEngine(const RePaGer* repager, BatchEngineOptions options = {});
+
+  /// Executes all queries and blocks until the batch is complete.
+  /// Query order in the result matches the input; scheduling order
+  /// across workers is unspecified (results are order-independent).
+  BatchResult Run(const std::vector<BatchQuery>& queries);
+
+  size_t num_threads() const { return pool_.num_threads(); }
+
+ private:
+  const RePaGer* repager_;
+  BatchEngineOptions options_;
+  ThreadPool pool_;
+};
+
+}  // namespace rpg::core
+
+#endif  // RPG_CORE_BATCH_ENGINE_H_

@@ -1,8 +1,6 @@
 #include "core/repager.h"
 
 #include <algorithm>
-#include <unordered_map>
-#include <unordered_set>
 
 #include "common/logging.h"
 #include "common/timer.h"
@@ -30,21 +28,38 @@ double RePaGer::Importance(PaperId p) const {
 steiner::WeightedGraph BuildWeightedSubgraph(const graph::Subgraph& sg,
                                              const rank::WeightModel& weights) {
   steiner::WeightedGraphBuilder builder(sg.num_nodes());
-  builder.ReserveEdges(sg.num_edges());
+  steiner::WeightedGraph out;
+  BuildWeightedSubgraph(sg, weights, &builder, &out);
+  return out;
+}
+
+void BuildWeightedSubgraph(const graph::Subgraph& sg,
+                           const rank::WeightModel& weights,
+                           steiner::WeightedGraphBuilder* builder,
+                           steiner::WeightedGraph* out) {
+  builder->Reset(sg.num_nodes());
+  builder->ReserveEdges(sg.num_edges());
   for (uint32_t local = 0; local < sg.num_nodes(); ++local) {
-    builder.SetNodeWeight(local, weights.NodeWeight(sg.ToGlobal(local)));
+    builder->SetNodeWeight(local, weights.NodeWeight(sg.ToGlobal(local)));
     // Out-edges only, so each undirected edge is added exactly once.
     for (uint32_t cited : sg.OutNeighbors(local)) {
       PaperId gu = sg.ToGlobal(local);
       PaperId gv = sg.ToGlobal(cited);
-      builder.AddEdge(local, cited, weights.EdgeCost(gu, gv));
+      builder->AddEdge(local, cited, weights.EdgeCost(gu, gv));
     }
   }
-  return builder.Build();
+  builder->BuildInto(out);
 }
 
 Result<RePagerResult> RePaGer::Generate(const std::string& query,
                                         const RePagerOptions& options) const {
+  QueryScratch scratch;
+  return Generate(query, options, &scratch);
+}
+
+Result<RePagerResult> RePaGer::Generate(const std::string& query,
+                                        const RePagerOptions& options,
+                                        QueryScratch* scratch) const {
   if (query.empty()) return Status::InvalidArgument("empty query");
   if (options.num_initial_seeds <= 0) {
     return Status::InvalidArgument("num_initial_seeds must be positive");
@@ -61,23 +76,26 @@ Result<RePagerResult> RePaGer::Generate(const std::string& query,
   for (const auto& h : hits) result.initial_seeds.push_back(h.doc);
 
   // ---- Step 3: sub-citation graph over 1st/2nd order neighbors -------
-  graph::KHopResult khop =
-      KHopNeighborhood(*graph_, result.initial_seeds, options.expansion_hops,
-                       options.expansion_direction);
-  std::vector<PaperId> candidates;
-  for (const auto& level : khop.levels) {
+  KHopNeighborhood(*graph_, result.initial_seeds, options.expansion_hops,
+                   options.expansion_direction, &scratch->khop_scratch_,
+                   &scratch->khop_);
+  std::vector<PaperId>& candidates = scratch->candidates_;
+  candidates.clear();
+  for (const auto& level : scratch->khop_.levels) {
     for (PaperId p : level) {
       if ((*years_)[p] <= options.year_cutoff) candidates.push_back(p);
     }
   }
-  std::unordered_set<PaperId> excluded(options.exclude.begin(),
-                                       options.exclude.end());
+  std::unordered_set<PaperId>& excluded = scratch->excluded_;
+  excluded.clear();
+  excluded.insert(options.exclude.begin(), options.exclude.end());
   candidates.erase(std::remove_if(candidates.begin(), candidates.end(),
                                   [&](PaperId p) {
                                     return excluded.contains(p);
                                   }),
                    candidates.end());
-  graph::Subgraph sg(*graph_, candidates);
+  scratch->sg_.Assign(*graph_, candidates, &scratch->sg_scratch_);
+  const graph::Subgraph& sg = scratch->sg_;
   result.subgraph_nodes = sg.num_nodes();
   result.subgraph_edges = sg.num_edges();
 
@@ -105,9 +123,11 @@ Result<RePagerResult> RePaGer::Generate(const std::string& query,
   // candidate. This is the signal seed reallocation is built on; it also
   // drives the final ranking (a paper referenced by many query-relevant
   // articles is very likely on the survey's reference list).
-  std::unordered_map<PaperId, int> cooccurrence;
-  std::unordered_set<PaperId> seed_set(result.initial_seeds.begin(),
-                                       result.initial_seeds.end());
+  std::unordered_map<PaperId, int>& cooccurrence = scratch->cooccurrence_;
+  cooccurrence.clear();
+  std::unordered_set<PaperId>& seed_set = scratch->seed_set_;
+  seed_set.clear();
+  seed_set.insert(result.initial_seeds.begin(), result.initial_seeds.end());
   for (PaperId s : seed_set) {
     for (PaperId cited : graph_->OutNeighbors(s)) ++cooccurrence[cited];
   }
@@ -126,8 +146,10 @@ Result<RePagerResult> RePaGer::Generate(const std::string& query,
   if (options.run_steiner) {
     // ---- Step 5: NEWST over the weighted sub-citation graph ----------
     Timer steiner_timer;
-    steiner::WeightedGraph wg = BuildWeightedSubgraph(sg, *weights_);
-    std::vector<uint32_t> local_terminals;
+    BuildWeightedSubgraph(sg, *weights_, &scratch->builder_, &scratch->wg_);
+    const steiner::WeightedGraph& wg = scratch->wg_;
+    std::vector<uint32_t>& local_terminals = scratch->local_terminals_;
+    local_terminals.clear();
     local_terminals.reserve(terminals.size());
     for (PaperId t : terminals) local_terminals.push_back(sg.ToLocal(t));
     RPG_ASSIGN_OR_RETURN(steiner::SteinerResult local_tree,
@@ -167,10 +189,13 @@ Result<RePagerResult> RePaGer::Generate(const std::string& query,
     });
   };
   rank_by_evidence(&tree_nodes);
-  std::unordered_set<PaperId> emitted(tree_nodes.begin(), tree_nodes.end());
+  std::unordered_set<PaperId>& emitted = scratch->emitted_;
+  emitted.clear();
+  emitted.insert(tree_nodes.begin(), tree_nodes.end());
   result.ranked = std::move(tree_nodes);
   result.ranked.reserve(sg.num_nodes());
-  std::vector<PaperId> seed_block;
+  std::vector<PaperId>& seed_block = scratch->seed_block_;
+  seed_block.clear();
   seed_block.reserve(result.initial_seeds.size());
   for (PaperId s : result.initial_seeds) {
     if (sg.Contains(s) && !emitted.contains(s)) seed_block.push_back(s);
@@ -180,7 +205,8 @@ Result<RePagerResult> RePaGer::Generate(const std::string& query,
     emitted.insert(s);
     result.ranked.push_back(s);
   }
-  std::vector<PaperId> rest;
+  std::vector<PaperId>& rest = scratch->rest_;
+  rest.clear();
   rest.reserve(sg.num_nodes());
   for (uint32_t local = 0; local < sg.num_nodes(); ++local) {
     PaperId p = sg.ToGlobal(local);

@@ -1,8 +1,32 @@
 #ifndef RPG_CORE_REPAGER_H_
 #define RPG_CORE_REPAGER_H_
 
+/// \file
+/// The RePaGer pipeline (§IV-A of the paper): free-text query -> engine
+/// seed retrieval -> KHop sub-citation graph -> seed reallocation ->
+/// NEWST Steiner tree -> ranked reading path.
+///
+/// Ownership / thread-safety model:
+///  - RePaGer holds const pointers to a CitationGraph, SearchEngine,
+///    WeightModel and years array; all four are immutable after
+///    construction and must outlive the RePaGer. One RePaGer can serve
+///    any number of threads concurrently.
+///  - Generate() is const and touches only shared immutable state plus
+///    its own locals — EXCEPT the explicit-scratch overload, whose
+///    QueryScratch is the per-call mutable state. Give each concurrent
+///    caller its own QueryScratch (BatchEngine allocates one per
+///    worker); never share a scratch between threads.
+///  - The scratch-free Generate() is a thin wrapper that builds a fresh
+///    QueryScratch per call. Results are bit-identical either way; the
+///    scratch exists purely so batch serving can amortize the per-query
+///    allocations (KHop visit map, subgraph id map + CSR arrays,
+///    weighted-graph builder buffers) that dominate once the Steiner
+///    solver is fast (see ROADMAP "Perf — Steiner hot path").
+
 #include <memory>
 #include <string>
+#include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "common/result.h"
@@ -61,6 +85,39 @@ struct RePagerResult {
   steiner::SteinerStats steiner_stats;
 };
 
+/// Reusable per-query working memory for RePaGer::Generate: the KHop
+/// visit map and frontier levels, the subgraph id map and CSR arrays, the
+/// weighted-graph builder buffers, and the ranking hash sets. After the
+/// first query everything here is warm, so subsequent Generate calls make
+/// almost no allocations outside the returned RePagerResult.
+///
+/// One scratch per thread: BatchEngine gives each pool worker its own.
+/// The scratch carries no query state between calls — results are
+/// bit-identical with a fresh or a reused scratch.
+class QueryScratch {
+ public:
+  QueryScratch() = default;
+  QueryScratch(const QueryScratch&) = delete;
+  QueryScratch& operator=(const QueryScratch&) = delete;
+
+ private:
+  friend class RePaGer;
+  graph::TraversalScratch khop_scratch_;
+  graph::KHopResult khop_;
+  graph::SubgraphScratch sg_scratch_;
+  graph::Subgraph sg_;
+  steiner::WeightedGraphBuilder builder_{0};
+  steiner::WeightedGraph wg_;
+  std::vector<graph::PaperId> candidates_;
+  std::vector<uint32_t> local_terminals_;
+  std::unordered_set<graph::PaperId> excluded_;
+  std::unordered_set<graph::PaperId> seed_set_;
+  std::unordered_map<graph::PaperId, int> cooccurrence_;
+  std::unordered_set<graph::PaperId> emitted_;
+  std::vector<graph::PaperId> seed_block_;
+  std::vector<graph::PaperId> rest_;
+};
+
 /// The RePaGer system (§IV-A): seed retrieval -> weighted citation graph
 /// -> sub-graph -> seed reallocation -> NEWST -> reading path.
 ///
@@ -79,6 +136,13 @@ class RePaGer {
   Result<RePagerResult> Generate(const std::string& query,
                                  const RePagerOptions& options = {}) const;
 
+  /// Scratch-reusing variant: identical results, but per-query working
+  /// memory lives in `scratch` and is recycled across calls. `scratch`
+  /// must not be shared between concurrent callers.
+  Result<RePagerResult> Generate(const std::string& query,
+                                 const RePagerOptions& options,
+                                 QueryScratch* scratch) const;
+
   /// Importance used for ranking: a * pgscore + b * venue — the inverse
   /// of the node-weight denominator, exposed for baselines/tests.
   double Importance(graph::PaperId p) const;
@@ -95,6 +159,13 @@ class RePaGer {
 /// Eq. (3), undirected edges with Eq. (2) costs.
 steiner::WeightedGraph BuildWeightedSubgraph(const graph::Subgraph& sg,
                                              const rank::WeightModel& weights);
+
+/// Scratch-reusing variant: accumulates into the caller's builder and
+/// writes the CSR result into `*out`, reusing both objects' capacity.
+void BuildWeightedSubgraph(const graph::Subgraph& sg,
+                           const rank::WeightModel& weights,
+                           steiner::WeightedGraphBuilder* builder,
+                           steiner::WeightedGraph* out);
 
 }  // namespace rpg::core
 

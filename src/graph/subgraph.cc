@@ -1,45 +1,114 @@
 #include "graph/subgraph.h"
 
 #include <algorithm>
+#include <numeric>
 
 namespace rpg::graph {
 
 Subgraph::Subgraph(const CitationGraph& g, const std::vector<PaperId>& nodes) {
+  SubgraphScratch scratch;
+  Assign(g, nodes, &scratch);
+}
+
+Subgraph::Subgraph(const CitationGraph& g, const std::vector<PaperId>& nodes,
+                   SubgraphScratch* scratch) {
+  Assign(g, nodes, scratch);
+}
+
+void Subgraph::Assign(const CitationGraph& g, const std::vector<PaperId>& nodes,
+                      SubgraphScratch* scratch) {
   const size_t n = g.num_nodes();
+  std::vector<uint32_t>& map = scratch->global_to_local_;
+  if (map.size() < n) map.resize(n, UINT32_MAX);
+
+  // Restore the map's all-UINT32_MAX invariant on every exit path
+  // (including a bad_alloc mid-build), so a shared scratch can never
+  // poison a later Assign. O(k), not O(n): exactly the mapped globals
+  // are in locals_to_global_.
+  locals_to_global_.clear();
+  struct MapResetGuard {
+    std::vector<uint32_t>& map;
+    const std::vector<PaperId>& touched;
+    ~MapResetGuard() {
+      for (PaperId p : touched) map[p] = UINT32_MAX;
+    }
+  } guard{map, locals_to_global_};
+
+  // Dedup + local id assignment in first-appearance order. push_back
+  // before map[] so a throwing push never leaves an unrecorded entry.
   for (PaperId p : nodes) {
-    if (p >= n) continue;
-    if (global_to_local_.contains(p)) continue;
-    uint32_t local = static_cast<uint32_t>(locals_to_global_.size());
-    global_to_local_.emplace(p, local);
+    if (p >= n || map[p] != UINT32_MAX) continue;
     locals_to_global_.push_back(p);
+    map[p] = static_cast<uint32_t>(locals_to_global_.size() - 1);
   }
-  out_.resize(locals_to_global_.size());
-  in_.resize(locals_to_global_.size());
-  for (uint32_t local = 0; local < locals_to_global_.size(); ++local) {
-    PaperId global = locals_to_global_[local];
-    for (PaperId cited : g.OutNeighbors(global)) {
-      auto it = global_to_local_.find(cited);
-      if (it != global_to_local_.end()) {
-        out_[local].push_back(it->second);
-        in_[it->second].push_back(local);
-        ++num_edges_;
-      }
+  const size_t k = locals_to_global_.size();
+
+  // Counting pass over induced out-edges.
+  num_edges_ = 0;
+  out_offsets_.assign(k + 1, 0);
+  in_offsets_.assign(k + 1, 0);
+  for (uint32_t local = 0; local < k; ++local) {
+    for (PaperId cited : g.OutNeighbors(locals_to_global_[local])) {
+      uint32_t target = map[cited];
+      if (target == UINT32_MAX) continue;
+      ++out_offsets_[local + 1];
+      ++in_offsets_[target + 1];
+      ++num_edges_;
     }
   }
-  for (auto& v : out_) std::sort(v.begin(), v.end());
-  for (auto& v : in_) std::sort(v.begin(), v.end());
+  std::partial_sum(out_offsets_.begin(), out_offsets_.end(),
+                   out_offsets_.begin());
+  std::partial_sum(in_offsets_.begin(), in_offsets_.end(), in_offsets_.begin());
+
+  // Fill pass. In-spans come out sorted for free (the outer loop visits
+  // citing locals in ascending order); out-spans are ordered by the cited
+  // paper's *global* id and need a per-span sort to be ascending in local
+  // ids.
+  out_targets_.resize(num_edges_);
+  in_targets_.resize(num_edges_);
+  scratch->out_cursor_.assign(out_offsets_.begin(), out_offsets_.end() - 1);
+  scratch->in_cursor_.assign(in_offsets_.begin(), in_offsets_.end() - 1);
+  for (uint32_t local = 0; local < k; ++local) {
+    for (PaperId cited : g.OutNeighbors(locals_to_global_[local])) {
+      uint32_t target = map[cited];
+      if (target == UINT32_MAX) continue;
+      out_targets_[scratch->out_cursor_[local]++] = target;
+      in_targets_[scratch->in_cursor_[target]++] = local;
+    }
+  }
+  for (uint32_t local = 0; local < k; ++local) {
+    std::sort(out_targets_.begin() + out_offsets_[local],
+              out_targets_.begin() + out_offsets_[local + 1]);
+  }
+
+  // Sorted index for ToLocal.
+  sorted_locals_.resize(k);
+  std::iota(sorted_locals_.begin(), sorted_locals_.end(), 0u);
+  std::sort(sorted_locals_.begin(), sorted_locals_.end(),
+            [&](uint32_t a, uint32_t b) {
+              return locals_to_global_[a] < locals_to_global_[b];
+            });
+  sorted_globals_.resize(k);
+  for (size_t i = 0; i < k; ++i) {
+    sorted_globals_[i] = locals_to_global_[sorted_locals_[i]];
+  }
+  // MapResetGuard leaves the scratch map clean for the next Assign.
 }
 
 uint32_t Subgraph::ToLocal(PaperId global) const {
-  auto it = global_to_local_.find(global);
-  return it == global_to_local_.end() ? UINT32_MAX : it->second;
+  auto it = std::lower_bound(sorted_globals_.begin(), sorted_globals_.end(),
+                             global);
+  if (it == sorted_globals_.end() || *it != global) return UINT32_MAX;
+  return sorted_locals_[static_cast<size_t>(it - sorted_globals_.begin())];
 }
 
 std::vector<uint32_t> Subgraph::UndirectedNeighbors(uint32_t local) const {
+  std::span<const uint32_t> out = OutNeighbors(local);
+  std::span<const uint32_t> in = InNeighbors(local);
   std::vector<uint32_t> merged;
-  merged.reserve(out_[local].size() + in_[local].size());
-  std::merge(out_[local].begin(), out_[local].end(), in_[local].begin(),
-             in_[local].end(), std::back_inserter(merged));
+  merged.reserve(out.size() + in.size());
+  std::merge(out.begin(), out.end(), in.begin(), in.end(),
+             std::back_inserter(merged));
   merged.erase(std::unique(merged.begin(), merged.end()), merged.end());
   return merged;
 }

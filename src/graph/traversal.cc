@@ -23,27 +23,55 @@ size_t KHopResult::TotalCount() const {
 KHopResult KHopNeighborhood(const CitationGraph& g,
                             const std::vector<PaperId>& seeds, int max_hops,
                             Direction direction) {
+  TraversalScratch scratch;
   KHopResult result;
-  const size_t n = g.num_nodes();
-  std::vector<bool> visited(n, false);
+  KHopNeighborhood(g, seeds, max_hops, direction, &scratch, &result);
+  return result;
+}
 
-  std::vector<PaperId> frontier;
+void KHopNeighborhood(const CitationGraph& g,
+                      const std::vector<PaperId>& seeds, int max_hops,
+                      Direction direction, TraversalScratch* scratch,
+                      KHopResult* out) {
+  const size_t n = g.num_nodes();
+  // Grow the visit map lazily; reset only what the previous call touched.
+  if (scratch->visited_.size() < n) scratch->visited_.resize(n, 0);
+  std::vector<uint8_t>& visited = scratch->visited_;
+  std::vector<PaperId>& touched = scratch->touched_;
+  for (PaperId p : touched) visited[p] = 0;
+  touched.clear();
+
+  // Reuse the inner level vectors (clear keeps capacity); the outer
+  // vector may reallocate, so frontier is tracked by index, not pointer.
+  std::vector<std::vector<PaperId>>& levels = out->levels;
+  size_t used = 0;
+  auto begin_level = [&]() {
+    if (used == levels.size()) levels.emplace_back();
+    levels[used].clear();
+    return used++;
+  };
+
+  size_t frontier = begin_level();
   for (PaperId s : seeds) {
     if (s < n && !visited[s]) {
-      visited[s] = true;
-      frontier.push_back(s);
+      // Record in touched before marking: a throwing push_back must not
+      // leave a mark the next call's reset loop would miss.
+      touched.push_back(s);
+      visited[s] = 1;
+      levels[frontier].push_back(s);
     }
   }
-  result.levels.push_back(frontier);
 
-  for (int hop = 1; hop <= max_hops && !frontier.empty(); ++hop) {
-    std::vector<PaperId> next;
-    for (PaperId u : frontier) {
+  for (int hop = 1; hop <= max_hops && !levels[frontier].empty(); ++hop) {
+    size_t next = begin_level();
+    for (size_t i = 0; i < levels[frontier].size(); ++i) {
+      PaperId u = levels[frontier][i];
       auto visit = [&](std::span<const PaperId> nbrs) {
         for (PaperId v : nbrs) {
           if (!visited[v]) {
-            visited[v] = true;
-            next.push_back(v);
+            touched.push_back(v);  // before marking; see seed loop
+            visited[v] = 1;
+            levels[next].push_back(v);
           }
         }
       };
@@ -52,11 +80,10 @@ KHopResult KHopNeighborhood(const CitationGraph& g,
       if (direction == Direction::kIn || direction == Direction::kUndirected)
         visit(g.InNeighbors(u));
     }
-    std::sort(next.begin(), next.end());
-    result.levels.push_back(next);
-    frontier = std::move(next);
+    std::sort(levels[next].begin(), levels[next].end());
+    frontier = next;
   }
-  return result;
+  levels.resize(used);
 }
 
 std::vector<uint32_t> ConnectedComponents(const CitationGraph& g,

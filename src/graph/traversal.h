@@ -1,6 +1,21 @@
 #ifndef RPG_GRAPH_TRAVERSAL_H_
 #define RPG_GRAPH_TRAVERSAL_H_
 
+/// \file
+/// Bounded BFS (the §IV-A step-3 "1st/2nd-order neighbor" expansion) and
+/// connected-component helpers over the immutable CitationGraph.
+///
+/// Ownership / thread-safety model:
+///  - CitationGraph is immutable after construction; any number of
+///    threads may traverse it concurrently.
+///  - TraversalScratch is the per-caller mutable state (visit map +
+///    touched list). A scratch must never be shared between threads;
+///    give each worker its own (core::QueryScratch does exactly that).
+///  - The scratch-free KHopNeighborhood overload is a thin wrapper that
+///    allocates a fresh scratch per call — identical results, convenient
+///    for one-shot use; the scratch overload exists so batch serving can
+///    amortize the O(|V|) visit map across queries.
+
 #include <vector>
 
 #include "graph/citation_graph.h"
@@ -25,11 +40,38 @@ struct KHopResult {
   size_t TotalCount() const;
 };
 
+/// Reusable BFS state: a |V|-sized visit map that is lazily grown and
+/// reset in O(touched) between calls, so repeated traversals of a big
+/// graph stop paying an O(|V|) allocation + clear per query. Treat as an
+/// opaque token: default-construct once per worker and pass to
+/// KHopNeighborhood.
+class TraversalScratch {
+ public:
+  TraversalScratch() = default;
+
+ private:
+  friend void KHopNeighborhood(const CitationGraph& g,
+                               const std::vector<PaperId>& seeds, int max_hops,
+                               Direction direction, TraversalScratch* scratch,
+                               KHopResult* out);
+  std::vector<uint8_t> visited_;   // lazily sized to g.num_nodes()
+  std::vector<PaperId> touched_;   // entries of visited_ set by last call
+};
+
 /// BFS from `seeds` up to `max_hops` hops following `direction`.
 /// Duplicate seeds are collapsed; invalid ids are skipped.
 KHopResult KHopNeighborhood(const CitationGraph& g,
                             const std::vector<PaperId>& seeds, int max_hops,
                             Direction direction);
+
+/// Scratch-reusing variant: identical output, but the visit map lives in
+/// `scratch` and `out->levels` inner vectors are reused (cleared, not
+/// reallocated) across calls. `scratch` and `out` must be distinct
+/// objects per concurrent caller.
+void KHopNeighborhood(const CitationGraph& g,
+                      const std::vector<PaperId>& seeds, int max_hops,
+                      Direction direction, TraversalScratch* scratch,
+                      KHopResult* out);
 
 /// Connected components treating the graph as undirected. Returns a
 /// component id per node (dense, 0-based) and sets *num_components.

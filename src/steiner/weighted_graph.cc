@@ -44,12 +44,26 @@ void WeightedGraphBuilder::AddEdge(uint32_t u, uint32_t v, double cost) {
   edges_.push_back({u, v, cost});
 }
 
+void WeightedGraphBuilder::Reset(size_t num_nodes) {
+  num_nodes_ = num_nodes;
+  node_weight_.assign(num_nodes, 0.0);
+  edges_.clear();
+}
+
 WeightedGraph WeightedGraphBuilder::Build() {
   WeightedGraph g;
+  BuildInto(&g);
+  return g;
+}
+
+void WeightedGraphBuilder::BuildInto(WeightedGraph* out) {
+  WeightedGraph& g = *out;
   const size_t n = num_nodes_;
   const size_t m = edges_.size();
   g.num_edges_ = m;
-  g.node_weight_ = std::move(node_weight_);
+  // Copy (not move) so the builder's capacity survives for the next
+  // Reset/Build cycle; assign reuses g's capacity likewise.
+  g.node_weight_.assign(node_weight_.begin(), node_weight_.end());
   node_weight_.assign(n, 0.0);
 
   // Counting sort into CSR: each undirected edge lands in both endpoints'
@@ -62,12 +76,12 @@ WeightedGraph WeightedGraphBuilder::Build() {
   std::partial_sum(g.offsets_.begin(), g.offsets_.end(), g.offsets_.begin());
   g.targets_.resize(2 * m);
   g.costs_.resize(2 * m);
-  std::vector<uint64_t> cursor(g.offsets_.begin(), g.offsets_.end() - 1);
+  cursor_.assign(g.offsets_.begin(), g.offsets_.end() - 1);
   for (const PendingEdge& e : edges_) {
-    uint64_t pu = cursor[e.u]++;
+    uint64_t pu = cursor_[e.u]++;
     g.targets_[pu] = e.v;
     g.costs_[pu] = e.cost;
-    uint64_t pv = cursor[e.v]++;
+    uint64_t pv = cursor_[e.v]++;
     g.targets_[pv] = e.u;
     g.costs_[pv] = e.cost;
   }
@@ -75,29 +89,25 @@ WeightedGraph WeightedGraphBuilder::Build() {
 
   // Sort each span by (target, cost) so membership is a binary search and
   // the cheapest parallel edge comes first.
-  std::vector<uint32_t> perm;
-  std::vector<uint32_t> tmp_t;
-  std::vector<double> tmp_c;
   for (size_t v = 0; v < n; ++v) {
     size_t b = g.offsets_[v], e = g.offsets_[v + 1];
     size_t d = e - b;
     if (d < 2) continue;
-    perm.resize(d);
-    std::iota(perm.begin(), perm.end(), 0u);
+    perm_.resize(d);
+    std::iota(perm_.begin(), perm_.end(), 0u);
     uint32_t* t = g.targets_.data() + b;
     double* c = g.costs_.data() + b;
-    std::sort(perm.begin(), perm.end(), [&](uint32_t a, uint32_t o) {
+    std::sort(perm_.begin(), perm_.end(), [&](uint32_t a, uint32_t o) {
       if (t[a] != t[o]) return t[a] < t[o];
       return c[a] < c[o];
     });
-    tmp_t.assign(t, t + d);
-    tmp_c.assign(c, c + d);
+    tmp_targets_.assign(t, t + d);
+    tmp_costs_.assign(c, c + d);
     for (size_t i = 0; i < d; ++i) {
-      t[i] = tmp_t[perm[i]];
-      c[i] = tmp_c[perm[i]];
+      t[i] = tmp_targets_[perm_[i]];
+      c[i] = tmp_costs_[perm_[i]];
     }
   }
-  return g;
 }
 
 WeightedGraph UnitCostCopy(const WeightedGraph& g) {

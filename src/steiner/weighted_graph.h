@@ -108,10 +108,20 @@ class WeightedGraph {
 /// Accumulates edges and node weights, then freezes them into the CSR
 /// WeightedGraph. Parallel edges are allowed but the algorithms treat the
 /// cheapest as effective.
+///
+/// The builder is reusable: after Build()/BuildInto() it is left empty
+/// (zero weights, no edges) but keeps its array capacity, and Reset()
+/// re-targets it at a new node count. A long-lived builder per worker
+/// (see core::QueryScratch) makes repeated weighted-subgraph builds
+/// allocation-free after warm-up.
 class WeightedGraphBuilder {
  public:
   explicit WeightedGraphBuilder(size_t num_nodes)
       : num_nodes_(num_nodes), node_weight_(num_nodes, 0.0) {}
+
+  /// Clears all pending state and re-targets the builder at `num_nodes`
+  /// nodes, keeping allocated capacity.
+  void Reset(size_t num_nodes);
 
   /// Adds an undirected edge with a positive cost.
   void AddEdge(uint32_t u, uint32_t v, double cost);
@@ -126,6 +136,11 @@ class WeightedGraphBuilder {
   /// Freezes into the immutable CSR form. The builder is left empty.
   WeightedGraph Build();
 
+  /// Build() variant that reuses `out`'s array capacity — the scratch
+  /// path for callers that keep a WeightedGraph object alive across
+  /// queries. The builder is left empty, as with Build().
+  void BuildInto(WeightedGraph* out);
+
  private:
   struct PendingEdge {
     uint32_t u, v;
@@ -134,6 +149,11 @@ class WeightedGraphBuilder {
   size_t num_nodes_;
   std::vector<PendingEdge> edges_;
   std::vector<double> node_weight_;
+  // Reusable per-span sort temporaries for BuildInto.
+  std::vector<uint64_t> cursor_;
+  std::vector<uint32_t> perm_;
+  std::vector<uint32_t> tmp_targets_;
+  std::vector<double> tmp_costs_;
 };
 
 /// Copy of g with every edge cost replaced by 1 (the NEWST-E ablation).

@@ -1,0 +1,109 @@
+#include "common/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <stdexcept>
+#include <vector>
+
+namespace rpg {
+namespace {
+
+TEST(ThreadPoolTest, RunsAllSubmittedTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> count{0};
+  std::vector<std::future<void>> futures;
+  for (int i = 0; i < 100; ++i) {
+    futures.push_back(pool.Submit([&count] { ++count; }));
+  }
+  for (auto& f : futures) f.get();
+  EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ThreadPoolTest, FuturesCarryReturnValues) {
+  ThreadPool pool(2);
+  auto a = pool.Submit([] { return 6 * 7; });
+  auto b = pool.Submit([] { return std::string("done"); });
+  EXPECT_EQ(a.get(), 42);
+  EXPECT_EQ(b.get(), "done");
+}
+
+TEST(ThreadPoolTest, ExceptionsPropagateThroughFutures) {
+  ThreadPool pool(2);
+  auto ok = pool.Submit([] { return 1; });
+  auto bad = pool.Submit([]() -> int {
+    throw std::runtime_error("boom");
+  });
+  EXPECT_EQ(ok.get(), 1);
+  EXPECT_THROW(bad.get(), std::runtime_error);
+  // The worker survives the exception and keeps serving tasks.
+  auto after = pool.Submit([] { return 2; });
+  EXPECT_EQ(after.get(), 2);
+}
+
+TEST(ThreadPoolTest, ShutdownDrainsQueuedTasks) {
+  std::atomic<int> count{0};
+  ThreadPool pool(2);
+  for (int i = 0; i < 50; ++i) {
+    pool.Submit([&count] { ++count; });
+  }
+  pool.Shutdown();  // must finish everything already submitted
+  EXPECT_EQ(count.load(), 50);
+  pool.Shutdown();  // idempotent
+}
+
+TEST(ThreadPoolTest, DestructorJoinsAndCompletesWork) {
+  std::atomic<int> count{0};
+  {
+    ThreadPool pool(3);
+    for (int i = 0; i < 30; ++i) {
+      pool.Submit([&count] { ++count; });
+    }
+  }  // ~ThreadPool == Shutdown
+  EXPECT_EQ(count.load(), 30);
+}
+
+TEST(ThreadPoolTest, SingleWorkerPreservesFifoOrder) {
+  ThreadPool pool(1);
+  std::vector<int> order;
+  std::vector<std::future<void>> futures;
+  for (int i = 0; i < 10; ++i) {
+    futures.push_back(pool.Submit([&order, i] { order.push_back(i); }));
+  }
+  for (auto& f : futures) f.get();
+  ASSERT_EQ(order.size(), 10u);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(ThreadPoolTest, SubmitFromInsideATask) {
+  ThreadPool pool(2);
+  std::atomic<int> count{0};
+  auto outer = pool.Submit([&] {
+    ++count;
+    return pool.Submit([&count] { ++count; });
+  });
+  outer.get().get();
+  EXPECT_EQ(count.load(), 2);
+}
+
+TEST(ThreadPoolTest, WorkerMaySubmitWhileShutdownDrains) {
+  std::atomic<bool> release{false};
+  std::atomic<int> count{0};
+  {
+    ThreadPool pool(1);
+    pool.Submit([&] {
+      // Hold the only worker until the destructor below has started
+      // draining, then submit from inside the pool: must be accepted
+      // and executed, not RPG_CHECK-aborted or dropped.
+      while (!release.load()) std::this_thread::yield();
+      std::this_thread::sleep_for(std::chrono::milliseconds(20));
+      pool.Submit([&count] { ++count; });
+    });
+    release = true;
+  }  // ~ThreadPool: Shutdown begins while the task is still running
+  EXPECT_EQ(count.load(), 1);
+}
+
+}  // namespace
+}  // namespace rpg

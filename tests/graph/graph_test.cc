@@ -13,6 +13,10 @@
 namespace rpg::graph {
 namespace {
 
+std::vector<uint32_t> ToVector(std::span<const uint32_t> s) {
+  return {s.begin(), s.end()};
+}
+
 CitationGraph BuildDiamond() {
   // 0 cites 1 and 2; 1 and 2 cite 3.
   GraphBuilder b(4);
@@ -133,6 +137,29 @@ TEST(TraversalTest, NodesVisitedOnceAcrossLevels) {
   EXPECT_TRUE(r.levels[2].empty());
 }
 
+TEST(TraversalTest, KHopScratchReuseMatchesOneShot) {
+  CitationGraph g = BuildDiamond();
+  TraversalScratch scratch;
+  KHopResult reused;
+  // Successive traversals with one scratch/result pair — including a
+  // wider run followed by a narrower one — must match fresh calls.
+  struct Case {
+    std::vector<PaperId> seeds;
+    int hops;
+    Direction dir;
+  };
+  std::vector<Case> cases = {{{0}, 2, Direction::kOut},
+                             {{3}, 2, Direction::kIn},
+                             {{0}, 0, Direction::kOut},
+                             {{1, 2}, 1, Direction::kUndirected},
+                             {{0}, 2, Direction::kOut}};
+  for (const Case& c : cases) {
+    KHopNeighborhood(g, c.seeds, c.hops, c.dir, &scratch, &reused);
+    KHopResult fresh = KHopNeighborhood(g, c.seeds, c.hops, c.dir);
+    EXPECT_EQ(reused.levels, fresh.levels);
+  }
+}
+
 TEST(TraversalTest, ConnectedComponents) {
   GraphBuilder b(6);
   b.AddCitation(0, 1);
@@ -166,8 +193,8 @@ TEST(SubgraphTest, InducedEdgesOnly) {
   // Edges 0->1 and 1->3 survive; 0->2->3 is cut.
   EXPECT_EQ(sg.num_edges(), 2u);
   uint32_t l0 = sg.ToLocal(0), l1 = sg.ToLocal(1), l3 = sg.ToLocal(3);
-  EXPECT_EQ(sg.OutNeighbors(l0), (std::vector<uint32_t>{l1}));
-  EXPECT_EQ(sg.InNeighbors(l3), (std::vector<uint32_t>{l1}));
+  EXPECT_EQ(ToVector(sg.OutNeighbors(l0)), (std::vector<uint32_t>{l1}));
+  EXPECT_EQ(ToVector(sg.InNeighbors(l3)), (std::vector<uint32_t>{l1}));
 }
 
 TEST(SubgraphTest, LocalGlobalRoundTrip) {
@@ -201,6 +228,39 @@ TEST(SubgraphTest, UndirectedNeighborsMergesBothDirections) {
   uint32_t l1 = sg.ToLocal(1);
   auto undirected = sg.UndirectedNeighbors(l1);
   EXPECT_EQ(undirected.size(), 2u);  // 0 (citer) and 3 (cited)
+}
+
+TEST(SubgraphTest, AssignWithSharedScratchMatchesFreshBuilds) {
+  CitationGraph g = BuildDiamond();
+  SubgraphScratch scratch;
+  Subgraph reused;
+  // Re-assigning the same object with one scratch must reproduce every
+  // fresh single-shot build, including after shrinking node sets.
+  std::vector<std::vector<PaperId>> node_sets = {
+      {0, 1, 2, 3}, {0, 1, 3}, {3, 1}, {2}, {0, 1, 2, 3}};
+  for (const auto& nodes : node_sets) {
+    reused.Assign(g, nodes, &scratch);
+    Subgraph fresh(g, nodes);
+    ASSERT_EQ(reused.num_nodes(), fresh.num_nodes());
+    ASSERT_EQ(reused.num_edges(), fresh.num_edges());
+    for (uint32_t local = 0; local < fresh.num_nodes(); ++local) {
+      EXPECT_EQ(reused.ToGlobal(local), fresh.ToGlobal(local));
+      EXPECT_EQ(ToVector(reused.OutNeighbors(local)),
+                ToVector(fresh.OutNeighbors(local)));
+      EXPECT_EQ(ToVector(reused.InNeighbors(local)),
+                ToVector(fresh.InNeighbors(local)));
+    }
+    for (PaperId p = 0; p < g.num_nodes(); ++p) {
+      EXPECT_EQ(reused.ToLocal(p), fresh.ToLocal(p));
+    }
+  }
+}
+
+TEST(SubgraphTest, DefaultConstructedIsEmpty) {
+  Subgraph sg;
+  EXPECT_EQ(sg.num_nodes(), 0u);
+  EXPECT_EQ(sg.num_edges(), 0u);
+  EXPECT_FALSE(sg.Contains(0));
 }
 
 // -------------------------------------------------------------- graph io
