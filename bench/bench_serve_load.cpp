@@ -1,0 +1,252 @@
+// Closed-loop load generator for the serving layer (docs/serving.md):
+// N client threads hammer a live HttpServer + serve::ServeEngine over
+// persistent (keep-alive) connections with a Zipfian query mix — the
+// repeat-heavy shape of real survey traffic, where popular topics
+// dominate — and record per-request latencies split by cache hit/miss
+// (the response carries "cache_hit"). Writes throughput and latency
+// percentiles to BENCH_serve.json; the headline number is the median-
+// latency win of the cache path (hit p50 vs miss p50).
+//
+// Scale knobs (env):
+//   RPG_SERVE_CLIENTS      client threads              (default 4)
+//   RPG_SERVE_REQUESTS     requests per client         (default 80)
+//   RPG_SERVE_QUERIES      distinct queries in the mix (default 12)
+//   RPG_SERVE_ZIPF_S       Zipf exponent               (default 1.1)
+//   RPG_SERVE_THREADS      BatchEngine worker threads  (default hardware)
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_common.h"
+#include "eval/evaluator.h"
+#include "common/json_writer.h"
+#include "common/rng.h"
+#include "common/string_util.h"
+#include "common/table_printer.h"
+#include "common/timer.h"
+#include "serve/serve_engine.h"
+#include "ui/http_client.h"
+#include "ui/http_server.h"
+#include "ui/repager_service.h"
+
+namespace {
+
+using namespace rpg;
+
+size_t EnvSize(const char* name, size_t fallback) {
+  if (const char* v = std::getenv(name)) {
+    return static_cast<size_t>(std::strtoull(v, nullptr, 10));
+  }
+  return fallback;
+}
+
+double EnvDouble(const char* name, double fallback) {
+  if (const char* v = std::getenv(name)) return std::strtod(v, nullptr);
+  return fallback;
+}
+
+struct Percentiles {
+  double p50 = 0.0, p90 = 0.0, p99 = 0.0, max = 0.0;
+  size_t count = 0;
+};
+
+Percentiles ComputePercentiles(std::vector<double> samples_ms) {
+  Percentiles p;
+  p.count = samples_ms.size();
+  if (samples_ms.empty()) return p;
+  std::sort(samples_ms.begin(), samples_ms.end());
+  auto at = [&](double q) {
+    size_t i = static_cast<size_t>(q * static_cast<double>(samples_ms.size()));
+    return samples_ms[std::min(i, samples_ms.size() - 1)];
+  };
+  p.p50 = at(0.50);
+  p.p90 = at(0.90);
+  p.p99 = at(0.99);
+  p.max = samples_ms.back();
+  return p;
+}
+
+void WritePercentiles(JsonWriter& w, const Percentiles& p) {
+  w.BeginObject();
+  w.Key("count").UInt(p.count);
+  w.Key("p50_ms").Double(p.p50);
+  w.Key("p90_ms").Double(p.p90);
+  w.Key("p99_ms").Double(p.p99);
+  w.Key("max_ms").Double(p.max);
+  w.EndObject();
+}
+
+struct ClientResult {
+  std::vector<double> hit_ms;
+  std::vector<double> miss_ms;
+  size_t errors = 0;
+};
+
+}  // namespace
+
+int main() {
+  bench::BenchConfig config = bench::LoadBenchConfig();
+  auto wb = bench::BuildWorkbenchOrDie(config);
+
+  const size_t num_clients = EnvSize("RPG_SERVE_CLIENTS", 4);
+  const size_t requests_per_client = EnvSize("RPG_SERVE_REQUESTS", 80);
+  const size_t num_queries = EnvSize("RPG_SERVE_QUERIES", 12);
+  const double zipf_s = EnvDouble("RPG_SERVE_ZIPF_S", 1.1);
+  const long engine_threads =
+      static_cast<long>(EnvSize("RPG_SERVE_THREADS", 0));
+
+  // The serving stack under test.
+  serve::ServeEngineOptions serve_options;
+  serve_options.num_threads = static_cast<int>(engine_threads);
+  serve::ServeEngine engine(&wb->repager(), serve_options);
+  ui::RePagerService service(&engine, &wb->repager(), &wb->titles(),
+                             &wb->years());
+  ui::HttpServer server([&](const ui::HttpRequest& request) {
+    return service.Handle(request);
+  });
+  auto port_or = server.Start(0);
+  if (!port_or.ok()) {
+    std::fprintf(stderr, "server: %s\n", port_or.status().ToString().c_str());
+    return 1;
+  }
+  const int port = port_or.value();
+
+  // Zipf-ranked query targets: rank 1 = hottest topic.
+  std::vector<size_t> sample = eval::Evaluator::SampleEntries(
+      wb->bank(), std::max(num_queries, size_t{1}), config.sample_seed);
+  if (sample.size() < 2) {
+    std::fprintf(stderr, "not enough SurveyBank queries\n");
+    return 1;
+  }
+  std::vector<std::string> targets;
+  for (size_t idx : sample) {
+    const auto& entry = wb->bank().Get(idx);
+    std::string q;
+    for (char c : entry.query) q += (c == ' ') ? '+' : c;
+    targets.push_back("/api/path?q=" + q +
+                      "&year=" + std::to_string(entry.year));
+  }
+
+  std::printf("serve load: %zu clients x %zu requests, %zu queries, "
+              "Zipf(s=%.2f), %zu engine threads, keep-alive HTTP\n",
+              num_clients, requests_per_client, targets.size(), zipf_s,
+              engine.num_threads());
+
+  // Closed loop: every client thread owns one keep-alive connection and
+  // fires its next request as soon as the previous one completes.
+  std::vector<ClientResult> results(num_clients);
+  Timer wall;
+  std::vector<std::thread> clients;
+  for (size_t c = 0; c < num_clients; ++c) {
+    clients.emplace_back([&, c] {
+      ClientResult& out = results[c];
+      Rng rng(0x5eedULL + c);
+      ui::HttpClient client;
+      if (!client.Connect(port).ok()) {
+        out.errors = requests_per_client;
+        return;
+      }
+      for (size_t i = 0; i < requests_per_client; ++i) {
+        size_t rank = rng.Zipf(targets.size(), zipf_s);  // 1-based
+        const std::string& target = targets[rank - 1];
+        Timer t;
+        auto r = client.Fetch("GET", target);
+        double ms = t.ElapsedMillis();
+        if (!r.ok() || r->status != 200) {
+          ++out.errors;
+          continue;
+        }
+        bool hit =
+            r->body.find("\"cache_hit\":true") != std::string::npos;
+        (hit ? out.hit_ms : out.miss_ms).push_back(ms);
+      }
+    });
+  }
+  for (auto& t : clients) t.join();
+  double wall_seconds = wall.ElapsedSeconds();
+  server.Stop();
+
+  // ---------------------------------------------------------- aggregate
+  std::vector<double> all_ms, hit_ms, miss_ms;
+  size_t errors = 0;
+  for (const ClientResult& r : results) {
+    hit_ms.insert(hit_ms.end(), r.hit_ms.begin(), r.hit_ms.end());
+    miss_ms.insert(miss_ms.end(), r.miss_ms.begin(), r.miss_ms.end());
+    errors += r.errors;
+  }
+  all_ms = hit_ms;
+  all_ms.insert(all_ms.end(), miss_ms.begin(), miss_ms.end());
+
+  Percentiles overall = ComputePercentiles(all_ms);
+  Percentiles hits = ComputePercentiles(hit_ms);
+  Percentiles misses = ComputePercentiles(miss_ms);
+  double throughput =
+      wall_seconds > 0 ? static_cast<double>(all_ms.size()) / wall_seconds
+                       : 0.0;
+  double cache_speedup =
+      (hits.count > 0 && hits.p50 > 0) ? misses.p50 / hits.p50 : 0.0;
+
+  TablePrinter table({"slice", "count", "p50 ms", "p90 ms", "p99 ms"});
+  auto add_row = [&](const char* name, const Percentiles& p) {
+    table.AddRow({name, std::to_string(p.count), FormatDouble(p.p50, 3),
+                  FormatDouble(p.p90, 3), FormatDouble(p.p99, 3)});
+  };
+  add_row("all", overall);
+  add_row("cache hit", hits);
+  add_row("cache miss", misses);
+  table.Print(std::cout);
+  std::printf("throughput: %.1f req/s over %.2fs, %zu errors\n", throughput,
+              wall_seconds, errors);
+  if (cache_speedup > 0) {
+    std::printf("cache path median speedup: %.1fx (miss p50 %.2fms / "
+                "hit p50 %.3fms)\n",
+                cache_speedup, misses.p50, hits.p50);
+  }
+
+  // Server-side view for cross-checking the client-side split.
+  serve::QueryCacheStats cache_stats = engine.cache().Stats();
+
+  JsonWriter json;
+  json.BeginObject();
+  json.Key("config").BeginObject();
+  json.Key("clients").UInt(num_clients);
+  json.Key("requests_per_client").UInt(requests_per_client);
+  json.Key("distinct_queries").UInt(targets.size());
+  json.Key("zipf_s").Double(zipf_s);
+  json.Key("engine_threads").UInt(engine.num_threads());
+  json.EndObject();
+  json.Key("wall_seconds").Double(wall_seconds);
+  json.Key("throughput_rps").Double(throughput);
+  json.Key("errors").UInt(errors);
+  json.Key("overall");
+  WritePercentiles(json, overall);
+  json.Key("cache_hit");
+  WritePercentiles(json, hits);
+  json.Key("cache_miss");
+  WritePercentiles(json, misses);
+  json.Key("cache_median_speedup").Double(cache_speedup);
+  json.Key("server").BeginObject();
+  json.Key("cache_hits").UInt(cache_stats.hits);
+  json.Key("cache_misses").UInt(cache_stats.misses);
+  json.Key("cache_entries").UInt(cache_stats.entries);
+  json.Key("cache_bytes").UInt(cache_stats.bytes);
+  json.Key("stats_json").Raw(engine.StatsJson());
+  json.EndObject();
+  json.EndObject();
+
+  std::ofstream out("BENCH_serve.json");
+  out << json.str() << "\n";
+  out.close();
+  std::printf("wrote BENCH_serve.json\n");
+
+  if (errors > 0) return 1;
+  wb.reset();
+  return 0;
+}

@@ -109,5 +109,30 @@ int main() {
     std::printf("\nNode/edge-weight ablation:\n");
     table.Print(std::cout);
   }
+
+  // Closure-mode ablation (ROADMAP follow-up to PR 1): the Mehlhorn
+  // single-pass closure is the production default; this row pair shows
+  // its end-task quality matches the classic per-terminal closure
+  // (trees can differ node-by-node, so F1/precision may differ in the
+  // last decimals — the shape to check is parity, not identity).
+  {
+    TablePrinter table({"Methods", "F1 score", "Precision"});
+    struct Variant {
+      const char* name;
+      steiner::ClosureMode mode;
+    };
+    const Variant variants[] = {
+        {"NEWST (Mehlhorn closure)", steiner::ClosureMode::kMehlhorn},
+        {"NEWST (classic closure)", steiner::ClosureMode::kClassic},
+    };
+    for (const auto& v : variants) {
+      core::RePagerOptions options = newst;
+      options.newst.closure_mode = v.mode;
+      eval::CellResult cell = RunVariant(*wb, evaluator, options);
+      table.AddRow(v.name, {cell.f1, cell.precision}, 4);
+    }
+    std::printf("\nClosure-mode ablation:\n");
+    table.Print(std::cout);
+  }
   return 0;
 }

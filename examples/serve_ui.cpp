@@ -1,21 +1,52 @@
-// RePaGer web UI (§V): builds the substrates, starts the HTTP server, and
-// serves the single-page interface + the /api/path JSON endpoint.
+// RePaGer web UI (§V) behind the production serving layer: builds the
+// substrates, wires a serve::ServeEngine (sharded query cache ->
+// single-flight -> micro-batched BatchEngine; see docs/serving.md), and
+// serves the single-page interface plus the JSON API.
 //
-// Usage: serve_ui [port]
-//   By default the server performs one self-request as a smoke test and
-//   exits; set RPG_SERVE_FOREVER=1 to keep serving until interrupted.
+// Usage: serve_ui [port] [--threads=N] [--cache-mb=M] [--batch-window-us=U]
+//   --threads=N          BatchEngine worker threads (default: hardware)
+//   --cache-mb=M         query-cache budget in MiB (0 disables the cache)
+//   --batch-window-us=U  micro-batch flush window in microseconds
+//
+// By default the server performs a cold + cached self-request pair as a
+// smoke test and exits; set RPG_SERVE_FOREVER=1 to keep serving until
+// interrupted.
 
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
+#include <string>
 #include <thread>
 
 #include "eval/workbench.h"
+#include "serve/serve_engine.h"
 #include "ui/http_server.h"
 #include "ui/repager_service.h"
 
+namespace {
+
+/// Parses "--name=value" into `out`; returns true when `arg` matched.
+bool ParseIntFlag(const char* arg, const char* name, long* out) {
+  size_t len = std::strlen(name);
+  if (std::strncmp(arg, name, len) != 0 || arg[len] != '=') return false;
+  *out = std::strtol(arg + len + 1, nullptr, 10);
+  return true;
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
   using namespace rpg;
-  int port = argc > 1 ? std::atoi(argv[1]) : 0;
+  int port = 0;
+  long threads = 0, cache_mb = 64, batch_window_us = 2000;
+  for (int i = 1; i < argc; ++i) {
+    if (ParseIntFlag(argv[i], "--threads", &threads) ||
+        ParseIntFlag(argv[i], "--cache-mb", &cache_mb) ||
+        ParseIntFlag(argv[i], "--batch-window-us", &batch_window_us)) {
+      continue;
+    }
+    port = std::atoi(argv[i]);
+  }
 
   auto wb_or = eval::Workbench::Create();
   if (!wb_or.ok()) {
@@ -23,7 +54,17 @@ int main(int argc, char** argv) {
     return 1;
   }
   const eval::Workbench& wb = *wb_or.value();
-  ui::RePagerService service(&wb.repager(), &wb.titles(), &wb.years());
+
+  serve::ServeEngineOptions serve_options;
+  serve_options.num_threads = static_cast<int>(threads);
+  serve_options.enable_cache = cache_mb > 0;
+  serve_options.cache.max_bytes = static_cast<size_t>(cache_mb) << 20;
+  serve_options.batcher.flush_window =
+      std::chrono::microseconds(batch_window_us);
+  serve::ServeEngine engine(&wb.repager(), serve_options);
+
+  ui::RePagerService service(&engine, &wb.repager(), &wb.titles(),
+                             &wb.years());
   ui::HttpServer server(
       [&](const ui::HttpRequest& request) { return service.Handle(request); });
   auto port_or = server.Start(port);
@@ -31,27 +72,41 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "server: %s\n", port_or.status().ToString().c_str());
     return 1;
   }
-  std::printf("RePaGer UI listening on http://127.0.0.1:%d/\n",
-              port_or.value());
+  std::printf("RePaGer UI listening on http://127.0.0.1:%d/  "
+              "(threads=%zu cache-mb=%ld batch-window-us=%ld)\n",
+              port_or.value(), engine.num_threads(), cache_mb,
+              batch_window_us);
   std::printf("try:  curl 'http://127.0.0.1:%d/api/path?q=%s'\n",
               port_or.value(), "citation+analysis");
+  std::printf("      curl 'http://127.0.0.1:%d/api/stats'\n", port_or.value());
+  std::printf("      curl -X POST 'http://127.0.0.1:%d/api/cache/clear'\n",
+              port_or.value());
 
   if (std::getenv("RPG_SERVE_FOREVER") != nullptr) {
     std::printf("serving until interrupted (RPG_SERVE_FOREVER set)\n");
     for (;;) std::this_thread::sleep_for(std::chrono::seconds(60));
   }
 
-  // Smoke test: generate a path for one SurveyBank query via the service
-  // layer, then shut down.
+  // Smoke test: one cold request, then the same query again — the second
+  // must come back from the cache.
   const auto& entry = wb.bank().Get(wb.bank().HighScoreSubset(1).front());
-  auto json_or = service.PathJson(entry.query, 30, entry.year);
-  if (!json_or.ok()) {
-    std::fprintf(stderr, "self-test failed: %s\n",
-                 json_or.status().ToString().c_str());
-    return 1;
+  for (int round = 0; round < 2; ++round) {
+    auto json_or = service.PathJson(entry.query, 30, entry.year);
+    if (!json_or.ok()) {
+      std::fprintf(stderr, "self-test failed: %s\n",
+                   json_or.status().ToString().c_str());
+      return 1;
+    }
+    bool cached =
+        json_or.value().find("\"cache_hit\":true") != std::string::npos;
+    std::printf("self-test %s: /api/path?q=\"%s\" -> %zu bytes of JSON%s\n",
+                round == 0 ? "cold" : "warm", entry.query.c_str(),
+                json_or.value().size(), cached ? " (cache hit)" : "");
+    if ((round == 1) != cached && cache_mb > 0) {
+      std::fprintf(stderr, "self-test cache behaviour unexpected\n");
+      return 1;
+    }
   }
-  std::printf("self-test: /api/path?q=\"%s\" -> %zu bytes of JSON\n",
-              entry.query.c_str(), json_or.value().size());
   server.Stop();
   std::printf("server stopped cleanly\n");
   return 0;

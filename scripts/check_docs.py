@@ -1,7 +1,7 @@
 #!/usr/bin/env python3
 """Checks that documentation references point at things that exist.
 
-Scans the backtick-quoted tokens in README.md and docs/benchmarks.md and
+Scans the backtick-quoted tokens in README.md and docs/*.md and
 fails (exit 1) when one references a missing file/directory, an unknown
 bench binary (`bench_*` must have bench/<name>.cpp), or an unknown test
 binary (`rpg_<dir>_test` must have tests/<dir>/). Wired into the tier-1
@@ -17,7 +17,9 @@ import sys
 from pathlib import Path
 
 ROOT = Path(__file__).resolve().parent.parent
-DOC_FILES = ["README.md", "docs/benchmarks.md"]
+DOC_FILES = ["README.md"] + sorted(
+    str(p.relative_to(ROOT)) for p in (ROOT / "docs").glob("*.md")
+)
 
 # Backticked tokens that look like repo paths must exist on disk.
 PATH_PREFIXES = ("src/", "tests/", "bench/", "docs/", "examples/", "scripts/")

@@ -1,0 +1,21 @@
+#!/usr/bin/env bash
+# Builds and runs the serving-layer load bench (bench/bench_serve_load.cpp),
+# leaving BENCH_serve.json in the build directory.
+#
+# Usage: scripts/run_serve_bench.sh [build_dir]
+#   Scale knobs are environment variables, forwarded to the bench:
+#     RPG_SERVE_CLIENTS, RPG_SERVE_REQUESTS, RPG_SERVE_QUERIES,
+#     RPG_SERVE_ZIPF_S, RPG_SERVE_THREADS
+#
+# Example (bigger run):
+#   RPG_SERVE_CLIENTS=8 RPG_SERVE_REQUESTS=200 scripts/run_serve_bench.sh
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR="${1:-build}"
+
+cmake -B "$BUILD_DIR" -S . -DRPG_BUILD_BENCHES=ON > /dev/null
+cmake --build "$BUILD_DIR" -j -t bench_serve_load
+
+(cd "$BUILD_DIR" && ./bench_serve_load)
+echo "results: $BUILD_DIR/BENCH_serve.json"

@@ -64,4 +64,23 @@ double Histogram::mean() const {
   return sum_ / static_cast<double>(n_);
 }
 
+double Histogram::Quantile(double q) const {
+  uint64_t t = total();
+  if (t == 0) return 0.0;
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  double rank = q * static_cast<double>(t);
+  double seen = static_cast<double>(underflow_);
+  if (rank <= seen) return edges_.front();
+  for (size_t i = 0; i < counts_.size(); ++i) {
+    double c = static_cast<double>(counts_[i]);
+    if (rank <= seen + c && c > 0) {
+      double frac = (rank - seen) / c;
+      return edges_[i] + frac * (edges_[i + 1] - edges_[i]);
+    }
+    seen += c;
+  }
+  return edges_.back();
+}
+
 }  // namespace rpg

@@ -9,7 +9,9 @@ namespace rpg {
 
 /// Fixed-bucket histogram over arbitrary (possibly unequal) bucket edges.
 /// Used for the SurveyBank distribution figures (Fig. 4), whose x-axes use
-/// irregular ranges such as 0-5, 5-10, 10-100, 100-500, ...
+/// irregular ranges such as 0-5, 5-10, 10-100, 100-500, ..., and for the
+/// serving-layer latency metrics (serve::MetricsRegistry), which need the
+/// Quantile() estimate below.
 class Histogram {
  public:
   /// `edges` are the bucket boundaries; bucket i covers [edges[i],
@@ -23,6 +25,9 @@ class Histogram {
 
   size_t num_buckets() const { return edges_.size() - 1; }
   uint64_t bucket_count(size_t i) const { return counts_[i]; }
+  /// Lower/upper edge of bucket i (bucket i covers [lower, upper)).
+  double bucket_lower_edge(size_t i) const { return edges_[i]; }
+  double bucket_upper_edge(size_t i) const { return edges_[i + 1]; }
   uint64_t underflow() const { return underflow_; }
   uint64_t overflow() const { return overflow_; }
   uint64_t total() const;
@@ -34,6 +39,14 @@ class Histogram {
   double BucketFraction(size_t i) const;
 
   double mean() const;
+
+  /// Estimated q-quantile (q in [0, 1]) assuming mass is uniform within
+  /// each bucket (linear interpolation between the bucket edges).
+  /// Underflow mass is treated as sitting at the first edge and overflow
+  /// mass at the last, so extreme quantiles stay finite but are clamped —
+  /// size the edges so the tail you care about is inside them. Returns 0
+  /// when the histogram is empty.
+  double Quantile(double q) const;
 
  private:
   std::vector<double> edges_;

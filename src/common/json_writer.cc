@@ -127,4 +127,10 @@ JsonWriter& JsonWriter::Null() {
   return *this;
 }
 
+JsonWriter& JsonWriter::Raw(const std::string& json) {
+  MaybeComma();
+  out_ += json;
+  return *this;
+}
+
 }  // namespace rpg

@@ -28,6 +28,12 @@ class JsonWriter {
   JsonWriter& Bool(bool value);
   JsonWriter& Null();
 
+  /// Splices a pre-serialized JSON value in value position (comma
+  /// handling applies; the caller guarantees `json` is valid JSON).
+  /// Lets composed documents embed sub-documents — e.g. /api/stats
+  /// embedding serve::MetricsRegistry::ToJson().
+  JsonWriter& Raw(const std::string& json);
+
   const std::string& str() const { return out_; }
 
   /// JSON string escaping (quotes, backslash, control characters).

@@ -1,0 +1,100 @@
+#include "serve/micro_batcher.h"
+
+#include <algorithm>
+#include <utility>
+#include <vector>
+
+#include "common/logging.h"
+
+namespace rpg::serve {
+
+MicroBatcher::MicroBatcher(core::BatchEngine* engine,
+                           MicroBatcherOptions options)
+    : engine_(engine), options_(options) {
+  RPG_CHECK(engine_ != nullptr);
+  if (options_.max_batch_size == 0) options_.max_batch_size = 1;
+  dispatcher_ = std::thread([this] { DispatchLoop(); });
+}
+
+MicroBatcher::~MicroBatcher() { Shutdown(); }
+
+std::future<Result<core::RePagerResult>> MicroBatcher::Submit(
+    core::BatchQuery query) {
+  Pending p;
+  p.query = std::move(query);
+  p.enqueued = std::chrono::steady_clock::now();
+  std::future<Result<core::RePagerResult>> future = p.promise.get_future();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (shutdown_) {
+      p.promise.set_value(
+          Status::FailedPrecondition("MicroBatcher is shut down"));
+      return future;
+    }
+    pending_.push_back(std::move(p));
+    ++stats_.requests;
+  }
+  cv_.notify_all();
+  return future;
+}
+
+void MicroBatcher::Shutdown() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  cv_.notify_all();
+  if (dispatcher_.joinable()) dispatcher_.join();
+}
+
+MicroBatcherStats MicroBatcher::Stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+void MicroBatcher::DispatchLoop() {
+  for (;;) {
+    std::deque<Pending> batch;
+    bool flushed_on_size = false;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return !pending_.empty() || shutdown_; });
+      if (pending_.empty() && shutdown_) return;
+      // Wait until the batch fills or the oldest request's deadline
+      // passes. Shutdown flushes immediately (drain semantics).
+      auto deadline = pending_.front().enqueued + options_.flush_window;
+      while (pending_.size() < options_.max_batch_size && !shutdown_) {
+        if (cv_.wait_until(lock, deadline) == std::cv_status::timeout) break;
+      }
+      flushed_on_size = pending_.size() >= options_.max_batch_size;
+      size_t take = std::min(pending_.size(), options_.max_batch_size);
+      for (size_t i = 0; i < take; ++i) {
+        batch.push_back(std::move(pending_.front()));
+        pending_.pop_front();
+      }
+      ++stats_.batches;
+      if (flushed_on_size) {
+        ++stats_.flushes_on_size;
+      } else {
+        ++stats_.flushes_on_deadline;
+      }
+      stats_.max_batch_size_seen =
+          std::max(stats_.max_batch_size_seen, batch.size());
+    }
+    RunBatch(std::move(batch));
+  }
+}
+
+void MicroBatcher::RunBatch(std::deque<Pending> batch) {
+  std::vector<core::BatchQuery> queries;
+  queries.reserve(batch.size());
+  for (const Pending& p : batch) queries.push_back(p.query);
+  core::BatchResult result = engine_->Run(queries);
+  RPG_CHECK(result.results.size() == batch.size());
+  if (options_.on_batch) options_.on_batch(batch.size(), result.wall_seconds);
+  for (size_t i = 0; i < batch.size(); ++i) {
+    batch[i].promise.set_value(std::move(result.results[i]));
+  }
+}
+
+}  // namespace rpg::serve

@@ -1,0 +1,107 @@
+#ifndef RPG_SERVE_MICRO_BATCHER_H_
+#define RPG_SERVE_MICRO_BATCHER_H_
+
+/// \file
+/// Micro-batching admission queue in front of core::BatchEngine.
+/// Cache-miss requests that arrive within a small window are grouped
+/// into one batch and executed together on the engine's worker pool, so
+/// a burst of concurrent requests pays one scheduling round instead of
+/// N, and per-worker QueryScratch reuse kicks in across the batch.
+///
+/// Flush policy: a batch is dispatched when it reaches
+/// `max_batch_size`, or when the oldest queued request has waited
+/// `flush_window` (default 2 ms), whichever comes first. A request
+/// arriving at an idle batcher therefore sees at most `flush_window` of
+/// added latency — negligible next to a multi-ms pipeline solve — and
+/// under load batches fill before the deadline, so the window adds no
+/// latency at all.
+///
+/// Ownership / thread-safety model:
+///  - Submit() is safe from any thread and returns a future fulfilled by
+///    the dispatcher thread after the batch completes.
+///  - One internal dispatcher thread collects and executes batches (the
+///    parallelism lives inside BatchEngine, not here).
+///  - Shutdown() (or the destructor) drains everything already queued
+///    before joining; no submitted request is dropped. Submitting after
+///    Shutdown() returns a FailedPrecondition result.
+///  - The BatchEngine is owned by the caller and must outlive the
+///    batcher; the batcher is its only user while serving (BatchEngine
+///    forbids concurrent Run() calls).
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <thread>
+
+#include "core/batch_engine.h"
+
+namespace rpg::serve {
+
+struct MicroBatcherOptions {
+  /// Dispatch as soon as this many requests are queued (>= 1).
+  size_t max_batch_size = 16;
+  /// Dispatch when the oldest queued request has waited this long.
+  std::chrono::microseconds flush_window{2000};
+  /// Called on the dispatcher thread after every batch with (batch size,
+  /// engine wall seconds) — the ServeEngine's metrics tap. May be empty.
+  std::function<void(size_t, double)> on_batch;
+};
+
+/// Point-in-time dispatch counters.
+struct MicroBatcherStats {
+  uint64_t requests = 0;
+  uint64_t batches = 0;
+  uint64_t flushes_on_size = 0;
+  uint64_t flushes_on_deadline = 0;
+  size_t max_batch_size_seen = 0;
+};
+
+class MicroBatcher {
+ public:
+  /// `engine` must outlive the batcher. Starts the dispatcher thread.
+  explicit MicroBatcher(core::BatchEngine* engine,
+                        MicroBatcherOptions options = {});
+  ~MicroBatcher();
+
+  MicroBatcher(const MicroBatcher&) = delete;
+  MicroBatcher& operator=(const MicroBatcher&) = delete;
+
+  /// Enqueues one query; the future is fulfilled with the engine's
+  /// per-query result (errors land in the Result, not as exceptions).
+  std::future<Result<core::RePagerResult>> Submit(core::BatchQuery query);
+
+  /// Drains queued requests, then stops the dispatcher. Idempotent.
+  void Shutdown();
+
+  MicroBatcherStats Stats() const;
+
+ private:
+  struct Pending {
+    core::BatchQuery query;
+    std::promise<Result<core::RePagerResult>> promise;
+    std::chrono::steady_clock::time_point enqueued;
+  };
+
+  void DispatchLoop();
+  /// Runs one batch on the engine and fulfills its promises.
+  void RunBatch(std::deque<Pending> batch);
+
+  core::BatchEngine* engine_;
+  MicroBatcherOptions options_;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<Pending> pending_;
+  bool shutdown_ = false;
+  MicroBatcherStats stats_;
+
+  std::thread dispatcher_;
+};
+
+}  // namespace rpg::serve
+
+#endif  // RPG_SERVE_MICRO_BATCHER_H_

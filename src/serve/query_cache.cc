@@ -1,0 +1,156 @@
+#include "serve/query_cache.h"
+
+#include <algorithm>
+#include <list>
+#include <mutex>
+#include <unordered_map>
+
+#include "common/string_util.h"
+
+namespace rpg::serve {
+
+namespace {
+
+/// FNV-1a over the key; fast, stable across runs, and good enough to
+/// spread keys over a handful of shards.
+size_t HashKey(const std::string& key) {
+  uint64_t h = 1469598103934665603ull;
+  for (unsigned char c : key) {
+    h ^= c;
+    h *= 1099511628211ull;
+  }
+  return static_cast<size_t>(h);
+}
+
+size_t RoundUpPowerOfTwo(size_t n) {
+  size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+}  // namespace
+
+std::string CanonicalQueryKey(const std::string& query, int num_seeds,
+                              int year_cutoff) {
+  core::RePagerOptions defaults;
+  if (num_seeds <= 0) num_seeds = defaults.num_initial_seeds;
+  if (year_cutoff <= 0) year_cutoff = defaults.year_cutoff;
+  std::string normalized =
+      Join(SplitWhitespace(ToLower(query)), " ");
+  // '\x1f' (unit separator) cannot appear in the tokenized words, so the
+  // three fields cannot alias each other.
+  return normalized + '\x1f' + std::to_string(num_seeds) + '\x1f' +
+         std::to_string(year_cutoff);
+}
+
+size_t EstimateResultBytes(const core::RePagerResult& result) {
+  size_t bytes = sizeof(core::RePagerResult);
+  bytes += result.ranked.capacity() * sizeof(graph::PaperId);
+  bytes += result.initial_seeds.capacity() * sizeof(graph::PaperId);
+  bytes += result.terminals.capacity() * sizeof(graph::PaperId);
+  bytes += result.path.nodes().capacity() * sizeof(graph::PaperId);
+  bytes += result.path.edges().capacity() *
+           sizeof(std::pair<graph::PaperId, graph::PaperId>);
+  return bytes;
+}
+
+struct QueryCache::Shard {
+  struct Entry {
+    std::string key;
+    CachedResult result;
+    size_t bytes = 0;
+  };
+  using LruList = std::list<Entry>;
+
+  mutable std::mutex mu;
+  LruList lru;  // front = most recent
+  std::unordered_map<std::string, LruList::iterator> index;
+  size_t bytes = 0;
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  uint64_t insertions = 0;
+  uint64_t evictions = 0;
+};
+
+QueryCache::QueryCache(QueryCacheOptions options)
+    : shard_count_(RoundUpPowerOfTwo(
+          options.num_shards == 0 ? 1 : options.num_shards)) {
+  shards_ = std::make_unique<Shard[]>(shard_count_);
+  shard_max_bytes_ =
+      options.max_bytes == 0 ? 0 : std::max<size_t>(1, options.max_bytes / shard_count_);
+  shard_max_entries_ =
+      options.max_entries == 0
+          ? 0
+          : std::max<size_t>(1, options.max_entries / shard_count_);
+}
+
+QueryCache::~QueryCache() = default;
+
+size_t QueryCache::num_shards() const { return shard_count_; }
+
+CachedResult QueryCache::Lookup(const std::string& key, bool count) {
+  Shard& shard = shards_[HashKey(key) & (shard_count_ - 1)];
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.index.find(key);
+  if (it == shard.index.end()) {
+    if (count) ++shard.misses;
+    return nullptr;
+  }
+  if (count) ++shard.hits;
+  shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+  return it->second->result;
+}
+
+void QueryCache::Insert(const std::string& key, CachedResult result) {
+  if (result == nullptr) return;
+  size_t bytes = EstimateResultBytes(*result);
+  Shard& shard = shards_[HashKey(key) & (shard_count_ - 1)];
+  std::lock_guard<std::mutex> lock(shard.mu);
+  // Oversized entries would immediately evict themselves (plus the whole
+  // shard); refuse them instead.
+  if (shard_max_bytes_ != 0 && bytes > shard_max_bytes_) return;
+  if (auto it = shard.index.find(key); it != shard.index.end()) {
+    shard.bytes -= it->second->bytes;
+    shard.lru.erase(it->second);
+    shard.index.erase(it);
+  }
+  shard.lru.push_front({key, std::move(result), bytes});
+  shard.index[key] = shard.lru.begin();
+  shard.bytes += bytes;
+  ++shard.insertions;
+  while ((shard_max_bytes_ != 0 && shard.bytes > shard_max_bytes_) ||
+         (shard_max_entries_ != 0 && shard.lru.size() > shard_max_entries_)) {
+    const auto& tail = shard.lru.back();
+    shard.bytes -= tail.bytes;
+    shard.index.erase(tail.key);
+    shard.lru.pop_back();
+    ++shard.evictions;
+  }
+}
+
+void QueryCache::Clear() {
+  for (size_t i = 0; i < shard_count_; ++i) {
+    Shard& shard = shards_[i];
+    std::lock_guard<std::mutex> lock(shard.mu);
+    shard.lru.clear();
+    shard.index.clear();
+    shard.bytes = 0;
+  }
+}
+
+QueryCacheStats QueryCache::Stats() const {
+  QueryCacheStats stats;
+  for (size_t i = 0; i < shard_count_; ++i) {
+    const Shard& shard = shards_[i];
+    std::lock_guard<std::mutex> lock(shard.mu);
+    stats.hits += shard.hits;
+    stats.misses += shard.misses;
+    stats.insertions += shard.insertions;
+    stats.evictions += shard.evictions;
+    stats.entries += shard.lru.size();
+    stats.bytes += shard.bytes;
+  }
+  return stats;
+}
+
+}  // namespace rpg::serve

@@ -1,0 +1,104 @@
+#ifndef RPG_SERVE_QUERY_CACHE_H_
+#define RPG_SERVE_QUERY_CACHE_H_
+
+/// \file
+/// Sharded LRU cache over completed RePaGer results, the first line of
+/// defence in the serving layer (docs/serving.md). Survey-generation
+/// traffic is highly repetitive — popular topics dominate — over an
+/// immutable citation graph, so a completed RePagerResult never goes
+/// stale and can be shared verbatim between requests.
+///
+/// Ownership / thread-safety model:
+///  - Entries are std::shared_ptr<const core::RePagerResult>: the cache
+///    and any number of in-flight responses share one immutable result;
+///    eviction only drops the cache's reference.
+///  - The key space is split across N shards (a power of two), each with
+///    its own mutex + LRU list, so concurrent lookups on different keys
+///    rarely contend. All public methods are safe from any thread.
+///  - Capacity is bounded both by entries and by (estimated) bytes;
+///    either limit evicts from the LRU tail of the owning shard. Byte
+///    accounting is per shard (total/N each), so a single giant entry
+///    can only displace its own shard's tail — the usual sharded-LRU
+///    approximation.
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "core/repager.h"
+
+namespace rpg::serve {
+
+/// A cached, immutable, shareable pipeline result.
+using CachedResult = std::shared_ptr<const core::RePagerResult>;
+
+/// Canonical cache key for a serving request: the query text lowercased
+/// with whitespace runs collapsed (the tokenizer is case-insensitive, so
+/// "Graph  Neural" and "graph neural" produce bit-identical results —
+/// asserted by tests/serve/query_cache_test.cc), joined with the resolved
+/// num_seeds and year_cutoff. `num_seeds <= 0` and `year_cutoff <= 0`
+/// mean "use the RePagerOptions default", so explicit and implicit
+/// defaults share an entry.
+std::string CanonicalQueryKey(const std::string& query, int num_seeds,
+                              int year_cutoff);
+
+/// Estimated heap footprint of one result (vectors + path), used for the
+/// cache's byte accounting. An estimate, not an exact malloc census.
+size_t EstimateResultBytes(const core::RePagerResult& result);
+
+struct QueryCacheOptions {
+  /// Total byte budget across all shards. 0 disables byte bounding.
+  size_t max_bytes = 64ull << 20;
+  /// Total entry budget across all shards. 0 disables entry bounding.
+  size_t max_entries = 4096;
+  /// Shard count; rounded up to a power of two, minimum 1.
+  size_t num_shards = 8;
+};
+
+/// Point-in-time counters (sums over all shards).
+struct QueryCacheStats {
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  uint64_t insertions = 0;
+  uint64_t evictions = 0;
+  size_t entries = 0;
+  size_t bytes = 0;
+};
+
+class QueryCache {
+ public:
+  explicit QueryCache(QueryCacheOptions options = {});
+  ~QueryCache();
+
+  QueryCache(const QueryCache&) = delete;
+  QueryCache& operator=(const QueryCache&) = delete;
+
+  /// Returns the cached result and refreshes its LRU position, or nullptr
+  /// on miss. Counts a hit or a miss unless `count` is false (used for
+  /// the serving layer's post-claim double-check, which would otherwise
+  /// count every real miss twice).
+  CachedResult Lookup(const std::string& key, bool count = true);
+
+  /// Inserts (or replaces) the entry, then evicts from the shard's LRU
+  /// tail until both capacity limits hold. An entry larger than a whole
+  /// shard's byte budget is not cached at all.
+  void Insert(const std::string& key, CachedResult result);
+
+  /// Drops every entry (counters are preserved).
+  void Clear();
+
+  QueryCacheStats Stats() const;
+
+  size_t num_shards() const;
+
+ private:
+  struct Shard;
+  std::unique_ptr<Shard[]> shards_;
+  size_t shard_count_;
+  size_t shard_max_bytes_;
+  size_t shard_max_entries_;
+};
+
+}  // namespace rpg::serve
+
+#endif  // RPG_SERVE_QUERY_CACHE_H_

@@ -1,0 +1,204 @@
+#include "serve/serve_engine.h"
+
+#include <utility>
+
+#include "common/json_writer.h"
+#include "common/logging.h"
+#include "common/timer.h"
+
+namespace rpg::serve {
+
+/// Single-flight slot: the first requester (owner) computes; duplicates
+/// wait on `future`. The slot outlives its table entry via shared_ptr,
+/// so the owner can fulfill the promise after erasing the entry.
+struct ServeEngine::Flight {
+  std::promise<Result<CachedResult>> promise;
+  std::shared_future<Result<CachedResult>> future;
+};
+
+namespace {
+
+core::BatchEngineOptions MakeBatchOptions(const ServeEngineOptions& options) {
+  core::BatchEngineOptions be;
+  be.num_threads = options.num_threads;
+  return be;
+}
+
+MicroBatcherOptions MakeBatcherOptions(const ServeEngineOptions& options,
+                                       MetricHistogram* batch_size,
+                                       MetricHistogram* solve_ms) {
+  MicroBatcherOptions mb = options.batcher;
+  mb.on_batch = [batch_size, solve_ms](size_t size, double wall_seconds) {
+    batch_size->Observe(static_cast<double>(size));
+    solve_ms->Observe(wall_seconds * 1e3);
+  };
+  return mb;
+}
+
+}  // namespace
+
+ServeEngine::ServeEngine(const core::RePaGer* repager,
+                         ServeEngineOptions options)
+    : repager_(repager),
+      options_(options),
+      batch_engine_(repager, MakeBatchOptions(options)),
+      cache_(options.cache),
+      batcher_(&batch_engine_,
+               MakeBatcherOptions(
+                   options,
+                   metrics_.GetHistogram("batch_size",
+                                         SizeBucketEdges(
+                                             options.batcher.max_batch_size)),
+                   metrics_.GetHistogram("solve_ms", LatencyBucketEdgesMs()))),
+      requests_total_(metrics_.GetCounter("requests_total")),
+      cache_hits_(metrics_.GetCounter("cache_hits")),
+      cache_misses_(metrics_.GetCounter("cache_misses")),
+      coalesced_hits_(metrics_.GetCounter("coalesced_hits")),
+      errors_total_(metrics_.GetCounter("errors_total")),
+      e2e_ms_(metrics_.GetHistogram("e2e_ms", LatencyBucketEdgesMs())),
+      hit_ms_(metrics_.GetHistogram("cache_hit_ms", LatencyBucketEdgesMs())) {
+  RPG_CHECK(repager_ != nullptr);
+}
+
+ServeEngine::~ServeEngine() { batcher_.Shutdown(); }
+
+Result<ServeResponse> ServeEngine::Generate(const std::string& query,
+                                            int num_seeds, int year_cutoff) {
+  Timer e2e;
+  requests_total_->Increment();
+  const std::string key = CanonicalQueryKey(query, num_seeds, year_cutoff);
+
+  if (options_.enable_cache) {
+    if (CachedResult hit = cache_.Lookup(key)) {
+      cache_hits_->Increment();
+      ServeResponse response;
+      response.result = std::move(hit);
+      response.cache_hit = true;
+      response.e2e_seconds = e2e.ElapsedSeconds();
+      hit_ms_->Observe(response.e2e_seconds * 1e3);
+      e2e_ms_->Observe(response.e2e_seconds * 1e3);
+      return response;
+    }
+    cache_misses_->Increment();
+  }
+
+  // Single-flight admission: exactly one requester per canonical key
+  // computes; everyone else joins its future.
+  std::shared_ptr<Flight> flight;
+  bool owner = false;
+  {
+    std::lock_guard<std::mutex> lock(flights_mu_);
+    auto it = flights_.find(key);
+    if (it != flights_.end()) {
+      flight = it->second;
+    } else {
+      flight = std::make_shared<Flight>();
+      flight->future = flight->promise.get_future().share();
+      flights_.emplace(key, flight);
+      owner = true;
+    }
+  }
+
+  // Post-claim double-check: if another owner inserted the entry between
+  // our miss and our claim (insert happens-before flight retirement,
+  // which happens-before our claim), serve it instead of recomputing —
+  // single-flight stays airtight even across flight generations.
+  bool raced_hit = false;
+  Result<CachedResult> outcome = [&]() -> Result<CachedResult> {
+    if (!owner) {
+      coalesced_hits_->Increment();
+      return flight->future.get();
+    }
+    if (options_.enable_cache) {
+      if (CachedResult hit = cache_.Lookup(key, /*count=*/false)) {
+        raced_hit = true;
+        Result<CachedResult> resolved(std::move(hit));
+        {
+          std::lock_guard<std::mutex> lock(flights_mu_);
+          flights_.erase(key);
+        }
+        flight->promise.set_value(resolved);
+        return resolved;
+      }
+    }
+    return ComputeAndPublish(flight, key, query, num_seeds, year_cutoff);
+  }();
+
+  double seconds = e2e.ElapsedSeconds();
+  e2e_ms_->Observe(seconds * 1e3);
+  if (!outcome.ok()) {
+    errors_total_->Increment();
+    return outcome.status();
+  }
+  ServeResponse response;
+  response.result = std::move(outcome).value();
+  response.cache_hit = raced_hit;
+  response.coalesced = !owner;
+  response.e2e_seconds = seconds;
+  return response;
+}
+
+Result<CachedResult> ServeEngine::ComputeAndPublish(
+    const std::shared_ptr<Flight>& flight, const std::string& key,
+    const std::string& query, int num_seeds, int year_cutoff) {
+  core::BatchQuery bq;
+  bq.query = query;
+  if (num_seeds > 0) bq.options.num_initial_seeds = num_seeds;
+  if (year_cutoff > 0) bq.options.year_cutoff = year_cutoff;
+  Result<core::RePagerResult> computed = batcher_.Submit(std::move(bq)).get();
+
+  Result<CachedResult> outcome =
+      computed.ok()
+          ? Result<CachedResult>(std::make_shared<const core::RePagerResult>(
+                std::move(computed).value()))
+          : Result<CachedResult>(computed.status());
+  // Publish to the cache BEFORE retiring the flight: a request arriving
+  // in between sees either the cache entry or the in-flight future —
+  // never a gap that would trigger a duplicate computation.
+  if (outcome.ok() && options_.enable_cache) {
+    cache_.Insert(key, outcome.value());
+  }
+  {
+    std::lock_guard<std::mutex> lock(flights_mu_);
+    flights_.erase(key);
+  }
+  // Wake the coalesced waiters last; they re-read nothing, the outcome
+  // is baked into the future.
+  flight->promise.set_value(outcome);
+  return outcome;
+}
+
+size_t ServeEngine::ClearCache() {
+  size_t entries = cache_.Stats().entries;
+  cache_.Clear();
+  return entries;
+}
+
+std::string ServeEngine::StatsJson() const {
+  QueryCacheStats cs = cache_.Stats();
+  MicroBatcherStats bs = batcher_.Stats();
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("cache").BeginObject();
+  w.Key("enabled").Bool(options_.enable_cache);
+  w.Key("entries").UInt(cs.entries);
+  w.Key("bytes").UInt(cs.bytes);
+  w.Key("hits").UInt(cs.hits);
+  w.Key("misses").UInt(cs.misses);
+  w.Key("insertions").UInt(cs.insertions);
+  w.Key("evictions").UInt(cs.evictions);
+  w.EndObject();
+  w.Key("batcher").BeginObject();
+  w.Key("requests").UInt(bs.requests);
+  w.Key("batches").UInt(bs.batches);
+  w.Key("flushes_on_size").UInt(bs.flushes_on_size);
+  w.Key("flushes_on_deadline").UInt(bs.flushes_on_deadline);
+  w.Key("max_batch_size_seen").UInt(bs.max_batch_size_seen);
+  w.Key("threads").UInt(batch_engine_.num_threads());
+  w.EndObject();
+  w.Key("metrics").Raw(metrics_.ToJson());
+  w.EndObject();
+  return w.str();
+}
+
+}  // namespace rpg::serve

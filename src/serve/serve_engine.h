@@ -1,0 +1,137 @@
+#ifndef RPG_SERVE_SERVE_ENGINE_H_
+#define RPG_SERVE_SERVE_ENGINE_H_
+
+/// \file
+/// The serving facade: sharded result cache + in-flight request
+/// coalescing + micro-batched execution + live metrics, over the
+/// immutable RePaGer substrates. ui::RePagerService is a thin route
+/// layer on top of this class; see docs/serving.md for the request
+/// lifecycle and tuning knobs.
+///
+/// Request lifecycle for Generate(query, num_seeds, year_cutoff):
+///   1. canonical key  = CanonicalQueryKey(...) — case/whitespace
+///      normalized, defaults resolved
+///   2. QueryCache::Lookup — hit returns the shared immutable result in
+///      microseconds
+///   3. in-flight table — an identical query already being computed is
+///      joined, not recomputed (single-flight)
+///   4. MicroBatcher::Submit — grouped with concurrent misses and
+///      executed on the shared core::BatchEngine
+///   5. completed results are inserted into the cache; every stage
+///      increments MetricsRegistry counters/histograms
+///
+/// Results are bit-identical to serial RePaGer::Generate in every path
+/// (cache hit, coalesced, batched) — asserted by
+/// tests/serve/serve_engine_test.cc.
+///
+/// Ownership / thread-safety model:
+///  - The RePaGer (and everything under it) is shared immutable state
+///    owned by the caller; it must outlive the engine.
+///  - Generate() is safe from any number of threads (it is the HTTP
+///    handler's body). Cached results are shared_ptr<const ...>: never
+///    mutated, freely shared across responses.
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "core/batch_engine.h"
+#include "core/repager.h"
+#include "serve/metrics.h"
+#include "serve/micro_batcher.h"
+#include "serve/query_cache.h"
+
+namespace rpg::serve {
+
+struct ServeEngineOptions {
+  /// Worker threads for the underlying BatchEngine; <= 0 means
+  /// hardware_concurrency.
+  int num_threads = 0;
+  /// Set false to bypass the result cache (every request computes).
+  bool enable_cache = true;
+  QueryCacheOptions cache;
+  MicroBatcherOptions batcher;
+};
+
+/// One served response. `result` is immutable and shared with the cache.
+struct ServeResponse {
+  CachedResult result;
+  /// True when the result came straight from the cache.
+  bool cache_hit = false;
+  /// True when this request joined an identical in-flight computation.
+  bool coalesced = false;
+  /// End-to-end seconds inside the engine (queueing + solve, or the
+  /// cache lookup time on a hit).
+  double e2e_seconds = 0.0;
+};
+
+class ServeEngine {
+ public:
+  /// `repager` must outlive the engine.
+  explicit ServeEngine(const core::RePaGer* repager,
+                       ServeEngineOptions options = {});
+  ~ServeEngine();
+
+  ServeEngine(const ServeEngine&) = delete;
+  ServeEngine& operator=(const ServeEngine&) = delete;
+
+  /// Serves one request. `num_seeds <= 0` / `year_cutoff <= 0` mean the
+  /// pipeline defaults (same canonicalization as the cache key).
+  /// Pipeline errors (no hits, empty query, ...) come back as the
+  /// Result's status; they are never cached.
+  Result<ServeResponse> Generate(const std::string& query, int num_seeds,
+                                 int year_cutoff);
+
+  /// Drops every cached entry; returns the number of entries dropped.
+  size_t ClearCache();
+
+  /// Live stats document for GET /api/stats:
+  ///   {"cache":{...},"batcher":{...},"metrics":{counters,histograms}}
+  std::string StatsJson() const;
+
+  const QueryCache& cache() const { return cache_; }
+  const MetricsRegistry& metrics() const { return metrics_; }
+  size_t num_threads() const { return batch_engine_.num_threads(); }
+
+ private:
+  struct Flight;
+
+  /// Computes a cache miss via the batcher, publishing the outcome to
+  /// the cache (on success), the in-flight waiters, and the caller.
+  Result<CachedResult> ComputeAndPublish(const std::shared_ptr<Flight>& flight,
+                                         const std::string& key,
+                                         const std::string& query,
+                                         int num_seeds, int year_cutoff);
+
+  const core::RePaGer* repager_;
+  ServeEngineOptions options_;
+  core::BatchEngine batch_engine_;
+  QueryCache cache_;
+  // Declared before batcher_: the batcher's on_batch closure holds
+  // pointers into the registry, so the registry must be built first (and
+  // torn down last).
+  MetricsRegistry metrics_;
+  MicroBatcher batcher_;
+
+  /// Single-flight table: canonical key -> the future every duplicate
+  /// concurrent request waits on. The owner (first requester) erases the
+  /// entry once the cache is populated.
+  std::mutex flights_mu_;
+  std::unordered_map<std::string, std::shared_ptr<Flight>> flights_;
+
+  // Hot-path instruments, resolved once. (solve_ms / batch_size are
+  // observed by the batcher's on_batch closure, not through members.)
+  Counter* requests_total_;
+  Counter* cache_hits_;
+  Counter* cache_misses_;
+  Counter* coalesced_hits_;
+  Counter* errors_total_;
+  MetricHistogram* e2e_ms_;
+  MetricHistogram* hit_ms_;
+};
+
+}  // namespace rpg::serve
+
+#endif  // RPG_SERVE_SERVE_ENGINE_H_

@@ -1,0 +1,127 @@
+#include "ui/http_client.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstdlib>
+#include <cstring>
+
+#include "common/string_util.h"
+#include "ui/http_server.h"
+
+namespace rpg::ui {
+
+HttpClient::~HttpClient() { Close(); }
+
+Status HttpClient::Connect(int port) {
+  Close();
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return Status::IoError("socket() failed");
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    ::close(fd);
+    return Status::IoError(StrFormat("connect(%d) failed", port));
+  }
+  fd_ = fd;
+  port_ = port;
+  return Status::OK();
+}
+
+void HttpClient::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+  buffer_.clear();
+}
+
+Result<ClientResponse> HttpClient::Fetch(const std::string& method,
+                                         const std::string& target,
+                                         bool close_connection) {
+  if (fd_ < 0) {
+    if (port_ == 0) return Status::FailedPrecondition("not connected");
+    RPG_RETURN_NOT_OK(Connect(port_));
+  }
+  std::string request = method + " " + target + " HTTP/1.1\r\n" +
+                        "Host: 127.0.0.1\r\n" +
+                        (close_connection ? "Connection: close\r\n" : "") +
+                        "\r\n";
+  auto response_or = FetchOnce(request);
+  if (!response_or.ok() && port_ != 0) {
+    // The server may have closed an idle keep-alive connection between
+    // requests; one reconnect-and-retry is safe for idempotent fetches.
+    RPG_RETURN_NOT_OK(Connect(port_));
+    return FetchOnce(request);
+  }
+  return response_or;
+}
+
+Result<ClientResponse> HttpClient::FetchOnce(const std::string& request) {
+  size_t written = 0;
+  while (written < request.size()) {
+    ssize_t n =
+        ::write(fd_, request.data() + written, request.size() - written);
+    if (n <= 0) {
+      Close();
+      return Status::IoError("write failed");
+    }
+    written += static_cast<size_t>(n);
+  }
+
+  char chunk[4096];
+  size_t header_end;
+  while ((header_end = buffer_.find("\r\n\r\n")) == std::string::npos) {
+    ssize_t n = ::read(fd_, chunk, sizeof(chunk));
+    if (n <= 0) {
+      Close();
+      return Status::IoError("connection closed mid-response");
+    }
+    buffer_.append(chunk, static_cast<size_t>(n));
+  }
+
+  ClientResponse response;
+  size_t line_end = buffer_.find("\r\n");
+  {
+    // Status line: "HTTP/1.1 200 OK".
+    std::vector<std::string> parts =
+        SplitWhitespace(buffer_.substr(0, line_end));
+    if (parts.size() < 2 || !StartsWith(parts[0], "HTTP/")) {
+      Close();
+      return Status::IoError("malformed status line");
+    }
+    response.status = std::atoi(parts[1].c_str());
+  }
+  ParseHeaderLines(buffer_.substr(line_end + 2, header_end - line_end - 2),
+                   &response.headers);
+  size_t body_len = 0;
+  if (auto it = response.headers.find("content-length");
+      it != response.headers.end()) {
+    body_len =
+        static_cast<size_t>(std::strtoull(it->second.c_str(), nullptr, 10));
+  }
+  size_t total = header_end + 4 + body_len;
+  while (buffer_.size() < total) {
+    ssize_t n = ::read(fd_, chunk, sizeof(chunk));
+    if (n <= 0) {
+      Close();
+      return Status::IoError("connection closed mid-body");
+    }
+    buffer_.append(chunk, static_cast<size_t>(n));
+  }
+  response.body = buffer_.substr(header_end + 4, body_len);
+  buffer_.erase(0, total);
+
+  if (auto it = response.headers.find("connection");
+      it != response.headers.end() &&
+      ContainsIgnoreCase(it->second, "close")) {
+    Close();
+  }
+  return response;
+}
+
+}  // namespace rpg::ui

@@ -12,6 +12,36 @@
 
 namespace rpg::ui {
 
+namespace {
+
+/// Hard ceilings against hostile or broken clients.
+constexpr size_t kMaxHeaderBytes = 64 * 1024;
+constexpr size_t kMaxBodyBytes = 1024 * 1024;
+
+/// Writes the whole buffer; returns false on error/EOF.
+bool WriteAll(int fd, const std::string& data) {
+  size_t written = 0;
+  while (written < data.size()) {
+    ssize_t n = ::write(fd, data.data() + written, data.size() - written);
+    if (n <= 0) return false;
+    written += static_cast<size_t>(n);
+  }
+  return true;
+}
+
+const char* ReasonPhrase(int status) {
+  switch (status) {
+    case 200: return "OK";
+    case 400: return "Bad Request";
+    case 404: return "Not Found";
+    case 405: return "Method Not Allowed";
+    case 413: return "Payload Too Large";
+    default: return "Error";
+  }
+}
+
+}  // namespace
+
 std::string UrlDecode(const std::string& s) {
   std::string out;
   out.reserve(s.size());
@@ -46,6 +76,7 @@ Result<HttpRequest> ParseRequestLine(const std::string& line) {
   }
   HttpRequest request;
   request.method = parts[0];
+  request.version = parts[2];
   std::string target = parts[1];
   size_t question = target.find('?');
   if (question == std::string::npos) {
@@ -70,6 +101,22 @@ Result<HttpRequest> ParseRequestLine(const std::string& line) {
   return request;
 }
 
+void ParseHeaderLines(const std::string& header_block,
+                      std::map<std::string, std::string>* headers) {
+  size_t pos = 0;
+  while (pos < header_block.size()) {
+    size_t eol = header_block.find("\r\n", pos);
+    if (eol == std::string::npos) eol = header_block.size();
+    std::string_view line(header_block.data() + pos, eol - pos);
+    pos = eol + 2;
+    size_t colon = line.find(':');
+    if (colon == std::string_view::npos) continue;
+    std::string name = ToLower(Trim(line.substr(0, colon)));
+    std::string value(Trim(line.substr(colon + 1)));
+    if (!name.empty()) (*headers)[std::move(name)] = std::move(value);
+  }
+}
+
 HttpServer::~HttpServer() { Stop(); }
 
 Result<int> HttpServer::Start(int port) {
@@ -88,7 +135,7 @@ Result<int> HttpServer::Start(int port) {
     listen_fd_ = -1;
     return Status::IoError(StrFormat("bind(%d) failed", port));
   }
-  if (::listen(listen_fd_, 16) < 0) {
+  if (::listen(listen_fd_, 64) < 0) {
     ::close(listen_fd_);
     listen_fd_ = -1;
     return Status::IoError("listen() failed");
@@ -111,6 +158,34 @@ void HttpServer::Stop() {
   ::close(listen_fd_);
   listen_fd_ = -1;
   if (thread_.joinable()) thread_.join();
+  // Shut every live connection to unblock its read(), then join. The
+  // connection threads only shutdown() their fd, never close() it (the
+  // fd number stays allocated to us), so this racing shutdown can never
+  // hit a recycled descriptor; close happens below, after the join.
+  {
+    std::lock_guard<std::mutex> lock(conns_mu_);
+    for (Connection& c : conns_) ::shutdown(c.fd, SHUT_RDWR);
+  }
+  // No new connections can appear (accept loop joined), so the list is
+  // stable outside the lock and joining cannot deadlock with ReapFinished.
+  for (Connection& c : conns_) {
+    if (c.thread.joinable()) c.thread.join();
+    ::close(c.fd);
+  }
+  conns_.clear();
+}
+
+void HttpServer::ReapFinished() {
+  std::lock_guard<std::mutex> lock(conns_mu_);
+  for (auto it = conns_.begin(); it != conns_.end();) {
+    if (it->finished.load()) {
+      if (it->thread.joinable()) it->thread.join();
+      ::close(it->fd);
+      it = conns_.erase(it);
+    } else {
+      ++it;
+    }
+  }
 }
 
 void HttpServer::ServeLoop() {
@@ -120,44 +195,124 @@ void HttpServer::ServeLoop() {
       if (!running_.load()) break;
       continue;
     }
-    // Read until the end of the headers (the UI only sends GETs with no
-    // body) or 64 KiB, whichever comes first.
-    std::string raw;
-    char buf[4096];
-    while (raw.find("\r\n\r\n") == std::string::npos && raw.size() < 65536) {
-      ssize_t n = ::read(client, buf, sizeof(buf));
-      if (n <= 0) break;
-      raw.append(buf, static_cast<size_t>(n));
+    ReapFinished();
+    Connection* conn;
+    {
+      std::lock_guard<std::mutex> lock(conns_mu_);
+      conn = &conns_.emplace_back();
+      conn->fd = client;
     }
-    HttpResponse response;
-    size_t line_end = raw.find("\r\n");
-    auto request_or = ParseRequestLine(
-        line_end == std::string::npos ? raw : raw.substr(0, line_end));
-    if (!request_or.ok()) {
-      response.status = 400;
-      response.content_type = "text/plain";
-      response.body = request_or.status().ToString();
-    } else {
-      response = handler_(request_or.value());
-    }
-    const char* reason = response.status == 200   ? "OK"
-                         : response.status == 404 ? "Not Found"
-                         : response.status == 400 ? "Bad Request"
-                                                  : "Error";
-    std::string out = StrFormat(
-        "HTTP/1.1 %d %s\r\nContent-Type: %s\r\nContent-Length: %zu\r\n"
-        "Connection: close\r\n\r\n",
-        response.status, reason, response.content_type.c_str(),
-        response.body.size());
-    out += response.body;
-    size_t written = 0;
-    while (written < out.size()) {
-      ssize_t n = ::write(client, out.data() + written, out.size() - written);
-      if (n <= 0) break;
-      written += static_cast<size_t>(n);
-    }
-    ::close(client);
+    conn->thread = std::thread([this, conn] { HandleConnection(conn); });
   }
+}
+
+void HttpServer::HandleConnection(Connection* conn) {
+  const int fd = conn->fd;
+  std::string buffer;
+  char chunk[4096];
+  bool keep_alive = true;
+  bool drain_on_close = false;
+  // Early-error replies leave unread request bytes in the socket; a
+  // plain close() would then RST and destroy the queued response, so
+  // half-close the write side and discard (bounded) what the client is
+  // still sending before the real close.
+  auto drain = [&] {
+    ::shutdown(fd, SHUT_WR);
+    size_t drained = 0;
+    ssize_t n;
+    while (drained < (4u << 20) && (n = ::read(fd, chunk, sizeof(chunk))) > 0) {
+      drained += static_cast<size_t>(n);
+    }
+  };
+  while (keep_alive && running_.load()) {
+    // --- read one request: headers, then Content-Length body ----------
+    size_t header_end;
+    while ((header_end = buffer.find("\r\n\r\n")) == std::string::npos) {
+      if (buffer.size() > kMaxHeaderBytes) {
+        if (WriteAll(fd,
+                     "HTTP/1.1 431 Request Header Fields Too Large\r\n"
+                     "Content-Length: 0\r\nConnection: close\r\n\r\n")) {
+          drain();
+        }
+        goto done;
+      }
+      ssize_t n = ::read(fd, chunk, sizeof(chunk));
+      if (n <= 0) goto done;
+      buffer.append(chunk, static_cast<size_t>(n));
+    }
+
+    {
+      size_t line_end = buffer.find("\r\n");
+      auto request_or = ParseRequestLine(buffer.substr(0, line_end));
+      HttpResponse response;
+      HttpRequest request;
+      bool parsed = request_or.ok();
+      if (parsed) {
+        request = std::move(request_or).value();
+        ParseHeaderLines(
+            buffer.substr(line_end + 2, header_end - line_end - 2),
+            &request.headers);
+        size_t body_len = 0;
+        if (auto it = request.headers.find("content-length");
+            it != request.headers.end()) {
+          body_len = static_cast<size_t>(
+              std::strtoull(it->second.c_str(), nullptr, 10));
+        }
+        if (body_len > kMaxBodyBytes) {
+          response = {413, "text/plain", "body too large"};
+          keep_alive = false;
+          drain_on_close = true;  // the client is mid-way through the body
+          buffer.clear();
+        } else {
+          size_t total = header_end + 4 + body_len;
+          while (buffer.size() < total) {
+            ssize_t n = ::read(fd, chunk, sizeof(chunk));
+            if (n <= 0) goto done;
+            buffer.append(chunk, static_cast<size_t>(n));
+          }
+          request.body = buffer.substr(header_end + 4, body_len);
+          buffer.erase(0, total);  // keep pipelined bytes for next round
+
+          // Persistence: HTTP/1.1 defaults to keep-alive, HTTP/1.0 to
+          // close; an explicit Connection header wins either way.
+          keep_alive = request.version != "HTTP/1.0";
+          if (auto it = request.headers.find("connection");
+              it != request.headers.end()) {
+            keep_alive = !ContainsIgnoreCase(it->second, "close") &&
+                         (keep_alive ||
+                          ContainsIgnoreCase(it->second, "keep-alive"));
+          }
+          response = handler_(request);
+        }
+      } else {
+        response.status = 400;
+        response.content_type = "text/plain";
+        response.body = request_or.status().ToString();
+        keep_alive = false;  // framing is unknown; bail after replying
+      }
+
+      if (!running_.load()) keep_alive = false;
+      std::string out = StrFormat(
+          "HTTP/1.1 %d %s\r\nContent-Type: %s\r\nContent-Length: %zu\r\n"
+          "Connection: %s\r\n\r\n",
+          response.status, ReasonPhrase(response.status),
+          response.content_type.c_str(), response.body.size(),
+          keep_alive ? "keep-alive" : "close");
+      out += response.body;
+      if (!WriteAll(fd, out)) goto done;
+      if (drain_on_close) {
+        drain();
+        goto done;
+      }
+    }
+  }
+done:
+  // Signal EOF to the peer but do NOT close: the fd number must stay
+  // allocated until ReapFinished()/Stop() has joined this thread, or a
+  // racing Stop() could shutdown() a recycled descriptor. The acceptor
+  // (or Stop) closes the fd after the join.
+  ::shutdown(fd, SHUT_RDWR);
+  conn->finished.store(true);
 }
 
 }  // namespace rpg::ui

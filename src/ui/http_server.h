@@ -3,7 +3,9 @@
 
 #include <atomic>
 #include <functional>
+#include <list>
 #include <map>
+#include <mutex>
 #include <string>
 #include <thread>
 
@@ -11,11 +13,15 @@
 
 namespace rpg::ui {
 
-/// A parsed HTTP request (the subset the RePaGer UI needs).
+/// A parsed HTTP request (the subset the RePaGer serving layer needs).
 struct HttpRequest {
   std::string method;  ///< "GET", "POST", ...
   std::string path;    ///< path without the query string
   std::map<std::string, std::string> query;  ///< decoded query parameters
+  std::string version = "HTTP/1.1";          ///< "HTTP/1.0" or "HTTP/1.1"
+  /// Header fields with lower-cased names ("connection", "content-length").
+  std::map<std::string, std::string> headers;
+  std::string body;  ///< present when Content-Length said so
 };
 
 /// A response to send.
@@ -30,15 +36,27 @@ struct HttpResponse {
 /// unit tests.
 Result<HttpRequest> ParseRequestLine(const std::string& line);
 
+/// Parses "Name: value" header lines (one per \r\n) into `headers` with
+/// lower-cased names and trimmed values. Malformed lines are skipped.
+/// Exposed for unit tests.
+void ParseHeaderLines(const std::string& header_block,
+                      std::map<std::string, std::string>* headers);
+
 /// Percent-decodes a URL component ("hate%20speech+detection" ->
 /// "hate speech detection"; '+' means space in query strings).
 std::string UrlDecode(const std::string& s);
 
-/// Minimal blocking HTTP/1.1 server for the RePaGer web UI (§V). One
-/// handler serves every route; it runs on a background thread started by
-/// Start() and stops on Stop() or destruction. Connection handling is
-/// deliberately simple (one request per connection, no keep-alive): the
-/// UI is a demo surface, not a production gateway.
+/// Blocking HTTP/1.1 server for the RePaGer serving layer (§V +
+/// docs/serving.md). One handler serves every route; the accept loop
+/// runs on a background thread started by Start() and hands each
+/// connection to its own connection thread, so keep-alive clients do
+/// not starve each other.
+///
+/// Connection handling: HTTP/1.1 connections are persistent by default
+/// (the load bench reuses one connection per client thread);
+/// `Connection: close` — or any HTTP/1.0 request without
+/// `Connection: keep-alive` — reverts to one-shot. Request bodies are
+/// read when Content-Length is present (POST endpoints).
 class HttpServer {
  public:
   using Handler = std::function<HttpResponse(const HttpRequest&)>;
@@ -53,20 +71,36 @@ class HttpServer {
   /// background thread. Returns the bound port.
   Result<int> Start(int port);
 
-  /// Stops the accept loop and joins the server thread. Idempotent.
+  /// Stops the accept loop, shuts every open connection, joins all
+  /// threads. Idempotent.
   void Stop();
 
   int port() const { return port_; }
   bool running() const { return running_.load(); }
 
  private:
+  struct Connection {
+    int fd = -1;
+    std::thread thread;
+    std::atomic<bool> finished{false};
+  };
+
   void ServeLoop();
+  void HandleConnection(Connection* conn);
+  /// Joins and erases finished connection threads (called by the accept
+  /// loop so a long-lived server does not accumulate dead threads).
+  void ReapFinished();
 
   Handler handler_;
   std::atomic<bool> running_{false};
-  int listen_fd_ = -1;
+  // Atomic: Stop() invalidates it concurrently with the accept loop's
+  // read (flagged by TSan when it was a plain int).
+  std::atomic<int> listen_fd_{-1};
   int port_ = 0;
   std::thread thread_;
+
+  std::mutex conns_mu_;
+  std::list<Connection> conns_;  // list: stable addresses for the threads
 };
 
 }  // namespace rpg::ui

@@ -1,5 +1,6 @@
 #include "ui/repager_service.h"
 
+#include <cstdlib>
 #include <unordered_set>
 
 #include "common/json_writer.h"
@@ -7,22 +8,18 @@
 
 namespace rpg::ui {
 
-RePagerService::RePagerService(const core::RePaGer* repager,
+RePagerService::RePagerService(serve::ServeEngine* engine,
+                               const core::RePaGer* repager,
                                const std::vector<std::string>* titles,
                                const std::vector<uint16_t>* years)
-    : repager_(repager), titles_(titles), years_(years) {
-  RPG_CHECK(repager_ != nullptr && titles_ != nullptr && years_ != nullptr);
+    : engine_(engine), repager_(repager), titles_(titles), years_(years) {
+  RPG_CHECK(engine_ != nullptr && repager_ != nullptr &&
+            titles_ != nullptr && years_ != nullptr);
 }
 
-Result<std::string> RePagerService::PathJson(const std::string& query,
-                                             int num_seeds,
-                                             int year_cutoff) const {
-  core::RePagerOptions options;
-  if (num_seeds > 0) options.num_initial_seeds = num_seeds;
-  if (year_cutoff > 0) options.year_cutoff = year_cutoff;
-  RPG_ASSIGN_OR_RETURN(core::RePagerResult result,
-                       repager_->Generate(query, options));
-
+std::string RePagerService::RenderPathJson(
+    const std::string& query, const serve::ServeResponse& response) const {
+  const core::RePagerResult& result = *response.result;
   std::unordered_set<graph::PaperId> seeds(result.initial_seeds.begin(),
                                            result.initial_seeds.end());
   JsonWriter w;
@@ -30,7 +27,11 @@ Result<std::string> RePagerService::PathJson(const std::string& query,
   w.Key("query").String(query);
   w.Key("subgraph_nodes").UInt(result.subgraph_nodes);
   w.Key("subgraph_edges").UInt(result.subgraph_edges);
+  // Original pipeline compute time (a property of the cached result) vs
+  // what this request actually waited inside the serving layer.
   w.Key("seconds").Double(result.total_seconds);
+  w.Key("serve_seconds").Double(response.e2e_seconds);
+  w.Key("cache_hit").Bool(response.cache_hit);
   w.Key("nodes").BeginArray();
   for (graph::PaperId p : result.path.nodes()) {
     w.BeginObject();
@@ -62,12 +63,36 @@ Result<std::string> RePagerService::PathJson(const std::string& query,
   return w.str();
 }
 
+Result<std::string> RePagerService::PathJson(const std::string& query,
+                                             int num_seeds,
+                                             int year_cutoff) const {
+  RPG_ASSIGN_OR_RETURN(serve::ServeResponse response,
+                       engine_->Generate(query, num_seeds, year_cutoff));
+  return RenderPathJson(query, response);
+}
+
 HttpResponse RePagerService::Handle(const HttpRequest& request) const {
+  if (request.method == "POST") {
+    if (request.path == "/api/cache/clear") {
+      size_t dropped = engine_->ClearCache();
+      JsonWriter w;
+      w.BeginObject();
+      w.Key("cleared").Bool(true);
+      w.Key("entries_dropped").UInt(dropped);
+      w.EndObject();
+      return {200, "application/json", w.str()};
+    }
+    return {request.path == "/api/path" || request.path == "/" ? 405 : 404,
+            "text/plain", "POST only supported on /api/cache/clear"};
+  }
   if (request.method != "GET") {
-    return {400, "text/plain", "only GET is supported"};
+    return {405, "text/plain", "only GET and POST are supported"};
   }
   if (request.path == "/" || request.path == "/index.html") {
     return {200, "text/html; charset=utf-8", RePagerIndexHtml()};
+  }
+  if (request.path == "/api/stats") {
+    return {200, "application/json", engine_->StatsJson()};
   }
   if (request.path == "/api/path") {
     auto q = request.query.find("q");
@@ -126,7 +151,8 @@ async function go() {
   if (data.error) { meta.textContent = data.error; return; }
   meta.textContent = data.nodes.length + ' papers, sub-graph ' +
       data.subgraph_nodes + ' nodes / ' + data.subgraph_edges +
-      ' edges, ' + data.seconds.toFixed(2) + 's';
+      ' edges, ' + data.seconds.toFixed(2) + 's' +
+      (data.cache_hit ? ' (cached)' : '');
   const byId = {};
   data.nodes.forEach(n => byId[n.id] = n);
   data.reading_order.forEach(id => {

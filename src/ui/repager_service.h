@@ -4,37 +4,50 @@
 #include <string>
 #include <vector>
 
-#include "core/repager.h"
+#include "serve/serve_engine.h"
 #include "ui/http_server.h"
 
 namespace rpg::ui {
 
-/// The RePaGer web application backend (§V). Routes:
+/// The RePaGer web application backend (§V). A thin route layer: every
+/// query is served by serve::ServeEngine (sharded result cache ->
+/// single-flight -> micro-batched BatchEngine; see docs/serving.md),
+/// so repeated queries come back from the cache in microseconds and
+/// concurrent misses share batches. Routes:
 ///
-///   GET /                       the single-page UI (embedded HTML)
-///   GET /api/path?q=<query>[&seeds=N][&year=Y]
+///   GET  /                      the single-page UI (embedded HTML)
+///   GET  /api/path?q=<query>[&seeds=N][&year=Y]
 ///                               reading path as JSON: nodes (title, year,
 ///                               importance), reading-order edges, the
-///                               flattened navigation-bar order, and the
+///                               flattened navigation-bar order, the
 ///                               seed/expanded marking used by the panel's
-///                               node-weight legend
-///
-/// The service is stateless: each request runs the full pipeline.
+///                               node-weight legend, and cache_hit
+///   GET  /api/stats             live serving metrics (cache hit/miss,
+///                               batch sizes, latency percentiles) as JSON
+///   POST /api/cache/clear       drops the query cache; returns the
+///                               number of entries dropped
 class RePagerService {
  public:
-  /// All pointers must outlive the service.
-  RePagerService(const core::RePaGer* repager,
+  /// All pointers must outlive the service. `engine` owns the serving
+  /// state (cache, batcher, metrics); `repager` is only used for the
+  /// per-paper Importance() rendering.
+  RePagerService(serve::ServeEngine* engine, const core::RePaGer* repager,
                  const std::vector<std::string>* titles,
                  const std::vector<uint16_t>* years);
 
   /// The HttpServer handler.
   HttpResponse Handle(const HttpRequest& request) const;
 
-  /// Builds the /api/path JSON for a query (exposed for tests).
+  /// Serves /api/path for a query (exposed for tests).
   Result<std::string> PathJson(const std::string& query, int num_seeds,
                                int year_cutoff) const;
 
  private:
+  /// Renders one served response as the /api/path JSON document.
+  std::string RenderPathJson(const std::string& query,
+                             const serve::ServeResponse& response) const;
+
+  serve::ServeEngine* engine_;
   const core::RePaGer* repager_;
   const std::vector<std::string>* titles_;
   const std::vector<uint16_t>* years_;

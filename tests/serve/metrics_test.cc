@@ -1,0 +1,91 @@
+#include "serve/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+namespace rpg::serve {
+namespace {
+
+TEST(HistogramQuantileTest, UniformMassInterpolates) {
+  Histogram h({0.0, 10.0, 20.0, 30.0});
+  for (int v = 0; v < 10; ++v) h.Add(static_cast<double>(v));       // 10 in b0
+  for (int v = 10; v < 20; ++v) h.Add(static_cast<double>(v));      // 10 in b1
+  EXPECT_DOUBLE_EQ(h.Quantile(0.5), 10.0);
+  EXPECT_DOUBLE_EQ(h.Quantile(0.25), 5.0);
+  EXPECT_DOUBLE_EQ(h.Quantile(1.0), 20.0);
+  EXPECT_DOUBLE_EQ(h.Quantile(0.0), 0.0);
+}
+
+TEST(HistogramQuantileTest, EmptyAndClampedTails) {
+  Histogram h({1.0, 2.0});
+  EXPECT_EQ(h.Quantile(0.5), 0.0);  // empty
+  h.Add(0.5);                       // underflow
+  h.Add(5.0);                       // overflow
+  EXPECT_DOUBLE_EQ(h.Quantile(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(h.Quantile(1.0), 2.0);
+}
+
+TEST(MetricsRegistryTest, CountersAreStableAndCumulative) {
+  MetricsRegistry registry;
+  Counter* a = registry.GetCounter("a");
+  a->Increment();
+  a->Increment(4);
+  EXPECT_EQ(registry.GetCounter("a"), a);  // same instrument
+  EXPECT_EQ(a->value(), 5u);
+  EXPECT_EQ(registry.GetCounter("b")->value(), 0u);
+}
+
+TEST(MetricsRegistryTest, HistogramObserveAndSnapshot) {
+  MetricsRegistry registry;
+  MetricHistogram* h = registry.GetHistogram("lat", {0.0, 1.0, 10.0});
+  h->Observe(0.5);
+  h->Observe(5.0);
+  Histogram snapshot = h->Snapshot();
+  EXPECT_EQ(snapshot.total(), 2u);
+  EXPECT_EQ(snapshot.bucket_count(0), 1u);
+  EXPECT_EQ(snapshot.bucket_count(1), 1u);
+}
+
+TEST(MetricsRegistryTest, JsonContainsAllInstruments) {
+  MetricsRegistry registry;
+  registry.GetCounter("requests_total")->Increment(3);
+  registry.GetHistogram("e2e_ms", LatencyBucketEdgesMs())->Observe(2.5);
+  std::string json = registry.ToJson();
+  EXPECT_NE(json.find("\"requests_total\":3"), std::string::npos);
+  EXPECT_NE(json.find("\"e2e_ms\":"), std::string::npos);
+  EXPECT_NE(json.find("\"p50\":"), std::string::npos);
+  EXPECT_NE(json.find("\"p99\":"), std::string::npos);
+  EXPECT_NE(json.find("\"count\":1"), std::string::npos);
+  EXPECT_NE(json.find("\"le\":"), std::string::npos);  // numeric bucket edge
+}
+
+TEST(MetricsRegistryTest, ConcurrentIncrementsDontLose) {
+  MetricsRegistry registry;
+  Counter* c = registry.GetCounter("c");
+  MetricHistogram* h = registry.GetHistogram("h", {0.0, 100.0});
+  constexpr int kThreads = 8, kOps = 10000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < kOps; ++i) {
+        c->Increment();
+        h->Observe(1.0);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(c->value(), static_cast<uint64_t>(kThreads) * kOps);
+  EXPECT_EQ(h->Snapshot().total(), static_cast<uint64_t>(kThreads) * kOps);
+}
+
+TEST(LatencyBucketsTest, EdgesCoverMicrosecondsToMinutes) {
+  std::vector<double> edges = LatencyBucketEdgesMs();
+  EXPECT_LE(edges.front(), 0.01);
+  EXPECT_GE(edges.back(), 100000.0 - 1.0);
+  for (size_t i = 1; i < edges.size(); ++i) EXPECT_GT(edges[i], edges[i - 1]);
+}
+
+}  // namespace
+}  // namespace rpg::serve

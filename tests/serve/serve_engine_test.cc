@@ -1,0 +1,219 @@
+#include "serve/serve_engine.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cctype>
+#include <thread>
+#include <vector>
+
+#include "serve_test_util.h"
+#include "ui/http_client.h"
+#include "ui/http_server.h"
+#include "ui/repager_service.h"
+
+namespace rpg::serve {
+namespace {
+
+/// Per-field bit-identity against a serial RePaGer::Generate run.
+void ExpectIdentical(const core::RePagerResult& served,
+                     const core::RePagerResult& serial) {
+  EXPECT_EQ(served.ranked, serial.ranked);
+  EXPECT_EQ(served.path.nodes(), serial.path.nodes());
+  EXPECT_EQ(served.path.edges(), serial.path.edges());
+  EXPECT_EQ(served.initial_seeds, serial.initial_seeds);
+  EXPECT_EQ(served.terminals, serial.terminals);
+  EXPECT_EQ(served.subgraph_nodes, serial.subgraph_nodes);
+  EXPECT_EQ(served.subgraph_edges, serial.subgraph_edges);
+}
+
+core::RePagerResult SerialReference(const std::string& query, int num_seeds,
+                                    int year_cutoff) {
+  core::RePagerOptions options;
+  if (num_seeds > 0) options.num_initial_seeds = num_seeds;
+  if (year_cutoff > 0) options.year_cutoff = year_cutoff;
+  auto r = SharedWorkbench().repager().Generate(query, options);
+  EXPECT_TRUE(r.ok()) << r.status().ToString();
+  return std::move(r).value();
+}
+
+TEST(ServeEngineTest, MissThenHitIdenticalToSerial) {
+  ServeEngineOptions options;
+  options.num_threads = 2;
+  ServeEngine engine(&SharedWorkbench().repager(), options);
+  const auto& entry = SharedWorkbench().bank().Get(0);
+
+  auto first = engine.Generate(entry.query, 0, entry.year);
+  ASSERT_TRUE(first.ok()) << first.status().ToString();
+  EXPECT_FALSE(first->cache_hit);
+  auto second = engine.Generate(entry.query, 0, entry.year);
+  ASSERT_TRUE(second.ok());
+  EXPECT_TRUE(second->cache_hit);
+  EXPECT_EQ(second->result.get(), first->result.get());  // shared entry
+
+  core::RePagerResult serial = SerialReference(entry.query, 0, entry.year);
+  ExpectIdentical(*first->result, serial);
+
+  QueryCacheStats stats = engine.cache().Stats();
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.misses, 1u);
+}
+
+TEST(ServeEngineTest, CanonicalKeyUnifiesEquivalentQueries) {
+  ServeEngineOptions options;
+  options.num_threads = 2;
+  ServeEngine engine(&SharedWorkbench().repager(), options);
+  const auto& entry = SharedWorkbench().bank().Get(0);
+
+  std::string shouted = entry.query;
+  for (char& c : shouted) c = static_cast<char>(std::toupper(c));
+  auto first = engine.Generate(entry.query, 0, entry.year);
+  ASSERT_TRUE(first.ok());
+  auto second = engine.Generate("  " + shouted + "  ", 0, entry.year);
+  ASSERT_TRUE(second.ok());
+  EXPECT_TRUE(second->cache_hit);
+  // The normalization is sound: recomputing the shouted variant serially
+  // yields the same result the cache returned.
+  ExpectIdentical(*second->result, SerialReference(shouted, 0, entry.year));
+}
+
+TEST(ServeEngineTest, ErrorsPropagateAndAreNotCached) {
+  ServeEngineOptions options;
+  options.num_threads = 2;
+  ServeEngine engine(&SharedWorkbench().repager(), options);
+  auto r = engine.Generate("zzzz qqqq wwww", 0, 0);
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(engine.cache().Stats().entries, 0u);
+  EXPECT_EQ(engine.metrics().ToJson().find("\"errors_total\":0"),
+            std::string::npos);  // errors_total incremented
+}
+
+TEST(ServeEngineTest, DisabledCacheAlwaysComputes) {
+  ServeEngineOptions options;
+  options.num_threads = 2;
+  options.enable_cache = false;
+  ServeEngine engine(&SharedWorkbench().repager(), options);
+  const auto& entry = SharedWorkbench().bank().Get(0);
+  auto first = engine.Generate(entry.query, 0, entry.year);
+  auto second = engine.Generate(entry.query, 0, entry.year);
+  ASSERT_TRUE(first.ok());
+  ASSERT_TRUE(second.ok());
+  EXPECT_FALSE(second->cache_hit);
+  EXPECT_EQ(engine.cache().Stats().entries, 0u);
+  ExpectIdentical(*second->result, *first->result);
+}
+
+TEST(ServeEngineTest, ConcurrentIdenticalRequestsComputeOnce) {
+  ServeEngineOptions options;
+  options.num_threads = 2;
+  ServeEngine engine(&SharedWorkbench().repager(), options);
+  const auto& entry = SharedWorkbench().bank().Get(1);
+  constexpr int kThreads = 8;
+  std::vector<std::thread> threads;
+  std::atomic<int> failures{0};
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      auto r = engine.Generate(entry.query, 0, entry.year);
+      if (!r.ok()) ++failures;
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(failures.load(), 0);
+  // Single-flight: at most one computation ran (insertions == 1); the
+  // other requests were cache hits or coalesced onto the flight.
+  QueryCacheStats stats = engine.cache().Stats();
+  EXPECT_EQ(stats.insertions, 1u);
+  EXPECT_EQ(engine.ClearCache(), 1u);
+}
+
+TEST(ServeEngineTest, StatsJsonIsLive) {
+  ServeEngineOptions options;
+  options.num_threads = 2;
+  ServeEngine engine(&SharedWorkbench().repager(), options);
+  const auto& entry = SharedWorkbench().bank().Get(0);
+  engine.Generate(entry.query, 0, entry.year);
+  engine.Generate(entry.query, 0, entry.year);
+  std::string json = engine.StatsJson();
+  EXPECT_NE(json.find("\"requests_total\":2"), std::string::npos);
+  EXPECT_NE(json.find("\"hits\":1"), std::string::npos);
+  EXPECT_NE(json.find("\"batches\":1"), std::string::npos);
+  EXPECT_NE(json.find("\"e2e_ms\":"), std::string::npos);
+  EXPECT_NE(json.find("\"batch_size\":"), std::string::npos);
+}
+
+// ------------------------------------------- end-to-end over HTTP sockets
+
+TEST(ServeEngineTest, ConcurrentHttpRequestsBitIdenticalToSerial) {
+  const eval::Workbench& wb = SharedWorkbench();
+  ServeEngineOptions options;
+  options.num_threads = 2;
+  ServeEngine engine(&wb.repager(), options);
+  ui::RePagerService service(&engine, &wb.repager(), &wb.titles(),
+                             &wb.years());
+  ui::HttpServer server([&](const ui::HttpRequest& request) {
+    return service.Handle(request);
+  });
+  int port = server.Start(0).value();
+
+  // Serial reference bodies, rendered through an independent engine so
+  // no serving state is shared with the system under test.
+  ServeEngineOptions ref_options;
+  ref_options.num_threads = 1;
+  ref_options.enable_cache = false;
+  ref_options.batcher.max_batch_size = 1;
+  ServeEngine ref_engine(&wb.repager(), ref_options);
+  ui::RePagerService ref_service(&ref_engine, &wb.repager(), &wb.titles(),
+                                 &wb.years());
+
+  constexpr int kClients = 4, kRounds = 3;
+  std::vector<std::string> expected(kClients);
+  std::vector<std::string> targets(kClients);
+  auto strip = [](const std::string& body) {
+    // Serving metadata (serve_seconds, cache_hit, seconds) differs
+    // between paths; the path payload itself must be bit-identical.
+    size_t at = body.find("\"nodes\":");
+    return at == std::string::npos ? body : body.substr(at);
+  };
+  for (int c = 0; c < kClients; ++c) {
+    const auto& entry = wb.bank().Get(static_cast<size_t>(c));
+    std::string q;
+    for (char ch : entry.query) q += (ch == ' ') ? '+' : ch;
+    targets[c] = "/api/path?q=" + q + "&year=" + std::to_string(entry.year);
+    auto body =
+        ref_service.PathJson(entry.query, 0, entry.year);
+    ASSERT_TRUE(body.ok()) << body.status().ToString();
+    expected[c] = strip(body.value());
+  }
+
+  std::atomic<int> mismatches{0}, errors{0};
+  std::vector<std::thread> clients;
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      ui::HttpClient client;
+      if (!client.Connect(port).ok()) {
+        ++errors;
+        return;
+      }
+      for (int round = 0; round < kRounds; ++round) {
+        auto r = client.Fetch("GET", targets[c]);
+        if (!r.ok() || r->status != 200) {
+          ++errors;
+          continue;
+        }
+        if (strip(r->body) != expected[c]) ++mismatches;
+      }
+    });
+  }
+  for (auto& t : clients) t.join();
+  EXPECT_EQ(errors.load(), 0);
+  EXPECT_EQ(mismatches.load(), 0);
+
+  // Each distinct query computed once; the rest were served hot.
+  QueryCacheStats stats = engine.cache().Stats();
+  EXPECT_EQ(stats.insertions, static_cast<uint64_t>(kClients));
+  EXPECT_GE(stats.hits, static_cast<uint64_t>(kClients * (kRounds - 1)));
+  server.Stop();
+}
+
+}  // namespace
+}  // namespace rpg::serve

@@ -1,0 +1,27 @@
+#ifndef RPG_TESTS_SERVE_SERVE_TEST_UTIL_H_
+#define RPG_TESTS_SERVE_SERVE_TEST_UTIL_H_
+
+#include "eval/workbench.h"
+
+namespace rpg::serve {
+
+/// Process-wide small workbench shared by every serve suite (built once,
+/// intentionally leaked — the corpus build dominates test time).
+inline const eval::Workbench& SharedWorkbench() {
+  static const eval::Workbench* wb = [] {
+    eval::WorkbenchOptions options;
+    options.corpus.hierarchy.areas_per_domain = 2;
+    options.corpus.hierarchy.topics_per_area = 2;
+    options.corpus.papers_per_topic = 50;
+    options.corpus.papers_per_area = 15;
+    options.corpus.papers_per_domain = 10;
+    options.corpus.num_surveys = 40;
+    options.corpus.seed = 55;
+    return eval::Workbench::Create(options).value().release();
+  }();
+  return *wb;
+}
+
+}  // namespace rpg::serve
+
+#endif  // RPG_TESTS_SERVE_SERVE_TEST_UTIL_H_

@@ -6,8 +6,12 @@
 #include <unistd.h>
 
 #include <cstring>
+#include <thread>
+#include <vector>
 
 #include "eval/workbench.h"
+#include "serve/serve_engine.h"
+#include "ui/http_client.h"
 #include "ui/http_server.h"
 #include "ui/repager_service.h"
 
@@ -35,6 +39,7 @@ TEST(ParseRequestTest, PlainPath) {
   ASSERT_TRUE(r.ok());
   EXPECT_EQ(r->method, "GET");
   EXPECT_EQ(r->path, "/api/path");
+  EXPECT_EQ(r->version, "HTTP/1.1");
   EXPECT_TRUE(r->query.empty());
 }
 
@@ -52,6 +57,12 @@ TEST(ParseRequestTest, ValuelessParameter) {
   EXPECT_EQ(r->query.at("flag"), "");
 }
 
+TEST(ParseRequestTest, Http10VersionCaptured) {
+  auto r = ParseRequestLine("GET / HTTP/1.0");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->version, "HTTP/1.0");
+}
+
 TEST(ParseRequestTest, MalformedLinesRejected) {
   EXPECT_FALSE(ParseRequestLine("").ok());
   EXPECT_FALSE(ParseRequestLine("GET /x").ok());
@@ -59,8 +70,28 @@ TEST(ParseRequestTest, MalformedLinesRejected) {
   EXPECT_FALSE(ParseRequestLine("GET relative HTTP/1.1").ok());
 }
 
+// ------------------------------------------------------ ParseHeaderLines
+
+TEST(ParseHeadersTest, LowercasesNamesTrimsValues) {
+  std::map<std::string, std::string> headers;
+  ParseHeaderLines(
+      "Host: localhost\r\nConnection:  Keep-Alive \r\nContent-Length: 12\r\n",
+      &headers);
+  EXPECT_EQ(headers.at("host"), "localhost");
+  EXPECT_EQ(headers.at("connection"), "Keep-Alive");
+  EXPECT_EQ(headers.at("content-length"), "12");
+}
+
+TEST(ParseHeadersTest, SkipsMalformedLines) {
+  std::map<std::string, std::string> headers;
+  ParseHeaderLines("no colon here\r\nGood: yes\r\n", &headers);
+  EXPECT_EQ(headers.size(), 1u);
+  EXPECT_EQ(headers.at("good"), "yes");
+}
+
 // ------------------------------------------------------------ HttpServer
 
+/// One-shot fetch (Connection: close): reads until EOF.
 std::string FetchOnce(int port, const std::string& request_line) {
   int fd = ::socket(AF_INET, SOCK_STREAM, 0);
   EXPECT_GE(fd, 0);
@@ -70,7 +101,8 @@ std::string FetchOnce(int port, const std::string& request_line) {
   addr.sin_port = htons(static_cast<uint16_t>(port));
   EXPECT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)),
             0);
-  std::string request = request_line + "\r\nHost: localhost\r\n\r\n";
+  std::string request =
+      request_line + "\r\nHost: localhost\r\nConnection: close\r\n\r\n";
   EXPECT_EQ(::write(fd, request.data(), request.size()),
             static_cast<ssize_t>(request.size()));
   std::string response;
@@ -97,6 +129,102 @@ TEST(HttpServerTest, ServesHandlerResponses) {
   EXPECT_NE(response.find("echo:/hello"), std::string::npos);
   server.Stop();
   EXPECT_FALSE(server.running());
+}
+
+TEST(HttpServerTest, ConnectionCloseHonored) {
+  HttpServer server([](const HttpRequest&) {
+    return HttpResponse{200, "text/plain", "x"};
+  });
+  int port = server.Start(0).value();
+  // FetchOnce sends Connection: close and relies on the server actually
+  // closing; a hang here means keep-alive ignored the header.
+  std::string response = FetchOnce(port, "GET / HTTP/1.1");
+  EXPECT_NE(response.find("Connection: close"), std::string::npos);
+  server.Stop();
+}
+
+TEST(HttpServerTest, KeepAliveServesManyRequestsPerConnection) {
+  std::atomic<int> handled{0};
+  HttpServer server([&](const HttpRequest& request) {
+    ++handled;
+    return HttpResponse{200, "text/plain", "echo:" + request.path};
+  });
+  int port = server.Start(0).value();
+  HttpClient client;
+  ASSERT_TRUE(client.Connect(port).ok());
+  for (int i = 0; i < 5; ++i) {
+    auto r = client.Fetch("GET", "/req" + std::to_string(i));
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+    EXPECT_EQ(r->status, 200);
+    EXPECT_EQ(r->body, "echo:/req" + std::to_string(i));
+    EXPECT_TRUE(client.connected());  // server kept the connection open
+  }
+  EXPECT_EQ(handled.load(), 5);
+  client.Close();
+  server.Stop();
+}
+
+TEST(HttpServerTest, PostBodyDelivered) {
+  std::string seen_body;
+  std::string seen_method;
+  HttpServer server([&](const HttpRequest& request) {
+    seen_method = request.method;
+    seen_body = request.body;
+    return HttpResponse{200, "text/plain", "ok"};
+  });
+  int port = server.Start(0).value();
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  ASSERT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)),
+            0);
+  std::string request =
+      "POST /submit HTTP/1.1\r\nHost: x\r\nContent-Length: 5\r\n"
+      "Connection: close\r\n\r\nhello";
+  ASSERT_EQ(::write(fd, request.data(), request.size()),
+            static_cast<ssize_t>(request.size()));
+  std::string response;
+  char buf[1024];
+  ssize_t n;
+  while ((n = ::read(fd, buf, sizeof(buf))) > 0) {
+    response.append(buf, static_cast<size_t>(n));
+  }
+  ::close(fd);
+  EXPECT_EQ(seen_method, "POST");
+  EXPECT_EQ(seen_body, "hello");
+  EXPECT_NE(response.find("200 OK"), std::string::npos);
+  server.Stop();
+}
+
+TEST(HttpServerTest, ConcurrentKeepAliveConnections) {
+  HttpServer server([](const HttpRequest& request) {
+    return HttpResponse{200, "text/plain", "echo:" + request.path};
+  });
+  int port = server.Start(0).value();
+  constexpr int kThreads = 4, kRequests = 8;
+  std::atomic<int> failures{0};
+  std::vector<std::thread> clients;
+  for (int t = 0; t < kThreads; ++t) {
+    clients.emplace_back([&, t] {
+      HttpClient client;
+      if (!client.Connect(port).ok()) {
+        ++failures;
+        return;
+      }
+      for (int i = 0; i < kRequests; ++i) {
+        std::string path = "/t" + std::to_string(t) + "r" + std::to_string(i);
+        auto r = client.Fetch("GET", path);
+        if (!r.ok() || r->status != 200 || r->body != "echo:" + path) {
+          ++failures;
+        }
+      }
+    });
+  }
+  for (auto& c : clients) c.join();
+  EXPECT_EQ(failures.load(), 0);
+  server.Stop();
 }
 
 TEST(HttpServerTest, MalformedRequestGets400) {
@@ -135,18 +263,24 @@ class ServiceFixture : public ::testing::Test {
     options.corpus.num_surveys = 40;
     options.corpus.seed = 55;
     wb_ = eval::Workbench::Create(options).value().release();
-    service_ = new RePagerService(&wb_->repager(), &wb_->titles(),
+    serve::ServeEngineOptions serve_options;
+    serve_options.num_threads = 2;
+    engine_ = new serve::ServeEngine(&wb_->repager(), serve_options);
+    service_ = new RePagerService(engine_, &wb_->repager(), &wb_->titles(),
                                   &wb_->years());
   }
   static void TearDownTestSuite() {
     delete service_;
+    delete engine_;
     delete wb_;
   }
   static const eval::Workbench* wb_;
+  static serve::ServeEngine* engine_;
   static const RePagerService* service_;
 };
 
 const eval::Workbench* ServiceFixture::wb_ = nullptr;
+serve::ServeEngine* ServiceFixture::engine_ = nullptr;
 const RePagerService* ServiceFixture::service_ = nullptr;
 
 TEST_F(ServiceFixture, IndexPageServed) {
@@ -166,6 +300,43 @@ TEST_F(ServiceFixture, PathApiReturnsJson) {
   EXPECT_NE(response.body.find("\"read_first\":"), std::string::npos);
   EXPECT_NE(response.body.find("\"reading_order\":["), std::string::npos);
   EXPECT_NE(response.body.find("\"from_engine\":"), std::string::npos);
+  EXPECT_NE(response.body.find("\"cache_hit\":"), std::string::npos);
+}
+
+TEST_F(ServiceFixture, RepeatedQueryIsCacheHit) {
+  const auto& entry = wb_->bank().Get(1);
+  HttpRequest request{"GET", "/api/path", {{"q", entry.query}}};
+  HttpResponse first = service_->Handle(request);
+  ASSERT_EQ(first.status, 200) << first.body;
+  HttpResponse second = service_->Handle(request);
+  ASSERT_EQ(second.status, 200);
+  EXPECT_NE(second.body.find("\"cache_hit\":true"), std::string::npos);
+  // Identical payload apart from the serving metadata: same nodes/edges.
+  auto strip = [](std::string s) {
+    size_t a = s.find("\"nodes\":");
+    return s.substr(a);
+  };
+  EXPECT_EQ(strip(first.body), strip(second.body));
+}
+
+TEST_F(ServiceFixture, StatsEndpointReportsLiveCounters) {
+  HttpRequest request{"GET", "/api/stats", {}};
+  HttpResponse response = service_->Handle(request);
+  ASSERT_EQ(response.status, 200);
+  EXPECT_NE(response.body.find("\"cache\":"), std::string::npos);
+  EXPECT_NE(response.body.find("\"batcher\":"), std::string::npos);
+  EXPECT_NE(response.body.find("\"requests_total\":"), std::string::npos);
+  EXPECT_NE(response.body.find("\"e2e_ms\":"), std::string::npos);
+}
+
+TEST_F(ServiceFixture, CacheClearEndpoint) {
+  const auto& entry = wb_->bank().Get(0);
+  service_->Handle({"GET", "/api/path", {{"q", entry.query}}});
+  HttpRequest clear{"POST", "/api/cache/clear", {}};
+  HttpResponse response = service_->Handle(clear);
+  ASSERT_EQ(response.status, 200);
+  EXPECT_NE(response.body.find("\"cleared\":true"), std::string::npos);
+  EXPECT_EQ(engine_->cache().Stats().entries, 0u);
 }
 
 TEST_F(ServiceFixture, MissingQueryParameterIs400) {
@@ -178,9 +349,13 @@ TEST_F(ServiceFixture, UnknownRouteIs404) {
   EXPECT_EQ(service_->Handle(request).status, 404);
 }
 
-TEST_F(ServiceFixture, NonGetRejected) {
-  HttpRequest request{"POST", "/api/path", {{"q", "x"}}};
-  EXPECT_EQ(service_->Handle(request).status, 400);
+TEST_F(ServiceFixture, WrongMethodRejected) {
+  HttpRequest post_path{"POST", "/api/path", {{"q", "x"}}};
+  EXPECT_EQ(service_->Handle(post_path).status, 405);
+  HttpRequest put{"PUT", "/api/path", {{"q", "x"}}};
+  EXPECT_EQ(service_->Handle(put).status, 405);
+  HttpRequest post_unknown{"POST", "/nope", {}};
+  EXPECT_EQ(service_->Handle(post_unknown).status, 404);
 }
 
 TEST_F(ServiceFixture, HopelessQueryIsClientVisibleError) {
@@ -197,9 +372,20 @@ TEST_F(ServiceFixture, EndToEndOverSocket) {
   const auto& entry = wb_->bank().Get(0);
   std::string q;
   for (char c : entry.query) q += (c == ' ') ? '+' : c;
-  std::string response = FetchOnce(port, "GET /api/path?q=" + q + " HTTP/1.1");
-  EXPECT_NE(response.find("200 OK"), std::string::npos);
-  EXPECT_NE(response.find("reading_order"), std::string::npos);
+  HttpClient client;
+  ASSERT_TRUE(client.Connect(port).ok());
+  auto path = client.Fetch("GET", "/api/path?q=" + q);
+  ASSERT_TRUE(path.ok()) << path.status().ToString();
+  EXPECT_EQ(path->status, 200);
+  EXPECT_NE(path->body.find("reading_order"), std::string::npos);
+  // Same connection: stats, then cache clear via POST.
+  auto stats = client.Fetch("GET", "/api/stats");
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->status, 200);
+  auto clear = client.Fetch("POST", "/api/cache/clear");
+  ASSERT_TRUE(clear.ok());
+  EXPECT_EQ(clear->status, 200);
+  EXPECT_NE(clear->body.find("\"cleared\":true"), std::string::npos);
   server.Stop();
 }
 
