@@ -1,18 +1,24 @@
 // Closed-loop load generator for the serving layer (docs/serving.md):
-// N client threads hammer a live HttpServer + serve::ServeEngine over
-// persistent (keep-alive) connections with a Zipfian query mix — the
-// repeat-heavy shape of real survey traffic, where popular topics
+// N client threads hammer a live epoll HttpServer + serve::ServeEngine
+// over persistent (keep-alive) connections with a Zipfian query mix —
+// the repeat-heavy shape of real survey traffic, where popular topics
 // dominate — and record per-request latencies split by cache hit/miss
-// (the response carries "cache_hit"). Writes throughput and latency
-// percentiles to BENCH_serve.json; the headline number is the median-
+// (the response carries "cache_hit"). The client count is swept
+// (default 4/16/64 keep-alive connections) to show the reactor holding
+// throughput as connections grow past the old thread-per-connection
+// sweet spot; the query cache is cleared between sweep points so every
+// point sees the same cold-miss + warm-hit mix. Writes one row per
+// sweep point to BENCH_serve.json; the headline number is the median-
 // latency win of the cache path (hit p50 vs miss p50).
 //
 // Scale knobs (env):
-//   RPG_SERVE_CLIENTS      client threads              (default 4)
-//   RPG_SERVE_REQUESTS     requests per client         (default 80)
+//   RPG_SERVE_CLIENT_SWEEP comma-separated client counts ("4,16,64")
+//   RPG_SERVE_CLIENTS      single client count (overrides the sweep)
+//   RPG_SERVE_REQUESTS     requests per client         (default 40)
 //   RPG_SERVE_QUERIES      distinct queries in the mix (default 12)
 //   RPG_SERVE_ZIPF_S       Zipf exponent               (default 1.1)
 //   RPG_SERVE_THREADS      BatchEngine worker threads  (default hardware)
+//   RPG_SERVE_POLLERS      epoll reactor threads       (default 2)
 
 #include <algorithm>
 #include <atomic>
@@ -52,6 +58,23 @@ double EnvDouble(const char* name, double fallback) {
   return fallback;
 }
 
+/// The connection-count sweep: RPG_SERVE_CLIENTS pins a single point,
+/// otherwise RPG_SERVE_CLIENT_SWEEP (default "4,16,64") is parsed as a
+/// comma-separated list.
+std::vector<size_t> ClientSweep() {
+  if (const char* v = std::getenv("RPG_SERVE_CLIENTS")) {
+    return {static_cast<size_t>(std::strtoull(v, nullptr, 10))};
+  }
+  const char* sweep = std::getenv("RPG_SERVE_CLIENT_SWEEP");
+  std::vector<size_t> counts;
+  for (const std::string& part : Split(sweep ? sweep : "4,16,64", ',')) {
+    size_t n = static_cast<size_t>(std::strtoull(part.c_str(), nullptr, 10));
+    if (n > 0) counts.push_back(n);
+  }
+  if (counts.empty()) counts = {4};
+  return counts;
+}
+
 struct Percentiles {
   double p50 = 0.0, p90 = 0.0, p99 = 0.0, max = 0.0;
   size_t count = 0;
@@ -89,28 +112,46 @@ struct ClientResult {
   size_t errors = 0;
 };
 
+/// One sweep point's aggregated outcome.
+struct SweepPoint {
+  size_t clients = 0;
+  double wall_seconds = 0.0;
+  double throughput = 0.0;
+  size_t errors = 0;
+  Percentiles overall, hits, misses;
+  double cache_speedup = 0.0;
+  size_t peak_open_connections = 0;
+};
+
 }  // namespace
 
 int main() {
   bench::BenchConfig config = bench::LoadBenchConfig();
   auto wb = bench::BuildWorkbenchOrDie(config);
 
-  const size_t num_clients = EnvSize("RPG_SERVE_CLIENTS", 4);
-  const size_t requests_per_client = EnvSize("RPG_SERVE_REQUESTS", 80);
+  const std::vector<size_t> sweep = ClientSweep();
+  const size_t requests_per_client = EnvSize("RPG_SERVE_REQUESTS", 40);
   const size_t num_queries = EnvSize("RPG_SERVE_QUERIES", 12);
   const double zipf_s = EnvDouble("RPG_SERVE_ZIPF_S", 1.1);
   const long engine_threads =
       static_cast<long>(EnvSize("RPG_SERVE_THREADS", 0));
+  const int pollers = static_cast<int>(EnvSize("RPG_SERVE_POLLERS", 2));
 
-  // The serving stack under test.
+  // The serving stack under test: one engine + epoll reactor server
+  // persists across the sweep; the cache is cleared between points.
   serve::ServeEngineOptions serve_options;
   serve_options.num_threads = static_cast<int>(engine_threads);
   serve::ServeEngine engine(&wb->repager(), serve_options);
   ui::RePagerService service(&engine, &wb->repager(), &wb->titles(),
                              &wb->years());
-  ui::HttpServer server([&](const ui::HttpRequest& request) {
-    return service.Handle(request);
-  });
+  ui::HttpServerOptions http_options;
+  http_options.num_pollers = pollers;
+  ui::HttpServer server(
+      [&](const ui::HttpRequest& request, ui::HttpServer::Done done) {
+        service.HandleAsync(request, std::move(done));
+      },
+      http_options);
+  service.AttachServer(&server);
   auto port_or = server.Start(0);
   if (!port_or.ok()) {
     std::fprintf(stderr, "server: %s\n", port_or.status().ToString().c_str());
@@ -134,119 +175,157 @@ int main() {
                       "&year=" + std::to_string(entry.year));
   }
 
-  std::printf("serve load: %zu clients x %zu requests, %zu queries, "
-              "Zipf(s=%.2f), %zu engine threads, keep-alive HTTP\n",
-              num_clients, requests_per_client, targets.size(), zipf_s,
-              engine.num_threads());
+  std::printf("serve load: client sweep {");
+  for (size_t i = 0; i < sweep.size(); ++i) {
+    std::printf("%s%zu", i ? "," : "", sweep[i]);
+  }
+  std::printf("} x %zu requests, %zu queries, Zipf(s=%.2f), "
+              "%zu engine threads, %d pollers, keep-alive HTTP\n",
+              requests_per_client, targets.size(), zipf_s,
+              engine.num_threads(), pollers);
 
-  // Closed loop: every client thread owns one keep-alive connection and
-  // fires its next request as soon as the previous one completes.
-  std::vector<ClientResult> results(num_clients);
-  Timer wall;
-  std::vector<std::thread> clients;
-  for (size_t c = 0; c < num_clients; ++c) {
-    clients.emplace_back([&, c] {
-      ClientResult& out = results[c];
-      Rng rng(0x5eedULL + c);
-      ui::HttpClient client;
-      if (!client.Connect(port).ok()) {
-        out.errors = requests_per_client;
-        return;
-      }
-      for (size_t i = 0; i < requests_per_client; ++i) {
-        size_t rank = rng.Zipf(targets.size(), zipf_s);  // 1-based
-        const std::string& target = targets[rank - 1];
-        Timer t;
-        auto r = client.Fetch("GET", target);
-        double ms = t.ElapsedMillis();
-        if (!r.ok() || r->status != 200) {
-          ++out.errors;
-          continue;
+  std::vector<SweepPoint> points;
+  size_t total_errors = 0;
+  for (size_t num_clients : sweep) {
+    // Same cold-miss + warm-hit mix at every point.
+    engine.ClearCache();
+
+    // Closed loop: every client thread owns one keep-alive connection
+    // and fires its next request as soon as the previous one completes.
+    std::vector<ClientResult> results(num_clients);
+    std::atomic<size_t> peak_open{0};
+    Timer wall;
+    std::vector<std::thread> clients;
+    for (size_t c = 0; c < num_clients; ++c) {
+      clients.emplace_back([&, c] {
+        ClientResult& out = results[c];
+        Rng rng(0x5eedULL + c);
+        ui::HttpClient client;
+        if (!client.Connect(port).ok()) {
+          out.errors = requests_per_client;
+          return;
         }
-        bool hit =
-            r->body.find("\"cache_hit\":true") != std::string::npos;
-        (hit ? out.hit_ms : out.miss_ms).push_back(ms);
-      }
-    });
+        for (size_t i = 0; i < requests_per_client; ++i) {
+          size_t rank = rng.Zipf(targets.size(), zipf_s);  // 1-based
+          const std::string& target = targets[rank - 1];
+          Timer t;
+          auto r = client.Fetch("GET", target);
+          double ms = t.ElapsedMillis();
+          if (!r.ok() || r->status != 200) {
+            ++out.errors;
+            continue;
+          }
+          bool hit =
+              r->body.find("\"cache_hit\":true") != std::string::npos;
+          (hit ? out.hit_ms : out.miss_ms).push_back(ms);
+        }
+        size_t open = server.Stats().open_connections;
+        size_t prev = peak_open.load();
+        while (open > prev && !peak_open.compare_exchange_weak(prev, open)) {
+        }
+      });
+    }
+    for (auto& t : clients) t.join();
+
+    SweepPoint point;
+    point.clients = num_clients;
+    point.wall_seconds = wall.ElapsedSeconds();
+    point.peak_open_connections = peak_open.load();
+    std::vector<double> all_ms, hit_ms, miss_ms;
+    for (const ClientResult& r : results) {
+      hit_ms.insert(hit_ms.end(), r.hit_ms.begin(), r.hit_ms.end());
+      miss_ms.insert(miss_ms.end(), r.miss_ms.begin(), r.miss_ms.end());
+      point.errors += r.errors;
+    }
+    all_ms = hit_ms;
+    all_ms.insert(all_ms.end(), miss_ms.begin(), miss_ms.end());
+    point.overall = ComputePercentiles(all_ms);
+    point.hits = ComputePercentiles(hit_ms);
+    point.misses = ComputePercentiles(miss_ms);
+    point.throughput = point.wall_seconds > 0
+                           ? static_cast<double>(all_ms.size()) /
+                                 point.wall_seconds
+                           : 0.0;
+    point.cache_speedup = (point.hits.count > 0 && point.hits.p50 > 0)
+                              ? point.misses.p50 / point.hits.p50
+                              : 0.0;
+    total_errors += point.errors;
+    points.push_back(point);
   }
-  for (auto& t : clients) t.join();
-  double wall_seconds = wall.ElapsedSeconds();
-  server.Stop();
 
-  // ---------------------------------------------------------- aggregate
-  std::vector<double> all_ms, hit_ms, miss_ms;
-  size_t errors = 0;
-  for (const ClientResult& r : results) {
-    hit_ms.insert(hit_ms.end(), r.hit_ms.begin(), r.hit_ms.end());
-    miss_ms.insert(miss_ms.end(), r.miss_ms.begin(), r.miss_ms.end());
-    errors += r.errors;
+  // ---------------------------------------------------------- report
+  TablePrinter table({"clients", "req/s", "all p50 ms", "hit p50 ms",
+                      "miss p50 ms", "p99 ms", "errors"});
+  for (const SweepPoint& p : points) {
+    table.AddRow({std::to_string(p.clients), FormatDouble(p.throughput, 1),
+                  FormatDouble(p.overall.p50, 3),
+                  FormatDouble(p.hits.p50, 3), FormatDouble(p.misses.p50, 3),
+                  FormatDouble(p.overall.p99, 3), std::to_string(p.errors)});
   }
-  all_ms = hit_ms;
-  all_ms.insert(all_ms.end(), miss_ms.begin(), miss_ms.end());
-
-  Percentiles overall = ComputePercentiles(all_ms);
-  Percentiles hits = ComputePercentiles(hit_ms);
-  Percentiles misses = ComputePercentiles(miss_ms);
-  double throughput =
-      wall_seconds > 0 ? static_cast<double>(all_ms.size()) / wall_seconds
-                       : 0.0;
-  double cache_speedup =
-      (hits.count > 0 && hits.p50 > 0) ? misses.p50 / hits.p50 : 0.0;
-
-  TablePrinter table({"slice", "count", "p50 ms", "p90 ms", "p99 ms"});
-  auto add_row = [&](const char* name, const Percentiles& p) {
-    table.AddRow({name, std::to_string(p.count), FormatDouble(p.p50, 3),
-                  FormatDouble(p.p90, 3), FormatDouble(p.p99, 3)});
-  };
-  add_row("all", overall);
-  add_row("cache hit", hits);
-  add_row("cache miss", misses);
   table.Print(std::cout);
-  std::printf("throughput: %.1f req/s over %.2fs, %zu errors\n", throughput,
-              wall_seconds, errors);
-  if (cache_speedup > 0) {
-    std::printf("cache path median speedup: %.1fx (miss p50 %.2fms / "
-                "hit p50 %.3fms)\n",
-                cache_speedup, misses.p50, hits.p50);
+  const SweepPoint& head = points.front();
+  if (head.cache_speedup > 0) {
+    std::printf("cache path median speedup at %zu clients: %.1fx "
+                "(miss p50 %.2fms / hit p50 %.3fms)\n",
+                head.clients, head.cache_speedup, head.misses.p50,
+                head.hits.p50);
   }
 
   // Server-side view for cross-checking the client-side split.
   serve::QueryCacheStats cache_stats = engine.cache().Stats();
+  ui::HttpServerStats http_stats = server.Stats();
 
   JsonWriter json;
   json.BeginObject();
   json.Key("config").BeginObject();
-  json.Key("clients").UInt(num_clients);
+  json.Key("client_sweep").BeginArray();
+  for (size_t n : sweep) json.UInt(n);
+  json.EndArray();
   json.Key("requests_per_client").UInt(requests_per_client);
   json.Key("distinct_queries").UInt(targets.size());
   json.Key("zipf_s").Double(zipf_s);
   json.Key("engine_threads").UInt(engine.num_threads());
+  json.Key("pollers").UInt(static_cast<size_t>(pollers));
   json.EndObject();
-  json.Key("wall_seconds").Double(wall_seconds);
-  json.Key("throughput_rps").Double(throughput);
-  json.Key("errors").UInt(errors);
-  json.Key("overall");
-  WritePercentiles(json, overall);
-  json.Key("cache_hit");
-  WritePercentiles(json, hits);
-  json.Key("cache_miss");
-  WritePercentiles(json, misses);
-  json.Key("cache_median_speedup").Double(cache_speedup);
+  json.Key("errors").UInt(total_errors);
+  json.Key("sweep").BeginArray();
+  for (const SweepPoint& p : points) {
+    json.BeginObject();
+    json.Key("clients").UInt(p.clients);
+    json.Key("wall_seconds").Double(p.wall_seconds);
+    json.Key("throughput_rps").Double(p.throughput);
+    json.Key("errors").UInt(p.errors);
+    json.Key("peak_open_connections").UInt(p.peak_open_connections);
+    json.Key("overall");
+    WritePercentiles(json, p.overall);
+    json.Key("cache_hit");
+    WritePercentiles(json, p.hits);
+    json.Key("cache_miss");
+    WritePercentiles(json, p.misses);
+    json.Key("cache_median_speedup").Double(p.cache_speedup);
+    json.EndObject();
+  }
+  json.EndArray();
   json.Key("server").BeginObject();
   json.Key("cache_hits").UInt(cache_stats.hits);
   json.Key("cache_misses").UInt(cache_stats.misses);
   json.Key("cache_entries").UInt(cache_stats.entries);
   json.Key("cache_bytes").UInt(cache_stats.bytes);
+  json.Key("connections_accepted").UInt(http_stats.connections_accepted);
+  json.Key("requests_handled").UInt(http_stats.requests_handled);
+  json.Key("open_connections").UInt(http_stats.open_connections);
   json.Key("stats_json").Raw(engine.StatsJson());
   json.EndObject();
   json.EndObject();
+
+  server.Stop();
 
   std::ofstream out("BENCH_serve.json");
   out << json.str() << "\n";
   out.close();
   std::printf("wrote BENCH_serve.json\n");
 
-  if (errors > 0) return 1;
+  if (total_errors > 0) return 1;
   wb.reset();
   return 0;
 }

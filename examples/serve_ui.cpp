@@ -4,9 +4,11 @@
 // serves the single-page interface plus the JSON API.
 //
 // Usage: serve_ui [port] [--threads=N] [--cache-mb=M] [--batch-window-us=U]
+//                 [--pollers=P]
 //   --threads=N          BatchEngine worker threads (default: hardware)
 //   --cache-mb=M         query-cache budget in MiB (0 disables the cache)
 //   --batch-window-us=U  micro-batch flush window in microseconds
+//   --pollers=P          epoll reactor threads (default 2)
 //
 // By default the server performs a cold + cached self-request pair as a
 // smoke test and exits; set RPG_SERVE_FOREVER=1 to keep serving until
@@ -38,11 +40,12 @@ bool ParseIntFlag(const char* arg, const char* name, long* out) {
 int main(int argc, char** argv) {
   using namespace rpg;
   int port = 0;
-  long threads = 0, cache_mb = 64, batch_window_us = 2000;
+  long threads = 0, cache_mb = 64, batch_window_us = 2000, pollers = 2;
   for (int i = 1; i < argc; ++i) {
     if (ParseIntFlag(argv[i], "--threads", &threads) ||
         ParseIntFlag(argv[i], "--cache-mb", &cache_mb) ||
-        ParseIntFlag(argv[i], "--batch-window-us", &batch_window_us)) {
+        ParseIntFlag(argv[i], "--batch-window-us", &batch_window_us) ||
+        ParseIntFlag(argv[i], "--pollers", &pollers)) {
       continue;
     }
     port = std::atoi(argv[i]);
@@ -65,17 +68,25 @@ int main(int argc, char** argv) {
 
   ui::RePagerService service(&engine, &wb.repager(), &wb.titles(),
                              &wb.years());
+  ui::HttpServerOptions http_options;
+  http_options.num_pollers = static_cast<int>(pollers);
+  // Async handler: poller threads hand /api/path compute to the engine
+  // and return to their event loop (docs/serving.md "Threading model").
   ui::HttpServer server(
-      [&](const ui::HttpRequest& request) { return service.Handle(request); });
+      [&](const ui::HttpRequest& request, ui::HttpServer::Done done) {
+        service.HandleAsync(request, std::move(done));
+      },
+      http_options);
+  service.AttachServer(&server);
   auto port_or = server.Start(port);
   if (!port_or.ok()) {
     std::fprintf(stderr, "server: %s\n", port_or.status().ToString().c_str());
     return 1;
   }
   std::printf("RePaGer UI listening on http://127.0.0.1:%d/  "
-              "(threads=%zu cache-mb=%ld batch-window-us=%ld)\n",
+              "(threads=%zu cache-mb=%ld batch-window-us=%ld pollers=%ld)\n",
               port_or.value(), engine.num_threads(), cache_mb,
-              batch_window_us);
+              batch_window_us, pollers);
   std::printf("try:  curl 'http://127.0.0.1:%d/api/path?q=%s'\n",
               port_or.value(), "citation+analysis");
   std::printf("      curl 'http://127.0.0.1:%d/api/stats'\n", port_or.value());

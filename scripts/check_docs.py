@@ -1,12 +1,22 @@
 #!/usr/bin/env python3
 """Checks that documentation references point at things that exist.
 
-Scans the backtick-quoted tokens in README.md and docs/*.md and
-fails (exit 1) when one references a missing file/directory, an unknown
-bench binary (`bench_*` must have bench/<name>.cpp), or an unknown test
-binary (`rpg_<dir>_test` must have tests/<dir>/). Wired into the tier-1
-flow as the `docs_check` ctest and the `docs_check` build target, so docs
-rot is caught the same way a failing unit test is.
+Scans the backtick-quoted tokens in README.md and docs/*.md (including
+docs/architecture.md, whose module map names every src/ directory) and
+fails (exit 1) when one references:
+
+  - a missing file or directory (tokens starting with src/, tests/,
+    bench/, docs/, examples/, scripts/; brace groups like repager.{h,cc}
+    are expanded),
+  - an unknown bench binary (`bench_*` must have bench/<name>.cpp),
+  - an unknown test binary (`rpg_<dir>_test` must have tests/<dir>/),
+  - an unknown CMake target in a `./build/<name>` invocation (the target
+    set is derived from bench/*.cpp and examples/*.cpp stems, tests/
+    directories, and the static targets `rpg` / `docs_check`).
+
+Wired into the tier-1 flow as the `docs_check` ctest and the
+`docs_check` build target, so docs rot is caught the same way a failing
+unit test is.
 
 Run from the repository root: python3 scripts/check_docs.py
 """
@@ -24,6 +34,22 @@ DOC_FILES = ["README.md"] + sorted(
 # Backticked tokens that look like repo paths must exist on disk.
 PATH_PREFIXES = ("src/", "tests/", "bench/", "docs/", "examples/", "scripts/")
 PATH_RE = re.compile(r"^[A-Za-z0-9_.{},/-]+$")
+
+
+def known_cmake_targets():
+    """Every binary/library target the top-level CMakeLists generates."""
+    targets = {"rpg", "docs_check"}
+    for src in (ROOT / "bench").glob("*.cpp"):
+        targets.add(src.stem)
+    for src in (ROOT / "examples").glob("*.cpp"):
+        targets.add(src.stem)
+    for test_dir in (ROOT / "tests").iterdir():
+        if test_dir.is_dir():
+            targets.add(f"rpg_{test_dir.name}_test")
+    return targets
+
+
+TARGETS = known_cmake_targets()
 
 
 def expand_braces(token: str):
@@ -54,6 +80,12 @@ def check_token(token: str):
         suite = re.fullmatch(r"rpg_([a-z0-9]+)_test", token).group(1)
         if not (ROOT / "tests" / suite).is_dir():
             problems.append(f"test binary `{token}` has no tests/{suite}/")
+    else:
+        # `./build/<name> ...` invocations must name a real CMake target.
+        m = re.match(r"\./build/([A-Za-z0-9_]+)", token)
+        if m and m.group(1) not in TARGETS:
+            problems.append(
+                f"`{token}` names unknown CMake target {m.group(1)}")
     return problems
 
 

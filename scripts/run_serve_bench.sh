@@ -4,11 +4,13 @@
 #
 # Usage: scripts/run_serve_bench.sh [build_dir]
 #   Scale knobs are environment variables, forwarded to the bench:
-#     RPG_SERVE_CLIENTS, RPG_SERVE_REQUESTS, RPG_SERVE_QUERIES,
-#     RPG_SERVE_ZIPF_S, RPG_SERVE_THREADS
+#     RPG_SERVE_CLIENT_SWEEP (e.g. "4,64,256"), RPG_SERVE_CLIENTS
+#     (single point), RPG_SERVE_REQUESTS, RPG_SERVE_QUERIES,
+#     RPG_SERVE_ZIPF_S, RPG_SERVE_THREADS, RPG_SERVE_POLLERS
 #
-# Example (bigger run):
-#   RPG_SERVE_CLIENTS=8 RPG_SERVE_REQUESTS=200 scripts/run_serve_bench.sh
+# Example (bigger sweep):
+#   RPG_SERVE_CLIENT_SWEEP=8,128,512 RPG_SERVE_REQUESTS=100 \
+#     scripts/run_serve_bench.sh
 set -euo pipefail
 
 cd "$(dirname "$0")/.."

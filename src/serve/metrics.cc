@@ -28,6 +28,11 @@ Counter* MetricsRegistry::GetCounter(const std::string& name) {
   return &counters_[name];
 }
 
+Gauge* MetricsRegistry::GetGauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return &gauges_[name];
+}
+
 MetricHistogram* MetricsRegistry::GetHistogram(
     const std::string& name, const std::vector<double>& edges) {
   std::lock_guard<std::mutex> lock(mu_);
@@ -44,11 +49,15 @@ std::string MetricsRegistry::ToJson() const {
   // Snapshot the instrument sets under the registry lock, then read each
   // instrument through its own synchronization.
   std::vector<std::pair<std::string, const Counter*>> counters;
+  std::vector<std::pair<std::string, const Gauge*>> gauges;
   std::vector<std::pair<std::string, const MetricHistogram*>> histograms;
   {
     std::lock_guard<std::mutex> lock(mu_);
     for (const auto& [name, counter] : counters_) {
       counters.emplace_back(name, &counter);
+    }
+    for (const auto& [name, gauge] : gauges_) {
+      gauges.emplace_back(name, &gauge);
     }
     for (const auto& [name, histogram] : histograms_) {
       histograms.emplace_back(name, &histogram);
@@ -59,6 +68,11 @@ std::string MetricsRegistry::ToJson() const {
   w.Key("counters").BeginObject();
   for (const auto& [name, counter] : counters) {
     w.Key(name).UInt(counter->value());
+  }
+  w.EndObject();
+  w.Key("gauges").BeginObject();
+  for (const auto& [name, gauge] : gauges) {
+    w.Key(name).Int(gauge->value());
   }
   w.EndObject();
   w.Key("histograms").BeginObject();

@@ -37,6 +37,18 @@ class Counter {
   std::atomic<uint64_t> value_{0};
 };
 
+/// A named signed gauge (goes up AND down): open connections, in-flight
+/// request backlog, queue depths.
+class Gauge {
+ public:
+  void Add(int64_t delta) { value_.fetch_add(delta, std::memory_order_relaxed); }
+  void Set(int64_t value) { value_.store(value, std::memory_order_relaxed); }
+  int64_t value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> value_{0};
+};
+
 /// A mutex-guarded histogram with fixed bucket edges (common/histogram).
 class MetricHistogram {
  public:
@@ -77,6 +89,9 @@ class MetricsRegistry {
   /// The pointer stays valid for the registry's lifetime.
   Counter* GetCounter(const std::string& name);
 
+  /// Returns the gauge named `name`, creating it at 0 on first use.
+  Gauge* GetGauge(const std::string& name);
+
   /// Returns the histogram named `name`, creating it with `edges` on
   /// first use (later calls ignore `edges`).
   MetricHistogram* GetHistogram(const std::string& name,
@@ -84,6 +99,7 @@ class MetricsRegistry {
 
   /// Serializes every instrument:
   ///   {"counters":{name:value,...},
+  ///    "gauges":{name:value,...},
   ///    "histograms":{name:{"count","mean","p50","p90","p99",
   ///                        "underflow","overflow",
   ///                        "buckets":[{"le","label","count"},...]},...}}
@@ -98,6 +114,7 @@ class MetricsRegistry {
   mutable std::mutex mu_;
   // std::map: stable node addresses + deterministic JSON field order.
   std::map<std::string, Counter> counters_;
+  std::map<std::string, Gauge> gauges_;
   std::map<std::string, MetricHistogram> histograms_;
 };
 

@@ -20,22 +20,31 @@ MicroBatcher::~MicroBatcher() { Shutdown(); }
 
 std::future<Result<core::RePagerResult>> MicroBatcher::Submit(
     core::BatchQuery query) {
+  auto promise = std::make_shared<std::promise<Result<core::RePagerResult>>>();
+  std::future<Result<core::RePagerResult>> future = promise->get_future();
+  SubmitAsync(std::move(query),
+              [promise](Result<core::RePagerResult> result) {
+                promise->set_value(std::move(result));
+              });
+  return future;
+}
+
+void MicroBatcher::SubmitAsync(core::BatchQuery query, Callback callback) {
   Pending p;
   p.query = std::move(query);
+  p.callback = std::move(callback);
   p.enqueued = std::chrono::steady_clock::now();
-  std::future<Result<core::RePagerResult>> future = p.promise.get_future();
   {
     std::lock_guard<std::mutex> lock(mu_);
-    if (shutdown_) {
-      p.promise.set_value(
-          Status::FailedPrecondition("MicroBatcher is shut down"));
-      return future;
+    if (!shutdown_) {
+      pending_.push_back(std::move(p));
+      ++stats_.requests;
+      cv_.notify_all();
+      return;
     }
-    pending_.push_back(std::move(p));
-    ++stats_.requests;
   }
-  cv_.notify_all();
-  return future;
+  // Shut down: complete inline on the caller (never under mu_).
+  p.callback(Status::FailedPrecondition("MicroBatcher is shut down"));
 }
 
 void MicroBatcher::Shutdown() {
@@ -93,7 +102,7 @@ void MicroBatcher::RunBatch(std::deque<Pending> batch) {
   RPG_CHECK(result.results.size() == batch.size());
   if (options_.on_batch) options_.on_batch(batch.size(), result.wall_seconds);
   for (size_t i = 0; i < batch.size(); ++i) {
-    batch[i].promise.set_value(std::move(result.results[i]));
+    batch[i].callback(std::move(result.results[i]));
   }
 }
 

@@ -70,9 +70,21 @@ class MicroBatcher {
   MicroBatcher(const MicroBatcher&) = delete;
   MicroBatcher& operator=(const MicroBatcher&) = delete;
 
+  /// Completion callback for SubmitAsync: invoked exactly once on the
+  /// dispatcher thread after the batch containing the query completes
+  /// (or inline with FailedPrecondition after Shutdown()). Keep it
+  /// cheap — it runs between batches.
+  using Callback = std::function<void(Result<core::RePagerResult>)>;
+
   /// Enqueues one query; the future is fulfilled with the engine's
   /// per-query result (errors land in the Result, not as exceptions).
   std::future<Result<core::RePagerResult>> Submit(core::BatchQuery query);
+
+  /// Callback flavour of Submit for the event-driven serving path: no
+  /// thread blocks on a future, the completion is delivered where the
+  /// batch finished. This is what lets epoll poller threads hand off
+  /// compute without pinning themselves (docs/serving.md).
+  void SubmitAsync(core::BatchQuery query, Callback callback);
 
   /// Drains queued requests, then stops the dispatcher. Idempotent.
   void Shutdown();
@@ -82,7 +94,7 @@ class MicroBatcher {
  private:
   struct Pending {
     core::BatchQuery query;
-    std::promise<Result<core::RePagerResult>> promise;
+    Callback callback;
     std::chrono::steady_clock::time_point enqueued;
   };
 

@@ -57,7 +57,8 @@ size_t EstimateResultBytes(const core::RePagerResult& result) {
 struct QueryCache::Shard {
   struct Entry {
     std::string key;
-    CachedResult result;
+    CachedResult result;           // nullptr for negative entries
+    Status status = Status::OK();  // non-OK for negative entries
     size_t bytes = 0;
   };
   using LruList = std::list<Entry>;
@@ -66,15 +67,19 @@ struct QueryCache::Shard {
   LruList lru;  // front = most recent
   std::unordered_map<std::string, LruList::iterator> index;
   size_t bytes = 0;
+  size_t negative_entries = 0;
   uint64_t hits = 0;
   uint64_t misses = 0;
   uint64_t insertions = 0;
   uint64_t evictions = 0;
+  uint64_t negative_hits = 0;
+  uint64_t negative_insertions = 0;
 };
 
 QueryCache::QueryCache(QueryCacheOptions options)
     : shard_count_(RoundUpPowerOfTwo(
-          options.num_shards == 0 ? 1 : options.num_shards)) {
+          options.num_shards == 0 ? 1 : options.num_shards)),
+      cache_negative_(options.cache_negative) {
   shards_ = std::make_unique<Shard[]>(shard_count_);
   shard_max_bytes_ =
       options.max_bytes == 0 ? 0 : std::max<size_t>(1, options.max_bytes / shard_count_);
@@ -88,22 +93,43 @@ QueryCache::~QueryCache() = default;
 
 size_t QueryCache::num_shards() const { return shard_count_; }
 
-CachedResult QueryCache::Lookup(const std::string& key, bool count) {
+std::optional<CachedValue> QueryCache::Lookup(const std::string& key,
+                                              bool count) {
   Shard& shard = shards_[HashKey(key) & (shard_count_ - 1)];
   std::lock_guard<std::mutex> lock(shard.mu);
   auto it = shard.index.find(key);
   if (it == shard.index.end()) {
     if (count) ++shard.misses;
-    return nullptr;
+    return std::nullopt;
   }
-  if (count) ++shard.hits;
+  if (count) {
+    if (it->second->result == nullptr) {
+      ++shard.negative_hits;
+    } else {
+      ++shard.hits;
+    }
+  }
   shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
-  return it->second->result;
+  return CachedValue{it->second->result, it->second->status};
 }
 
 void QueryCache::Insert(const std::string& key, CachedResult result) {
   if (result == nullptr) return;
   size_t bytes = EstimateResultBytes(*result);
+  InsertEntry(key, std::move(result), Status::OK(), bytes);
+}
+
+void QueryCache::InsertNegative(const std::string& key,
+                                const Status& status) {
+  if (!cache_negative_ || status.ok()) return;
+  // A negative entry is just its key and message; sizeof(Entry) covers
+  // the list node payload.
+  size_t bytes = sizeof(Shard::Entry) + key.size() + status.message().size();
+  InsertEntry(key, nullptr, status, bytes);
+}
+
+void QueryCache::InsertEntry(const std::string& key, CachedResult result,
+                             Status status, size_t bytes) {
   Shard& shard = shards_[HashKey(key) & (shard_count_ - 1)];
   std::lock_guard<std::mutex> lock(shard.mu);
   // Oversized entries would immediately evict themselves (plus the whole
@@ -111,17 +137,25 @@ void QueryCache::Insert(const std::string& key, CachedResult result) {
   if (shard_max_bytes_ != 0 && bytes > shard_max_bytes_) return;
   if (auto it = shard.index.find(key); it != shard.index.end()) {
     shard.bytes -= it->second->bytes;
+    if (it->second->result == nullptr) --shard.negative_entries;
     shard.lru.erase(it->second);
     shard.index.erase(it);
   }
-  shard.lru.push_front({key, std::move(result), bytes});
+  const bool negative = result == nullptr;
+  shard.lru.push_front({key, std::move(result), std::move(status), bytes});
   shard.index[key] = shard.lru.begin();
   shard.bytes += bytes;
-  ++shard.insertions;
+  if (negative) {
+    ++shard.negative_entries;
+    ++shard.negative_insertions;
+  } else {
+    ++shard.insertions;
+  }
   while ((shard_max_bytes_ != 0 && shard.bytes > shard_max_bytes_) ||
          (shard_max_entries_ != 0 && shard.lru.size() > shard_max_entries_)) {
     const auto& tail = shard.lru.back();
     shard.bytes -= tail.bytes;
+    if (tail.result == nullptr) --shard.negative_entries;
     shard.index.erase(tail.key);
     shard.lru.pop_back();
     ++shard.evictions;
@@ -135,6 +169,7 @@ void QueryCache::Clear() {
     shard.lru.clear();
     shard.index.clear();
     shard.bytes = 0;
+    shard.negative_entries = 0;
   }
 }
 
@@ -147,7 +182,10 @@ QueryCacheStats QueryCache::Stats() const {
     stats.misses += shard.misses;
     stats.insertions += shard.insertions;
     stats.evictions += shard.evictions;
+    stats.negative_hits += shard.negative_hits;
+    stats.negative_insertions += shard.negative_insertions;
     stats.entries += shard.lru.size();
+    stats.negative_entries += shard.negative_entries;
     stats.bytes += shard.bytes;
   }
   return stats;

@@ -8,6 +8,14 @@
 /// immutable citation graph, so a completed RePagerResult never goes
 /// stale and can be shared verbatim between requests.
 ///
+/// Negative caching: deterministic failures ("no hits", "empty query")
+/// are just as repeatable as successes over the immutable corpus, so
+/// the cache can also remember an error Status under the same canonical
+/// key (InsertNegative). A negative entry costs a few hundred bytes and
+/// spares a full KHop+NEWST attempt per repeat of a hopeless query.
+/// Negative hits/insertions/entries are counted separately so
+/// `/api/stats` can tell them apart.
+///
 /// Ownership / thread-safety model:
 ///  - Entries are std::shared_ptr<const core::RePagerResult>: the cache
 ///    and any number of in-flight responses share one immutable result;
@@ -23,6 +31,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <optional>
 #include <string>
 
 #include "core/repager.h"
@@ -31,6 +40,14 @@ namespace rpg::serve {
 
 /// A cached, immutable, shareable pipeline result.
 using CachedResult = std::shared_ptr<const core::RePagerResult>;
+
+/// One cached outcome: a shared result (positive entry) or the error
+/// Status the same query produced last time (negative entry).
+struct CachedValue {
+  CachedResult result;           ///< nullptr for negative entries
+  Status status = Status::OK();  ///< non-OK for negative entries
+  bool negative() const { return result == nullptr; }
+};
 
 /// Canonical cache key for a serving request: the query text lowercased
 /// with whitespace runs collapsed (the tokenizer is case-insensitive, so
@@ -53,15 +70,23 @@ struct QueryCacheOptions {
   size_t max_entries = 4096;
   /// Shard count; rounded up to a power of two, minimum 1.
   size_t num_shards = 8;
+  /// Set false to make InsertNegative a no-op (errors always recompute).
+  bool cache_negative = true;
 };
 
-/// Point-in-time counters (sums over all shards).
+/// Point-in-time counters (sums over all shards). `hits` counts positive
+/// hits only; negative hits/insertions have their own counters.
+/// `entries`/`bytes` include negative entries; `negative_entries` says
+/// how many of them are negative.
 struct QueryCacheStats {
   uint64_t hits = 0;
   uint64_t misses = 0;
   uint64_t insertions = 0;
   uint64_t evictions = 0;
+  uint64_t negative_hits = 0;
+  uint64_t negative_insertions = 0;
   size_t entries = 0;
+  size_t negative_entries = 0;
   size_t bytes = 0;
 };
 
@@ -73,16 +98,22 @@ class QueryCache {
   QueryCache(const QueryCache&) = delete;
   QueryCache& operator=(const QueryCache&) = delete;
 
-  /// Returns the cached result and refreshes its LRU position, or nullptr
-  /// on miss. Counts a hit or a miss unless `count` is false (used for
-  /// the serving layer's post-claim double-check, which would otherwise
-  /// count every real miss twice).
-  CachedResult Lookup(const std::string& key, bool count = true);
+  /// Returns the cached outcome (positive or negative) and refreshes its
+  /// LRU position, or nullopt on miss. Counts a hit or a miss unless
+  /// `count` is false (used for the serving layer's post-claim
+  /// double-check, which would otherwise count every real miss twice).
+  std::optional<CachedValue> Lookup(const std::string& key,
+                                    bool count = true);
 
-  /// Inserts (or replaces) the entry, then evicts from the shard's LRU
-  /// tail until both capacity limits hold. An entry larger than a whole
-  /// shard's byte budget is not cached at all.
+  /// Inserts (or replaces) a positive entry, then evicts from the
+  /// shard's LRU tail until both capacity limits hold. An entry larger
+  /// than a whole shard's byte budget is not cached at all.
   void Insert(const std::string& key, CachedResult result);
+
+  /// Remembers a deterministic failure under `key` (no-op when
+  /// `cache_negative` is off or `status` is OK). Shares the LRU and the
+  /// capacity budgets with positive entries.
+  void InsertNegative(const std::string& key, const Status& status);
 
   /// Drops every entry (counters are preserved).
   void Clear();
@@ -93,10 +124,15 @@ class QueryCache {
 
  private:
   struct Shard;
+
+  void InsertEntry(const std::string& key, CachedResult result,
+                   Status status, size_t bytes);
+
   std::unique_ptr<Shard[]> shards_;
   size_t shard_count_;
   size_t shard_max_bytes_;
   size_t shard_max_entries_;
+  bool cache_negative_;
 };
 
 }  // namespace rpg::serve

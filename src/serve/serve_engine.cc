@@ -1,19 +1,26 @@
 #include "serve/serve_engine.h"
 
+#include <future>
 #include <utility>
+#include <vector>
 
 #include "common/json_writer.h"
 #include "common/logging.h"
-#include "common/timer.h"
 
 namespace rpg::serve {
 
 /// Single-flight slot: the first requester (owner) computes; duplicates
-/// wait on `future`. The slot outlives its table entry via shared_ptr,
-/// so the owner can fulfill the promise after erasing the entry.
+/// register a completion waiter. The slot outlives its table entry via
+/// shared_ptr, so the owner can deliver waiters after erasing the entry.
 struct ServeEngine::Flight {
-  std::promise<Result<CachedResult>> promise;
-  std::shared_future<Result<CachedResult>> future;
+  using Waiter = std::function<void(const Result<CachedResult>&)>;
+
+  std::mutex mu;
+  bool done = false;
+  /// Valid once `done`; late joiners that find the flight already done
+  /// complete inline from this copy.
+  Result<CachedResult> outcome{Status::Internal("flight not finished")};
+  std::vector<Waiter> waiters;
 };
 
 namespace {
@@ -35,6 +42,14 @@ MicroBatcherOptions MakeBatcherOptions(const ServeEngineOptions& options,
   return mb;
 }
 
+/// Deterministic pipeline failures (no hits for the query, bad
+/// arguments) are cacheable: the immutable corpus guarantees the same
+/// query fails the same way tomorrow. Transient statuses (shutdown,
+/// internal) must retry.
+bool IsCacheableError(const Status& status) {
+  return status.IsNotFound() || status.IsInvalidArgument();
+}
+
 }  // namespace
 
 ServeEngine::ServeEngine(const core::RePaGer* repager,
@@ -53,8 +68,10 @@ ServeEngine::ServeEngine(const core::RePaGer* repager,
       requests_total_(metrics_.GetCounter("requests_total")),
       cache_hits_(metrics_.GetCounter("cache_hits")),
       cache_misses_(metrics_.GetCounter("cache_misses")),
+      negative_hits_(metrics_.GetCounter("negative_hits")),
       coalesced_hits_(metrics_.GetCounter("coalesced_hits")),
       errors_total_(metrics_.GetCounter("errors_total")),
+      inflight_requests_(metrics_.GetGauge("inflight_requests")),
       e2e_ms_(metrics_.GetHistogram("e2e_ms", LatencyBucketEdgesMs())),
       hit_ms_(metrics_.GetHistogram("cache_hit_ms", LatencyBucketEdgesMs())) {
   RPG_CHECK(repager_ != nullptr);
@@ -64,26 +81,42 @@ ServeEngine::~ServeEngine() { batcher_.Shutdown(); }
 
 Result<ServeResponse> ServeEngine::Generate(const std::string& query,
                                             int num_seeds, int year_cutoff) {
+  std::promise<Result<ServeResponse>> promise;
+  std::future<Result<ServeResponse>> future = promise.get_future();
+  GenerateAsync(query, num_seeds, year_cutoff,
+                [&promise](Result<ServeResponse> response) {
+                  promise.set_value(std::move(response));
+                });
+  return future.get();
+}
+
+void ServeEngine::GenerateAsync(const std::string& query, int num_seeds,
+                                int year_cutoff, GenerateCallback callback) {
   Timer e2e;
   requests_total_->Increment();
+  inflight_requests_->Add(1);
   const std::string key = CanonicalQueryKey(query, num_seeds, year_cutoff);
 
   if (options_.enable_cache) {
-    if (CachedResult hit = cache_.Lookup(key)) {
+    if (std::optional<CachedValue> hit = cache_.Lookup(key)) {
+      if (hit->negative()) {
+        negative_hits_->Increment();
+        FinishRequest(callback, e2e, Result<CachedResult>(hit->status),
+                      /*cache_hit=*/true, /*coalesced=*/false);
+        return;
+      }
       cache_hits_->Increment();
-      ServeResponse response;
-      response.result = std::move(hit);
-      response.cache_hit = true;
-      response.e2e_seconds = e2e.ElapsedSeconds();
-      hit_ms_->Observe(response.e2e_seconds * 1e3);
-      e2e_ms_->Observe(response.e2e_seconds * 1e3);
-      return response;
+      hit_ms_->Observe(e2e.ElapsedSeconds() * 1e3);
+      FinishRequest(callback, e2e,
+                    Result<CachedResult>(std::move(hit->result)),
+                    /*cache_hit=*/true, /*coalesced=*/false);
+      return;
     }
     cache_misses_->Increment();
   }
 
   // Single-flight admission: exactly one requester per canonical key
-  // computes; everyone else joins its future.
+  // computes; everyone else registers a waiter on its flight.
   std::shared_ptr<Flight> flight;
   bool owner = false;
   {
@@ -93,79 +126,117 @@ Result<ServeResponse> ServeEngine::Generate(const std::string& query,
       flight = it->second;
     } else {
       flight = std::make_shared<Flight>();
-      flight->future = flight->promise.get_future().share();
       flights_.emplace(key, flight);
       owner = true;
     }
+  }
+
+  if (!owner) {
+    coalesced_hits_->Increment();
+    auto waiter = [this, callback = std::move(callback),
+                   e2e](const Result<CachedResult>& outcome) {
+      FinishRequest(callback, e2e, outcome, /*cache_hit=*/false,
+                    /*coalesced=*/true);
+    };
+    bool already_done = false;
+    {
+      std::lock_guard<std::mutex> lock(flight->mu);
+      if (flight->done) {
+        already_done = true;
+      } else {
+        flight->waiters.push_back(waiter);
+      }
+    }
+    // The flight finished between our table lookup and the registration:
+    // complete inline from its stored outcome (never under flight->mu —
+    // the callback is arbitrary user code).
+    if (already_done) waiter(flight->outcome);
+    return;
   }
 
   // Post-claim double-check: if another owner inserted the entry between
   // our miss and our claim (insert happens-before flight retirement,
   // which happens-before our claim), serve it instead of recomputing —
   // single-flight stays airtight even across flight generations.
-  bool raced_hit = false;
-  Result<CachedResult> outcome = [&]() -> Result<CachedResult> {
-    if (!owner) {
-      coalesced_hits_->Increment();
-      return flight->future.get();
+  if (options_.enable_cache) {
+    if (std::optional<CachedValue> hit = cache_.Lookup(key, /*count=*/false)) {
+      Result<CachedResult> resolved =
+          hit->negative() ? Result<CachedResult>(hit->status)
+                          : Result<CachedResult>(std::move(hit->result));
+      PublishOutcome(key, flight, resolved);
+      FinishRequest(callback, e2e, resolved, /*cache_hit=*/true,
+                    /*coalesced=*/false);
+      return;
     }
-    if (options_.enable_cache) {
-      if (CachedResult hit = cache_.Lookup(key, /*count=*/false)) {
-        raced_hit = true;
-        Result<CachedResult> resolved(std::move(hit));
-        {
-          std::lock_guard<std::mutex> lock(flights_mu_);
-          flights_.erase(key);
-        }
-        flight->promise.set_value(resolved);
-        return resolved;
-      }
-    }
-    return ComputeAndPublish(flight, key, query, num_seeds, year_cutoff);
-  }();
-
-  double seconds = e2e.ElapsedSeconds();
-  e2e_ms_->Observe(seconds * 1e3);
-  if (!outcome.ok()) {
-    errors_total_->Increment();
-    return outcome.status();
   }
-  ServeResponse response;
-  response.result = std::move(outcome).value();
-  response.cache_hit = raced_hit;
-  response.coalesced = !owner;
-  response.e2e_seconds = seconds;
-  return response;
-}
 
-Result<CachedResult> ServeEngine::ComputeAndPublish(
-    const std::shared_ptr<Flight>& flight, const std::string& key,
-    const std::string& query, int num_seeds, int year_cutoff) {
   core::BatchQuery bq;
   bq.query = query;
   if (num_seeds > 0) bq.options.num_initial_seeds = num_seeds;
   if (year_cutoff > 0) bq.options.year_cutoff = year_cutoff;
-  Result<core::RePagerResult> computed = batcher_.Submit(std::move(bq)).get();
+  // No thread blocks here: the continuation runs on the batcher's
+  // dispatcher thread once the batch containing this query completes.
+  batcher_.SubmitAsync(
+      std::move(bq),
+      [this, key, flight, callback = std::move(callback),
+       e2e](Result<core::RePagerResult> computed) {
+        Result<CachedResult> outcome =
+            computed.ok()
+                ? Result<CachedResult>(
+                      std::make_shared<const core::RePagerResult>(
+                          std::move(computed).value()))
+                : Result<CachedResult>(computed.status());
+        PublishOutcome(key, flight, outcome);
+        FinishRequest(callback, e2e, outcome, /*cache_hit=*/false,
+                      /*coalesced=*/false);
+      });
+}
 
-  Result<CachedResult> outcome =
-      computed.ok()
-          ? Result<CachedResult>(std::make_shared<const core::RePagerResult>(
-                std::move(computed).value()))
-          : Result<CachedResult>(computed.status());
+void ServeEngine::PublishOutcome(const std::string& key,
+                                 const std::shared_ptr<Flight>& flight,
+                                 const Result<CachedResult>& outcome) {
   // Publish to the cache BEFORE retiring the flight: a request arriving
-  // in between sees either the cache entry or the in-flight future —
+  // in between sees either the cache entry or the in-flight flight —
   // never a gap that would trigger a duplicate computation.
-  if (outcome.ok() && options_.enable_cache) {
-    cache_.Insert(key, outcome.value());
+  if (options_.enable_cache) {
+    if (outcome.ok()) {
+      cache_.Insert(key, outcome.value());
+    } else if (IsCacheableError(outcome.status())) {
+      cache_.InsertNegative(key, outcome.status());
+    }
   }
   {
     std::lock_guard<std::mutex> lock(flights_mu_);
     flights_.erase(key);
   }
-  // Wake the coalesced waiters last; they re-read nothing, the outcome
-  // is baked into the future.
-  flight->promise.set_value(outcome);
-  return outcome;
+  std::vector<Flight::Waiter> waiters;
+  {
+    std::lock_guard<std::mutex> lock(flight->mu);
+    flight->done = true;
+    flight->outcome = outcome;
+    waiters.swap(flight->waiters);
+  }
+  for (const Flight::Waiter& waiter : waiters) waiter(outcome);
+}
+
+void ServeEngine::FinishRequest(const GenerateCallback& callback,
+                                const Timer& e2e,
+                                const Result<CachedResult>& outcome,
+                                bool cache_hit, bool coalesced) {
+  double seconds = e2e.ElapsedSeconds();
+  e2e_ms_->Observe(seconds * 1e3);
+  inflight_requests_->Add(-1);
+  if (!outcome.ok()) {
+    errors_total_->Increment();
+    callback(outcome.status());
+    return;
+  }
+  ServeResponse response;
+  response.result = outcome.value();
+  response.cache_hit = cache_hit;
+  response.coalesced = coalesced;
+  response.e2e_seconds = seconds;
+  callback(std::move(response));
 }
 
 size_t ServeEngine::ClearCache() {
@@ -187,6 +258,9 @@ std::string ServeEngine::StatsJson() const {
   w.Key("misses").UInt(cs.misses);
   w.Key("insertions").UInt(cs.insertions);
   w.Key("evictions").UInt(cs.evictions);
+  w.Key("negative_entries").UInt(cs.negative_entries);
+  w.Key("negative_hits").UInt(cs.negative_hits);
+  w.Key("negative_insertions").UInt(cs.negative_insertions);
   w.EndObject();
   w.Key("batcher").BeginObject();
   w.Key("requests").UInt(bs.requests);

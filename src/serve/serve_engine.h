@@ -8,17 +8,20 @@
 /// layer on top of this class; see docs/serving.md for the request
 /// lifecycle and tuning knobs.
 ///
-/// Request lifecycle for Generate(query, num_seeds, year_cutoff):
+/// Request lifecycle for Generate / GenerateAsync(query, num_seeds,
+/// year_cutoff):
 ///   1. canonical key  = CanonicalQueryKey(...) — case/whitespace
 ///      normalized, defaults resolved
-///   2. QueryCache::Lookup — hit returns the shared immutable result in
-///      microseconds
+///   2. QueryCache::Lookup — a positive hit returns the shared immutable
+///      result in microseconds; a negative hit returns the remembered
+///      error Status without touching the pipeline
 ///   3. in-flight table — an identical query already being computed is
 ///      joined, not recomputed (single-flight)
-///   4. MicroBatcher::Submit — grouped with concurrent misses and
+///   4. MicroBatcher::SubmitAsync — grouped with concurrent misses and
 ///      executed on the shared core::BatchEngine
-///   5. completed results are inserted into the cache; every stage
-///      increments MetricsRegistry counters/histograms
+///   5. completed results are inserted into the cache (deterministic
+///      errors as negative entries); every stage increments
+///      MetricsRegistry counters/histograms
 ///
 /// Results are bit-identical to serial RePaGer::Generate in every path
 /// (cache hit, coalesced, batched) — asserted by
@@ -27,16 +30,23 @@
 /// Ownership / thread-safety model:
 ///  - The RePaGer (and everything under it) is shared immutable state
 ///    owned by the caller; it must outlive the engine.
-///  - Generate() is safe from any number of threads (it is the HTTP
-///    handler's body). Cached results are shared_ptr<const ...>: never
-///    mutated, freely shared across responses.
+///  - Generate()/GenerateAsync() are safe from any number of threads.
+///    Cached results are shared_ptr<const ...>: never mutated, freely
+///    shared across responses.
+///  - GenerateAsync never blocks on the solve: the callback fires inline
+///    for cache hits and errors, and from the batcher's dispatcher
+///    thread for computed misses. This is the API the epoll reactor
+///    (ui::HttpServer) serves from — poller threads submit and return
+///    to their event loop.
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <string>
 #include <unordered_map>
 
+#include "common/timer.h"
 #include "core/batch_engine.h"
 #include "core/repager.h"
 #include "serve/metrics.h"
@@ -69,6 +79,12 @@ struct ServeResponse {
 
 class ServeEngine {
  public:
+  /// Completion callback for GenerateAsync. Invoked exactly once: inline
+  /// on the calling thread for cache hits / negative hits / inline
+  /// errors, or on the batcher's dispatcher thread after a computed
+  /// miss. Must not block.
+  using GenerateCallback = std::function<void(Result<ServeResponse>)>;
+
   /// `repager` must outlive the engine.
   explicit ServeEngine(const core::RePaGer* repager,
                        ServeEngineOptions options = {});
@@ -77,18 +93,25 @@ class ServeEngine {
   ServeEngine(const ServeEngine&) = delete;
   ServeEngine& operator=(const ServeEngine&) = delete;
 
-  /// Serves one request. `num_seeds <= 0` / `year_cutoff <= 0` mean the
-  /// pipeline defaults (same canonicalization as the cache key).
-  /// Pipeline errors (no hits, empty query, ...) come back as the
-  /// Result's status; they are never cached.
+  /// Serves one request, blocking until the response is ready (a thin
+  /// wrapper over GenerateAsync). `num_seeds <= 0` / `year_cutoff <= 0`
+  /// mean the pipeline defaults (same canonicalization as the cache
+  /// key). Pipeline errors (no hits, empty query, ...) come back as the
+  /// Result's status.
   Result<ServeResponse> Generate(const std::string& query, int num_seeds,
                                  int year_cutoff);
+
+  /// Non-blocking flavour for event-driven callers: hand off the
+  /// request, get the response via `callback`.
+  void GenerateAsync(const std::string& query, int num_seeds,
+                     int year_cutoff, GenerateCallback callback);
 
   /// Drops every cached entry; returns the number of entries dropped.
   size_t ClearCache();
 
   /// Live stats document for GET /api/stats:
-  ///   {"cache":{...},"batcher":{...},"metrics":{counters,histograms}}
+  ///   {"cache":{...},"batcher":{...},"metrics":{counters,gauges,
+  ///    histograms}}
   std::string StatsJson() const;
 
   const QueryCache& cache() const { return cache_; }
@@ -98,12 +121,17 @@ class ServeEngine {
  private:
   struct Flight;
 
-  /// Computes a cache miss via the batcher, publishing the outcome to
-  /// the cache (on success), the in-flight waiters, and the caller.
-  Result<CachedResult> ComputeAndPublish(const std::shared_ptr<Flight>& flight,
-                                         const std::string& key,
-                                         const std::string& query,
-                                         int num_seeds, int year_cutoff);
+  /// Publishes the outcome: cache (positive entry, or negative for
+  /// deterministic errors), flight retirement, coalesced waiters.
+  void PublishOutcome(const std::string& key,
+                      const std::shared_ptr<Flight>& flight,
+                      const Result<CachedResult>& outcome);
+
+  /// Final per-request bookkeeping (e2e histogram, error counter,
+  /// in-flight gauge) + callback invocation.
+  void FinishRequest(const GenerateCallback& callback, const Timer& e2e,
+                     const Result<CachedResult>& outcome, bool cache_hit,
+                     bool coalesced);
 
   const core::RePaGer* repager_;
   ServeEngineOptions options_;
@@ -115,9 +143,9 @@ class ServeEngine {
   MetricsRegistry metrics_;
   MicroBatcher batcher_;
 
-  /// Single-flight table: canonical key -> the future every duplicate
-  /// concurrent request waits on. The owner (first requester) erases the
-  /// entry once the cache is populated.
+  /// Single-flight table: canonical key -> the flight every duplicate
+  /// concurrent request registers a waiter on. The owner (first
+  /// requester) erases the entry once the cache is populated.
   std::mutex flights_mu_;
   std::unordered_map<std::string, std::shared_ptr<Flight>> flights_;
 
@@ -126,8 +154,10 @@ class ServeEngine {
   Counter* requests_total_;
   Counter* cache_hits_;
   Counter* cache_misses_;
+  Counter* negative_hits_;
   Counter* coalesced_hits_;
   Counter* errors_total_;
+  Gauge* inflight_requests_;
   MetricHistogram* e2e_ms_;
   MetricHistogram* hit_ms_;
 };

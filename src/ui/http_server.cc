@@ -1,11 +1,19 @@
 #include "ui/http_server.h"
 
 #include <arpa/inet.h>
+#include <errno.h>
+#include <fcntl.h>
 #include <netinet/in.h>
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
 #include <cstring>
+#include <deque>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
 
 #include "common/logging.h"
 #include "common/string_util.h"
@@ -14,20 +22,9 @@ namespace rpg::ui {
 
 namespace {
 
-/// Hard ceilings against hostile or broken clients.
-constexpr size_t kMaxHeaderBytes = 64 * 1024;
-constexpr size_t kMaxBodyBytes = 1024 * 1024;
-
-/// Writes the whole buffer; returns false on error/EOF.
-bool WriteAll(int fd, const std::string& data) {
-  size_t written = 0;
-  while (written < data.size()) {
-    ssize_t n = ::write(fd, data.data() + written, data.size() - written);
-    if (n <= 0) return false;
-    written += static_cast<size_t>(n);
-  }
-  return true;
-}
+/// A misbehaving client in the drain state gets at most this much read
+/// and discarded before the connection is dropped anyway.
+constexpr size_t kMaxDrainBytes = 4u << 20;
 
 const char* ReasonPhrase(int status) {
   switch (status) {
@@ -36,6 +33,7 @@ const char* ReasonPhrase(int status) {
     case 404: return "Not Found";
     case 405: return "Method Not Allowed";
     case 413: return "Payload Too Large";
+    case 431: return "Request Header Fields Too Large";
     default: return "Error";
   }
 }
@@ -117,202 +115,623 @@ void ParseHeaderLines(const std::string& header_block,
   }
 }
 
+// --------------------------------------------------------------- reactor
+
+/// Cross-poller stats. Relaxed atomics: the gauges feed /api/stats and
+/// test assertions, not control flow.
+struct HttpServer::SharedState {
+  std::atomic<size_t> open_connections{0};
+  std::atomic<uint64_t> connections_accepted{0};
+  std::atomic<uint64_t> requests_handled{0};
+  std::atomic<uint64_t> responses_sent{0};
+  std::atomic<uint64_t> protocol_errors{0};
+};
+
+/// One reactor thread: an epoll instance multiplexing the listen socket
+/// (EPOLLEXCLUSIVE — the kernel load-balances accepts across pollers),
+/// an eventfd for cross-thread response completions, and every
+/// connection this poller accepted. Connections live and die on their
+/// owning poller thread only; other threads reach a connection solely
+/// through Complete(), which marshals the response over the eventfd.
+///
+/// shared_ptr + enable_shared_from_this: each Done callback captures
+/// shared_from_this(), so the completion queue, its mutex, and the
+/// eventfd stay alive until the last in-flight compute finishes — even
+/// if that is after Stop() returned and the server was destroyed. Late
+/// completions see stop_requested_ and drop their response.
+class HttpServer::Poller : public std::enable_shared_from_this<Poller> {
+ public:
+  Poller(const AsyncHandler* handler, const HttpServerOptions* options,
+         std::shared_ptr<SharedState> shared)
+      : handler_(handler), options_(options), shared_(std::move(shared)) {}
+
+  ~Poller() {
+    if (epoll_fd_ >= 0) ::close(epoll_fd_);
+    if (wake_fd_ >= 0) ::close(wake_fd_);
+    if (spare_fd_ >= 0) ::close(spare_fd_);
+  }
+
+  Status Init(int listen_fd) {
+    // Reserved fd, sacrificed to accept-and-close when the process runs
+    // out of descriptors (see AcceptAll).
+    spare_fd_ = ::open("/dev/null", O_RDONLY | O_CLOEXEC);
+    epoll_fd_ = ::epoll_create1(EPOLL_CLOEXEC);
+    if (epoll_fd_ < 0) return Status::IoError("epoll_create1 failed");
+    wake_fd_ = ::eventfd(0, EFD_NONBLOCK | EFD_CLOEXEC);
+    if (wake_fd_ < 0) return Status::IoError("eventfd failed");
+    epoll_event ev{};
+    ev.events = EPOLLIN;
+    ev.data.u64 = kWakeTag;
+    if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, wake_fd_, &ev) < 0) {
+      return Status::IoError("epoll_ctl(wake) failed");
+    }
+    ev.events = EPOLLIN | EPOLLEXCLUSIVE;
+    ev.data.u64 = kListenTag;
+    if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, listen_fd, &ev) < 0) {
+      return Status::IoError("epoll_ctl(listen) failed");
+    }
+    listen_fd_ = listen_fd;
+    return Status::OK();
+  }
+
+  void StartThread() {
+    thread_ = std::thread([self = shared_from_this()] { self->Loop(); });
+  }
+
+  void RequestStop() {
+    stop_requested_.store(true);
+    Wake();
+  }
+
+  void Join() {
+    if (thread_.joinable()) thread_.join();
+  }
+
+  /// Thread-safe response delivery for connection `id`, request `seq`.
+  /// On the poller's own thread the completion is applied inline (the
+  /// common synchronous-handler path pays no eventfd round trip);
+  /// from any other thread it is queued and the poller is woken.
+  void Complete(uint64_t id, uint64_t seq, HttpResponse response) {
+    if (std::this_thread::get_id() == thread_id_.load()) {
+      HandleCompletion(id, seq, std::move(response));
+      return;
+    }
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (stop_requested_.load()) return;  // server stopped: drop it
+      completions_.push_back({id, seq, std::move(response)});
+    }
+    Wake();
+  }
+
+ private:
+  static constexpr uint64_t kListenTag = 0;
+  static constexpr uint64_t kWakeTag = 1;
+  static constexpr uint64_t kFirstConnId = 2;
+
+  struct Conn {
+    int fd = -1;
+    uint64_t id = 0;
+    std::string in;        ///< unparsed request bytes
+    std::string out;       ///< response bytes not yet written
+    size_t out_off = 0;
+    enum class State { kReading, kHandling, kWriting, kDraining };
+    State state = State::kReading;
+    bool keep_alive = true;
+    bool close_after_write = false;
+    /// Half-close + discard before the real close: set on protocol
+    /// errors (431/413/400) where the client may still be mid-request —
+    /// an immediate close() would RST the queued response away.
+    bool drain_after_write = false;
+    bool peer_eof = false;
+    /// Reentrancy guard: an inline handler completion lands back in
+    /// PumpRequests via HandleCompletion; the guard keeps the pipeline
+    /// advancing in the outer loop instead of recursing once per
+    /// buffered request (attacker-controlled depth otherwise).
+    bool pumping = false;
+    size_t drained = 0;
+    uint64_t request_seq = 0;  ///< guards stale/duplicate completions
+    uint32_t interest = EPOLLIN;
+  };
+
+  struct Completion {
+    uint64_t id;
+    uint64_t seq;
+    HttpResponse response;
+  };
+
+  void Wake() {
+    uint64_t one = 1;
+    [[maybe_unused]] ssize_t n = ::write(wake_fd_, &one, sizeof(one));
+  }
+
+  void Loop() {
+    thread_id_.store(std::this_thread::get_id());
+    epoll_event events[64];
+    while (!stop_requested_.load()) {
+      int n = ::epoll_wait(epoll_fd_, events, 64, -1);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        break;
+      }
+      for (int i = 0; i < n; ++i) {
+        uint64_t tag = events[i].data.u64;
+        if (tag == kListenTag) {
+          AcceptAll();
+        } else if (tag == kWakeTag) {
+          DrainWakeQueue();
+        } else {
+          OnConnEvent(tag, events[i].events);
+        }
+      }
+    }
+    for (auto& [id, conn] : conns_) {
+      ::close(conn->fd);
+      shared_->open_connections.fetch_sub(1);
+    }
+    conns_.clear();
+  }
+
+  void AcceptAll() {
+    for (;;) {
+      int fd = ::accept4(listen_fd_, nullptr, nullptr,
+                         SOCK_NONBLOCK | SOCK_CLOEXEC);
+      if (fd < 0) {
+        if (errno == EINTR) continue;
+        if ((errno == EMFILE || errno == ENFILE) && spare_fd_ >= 0) {
+          // Out of descriptors with the backlog still pending: a plain
+          // break would leave the level-triggered listen fd hot and
+          // spin every poller at 100% CPU. Sacrifice the reserved fd to
+          // accept-and-close (shedding one waiting client), then take
+          // it back.
+          ::close(spare_fd_);
+          spare_fd_ = -1;
+          int victim = ::accept(listen_fd_, nullptr, nullptr);
+          if (victim >= 0) ::close(victim);
+          spare_fd_ = ::open("/dev/null", O_RDONLY | O_CLOEXEC);
+          if (victim < 0 || spare_fd_ < 0) break;
+          continue;
+        }
+        break;  // EAGAIN (another poller won the race) or listen closed
+      }
+      auto conn = std::make_unique<Conn>();
+      conn->fd = fd;
+      const uint64_t id = next_conn_id_++;
+      conn->id = id;
+      epoll_event ev{};
+      ev.events = EPOLLIN;
+      ev.data.u64 = id;
+      if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev) < 0) {
+        ::close(fd);
+        continue;
+      }
+      shared_->open_connections.fetch_add(1);
+      shared_->connections_accepted.fetch_add(1);
+      conns_.emplace(id, std::move(conn));
+    }
+  }
+
+  void DrainWakeQueue() {
+    uint64_t buf;
+    while (::read(wake_fd_, &buf, sizeof(buf)) > 0) {
+    }
+    std::deque<Completion> ready;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      ready.swap(completions_);
+    }
+    for (Completion& c : ready) {
+      HandleCompletion(c.id, c.seq, std::move(c.response));
+    }
+  }
+
+  void OnConnEvent(uint64_t id, uint32_t events) {
+    auto it = conns_.find(id);
+    if (it == conns_.end()) return;
+    Conn* conn = it->second.get();
+    if (events & EPOLLERR) {
+      CloseConn(conn);
+      return;
+    }
+    if ((events & EPOLLHUP) && conn->state == Conn::State::kHandling) {
+      // Peer fully gone while compute is in flight: reclaim the fd now;
+      // the eventual completion finds the id missing and is dropped.
+      CloseConn(conn);
+      return;
+    }
+    // EPOLLHUP while writing is treated like writability: send() will
+    // surface EPIPE/ECONNRESET and close the conn — never ignore it, a
+    // level-triggered HUP we do nothing about would spin this loop.
+    if ((events & (EPOLLOUT | EPOLLHUP)) &&
+        conn->state == Conn::State::kWriting) {
+      FlushOut(conn);  // may destroy the conn
+      PumpRequests(id);
+      return;
+    }
+    if (events & (EPOLLIN | EPOLLHUP)) {
+      if (conn->state == Conn::State::kDraining) {
+        DrainReads(conn);
+      } else if (conn->state == Conn::State::kReading) {
+        if (!ReadAvailable(conn)) {
+          CloseConn(conn);
+          return;
+        }
+        PumpRequests(id);
+      }
+      // kHandling/kWriting never have EPOLLIN interest; nothing to do.
+    }
+  }
+
+  /// Reads what is currently available, bounded: buffering stops at one
+  /// max-size request's worth of bytes, so a fast client streaming
+  /// nonstop cannot grow conn->in without limit before the parser runs
+  /// (level-triggered epoll re-fires while socket data remains; the
+  /// pump drains conn->in between passes). Returns false when the
+  /// connection errored or the peer closed with no parseable request in
+  /// flight (the conn should be closed). A clean half-close after a
+  /// complete request sets peer_eof and returns true: the request still
+  /// deserves its response.
+  /// One maximal request: header block + "\r\n\r\n" + body. Anything a
+  /// connection buffers beyond this can only be pipelined follow-ups,
+  /// which wait in the kernel buffer instead.
+  size_t MaxBufferedBytes() const {
+    return options_->max_header_bytes + 4 + options_->max_body_bytes;
+  }
+
+  bool ReadAvailable(Conn* conn) {
+    const size_t max_buffered = MaxBufferedBytes();
+    char chunk[16384];
+    for (;;) {
+      if (conn->in.size() >= max_buffered) return true;
+      ssize_t n = ::read(conn->fd, chunk, sizeof(chunk));
+      if (n > 0) {
+        conn->in.append(chunk, static_cast<size_t>(n));
+        continue;
+      }
+      if (n == 0) {
+        conn->peer_eof = true;
+        return !conn->in.empty();
+      }
+      if (errno == EAGAIN || errno == EWOULDBLOCK) return true;
+      if (errno == EINTR) continue;
+      return false;
+    }
+  }
+
+  /// Drives the connection's request pipeline: parse-and-dispatch one
+  /// buffered request at a time until the conn needs more bytes, goes
+  /// async (kHandling), errors out, or dies. Iterative on purpose — an
+  /// inline handler completion re-enters here via HandleCompletion, and
+  /// the `pumping` guard folds that re-entry into this loop instead of
+  /// recursing once per pipelined request (the recursion depth would be
+  /// attacker-controlled). Works on the id, not the pointer: any step
+  /// may destroy the conn.
+  void PumpRequests(uint64_t id) {
+    {
+      auto it = conns_.find(id);
+      if (it == conns_.end() || it->second->pumping) return;
+      it->second->pumping = true;
+    }
+    for (;;) {
+      auto it = conns_.find(id);
+      if (it == conns_.end()) return;  // closed mid-pump; flag died with it
+      Conn* conn = it->second.get();
+      if (conn->state != Conn::State::kReading ||
+          !ParseAndDispatchOne(conn)) {
+        auto alive = conns_.find(id);
+        if (alive != conns_.end()) alive->second->pumping = false;
+        return;
+      }
+    }
+  }
+
+  /// Parses at most one complete request out of conn->in and dispatches
+  /// it. Returns true iff a request was dispatched (the pump decides
+  /// whether the conn can take another one); false when more bytes are
+  /// needed or a protocol error took over the connection. May destroy
+  /// the conn.
+  bool ParseAndDispatchOne(Conn* conn) {
+    size_t header_end = conn->in.find("\r\n\r\n");
+    if (header_end == std::string::npos) {
+      if (conn->in.size() > options_->max_header_bytes) {
+        SendProtocolError(conn, 431, "header block too large");
+      } else if (conn->peer_eof) {
+        CloseConn(conn);  // truncated request, nothing to answer
+      }
+      return false;
+    }
+    // The incomplete-header check above cannot see a block that arrived
+    // whole in one read pass; re-enforce the ceiling on the complete
+    // block or a single burst would bypass the 431.
+    if (header_end > options_->max_header_bytes) {
+      SendProtocolError(conn, 431, "header block too large");
+      return false;
+    }
+    size_t line_end = conn->in.find("\r\n");
+    auto request_or = ParseRequestLine(conn->in.substr(0, line_end));
+    if (!request_or.ok()) {
+      SendProtocolError(conn, 400, request_or.status().ToString().c_str());
+      return false;
+    }
+    HttpRequest request = std::move(request_or).value();
+    // A request with zero header lines has header_end == line_end; the
+    // unclamped subtraction would underflow and swallow the rest of the
+    // (pipelined) buffer as headers.
+    size_t header_len =
+        header_end >= line_end + 2 ? header_end - line_end - 2 : 0;
+    ParseHeaderLines(conn->in.substr(line_end + 2, header_len),
+                     &request.headers);
+    size_t body_len = 0;
+    if (auto it = request.headers.find("content-length");
+        it != request.headers.end()) {
+      body_len = static_cast<size_t>(
+          std::strtoull(it->second.c_str(), nullptr, 10));
+    }
+    if (body_len > options_->max_body_bytes) {
+      SendProtocolError(conn, 413, "body too large");
+      return false;
+    }
+    size_t total = header_end + 4 + body_len;
+    // Unreachable with the 431/413 ceilings above, but a request that
+    // could never fit the read buffer must be rejected, not waited on —
+    // level-triggered EPOLLIN on the unread bytes would spin a poller.
+    if (total > MaxBufferedBytes()) {
+      SendProtocolError(conn, 413, "request too large");
+      return false;
+    }
+    if (conn->in.size() < total) {
+      if (conn->peer_eof) CloseConn(conn);  // body can never complete
+      return false;
+    }
+    request.body = conn->in.substr(header_end + 4, body_len);
+    conn->in.erase(0, total);  // keep pipelined bytes for the next round
+
+    // Persistence: HTTP/1.1 defaults to keep-alive, HTTP/1.0 to close;
+    // an explicit Connection header wins either way. A peer that
+    // half-closed cannot send another request — but requests it
+    // pipelined before the FIN are already in conn->in and still get
+    // served; the close happens once the buffer runs dry.
+    bool keep_alive = request.version != "HTTP/1.0";
+    if (auto it = request.headers.find("connection");
+        it != request.headers.end()) {
+      keep_alive = !ContainsIgnoreCase(it->second, "close") &&
+                   (keep_alive ||
+                    ContainsIgnoreCase(it->second, "keep-alive"));
+    }
+    conn->keep_alive =
+        keep_alive && (!conn->peer_eof || !conn->in.empty());
+
+    conn->state = Conn::State::kHandling;
+    shared_->requests_handled.fetch_add(1);
+    const uint64_t id = conn->id;
+    const uint64_t seq = ++conn->request_seq;
+    Done done = [self = shared_from_this(), id, seq](HttpResponse response) {
+      self->Complete(id, seq, std::move(response));
+    };
+    (*handler_)(request, std::move(done));
+    // Read interest is only dropped when the handler actually deferred
+    // (level-triggered: we must not keep waking on buffered pipelined
+    // bytes while busy). The common inline-completion path — cache
+    // hits, static routes — has already moved past kHandling and never
+    // pays an epoll_ctl. No epoll processing ran since the dispatch
+    // (same thread), so deferring the MOD a few lines is race-free; a
+    // cross-thread completion only lands via the wake queue later.
+    auto it = conns_.find(id);
+    if (it != conns_.end() && it->second->state == Conn::State::kHandling &&
+        it->second->request_seq == seq) {
+      SetInterest(it->second.get(), 0);
+    }
+    return true;  // the pump re-checks state/liveness before continuing
+  }
+
+  void HandleCompletion(uint64_t id, uint64_t seq, HttpResponse response) {
+    auto it = conns_.find(id);
+    if (it == conns_.end()) return;  // connection died while computing
+    Conn* conn = it->second.get();
+    if (conn->state != Conn::State::kHandling || conn->request_seq != seq) {
+      return;  // stale or duplicate completion
+    }
+    if (stop_requested_.load()) conn->keep_alive = false;
+    conn->close_after_write = !conn->keep_alive;
+    StartResponse(conn, response);  // may destroy the conn
+    // A pipelined request may already be buffered; for an inline
+    // completion (handler called done on this stack) the active pump
+    // absorbs this call via the `pumping` guard.
+    PumpRequests(id);
+  }
+
+  void SendProtocolError(Conn* conn, int status, const char* message) {
+    shared_->protocol_errors.fetch_add(1);
+    conn->keep_alive = false;
+    conn->close_after_write = true;
+    conn->drain_after_write = true;  // the client may still be sending
+    HttpResponse response;
+    response.status = status;
+    response.content_type = "text/plain";
+    response.body = message;
+    StartResponse(conn, response);
+  }
+
+  void StartResponse(Conn* conn, const HttpResponse& response) {
+    conn->out = StrFormat(
+        "HTTP/1.1 %d %s\r\nContent-Type: %s\r\nContent-Length: %zu\r\n"
+        "Connection: %s\r\n\r\n",
+        response.status, ReasonPhrase(response.status),
+        response.content_type.c_str(), response.body.size(),
+        conn->close_after_write ? "close" : "keep-alive");
+    conn->out += response.body;
+    conn->out_off = 0;
+    conn->state = Conn::State::kWriting;
+    FlushOut(conn);
+  }
+
+  /// Writes as much of conn->out as the socket accepts. Fully flushed ->
+  /// FinishResponse; would-block -> arm EPOLLOUT and resume on the next
+  /// event; error -> close. May destroy the conn.
+  void FlushOut(Conn* conn) {
+    while (conn->out_off < conn->out.size()) {
+      // MSG_NOSIGNAL: a client that vanished mid-response must surface
+      // as EPIPE here, not as a process-wide SIGPIPE.
+      ssize_t n = ::send(conn->fd, conn->out.data() + conn->out_off,
+                         conn->out.size() - conn->out_off, MSG_NOSIGNAL);
+      if (n > 0) {
+        conn->out_off += static_cast<size_t>(n);
+        continue;
+      }
+      if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+        SetInterest(conn, EPOLLOUT);
+        return;
+      }
+      if (n < 0 && errno == EINTR) continue;
+      CloseConn(conn);
+      return;
+    }
+    FinishResponse(conn);
+  }
+
+  void FinishResponse(Conn* conn) {
+    shared_->responses_sent.fetch_add(1);
+    conn->out.clear();
+    conn->out_off = 0;
+    if (conn->drain_after_write) {
+      // Half-close, then discard whatever the client is still sending,
+      // so the response survives in the socket buffer instead of being
+      // destroyed by a reset.
+      ::shutdown(conn->fd, SHUT_WR);
+      conn->state = Conn::State::kDraining;
+      SetInterest(conn, EPOLLIN);
+      return;
+    }
+    if (conn->close_after_write) {
+      CloseConn(conn);
+      return;
+    }
+    conn->state = Conn::State::kReading;
+    SetInterest(conn, EPOLLIN);
+    // Buffered pipelined requests are picked up by the caller's pump.
+  }
+
+  void DrainReads(Conn* conn) {
+    char chunk[16384];
+    for (;;) {
+      ssize_t n = ::read(conn->fd, chunk, sizeof(chunk));
+      if (n > 0) {
+        conn->drained += static_cast<size_t>(n);
+        if (conn->drained > kMaxDrainBytes) break;
+        continue;
+      }
+      if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) return;
+      if (n < 0 && errno == EINTR) continue;
+      break;  // EOF or error: the drain is over
+    }
+    CloseConn(conn);
+  }
+
+  void SetInterest(Conn* conn, uint32_t mask) {
+    if (conn->interest == mask) return;
+    epoll_event ev{};
+    ev.events = mask;
+    ev.data.u64 = conn->id;
+    ::epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, conn->fd, &ev);
+    conn->interest = mask;
+  }
+
+  void CloseConn(Conn* conn) {
+    ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, conn->fd, nullptr);
+    ::close(conn->fd);
+    shared_->open_connections.fetch_sub(1);
+    conns_.erase(conn->id);  // destroys *conn
+  }
+
+  const AsyncHandler* handler_;
+  const HttpServerOptions* options_;
+  std::shared_ptr<SharedState> shared_;
+
+  int epoll_fd_ = -1;
+  int wake_fd_ = -1;
+  int listen_fd_ = -1;
+  int spare_fd_ = -1;
+  std::thread thread_;
+  std::atomic<std::thread::id> thread_id_{};
+  std::atomic<bool> stop_requested_{false};
+
+  // Poller-thread-only state.
+  std::unordered_map<uint64_t, std::unique_ptr<Conn>> conns_;
+  uint64_t next_conn_id_ = kFirstConnId;
+
+  // Cross-thread completion queue.
+  std::mutex mu_;
+  std::deque<Completion> completions_;
+};
+
+HttpServer::HttpServer(AsyncHandler handler, HttpServerOptions options)
+    : handler_(std::move(handler)), options_(options) {}
+
+HttpServer::HttpServer(Handler handler, HttpServerOptions options)
+    : handler_([h = std::move(handler)](const HttpRequest& request,
+                                        Done done) { done(h(request)); }),
+      options_(options) {}
+
 HttpServer::~HttpServer() { Stop(); }
 
 Result<int> HttpServer::Start(int port) {
   if (running_.load()) return Status::FailedPrecondition("already running");
-  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
-  if (listen_fd_ < 0) return Status::IoError("socket() failed");
+  int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
+  if (fd < 0) return Status::IoError("socket() failed");
   int reuse = 1;
-  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &reuse, sizeof(reuse));
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &reuse, sizeof(reuse));
   sockaddr_in addr{};
   addr.sin_family = AF_INET;
   addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
   addr.sin_port = htons(static_cast<uint16_t>(port));
-  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) <
-      0) {
-    ::close(listen_fd_);
-    listen_fd_ = -1;
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    ::close(fd);
     return Status::IoError(StrFormat("bind(%d) failed", port));
   }
-  if (::listen(listen_fd_, 64) < 0) {
-    ::close(listen_fd_);
-    listen_fd_ = -1;
+  if (::listen(fd, options_.listen_backlog) < 0) {
+    ::close(fd);
     return Status::IoError("listen() failed");
   }
   socklen_t len = sizeof(addr);
-  ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len);
+  ::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len);
   port_ = ntohs(addr.sin_port);
+  listen_fd_.store(fd);
+
+  shared_ = std::make_shared<SharedState>();
+  int num_pollers = options_.num_pollers <= 0 ? 2 : options_.num_pollers;
+  for (int i = 0; i < num_pollers; ++i) {
+    auto poller = std::make_shared<Poller>(&handler_, &options_, shared_);
+    Status init = poller->Init(fd);
+    if (!init.ok()) {
+      pollers_.clear();
+      ::close(listen_fd_.exchange(-1));
+      return init;
+    }
+    pollers_.push_back(std::move(poller));
+  }
+  for (auto& poller : pollers_) poller->StartThread();
   running_.store(true);
-  thread_ = std::thread([this] { ServeLoop(); });
   return port_;
 }
 
 void HttpServer::Stop() {
-  if (!running_.exchange(false)) {
-    if (thread_.joinable()) thread_.join();
-    return;
-  }
-  // Closing the listening socket unblocks accept().
-  ::shutdown(listen_fd_, SHUT_RDWR);
-  ::close(listen_fd_);
-  listen_fd_ = -1;
-  if (thread_.joinable()) thread_.join();
-  // Shut every live connection to unblock its read(), then join. The
-  // connection threads only shutdown() their fd, never close() it (the
-  // fd number stays allocated to us), so this racing shutdown can never
-  // hit a recycled descriptor; close happens below, after the join.
-  {
-    std::lock_guard<std::mutex> lock(conns_mu_);
-    for (Connection& c : conns_) ::shutdown(c.fd, SHUT_RDWR);
-  }
-  // No new connections can appear (accept loop joined), so the list is
-  // stable outside the lock and joining cannot deadlock with ReapFinished.
-  for (Connection& c : conns_) {
-    if (c.thread.joinable()) c.thread.join();
-    ::close(c.fd);
-  }
-  conns_.clear();
+  running_.store(false);
+  for (auto& poller : pollers_) poller->RequestStop();
+  for (auto& poller : pollers_) poller->Join();
+  pollers_.clear();
+  int fd = listen_fd_.exchange(-1);
+  if (fd >= 0) ::close(fd);
 }
 
-void HttpServer::ReapFinished() {
-  std::lock_guard<std::mutex> lock(conns_mu_);
-  for (auto it = conns_.begin(); it != conns_.end();) {
-    if (it->finished.load()) {
-      if (it->thread.joinable()) it->thread.join();
-      ::close(it->fd);
-      it = conns_.erase(it);
-    } else {
-      ++it;
-    }
-  }
-}
-
-void HttpServer::ServeLoop() {
-  while (running_.load()) {
-    int client = ::accept(listen_fd_, nullptr, nullptr);
-    if (client < 0) {
-      if (!running_.load()) break;
-      continue;
-    }
-    ReapFinished();
-    Connection* conn;
-    {
-      std::lock_guard<std::mutex> lock(conns_mu_);
-      conn = &conns_.emplace_back();
-      conn->fd = client;
-    }
-    conn->thread = std::thread([this, conn] { HandleConnection(conn); });
-  }
-}
-
-void HttpServer::HandleConnection(Connection* conn) {
-  const int fd = conn->fd;
-  std::string buffer;
-  char chunk[4096];
-  bool keep_alive = true;
-  bool drain_on_close = false;
-  // Early-error replies leave unread request bytes in the socket; a
-  // plain close() would then RST and destroy the queued response, so
-  // half-close the write side and discard (bounded) what the client is
-  // still sending before the real close.
-  auto drain = [&] {
-    ::shutdown(fd, SHUT_WR);
-    size_t drained = 0;
-    ssize_t n;
-    while (drained < (4u << 20) && (n = ::read(fd, chunk, sizeof(chunk))) > 0) {
-      drained += static_cast<size_t>(n);
-    }
-  };
-  while (keep_alive && running_.load()) {
-    // --- read one request: headers, then Content-Length body ----------
-    size_t header_end;
-    while ((header_end = buffer.find("\r\n\r\n")) == std::string::npos) {
-      if (buffer.size() > kMaxHeaderBytes) {
-        if (WriteAll(fd,
-                     "HTTP/1.1 431 Request Header Fields Too Large\r\n"
-                     "Content-Length: 0\r\nConnection: close\r\n\r\n")) {
-          drain();
-        }
-        goto done;
-      }
-      ssize_t n = ::read(fd, chunk, sizeof(chunk));
-      if (n <= 0) goto done;
-      buffer.append(chunk, static_cast<size_t>(n));
-    }
-
-    {
-      size_t line_end = buffer.find("\r\n");
-      auto request_or = ParseRequestLine(buffer.substr(0, line_end));
-      HttpResponse response;
-      HttpRequest request;
-      bool parsed = request_or.ok();
-      if (parsed) {
-        request = std::move(request_or).value();
-        ParseHeaderLines(
-            buffer.substr(line_end + 2, header_end - line_end - 2),
-            &request.headers);
-        size_t body_len = 0;
-        if (auto it = request.headers.find("content-length");
-            it != request.headers.end()) {
-          body_len = static_cast<size_t>(
-              std::strtoull(it->second.c_str(), nullptr, 10));
-        }
-        if (body_len > kMaxBodyBytes) {
-          response = {413, "text/plain", "body too large"};
-          keep_alive = false;
-          drain_on_close = true;  // the client is mid-way through the body
-          buffer.clear();
-        } else {
-          size_t total = header_end + 4 + body_len;
-          while (buffer.size() < total) {
-            ssize_t n = ::read(fd, chunk, sizeof(chunk));
-            if (n <= 0) goto done;
-            buffer.append(chunk, static_cast<size_t>(n));
-          }
-          request.body = buffer.substr(header_end + 4, body_len);
-          buffer.erase(0, total);  // keep pipelined bytes for next round
-
-          // Persistence: HTTP/1.1 defaults to keep-alive, HTTP/1.0 to
-          // close; an explicit Connection header wins either way.
-          keep_alive = request.version != "HTTP/1.0";
-          if (auto it = request.headers.find("connection");
-              it != request.headers.end()) {
-            keep_alive = !ContainsIgnoreCase(it->second, "close") &&
-                         (keep_alive ||
-                          ContainsIgnoreCase(it->second, "keep-alive"));
-          }
-          response = handler_(request);
-        }
-      } else {
-        response.status = 400;
-        response.content_type = "text/plain";
-        response.body = request_or.status().ToString();
-        keep_alive = false;  // framing is unknown; bail after replying
-      }
-
-      if (!running_.load()) keep_alive = false;
-      std::string out = StrFormat(
-          "HTTP/1.1 %d %s\r\nContent-Type: %s\r\nContent-Length: %zu\r\n"
-          "Connection: %s\r\n\r\n",
-          response.status, ReasonPhrase(response.status),
-          response.content_type.c_str(), response.body.size(),
-          keep_alive ? "keep-alive" : "close");
-      out += response.body;
-      if (!WriteAll(fd, out)) goto done;
-      if (drain_on_close) {
-        drain();
-        goto done;
-      }
-    }
-  }
-done:
-  // Signal EOF to the peer but do NOT close: the fd number must stay
-  // allocated until ReapFinished()/Stop() has joined this thread, or a
-  // racing Stop() could shutdown() a recycled descriptor. The acceptor
-  // (or Stop) closes the fd after the join.
-  ::shutdown(fd, SHUT_RDWR);
-  conn->finished.store(true);
+HttpServerStats HttpServer::Stats() const {
+  HttpServerStats stats;
+  if (shared_ == nullptr) return stats;
+  stats.open_connections = shared_->open_connections.load();
+  stats.connections_accepted = shared_->connections_accepted.load();
+  stats.requests_handled = shared_->requests_handled.load();
+  stats.responses_sent = shared_->responses_sent.load();
+  stats.protocol_errors = shared_->protocol_errors.load();
+  return stats;
 }
 
 }  // namespace rpg::ui

@@ -1,13 +1,27 @@
 #ifndef RPG_UI_HTTP_SERVER_H_
 #define RPG_UI_HTTP_SERVER_H_
 
+/// \file
+/// Event-driven HTTP/1.1 front end for the RePaGer serving layer
+/// (docs/serving.md, "Threading model"). The server is an epoll-based
+/// reactor: a small fixed pool of poller threads multiplexes every
+/// connection with non-blocking accept/read/write and a per-connection
+/// state machine, so the number of concurrent keep-alive connections is
+/// bounded by file descriptors, not by threads. Handlers are
+/// asynchronous — a poller thread hands the parsed request to the
+/// handler together with a completion callback and immediately returns
+/// to its event loop; compute (RePaGer::Generate via
+/// serve::ServeEngine) finishes on whatever thread it runs on and posts
+/// the response back to the connection's poller. Poller threads never
+/// block on a solve.
+
 #include <atomic>
+#include <cstdint>
 #include <functional>
-#include <list>
 #include <map>
-#include <mutex>
+#include <memory>
 #include <string>
-#include <thread>
+#include <vector>
 
 #include "common/result.h"
 
@@ -46,61 +60,95 @@ void ParseHeaderLines(const std::string& header_block,
 /// "hate speech detection"; '+' means space in query strings).
 std::string UrlDecode(const std::string& s);
 
-/// Blocking HTTP/1.1 server for the RePaGer serving layer (§V +
-/// docs/serving.md). One handler serves every route; the accept loop
-/// runs on a background thread started by Start() and hands each
-/// connection to its own connection thread, so keep-alive clients do
-/// not starve each other.
+struct HttpServerOptions {
+  /// Poller (reactor) threads. Each owns one epoll instance; the listen
+  /// socket is registered with EPOLLEXCLUSIVE in every poller, so the
+  /// kernel spreads incoming connections without a dedicated acceptor.
+  /// <= 0 means 2.
+  int num_pollers = 2;
+  /// Hard ceilings against hostile or broken clients: a request whose
+  /// header block exceeds `max_header_bytes` is answered 431, a declared
+  /// Content-Length over `max_body_bytes` is answered 413; both close
+  /// the connection after politely draining it.
+  size_t max_header_bytes = 64 * 1024;
+  size_t max_body_bytes = 1024 * 1024;
+  /// listen(2) backlog.
+  int listen_backlog = 128;
+};
+
+/// Point-in-time reactor counters (relaxed atomics — freshness, not a
+/// consistent snapshot). `open_connections` is the live gauge the
+/// fd-leak tests and `/api/stats` assert on.
+struct HttpServerStats {
+  size_t open_connections = 0;
+  uint64_t connections_accepted = 0;
+  uint64_t requests_handled = 0;
+  uint64_t responses_sent = 0;
+  /// 400/413/431 replies produced by the server itself (handler never ran).
+  uint64_t protocol_errors = 0;
+};
+
+/// Epoll-based HTTP/1.1 server for the RePaGer serving layer (§V +
+/// docs/serving.md).
 ///
 /// Connection handling: HTTP/1.1 connections are persistent by default
-/// (the load bench reuses one connection per client thread);
-/// `Connection: close` — or any HTTP/1.0 request without
-/// `Connection: keep-alive` — reverts to one-shot. Request bodies are
-/// read when Content-Length is present (POST endpoints).
+/// (the load bench reuses one connection per client); `Connection:
+/// close` — or any HTTP/1.0 request without `Connection: keep-alive` —
+/// reverts to one-shot. Request bodies are read when Content-Length is
+/// present (POST endpoints). Requests on one connection are processed
+/// strictly in order (pipelined bytes wait until the previous response
+/// is flushed). Partial reads and partial writes are resumed by the
+/// event loop, so slow clients cost a connection slot, not a thread.
 class HttpServer {
  public:
+  /// Completion callback handed to an AsyncHandler. Thread-safe, may be
+  /// invoked from any thread, exactly once; invoking it after the
+  /// connection died (or the server stopped) quietly drops the response.
+  using Done = std::function<void(HttpResponse)>;
+  /// Asynchronous handler: inspect the request, then call `done` with
+  /// the response — either inline (cheap routes) or later from another
+  /// thread (compute routes). Runs on a poller thread: do not block.
+  using AsyncHandler = std::function<void(const HttpRequest&, Done)>;
+  /// Synchronous handler, wrapped as an AsyncHandler that completes
+  /// inline. Only for handlers that do not block (tests, static routes);
+  /// blocking here stalls one poller thread.
   using Handler = std::function<HttpResponse(const HttpRequest&)>;
 
-  explicit HttpServer(Handler handler) : handler_(std::move(handler)) {}
+  explicit HttpServer(AsyncHandler handler, HttpServerOptions options = {});
+  explicit HttpServer(Handler handler, HttpServerOptions options = {});
   ~HttpServer();
 
   HttpServer(const HttpServer&) = delete;
   HttpServer& operator=(const HttpServer&) = delete;
 
-  /// Binds 127.0.0.1:`port` (0 = ephemeral) and starts serving on a
-  /// background thread. Returns the bound port.
+  /// Binds 127.0.0.1:`port` (0 = ephemeral) and starts the poller
+  /// threads. Returns the bound port.
   Result<int> Start(int port);
 
-  /// Stops the accept loop, shuts every open connection, joins all
-  /// threads. Idempotent.
+  /// Stops the pollers, closes every open connection, joins all
+  /// threads. Completion callbacks still held by in-flight compute
+  /// remain safe to invoke afterwards (their responses are dropped).
+  /// Idempotent.
   void Stop();
 
   int port() const { return port_; }
   bool running() const { return running_.load(); }
 
+  HttpServerStats Stats() const;
+
  private:
-  struct Connection {
-    int fd = -1;
-    std::thread thread;
-    std::atomic<bool> finished{false};
-  };
+  class Poller;
+  struct SharedState;
 
-  void ServeLoop();
-  void HandleConnection(Connection* conn);
-  /// Joins and erases finished connection threads (called by the accept
-  /// loop so a long-lived server does not accumulate dead threads).
-  void ReapFinished();
-
-  Handler handler_;
+  AsyncHandler handler_;
+  HttpServerOptions options_;
   std::atomic<bool> running_{false};
-  // Atomic: Stop() invalidates it concurrently with the accept loop's
-  // read (flagged by TSan when it was a plain int).
   std::atomic<int> listen_fd_{-1};
   int port_ = 0;
-  std::thread thread_;
-
-  std::mutex conns_mu_;
-  std::list<Connection> conns_;  // list: stable addresses for the threads
+  /// shared_ptr: outstanding Done callbacks keep their poller's queues
+  /// and counters alive past Stop().
+  std::vector<std::shared_ptr<Poller>> pollers_;
+  std::shared_ptr<SharedState> shared_;
 };
 
 }  // namespace rpg::ui

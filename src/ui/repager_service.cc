@@ -1,6 +1,7 @@
 #include "ui/repager_service.h"
 
 #include <cstdlib>
+#include <future>
 #include <unordered_set>
 
 #include "common/json_writer.h"
@@ -18,7 +19,9 @@ RePagerService::RePagerService(serve::ServeEngine* engine,
 }
 
 std::string RePagerService::RenderPathJson(
-    const std::string& query, const serve::ServeResponse& response) const {
+    const std::string& query, const serve::ServeResponse& response,
+    const core::RePaGer* repager, const std::vector<std::string>* titles,
+    const std::vector<uint16_t>* years) {
   const core::RePagerResult& result = *response.result;
   std::unordered_set<graph::PaperId> seeds(result.initial_seeds.begin(),
                                            result.initial_seeds.end());
@@ -36,11 +39,11 @@ std::string RePagerService::RenderPathJson(
   for (graph::PaperId p : result.path.nodes()) {
     w.BeginObject();
     w.Key("id").UInt(p);
-    w.Key("title").String((*titles_)[p]);
-    w.Key("year").Int((*years_)[p]);
+    w.Key("title").String((*titles)[p]);
+    w.Key("year").Int((*years)[p]);
     // Node-weight legend: a * pgscore + b * venue, higher = more
     // important in the whole reading path (§V panel e).
-    w.Key("importance").Double(repager_->Importance(p));
+    w.Key("importance").Double(repager->Importance(p));
     // Green vs gray marking of Fig. 9: was the paper in the engine's
     // initial top-K, or surfaced by citation analysis?
     w.Key("from_engine").Bool(seeds.contains(p));
@@ -57,7 +60,7 @@ std::string RePagerService::RenderPathJson(
   w.EndArray();
   // Navigation bar (§V panel b): the flattened reading order.
   w.Key("reading_order").BeginArray();
-  for (graph::PaperId p : result.path.FlattenedOrder(*years_)) w.UInt(p);
+  for (graph::PaperId p : result.path.FlattenedOrder(*years)) w.UInt(p);
   w.EndArray();
   w.EndObject();
   return w.str();
@@ -68,10 +71,42 @@ Result<std::string> RePagerService::PathJson(const std::string& query,
                                              int year_cutoff) const {
   RPG_ASSIGN_OR_RETURN(serve::ServeResponse response,
                        engine_->Generate(query, num_seeds, year_cutoff));
-  return RenderPathJson(query, response);
+  return RenderPathJson(query, response, repager_, titles_, years_);
 }
 
-HttpResponse RePagerService::Handle(const HttpRequest& request) const {
+HttpResponse RePagerService::ErrorResponse(const Status& status) {
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("error").String(status.ToString());
+  w.EndObject();
+  return {status.IsInvalidArgument() ? 400 : 404, "application/json",
+          w.str()};
+}
+
+std::string RePagerService::StatsJson() const {
+  std::string engine_json = engine_->StatsJson();
+  if (server_ == nullptr) return engine_json;
+  HttpServerStats http = server_->Stats();
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("http").BeginObject();
+  w.Key("open_connections").UInt(http.open_connections);
+  w.Key("connections_accepted").UInt(http.connections_accepted);
+  w.Key("requests_handled").UInt(http.requests_handled);
+  w.Key("responses_sent").UInt(http.responses_sent);
+  w.Key("protocol_errors").UInt(http.protocol_errors);
+  w.EndObject();
+  w.EndObject();
+  // Splice the engine's own {"cache":...,"batcher":...,"metrics":...}
+  // object after the http section; both are non-empty JSON objects.
+  std::string merged = w.str();
+  merged.back() = ',';
+  merged.append(engine_json, 1, std::string::npos);
+  return merged;
+}
+
+void RePagerService::HandleAsync(const HttpRequest& request,
+                                 HttpServer::Done done) const {
   if (request.method == "POST") {
     if (request.path == "/api/cache/clear") {
       size_t dropped = engine_->ClearCache();
@@ -80,25 +115,31 @@ HttpResponse RePagerService::Handle(const HttpRequest& request) const {
       w.Key("cleared").Bool(true);
       w.Key("entries_dropped").UInt(dropped);
       w.EndObject();
-      return {200, "application/json", w.str()};
+      done({200, "application/json", w.str()});
+      return;
     }
-    return {request.path == "/api/path" || request.path == "/" ? 405 : 404,
-            "text/plain", "POST only supported on /api/cache/clear"};
+    done({request.path == "/api/path" || request.path == "/" ? 405 : 404,
+          "text/plain", "POST only supported on /api/cache/clear"});
+    return;
   }
   if (request.method != "GET") {
-    return {405, "text/plain", "only GET and POST are supported"};
+    done({405, "text/plain", "only GET and POST are supported"});
+    return;
   }
   if (request.path == "/" || request.path == "/index.html") {
-    return {200, "text/html; charset=utf-8", RePagerIndexHtml()};
+    done({200, "text/html; charset=utf-8", RePagerIndexHtml()});
+    return;
   }
   if (request.path == "/api/stats") {
-    return {200, "application/json", engine_->StatsJson()};
+    done({200, "application/json", StatsJson()});
+    return;
   }
   if (request.path == "/api/path") {
     auto q = request.query.find("q");
     if (q == request.query.end() || q->second.empty()) {
-      return {400, "application/json",
-              "{\"error\":\"missing query parameter q\"}"};
+      done({400, "application/json",
+            "{\"error\":\"missing query parameter q\"}"});
+      return;
     }
     int num_seeds = 0, year = 0;
     if (auto it = request.query.find("seeds"); it != request.query.end()) {
@@ -107,18 +148,41 @@ HttpResponse RePagerService::Handle(const HttpRequest& request) const {
     if (auto it = request.query.find("year"); it != request.query.end()) {
       year = std::atoi(it->second.c_str());
     }
-    auto json_or = PathJson(q->second, num_seeds, year);
-    if (!json_or.ok()) {
-      JsonWriter w;
-      w.BeginObject();
-      w.Key("error").String(json_or.status().ToString());
-      w.EndObject();
-      int status = json_or.status().IsInvalidArgument() ? 400 : 404;
-      return {status, "application/json", w.str()};
-    }
-    return {200, "application/json", std::move(json_or).value()};
+    // The compute handoff: cache hits complete inline (microseconds);
+    // misses complete from the batcher's dispatcher thread. Either way
+    // the calling poller thread returns to its event loop immediately.
+    // The continuation deliberately does NOT capture `this`: a compute
+    // finishing after server.Stop() may outlive the service object, so
+    // it may only touch workbench-owned substrates (which outlive the
+    // engine) and the post-Stop-safe `done`.
+    engine_->GenerateAsync(
+        q->second, num_seeds, year,
+        [query = q->second, repager = repager_, titles = titles_,
+         years = years_,
+         done = std::move(done)](Result<serve::ServeResponse> response) {
+          if (!response.ok()) {
+            done(ErrorResponse(response.status()));
+            return;
+          }
+          done({200, "application/json",
+                RenderPathJson(query, response.value(), repager, titles,
+                               years)});
+        });
+    return;
   }
-  return {404, "text/plain", "not found"};
+  done({404, "text/plain", "not found"});
+}
+
+HttpResponse RePagerService::Handle(const HttpRequest& request) const {
+  // Every route except a cold /api/path completes inline; a cold
+  // /api/path blocks here on the compute, which is exactly what the
+  // synchronous callers (tests, self-checks) want.
+  std::promise<HttpResponse> promise;
+  std::future<HttpResponse> future = promise.get_future();
+  HandleAsync(request, [&promise](HttpResponse response) {
+    promise.set_value(std::move(response));
+  });
+  return future.get();
 }
 
 const char* RePagerIndexHtml() {

@@ -22,10 +22,18 @@ namespace rpg::ui {
 ///                               flattened navigation-bar order, the
 ///                               seed/expanded marking used by the panel's
 ///                               node-weight legend, and cache_hit
-///   GET  /api/stats             live serving metrics (cache hit/miss,
-///                               batch sizes, latency percentiles) as JSON
+///   GET  /api/stats             live serving metrics (http reactor
+///                               gauges, cache hit/miss incl. negative
+///                               entries, batch sizes, latency
+///                               percentiles) as JSON
 ///   POST /api/cache/clear       drops the query cache; returns the
 ///                               number of entries dropped
+///
+/// HandleAsync is the reactor entry point: cheap routes complete inline
+/// on the poller thread; /api/path hands compute to
+/// ServeEngine::GenerateAsync and completes from the batcher's
+/// dispatcher, so poller threads never block on a solve. Handle is the
+/// blocking wrapper kept for tests and the serve_ui self-test.
 class RePagerService {
  public:
   /// All pointers must outlive the service. `engine` owns the serving
@@ -35,7 +43,18 @@ class RePagerService {
                  const std::vector<std::string>* titles,
                  const std::vector<uint16_t>* years);
 
-  /// The HttpServer handler.
+  /// Optional: lets /api/stats report the HTTP reactor's own gauges
+  /// (open connections, accepted, protocol errors). The server must
+  /// outlive the service's last Handle call. Typically called right
+  /// after constructing the HttpServer whose handler is this service.
+  void AttachServer(const HttpServer* server) { server_ = server; }
+
+  /// The asynchronous HttpServer handler: `done` is invoked exactly
+  /// once, inline for cheap routes, later (from the compute side) for
+  /// /api/path misses.
+  void HandleAsync(const HttpRequest& request, HttpServer::Done done) const;
+
+  /// Blocking wrapper over HandleAsync (tests, self-checks).
   HttpResponse Handle(const HttpRequest& request) const;
 
   /// Serves /api/path for a query (exposed for tests).
@@ -43,14 +62,29 @@ class RePagerService {
                                int year_cutoff) const;
 
  private:
-  /// Renders one served response as the /api/path JSON document.
-  std::string RenderPathJson(const std::string& query,
-                             const serve::ServeResponse& response) const;
+  /// Renders one served response as the /api/path JSON document. Static
+  /// on purpose: the GenerateAsync continuation must not capture the
+  /// service (`this`) — a compute finishing after the service was
+  /// destroyed (server stopped mid-flight) may still run this, so it
+  /// touches only the workbench-owned substrates, which outlive the
+  /// engine by contract.
+  static std::string RenderPathJson(const std::string& query,
+                                    const serve::ServeResponse& response,
+                                    const core::RePaGer* repager,
+                                    const std::vector<std::string>* titles,
+                                    const std::vector<uint16_t>* years);
+
+  /// Maps a pipeline error to the /api/path error response.
+  static HttpResponse ErrorResponse(const Status& status);
+
+  /// The /api/stats document: engine stats + the reactor's http section.
+  std::string StatsJson() const;
 
   serve::ServeEngine* engine_;
   const core::RePaGer* repager_;
   const std::vector<std::string>* titles_;
   const std::vector<uint16_t>* years_;
+  const HttpServer* server_ = nullptr;
 };
 
 /// The embedded single-page UI: input panel, navigation bar, and an SVG

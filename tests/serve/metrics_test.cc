@@ -37,6 +37,20 @@ TEST(MetricsRegistryTest, CountersAreStableAndCumulative) {
   EXPECT_EQ(registry.GetCounter("b")->value(), 0u);
 }
 
+TEST(MetricsRegistryTest, GaugesGoUpAndDown) {
+  MetricsRegistry registry;
+  Gauge* g = registry.GetGauge("open_connections");
+  g->Add(3);
+  g->Add(-1);
+  EXPECT_EQ(registry.GetGauge("open_connections"), g);  // same instrument
+  EXPECT_EQ(g->value(), 2);
+  g->Set(-5);  // gauges are signed
+  EXPECT_EQ(g->value(), -5);
+  std::string json = registry.ToJson();
+  EXPECT_NE(json.find("\"gauges\":{\"open_connections\":-5}"),
+            std::string::npos);
+}
+
 TEST(MetricsRegistryTest, HistogramObserveAndSnapshot) {
   MetricsRegistry registry;
   MetricHistogram* h = registry.GetHistogram("lat", {0.0, 1.0, 10.0});

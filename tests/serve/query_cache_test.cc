@@ -48,12 +48,13 @@ TEST(CanonicalQueryKeyTest, DistinctParametersDistinctKeys) {
 
 TEST(QueryCacheTest, MissThenHit) {
   QueryCache cache;
-  EXPECT_EQ(cache.Lookup("k"), nullptr);
+  EXPECT_FALSE(cache.Lookup("k").has_value());
   CachedResult r = MakeResult(4);
   cache.Insert("k", r);
-  CachedResult hit = cache.Lookup("k");
-  ASSERT_NE(hit, nullptr);
-  EXPECT_EQ(hit.get(), r.get());  // shared, not copied
+  auto hit = cache.Lookup("k");
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_FALSE(hit->negative());
+  EXPECT_EQ(hit->result.get(), r.get());  // shared, not copied
   QueryCacheStats stats = cache.Stats();
   EXPECT_EQ(stats.hits, 1u);
   EXPECT_EQ(stats.misses, 1u);
@@ -70,7 +71,7 @@ TEST(QueryCacheTest, InsertReplacesExisting) {
   CachedResult replacement = MakeResult(8);
   cache.Insert("k", replacement);
   EXPECT_EQ(cache.Stats().entries, 1u);
-  EXPECT_EQ(cache.Lookup("k").get(), replacement.get());
+  EXPECT_EQ(cache.Lookup("k")->result.get(), replacement.get());
 }
 
 TEST(QueryCacheTest, ClearDropsEntriesKeepsCounters) {
@@ -83,7 +84,76 @@ TEST(QueryCacheTest, ClearDropsEntriesKeepsCounters) {
   EXPECT_EQ(stats.entries, 0u);
   EXPECT_EQ(stats.bytes, 0u);
   EXPECT_EQ(stats.hits, 1u);
-  EXPECT_EQ(cache.Lookup("a"), nullptr);
+  EXPECT_FALSE(cache.Lookup("a").has_value());
+}
+
+// ------------------------------------------------------ negative caching
+
+TEST(QueryCacheTest, NegativeEntryRemembersStatus) {
+  QueryCacheOptions options;
+  options.num_shards = 1;
+  QueryCache cache(options);
+  cache.InsertNegative("bad", Status::NotFound("no hits for query"));
+  auto hit = cache.Lookup("bad");
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_TRUE(hit->negative());
+  EXPECT_EQ(hit->result, nullptr);
+  EXPECT_TRUE(hit->status.IsNotFound());
+  EXPECT_EQ(hit->status.message(), "no hits for query");
+  QueryCacheStats stats = cache.Stats();
+  EXPECT_EQ(stats.negative_insertions, 1u);
+  EXPECT_EQ(stats.negative_hits, 1u);
+  EXPECT_EQ(stats.negative_entries, 1u);
+  EXPECT_EQ(stats.entries, 1u);
+  EXPECT_EQ(stats.hits, 0u);  // positive hits stay separate
+  EXPECT_GT(stats.bytes, 0u);
+}
+
+TEST(QueryCacheTest, NegativeCachingCanBeDisabled) {
+  QueryCacheOptions options;
+  options.cache_negative = false;
+  QueryCache cache(options);
+  cache.InsertNegative("bad", Status::NotFound("nope"));
+  EXPECT_FALSE(cache.Lookup("bad").has_value());
+  EXPECT_EQ(cache.Stats().negative_insertions, 0u);
+}
+
+TEST(QueryCacheTest, OkStatusNeverCachedAsNegative) {
+  QueryCache cache;
+  cache.InsertNegative("k", Status::OK());
+  EXPECT_FALSE(cache.Lookup("k").has_value());
+}
+
+TEST(QueryCacheTest, PositiveInsertReplacesNegativeEntry) {
+  QueryCacheOptions options;
+  options.num_shards = 1;
+  QueryCache cache(options);
+  cache.InsertNegative("k", Status::NotFound("transiently hopeless"));
+  CachedResult r = MakeResult(4);
+  cache.Insert("k", r);
+  auto hit = cache.Lookup("k");
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_FALSE(hit->negative());
+  EXPECT_EQ(hit->result.get(), r.get());
+  QueryCacheStats stats = cache.Stats();
+  EXPECT_EQ(stats.entries, 1u);
+  EXPECT_EQ(stats.negative_entries, 0u);  // replaced, count adjusted
+}
+
+TEST(QueryCacheTest, NegativeEntriesShareLruAndEvict) {
+  QueryCacheOptions options;
+  options.num_shards = 1;
+  options.max_entries = 2;
+  options.max_bytes = 0;
+  QueryCache cache(options);
+  cache.InsertNegative("n1", Status::NotFound("x"));
+  cache.Insert("p1", MakeResult(1));
+  cache.Insert("p2", MakeResult(1));  // evicts n1 (LRU tail)
+  QueryCacheStats stats = cache.Stats();
+  EXPECT_EQ(stats.entries, 2u);
+  EXPECT_EQ(stats.negative_entries, 0u);
+  EXPECT_EQ(stats.evictions, 1u);
+  EXPECT_FALSE(cache.Lookup("n1").has_value());
 }
 
 // ------------------------------------------------- capacity + eviction
@@ -101,10 +171,10 @@ TEST(QueryCacheTest, EntryCapacityEvictsLru) {
   cache.Insert("d", MakeResult(1));
   EXPECT_EQ(cache.Stats().entries, 3u);
   EXPECT_EQ(cache.Stats().evictions, 1u);
-  EXPECT_EQ(cache.Lookup("b"), nullptr);  // b was least recent
-  EXPECT_NE(cache.Lookup("a"), nullptr);
-  EXPECT_NE(cache.Lookup("c"), nullptr);
-  EXPECT_NE(cache.Lookup("d"), nullptr);
+  EXPECT_FALSE(cache.Lookup("b").has_value());  // b was least recent
+  EXPECT_TRUE(cache.Lookup("a").has_value());
+  EXPECT_TRUE(cache.Lookup("c").has_value());
+  EXPECT_TRUE(cache.Lookup("d").has_value());
 }
 
 TEST(QueryCacheTest, ByteCapacityAccountingAndEviction) {
@@ -126,7 +196,7 @@ TEST(QueryCacheTest, ByteCapacityAccountingAndEviction) {
   EXPECT_EQ(stats.entries, 3u);
   EXPECT_EQ(stats.evictions, 1u);
   EXPECT_LE(stats.bytes, options.max_bytes);
-  EXPECT_EQ(cache.Lookup("a"), nullptr);
+  EXPECT_FALSE(cache.Lookup("a").has_value());
 }
 
 TEST(QueryCacheTest, OversizedEntryNotCached) {
@@ -137,7 +207,7 @@ TEST(QueryCacheTest, OversizedEntryNotCached) {
   QueryCache cache(options);
   cache.Insert("big", big);
   EXPECT_EQ(cache.Stats().entries, 0u);
-  EXPECT_EQ(cache.Lookup("big"), nullptr);
+  EXPECT_FALSE(cache.Lookup("big").has_value());
 }
 
 TEST(QueryCacheTest, ShardCountRoundsUpToPowerOfTwo) {
@@ -165,8 +235,8 @@ TEST(QueryCacheTest, ConcurrentMixedTraffic) {
         if (i % 3 == 0) {
           cache.Insert(key, MakeResult(8));
         } else {
-          CachedResult hit = cache.Lookup(key);
-          if (hit) EXPECT_EQ(hit->ranked.size(), 8u);
+          auto hit = cache.Lookup(key);
+          if (hit) EXPECT_EQ(hit->result->ranked.size(), 8u);
         }
       }
     });

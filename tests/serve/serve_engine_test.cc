@@ -2,8 +2,15 @@
 
 #include <gtest/gtest.h>
 
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
 #include <atomic>
 #include <cctype>
+#include <chrono>
+#include <future>
 #include <thread>
 #include <vector>
 
@@ -77,15 +84,70 @@ TEST(ServeEngineTest, CanonicalKeyUnifiesEquivalentQueries) {
   ExpectIdentical(*second->result, SerialReference(shouted, 0, entry.year));
 }
 
-TEST(ServeEngineTest, ErrorsPropagateAndAreNotCached) {
+TEST(ServeEngineTest, ErrorsPropagateAndAreNegativelyCached) {
   ServeEngineOptions options;
   options.num_threads = 2;
   ServeEngine engine(&SharedWorkbench().repager(), options);
   auto r = engine.Generate("zzzz qqqq wwww", 0, 0);
   EXPECT_FALSE(r.ok());
-  EXPECT_EQ(engine.cache().Stats().entries, 0u);
   EXPECT_EQ(engine.metrics().ToJson().find("\"errors_total\":0"),
             std::string::npos);  // errors_total incremented
+  // The deterministic failure is remembered as a negative entry...
+  QueryCacheStats stats = engine.cache().Stats();
+  EXPECT_EQ(stats.entries, 1u);
+  EXPECT_EQ(stats.negative_entries, 1u);
+  EXPECT_EQ(stats.negative_insertions, 1u);
+  // ...and an equivalent query (same canonical key) is answered from it
+  // with the same status, without touching the pipeline again.
+  auto again = engine.Generate("  ZZZZ qqqq   wwww ", 0, 0);
+  EXPECT_FALSE(again.ok());
+  EXPECT_EQ(again.status(), r.status());
+  EXPECT_EQ(engine.cache().Stats().negative_hits, 1u);
+  std::string json = engine.StatsJson();
+  EXPECT_NE(json.find("\"requests\":1"), std::string::npos)  // batcher
+      << json;
+  EXPECT_NE(json.find("\"negative_hits\":1"), std::string::npos);
+}
+
+TEST(ServeEngineTest, NegativeCachingCanBeDisabled) {
+  ServeEngineOptions options;
+  options.num_threads = 2;
+  options.cache.cache_negative = false;
+  ServeEngine engine(&SharedWorkbench().repager(), options);
+  EXPECT_FALSE(engine.Generate("zzzz qqqq wwww", 0, 0).ok());
+  EXPECT_FALSE(engine.Generate("zzzz qqqq wwww", 0, 0).ok());
+  QueryCacheStats stats = engine.cache().Stats();
+  EXPECT_EQ(stats.entries, 0u);
+  EXPECT_EQ(stats.negative_insertions, 0u);
+  // Both requests reached the batcher: no negative entry intervened.
+  EXPECT_NE(engine.StatsJson().find("\"requests\":2"), std::string::npos);
+}
+
+TEST(ServeEngineTest, GenerateAsyncDeliversIdenticalResult) {
+  ServeEngineOptions options;
+  options.num_threads = 2;
+  ServeEngine engine(&SharedWorkbench().repager(), options);
+  const auto& entry = SharedWorkbench().bank().Get(2);
+
+  std::promise<Result<ServeResponse>> cold_promise;
+  auto cold_future = cold_promise.get_future();
+  engine.GenerateAsync(entry.query, 0, entry.year,
+                       [&](Result<ServeResponse> r) {
+                         cold_promise.set_value(std::move(r));
+                       });
+  Result<ServeResponse> cold = cold_future.get();
+  ASSERT_TRUE(cold.ok()) << cold.status().ToString();
+  EXPECT_FALSE(cold->cache_hit);
+  ExpectIdentical(*cold->result,
+                  SerialReference(entry.query, 0, entry.year));
+
+  // Warm call completes inline (cache hit) before GenerateAsync returns.
+  bool hit_inline = false;
+  engine.GenerateAsync(entry.query, 0, entry.year,
+                       [&](Result<ServeResponse> r) {
+                         hit_inline = r.ok() && r->cache_hit;
+                       });
+  EXPECT_TRUE(hit_inline);
 }
 
 TEST(ServeEngineTest, DisabledCacheAlwaysComputes) {
@@ -150,9 +212,12 @@ TEST(ServeEngineTest, ConcurrentHttpRequestsBitIdenticalToSerial) {
   ServeEngine engine(&wb.repager(), options);
   ui::RePagerService service(&engine, &wb.repager(), &wb.titles(),
                              &wb.years());
-  ui::HttpServer server([&](const ui::HttpRequest& request) {
-    return service.Handle(request);
-  });
+  // The production path: async handler on the epoll reactor, so poller
+  // threads hand compute to the engine instead of blocking on it.
+  ui::HttpServer server(
+      [&](const ui::HttpRequest& request, ui::HttpServer::Done done) {
+        service.HandleAsync(request, std::move(done));
+      });
   int port = server.Start(0).value();
 
   // Serial reference bodies, rendered through an independent engine so
@@ -212,6 +277,66 @@ TEST(ServeEngineTest, ConcurrentHttpRequestsBitIdenticalToSerial) {
   QueryCacheStats stats = engine.cache().Stats();
   EXPECT_EQ(stats.insertions, static_cast<uint64_t>(kClients));
   EXPECT_GE(stats.hits, static_cast<uint64_t>(kClients * (kRounds - 1)));
+  server.Stop();
+}
+
+// A slow client must not corrupt its own response: the reactor parks
+// the partially-written response on EPOLLOUT and resumes as the
+// client's window opens, and the payload stays bit-identical to serial.
+TEST(ServeEngineTest, SlowClientReceivesBitIdenticalResponse) {
+  const eval::Workbench& wb = SharedWorkbench();
+  ServeEngineOptions options;
+  options.num_threads = 2;
+  ServeEngine engine(&wb.repager(), options);
+  ui::RePagerService service(&engine, &wb.repager(), &wb.titles(),
+                             &wb.years());
+  ui::HttpServer server(
+      [&](const ui::HttpRequest& request, ui::HttpServer::Done done) {
+        service.HandleAsync(request, std::move(done));
+      });
+  int port = server.Start(0).value();
+
+  const auto& entry = wb.bank().Get(0);
+  auto reference = service.PathJson(entry.query, 0, entry.year);
+  ASSERT_TRUE(reference.ok()) << reference.status().ToString();
+  auto strip = [](const std::string& body) {
+    size_t at = body.find("\"nodes\":");
+    return at == std::string::npos ? body : body.substr(at);
+  };
+
+  // Raw socket with a tiny receive buffer, read in 128-byte sips: the
+  // server sees a crawling peer while other clients stay responsive.
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  int rcvbuf = 2048;
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVBUF, &rcvbuf, sizeof(rcvbuf));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  ASSERT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)),
+            0);
+  std::string q;
+  for (char ch : entry.query) q += (ch == ' ') ? '+' : ch;
+  std::string request = "GET /api/path?q=" + q +
+                        "&year=" + std::to_string(entry.year) +
+                        " HTTP/1.1\r\nHost: x\r\nConnection: close\r\n\r\n";
+  ASSERT_EQ(::write(fd, request.data(), request.size()),
+            static_cast<ssize_t>(request.size()));
+  std::string response;
+  char sip[128];
+  ssize_t n;
+  while ((n = ::read(fd, sip, sizeof(sip))) > 0) {
+    response.append(sip, static_cast<size_t>(n));
+    if (response.size() % 4096 < sizeof(sip)) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  }
+  ::close(fd);
+  size_t body_at = response.find("\r\n\r\n");
+  ASSERT_NE(body_at, std::string::npos);
+  EXPECT_NE(response.find("200 OK"), std::string::npos);
+  EXPECT_EQ(strip(response.substr(body_at + 4)), strip(reference.value()));
   server.Stop();
 }
 
