@@ -11,6 +11,16 @@
 // sweep point to BENCH_serve.json; the headline number is the median-
 // latency win of the cache path (hit p50 vs miss p50).
 //
+// After the sweep, an abuse scenario (RPG_SERVE_LORIS > 0) proves the
+// connection lifecycle: slow-loris connections are held against a
+// capped server (extra connects shed with 503), the loris are reaped by
+// the idle deadline, and a fresh loris pack is held WHILE the
+// closed-loop clients run — well-behaved traffic must finish with 0
+// errors and a hit-path p50 comparable to the unmolested baseline.
+// A final overload burst against a deliberately tiny batcher queue
+// counts the 429 (Retry-After) sheds. All of it lands in the "abuse"
+// section of BENCH_serve.json.
+//
 // Scale knobs (env):
 //   RPG_SERVE_CLIENT_SWEEP comma-separated client counts ("4,16,64")
 //   RPG_SERVE_CLIENTS      single client count (overrides the sweep)
@@ -19,12 +29,20 @@
 //   RPG_SERVE_ZIPF_S       Zipf exponent               (default 1.1)
 //   RPG_SERVE_THREADS      BatchEngine worker threads  (default hardware)
 //   RPG_SERVE_POLLERS      epoll reactor threads       (default 2)
+//   RPG_SERVE_LORIS        slow-loris connections held (default 32; 0 skips)
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
+#include <functional>
 #include <iostream>
 #include <string>
 #include <thread>
@@ -123,6 +141,62 @@ struct SweepPoint {
   size_t peak_open_connections = 0;
 };
 
+/// The abuse scenario's outcome (see file header).
+struct AbuseResult {
+  bool ran = false;
+  size_t loris = 0;              ///< slow-loris connections held
+  size_t shed_probes = 0;        ///< extra connects fired at the full cap
+  size_t shed_503 = 0;           ///< ...that got the inline 503
+  uint64_t idle_closes = 0;      ///< loris reaped by the idle deadline
+  uint64_t connections_shed = 0; ///< server-side shed counter
+  SweepPoint well_behaved;       ///< closed-loop clients run under abuse
+  double hit_p50_ratio = 0.0;    ///< abuse hit p50 / baseline hit p50
+  size_t overload_requests = 0;
+  size_t overload_200 = 0;
+  size_t overload_429 = 0;
+  bool retry_after_seen = false;
+  size_t failures = 0;  ///< scenario invariants that did not hold
+};
+
+/// Blocking loopback connect; -1 on failure.
+int RawConnect(int port) {
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return -1;
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    ::close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+/// Polls `predicate` every 10 ms for up to `seconds`.
+bool PollFor(double seconds, const std::function<bool()>& predicate) {
+  const int rounds = static_cast<int>(seconds * 100.0);
+  for (int i = 0; i < rounds; ++i) {
+    if (predicate()) return true;
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  return predicate();
+}
+
+/// Opens `count` slow-loris connections against `port`, each parking a
+/// partial request line forever. Returns the held fds.
+std::vector<int> HoldLoris(int port, size_t count) {
+  std::vector<int> fds;
+  for (size_t i = 0; i < count; ++i) {
+    int fd = RawConnect(port);
+    if (fd < 0) continue;
+    const char drip[] = "GET /loris HTTP/1.1\r\nX-Drip: a";
+    [[maybe_unused]] ssize_t n = ::write(fd, drip, sizeof(drip) - 1);
+    fds.push_back(fd);
+  }
+  return fds;
+}
+
 }  // namespace
 
 int main() {
@@ -136,6 +210,7 @@ int main() {
   const long engine_threads =
       static_cast<long>(EnvSize("RPG_SERVE_THREADS", 0));
   const int pollers = static_cast<int>(EnvSize("RPG_SERVE_POLLERS", 2));
+  const size_t loris = EnvSize("RPG_SERVE_LORIS", 32);
 
   // The serving stack under test: one engine + epoll reactor server
   // persists across the sweep; the cache is cleared between points.
@@ -184,14 +259,11 @@ int main() {
               requests_per_client, targets.size(), zipf_s,
               engine.num_threads(), pollers);
 
-  std::vector<SweepPoint> points;
-  size_t total_errors = 0;
-  for (size_t num_clients : sweep) {
-    // Same cold-miss + warm-hit mix at every point.
-    engine.ClearCache();
-
-    // Closed loop: every client thread owns one keep-alive connection
-    // and fires its next request as soon as the previous one completes.
+  // Closed loop: every client thread owns one keep-alive connection and
+  // fires its next request as soon as the previous one completes. Reused
+  // verbatim by the abuse scenario against its own capped server.
+  auto run_closed_loop = [&](ui::HttpServer& srv, int srv_port,
+                             size_t num_clients) -> SweepPoint {
     std::vector<ClientResult> results(num_clients);
     std::atomic<size_t> peak_open{0};
     Timer wall;
@@ -201,7 +273,7 @@ int main() {
         ClientResult& out = results[c];
         Rng rng(0x5eedULL + c);
         ui::HttpClient client;
-        if (!client.Connect(port).ok()) {
+        if (!client.Connect(srv_port).ok()) {
           out.errors = requests_per_client;
           return;
         }
@@ -219,7 +291,7 @@ int main() {
               r->body.find("\"cache_hit\":true") != std::string::npos;
           (hit ? out.hit_ms : out.miss_ms).push_back(ms);
         }
-        size_t open = server.Stats().open_connections;
+        size_t open = srv.Stats().open_connections;
         size_t prev = peak_open.load();
         while (open > prev && !peak_open.compare_exchange_weak(prev, open)) {
         }
@@ -249,8 +321,162 @@ int main() {
     point.cache_speedup = (point.hits.count > 0 && point.hits.p50 > 0)
                               ? point.misses.p50 / point.hits.p50
                               : 0.0;
+    return point;
+  };
+
+  std::vector<SweepPoint> points;
+  size_t total_errors = 0;
+  for (size_t num_clients : sweep) {
+    // Same cold-miss + warm-hit mix at every point.
+    engine.ClearCache();
+    SweepPoint point = run_closed_loop(server, port, num_clients);
     total_errors += point.errors;
     points.push_back(point);
+  }
+
+  // ------------------------------------------------- abuse scenario
+  AbuseResult abuse;
+  if (loris > 0) {
+    abuse.ran = true;
+    abuse.loris = loris;
+    std::printf("abuse scenario: %zu slow-loris connections, cap %zu, "
+                "idle timeout 1200 ms\n", loris, loris);
+    // A dedicated server with abuse-tuned limits, same engine/service:
+    // the cap equals the loris pack so the extra probes shed
+    // deterministically, and the idle deadline is short enough to watch
+    // the reaping happen.
+    ui::HttpServerOptions abuse_http;
+    abuse_http.num_pollers = pollers;
+    abuse_http.max_connections = loris;
+    abuse_http.idle_timeout = std::chrono::milliseconds(1200);
+    ui::HttpServer abuse_server(
+        [&](const ui::HttpRequest& request, ui::HttpServer::Done done) {
+          service.HandleAsync(request, std::move(done));
+        },
+        abuse_http);
+    service.AttachServer(&abuse_server);
+    auto abuse_port_or = abuse_server.Start(0);
+    if (!abuse_port_or.ok()) {
+      std::fprintf(stderr, "abuse server: %s\n",
+                   abuse_port_or.status().ToString().c_str());
+      return 1;
+    }
+    const int abuse_port = abuse_port_or.value();
+
+    // Phase A — cap shed: fill the cap with held loris, then probe past
+    // it; every probe must get the inline 503 instead of an fd.
+    std::vector<int> pack = HoldLoris(abuse_port, loris);
+    if (!PollFor(5.0, [&] {
+          return abuse_server.Stats().open_connections >= loris;
+        })) {
+      ++abuse.failures;
+    }
+    abuse.shed_probes = 8;
+    for (size_t i = 0; i < abuse.shed_probes; ++i) {
+      int fd = RawConnect(abuse_port);
+      if (fd < 0) continue;
+      std::string response;
+      char buf[512];
+      ssize_t n;
+      while ((n = ::read(fd, buf, sizeof(buf))) > 0) {
+        response.append(buf, static_cast<size_t>(n));
+      }
+      ::close(fd);
+      if (response.find("503") != std::string::npos) ++abuse.shed_503;
+    }
+    if (abuse.shed_503 != abuse.shed_probes) ++abuse.failures;
+
+    // Phase B — idle reaping: the pack must be swept by the deadline,
+    // freeing every fd without a single byte more from the clients.
+    if (!PollFor(5.0, [&] {
+          return abuse_server.Stats().open_connections == 0 &&
+                 abuse_server.Stats().idle_closes >= loris;
+        })) {
+      ++abuse.failures;
+    }
+    for (int fd : pack) ::close(fd);
+
+    // Phase C — well-behaved traffic under abuse: re-hold half a pack
+    // (leaving cap headroom for the clients) and run the closed loop
+    // against the same Zipf mix. It must finish with 0 errors while the
+    // loris sit on their fds.
+    std::vector<int> second_pack = HoldLoris(abuse_port, loris / 2);
+    PollFor(5.0, [&] {
+      return abuse_server.Stats().open_connections >= loris / 2;
+    });
+    engine.ClearCache();
+    // The cap still equals `loris` (phase A needed that), so only
+    // loris - loris/2 slots are free: clamp the client count to the
+    // headroom or large RPG_SERVE_CLIENTS / tiny RPG_SERVE_LORIS
+    // combinations would shed their own well-behaved traffic.
+    const size_t headroom = loris - loris / 2;
+    const size_t abuse_clients =
+        std::max<size_t>(1, std::min(sweep.front(), headroom));
+    abuse.well_behaved =
+        run_closed_loop(abuse_server, abuse_port, abuse_clients);
+    if (abuse.well_behaved.errors > 0) ++abuse.failures;
+    if (!points.empty() && points.front().hits.p50 > 0 &&
+        abuse.well_behaved.hits.p50 > 0) {
+      abuse.hit_p50_ratio =
+          abuse.well_behaved.hits.p50 / points.front().hits.p50;
+    }
+    PollFor(5.0, [&] { return abuse_server.Stats().open_connections == 0; });
+    for (int fd : second_pack) ::close(fd);
+    abuse.idle_closes = abuse_server.Stats().idle_closes;
+    abuse.connections_shed = abuse_server.Stats().connections_shed;
+    abuse_server.Stop();
+    service.AttachServer(&server);
+
+    // Phase D — batcher overload: a burst of distinct cold queries
+    // against a deliberately tiny queue (depth 2, batch size 1) must
+    // split into 200s and 429-with-Retry-After sheds, nothing else.
+    serve::ServeEngineOptions tiny;
+    tiny.num_threads = 1;
+    tiny.batcher.max_batch_size = 1;
+    tiny.batcher.max_queue_depth = 2;
+    serve::ServeEngine tiny_engine(&wb->repager(), tiny);
+    ui::RePagerService tiny_service(&tiny_engine, &wb->repager(),
+                                    &wb->titles(), &wb->years());
+    ui::HttpServer tiny_server(
+        [&](const ui::HttpRequest& request, ui::HttpServer::Done done) {
+          tiny_service.HandleAsync(request, std::move(done));
+        });
+    auto tiny_port_or = tiny_server.Start(0);
+    if (tiny_port_or.ok()) {
+      abuse.overload_requests = 12;
+      const auto& entry = wb->bank().Get(sample.front());
+      std::string q;
+      for (char c : entry.query) q += (c == ' ') ? '+' : c;
+      std::atomic<size_t> ok200{0}, shed429{0}, retry_after{0};
+      std::vector<std::thread> burst;
+      for (size_t i = 0; i < abuse.overload_requests; ++i) {
+        burst.emplace_back([&, i] {
+          ui::HttpClient client;
+          if (!client.Connect(tiny_port_or.value()).ok()) return;
+          // Distinct seeds => distinct canonical keys => real computes.
+          auto r = client.Fetch(
+              "GET", "/api/path?q=" + q + "&seeds=" + std::to_string(10 + i) +
+                         "&year=" + std::to_string(entry.year));
+          if (!r.ok()) return;
+          if (r->status == 200) ++ok200;
+          if (r->status == 429) {
+            ++shed429;
+            if (r->headers.count("retry-after")) ++retry_after;
+          }
+        });
+      }
+      for (auto& t : burst) t.join();
+      abuse.overload_200 = ok200.load();
+      abuse.overload_429 = shed429.load();
+      abuse.retry_after_seen = retry_after.load() == shed429.load();
+      if (abuse.overload_200 + abuse.overload_429 != abuse.overload_requests ||
+          abuse.overload_429 == 0 || !abuse.retry_after_seen) {
+        ++abuse.failures;
+      }
+      tiny_server.Stop();
+    } else {
+      ++abuse.failures;
+    }
   }
 
   // ---------------------------------------------------------- report
@@ -269,6 +495,20 @@ int main() {
                 "(miss p50 %.2fms / hit p50 %.3fms)\n",
                 head.clients, head.cache_speedup, head.misses.p50,
                 head.hits.p50);
+  }
+  if (abuse.ran) {
+    std::printf(
+        "abuse: %zu loris held, %zu/%zu probes shed 503, %llu reaped "
+        "(idle), well-behaved %zu reqs %zu errors (hit p50 %.3fms, "
+        "%.2fx baseline), overload burst %zu -> %zu ok / %zu shed 429%s"
+        " [%zu invariant failures]\n",
+        abuse.loris, abuse.shed_503, abuse.shed_probes,
+        static_cast<unsigned long long>(abuse.idle_closes),
+        abuse.well_behaved.overall.count, abuse.well_behaved.errors,
+        abuse.well_behaved.hits.p50, abuse.hit_p50_ratio,
+        abuse.overload_requests, abuse.overload_200, abuse.overload_429,
+        abuse.retry_after_seen ? " (Retry-After on every 429)" : "",
+        abuse.failures);
   }
 
   // Server-side view for cross-checking the client-side split.
@@ -306,6 +546,32 @@ int main() {
     json.EndObject();
   }
   json.EndArray();
+  if (abuse.ran) {
+    json.Key("abuse").BeginObject();
+    json.Key("loris_connections").UInt(abuse.loris);
+    json.Key("shed_probes").UInt(abuse.shed_probes);
+    json.Key("shed_503_responses").UInt(abuse.shed_503);
+    json.Key("idle_closes").UInt(abuse.idle_closes);
+    json.Key("connections_shed").UInt(abuse.connections_shed);
+    json.Key("well_behaved").BeginObject();
+    json.Key("clients").UInt(abuse.well_behaved.clients);
+    json.Key("errors").UInt(abuse.well_behaved.errors);
+    json.Key("throughput_rps").Double(abuse.well_behaved.throughput);
+    json.Key("overall");
+    WritePercentiles(json, abuse.well_behaved.overall);
+    json.Key("cache_hit");
+    WritePercentiles(json, abuse.well_behaved.hits);
+    json.Key("cache_miss");
+    WritePercentiles(json, abuse.well_behaved.misses);
+    json.EndObject();
+    json.Key("hit_p50_ratio_vs_baseline").Double(abuse.hit_p50_ratio);
+    json.Key("overload_requests").UInt(abuse.overload_requests);
+    json.Key("overload_200").UInt(abuse.overload_200);
+    json.Key("overload_429").UInt(abuse.overload_429);
+    json.Key("retry_after_on_429").Bool(abuse.retry_after_seen);
+    json.Key("invariant_failures").UInt(abuse.failures);
+    json.EndObject();
+  }
   json.Key("server").BeginObject();
   json.Key("cache_hits").UInt(cache_stats.hits);
   json.Key("cache_misses").UInt(cache_stats.misses);
@@ -325,7 +591,7 @@ int main() {
   out.close();
   std::printf("wrote BENCH_serve.json\n");
 
-  if (total_errors > 0) return 1;
+  if (total_errors > 0 || abuse.failures > 0) return 1;
   wb.reset();
   return 0;
 }

@@ -4,11 +4,15 @@
 // serves the single-page interface plus the JSON API.
 //
 // Usage: serve_ui [port] [--threads=N] [--cache-mb=M] [--batch-window-us=U]
-//                 [--pollers=P]
+//                 [--pollers=P] [--max-conns=C] [--idle-timeout-ms=T]
+//                 [--queue-depth=D]
 //   --threads=N          BatchEngine worker threads (default: hardware)
 //   --cache-mb=M         query-cache budget in MiB (0 disables the cache)
 //   --batch-window-us=U  micro-batch flush window in microseconds
 //   --pollers=P          epoll reactor threads (default 2)
+//   --max-conns=C        connection cap; 503-shed past it (0 = unlimited)
+//   --idle-timeout-ms=T  idle/slow-loris reap deadline (0 disables)
+//   --queue-depth=D      batcher backlog bound; 429-shed past it (0 = off)
 //
 // By default the server performs a cold + cached self-request pair as a
 // smoke test and exits; set RPG_SERVE_FOREVER=1 to keep serving until
@@ -41,11 +45,15 @@ int main(int argc, char** argv) {
   using namespace rpg;
   int port = 0;
   long threads = 0, cache_mb = 64, batch_window_us = 2000, pollers = 2;
+  long max_conns = 1024, idle_timeout_ms = 60'000, queue_depth = 256;
   for (int i = 1; i < argc; ++i) {
     if (ParseIntFlag(argv[i], "--threads", &threads) ||
         ParseIntFlag(argv[i], "--cache-mb", &cache_mb) ||
         ParseIntFlag(argv[i], "--batch-window-us", &batch_window_us) ||
-        ParseIntFlag(argv[i], "--pollers", &pollers)) {
+        ParseIntFlag(argv[i], "--pollers", &pollers) ||
+        ParseIntFlag(argv[i], "--max-conns", &max_conns) ||
+        ParseIntFlag(argv[i], "--idle-timeout-ms", &idle_timeout_ms) ||
+        ParseIntFlag(argv[i], "--queue-depth", &queue_depth)) {
       continue;
     }
     port = std::atoi(argv[i]);
@@ -64,12 +72,15 @@ int main(int argc, char** argv) {
   serve_options.cache.max_bytes = static_cast<size_t>(cache_mb) << 20;
   serve_options.batcher.flush_window =
       std::chrono::microseconds(batch_window_us);
+  serve_options.batcher.max_queue_depth = static_cast<size_t>(queue_depth);
   serve::ServeEngine engine(&wb.repager(), serve_options);
 
   ui::RePagerService service(&engine, &wb.repager(), &wb.titles(),
                              &wb.years());
   ui::HttpServerOptions http_options;
   http_options.num_pollers = static_cast<int>(pollers);
+  http_options.max_connections = static_cast<size_t>(max_conns);
+  http_options.idle_timeout = std::chrono::milliseconds(idle_timeout_ms);
   // Async handler: poller threads hand /api/path compute to the engine
   // and return to their event loop (docs/serving.md "Threading model").
   ui::HttpServer server(
@@ -84,9 +95,11 @@ int main(int argc, char** argv) {
     return 1;
   }
   std::printf("RePaGer UI listening on http://127.0.0.1:%d/  "
-              "(threads=%zu cache-mb=%ld batch-window-us=%ld pollers=%ld)\n",
+              "(threads=%zu cache-mb=%ld batch-window-us=%ld pollers=%ld "
+              "max-conns=%ld idle-timeout-ms=%ld queue-depth=%ld)\n",
               port_or.value(), engine.num_threads(), cache_mb,
-              batch_window_us, pollers);
+              batch_window_us, pollers, max_conns, idle_timeout_ms,
+              queue_depth);
   std::printf("try:  curl 'http://127.0.0.1:%d/api/path?q=%s'\n",
               port_or.value(), "citation+analysis");
   std::printf("      curl 'http://127.0.0.1:%d/api/stats'\n", port_or.value());

@@ -19,6 +19,10 @@ enum class StatusCode {
   kIoError,
   kInternal,
   kUnimplemented,
+  /// Transient overload: the serving layer shed this request (queue
+  /// bound, connection cap). Safe to retry after backing off; never
+  /// cached as a negative result.
+  kUnavailable,
 };
 
 /// Returns a stable human-readable name for a status code ("OK",
@@ -61,6 +65,9 @@ class Status {
   static Status Unimplemented(std::string msg) {
     return Status(StatusCode::kUnimplemented, std::move(msg));
   }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
 
   bool ok() const { return code_ == StatusCode::kOk; }
   StatusCode code() const { return code_; }
@@ -72,6 +79,7 @@ class Status {
   bool IsNotFound() const { return code_ == StatusCode::kNotFound; }
   bool IsOutOfRange() const { return code_ == StatusCode::kOutOfRange; }
   bool IsIoError() const { return code_ == StatusCode::kIoError; }
+  bool IsUnavailable() const { return code_ == StatusCode::kUnavailable; }
 
   /// "OK" or "<CodeName>: <message>".
   std::string ToString() const;

@@ -34,17 +34,28 @@ void MicroBatcher::SubmitAsync(core::BatchQuery query, Callback callback) {
   p.query = std::move(query);
   p.callback = std::move(callback);
   p.enqueued = std::chrono::steady_clock::now();
+  Status rejected = Status::OK();
   {
     std::lock_guard<std::mutex> lock(mu_);
-    if (!shutdown_) {
+    if (shutdown_) {
+      rejected = Status::FailedPrecondition("MicroBatcher is shut down");
+    } else if (options_.max_queue_depth > 0 &&
+               pending_.size() >= options_.max_queue_depth) {
+      // Overload shed: beyond this point queueing only grows latency
+      // for everyone; better to fail fast and let the client retry.
+      ++stats_.rejected_overload;
+      rejected = Status::Unavailable(
+          "micro-batch queue full (" +
+          std::to_string(options_.max_queue_depth) + " waiting)");
+    } else {
       pending_.push_back(std::move(p));
       ++stats_.requests;
       cv_.notify_all();
       return;
     }
   }
-  // Shut down: complete inline on the caller (never under mu_).
-  p.callback(Status::FailedPrecondition("MicroBatcher is shut down"));
+  // Rejected: complete inline on the caller (never under mu_).
+  p.callback(std::move(rejected));
 }
 
 void MicroBatcher::Shutdown() {
@@ -58,7 +69,9 @@ void MicroBatcher::Shutdown() {
 
 MicroBatcherStats MicroBatcher::Stats() const {
   std::lock_guard<std::mutex> lock(mu_);
-  return stats_;
+  MicroBatcherStats stats = stats_;
+  stats.queue_depth = pending_.size();
+  return stats;
 }
 
 void MicroBatcher::DispatchLoop() {

@@ -46,6 +46,12 @@ struct MicroBatcherOptions {
   size_t max_batch_size = 16;
   /// Dispatch when the oldest queued request has waited this long.
   std::chrono::microseconds flush_window{2000};
+  /// Overload bound: a submission arriving when this many requests are
+  /// already waiting is rejected inline with Status::Unavailable (load
+  /// shedding — the serving edge maps it to 429). The total backlog is
+  /// bounded by max_queue_depth + the batch currently executing.
+  /// 0 = unbounded (the pre-overload-control behavior).
+  size_t max_queue_depth = 256;
   /// Called on the dispatcher thread after every batch with (batch size,
   /// engine wall seconds) — the ServeEngine's metrics tap. May be empty.
   std::function<void(size_t, double)> on_batch;
@@ -58,6 +64,11 @@ struct MicroBatcherStats {
   uint64_t flushes_on_size = 0;
   uint64_t flushes_on_deadline = 0;
   size_t max_batch_size_seen = 0;
+  /// Submissions shed with Unavailable because the queue was full.
+  uint64_t rejected_overload = 0;
+  /// Requests waiting right now (the overload gauge; excludes the batch
+  /// currently executing on the engine).
+  size_t queue_depth = 0;
 };
 
 class MicroBatcher {
@@ -83,7 +94,9 @@ class MicroBatcher {
   /// Callback flavour of Submit for the event-driven serving path: no
   /// thread blocks on a future, the completion is delivered where the
   /// batch finished. This is what lets epoll poller threads hand off
-  /// compute without pinning themselves (docs/serving.md).
+  /// compute without pinning themselves (docs/serving.md). When the
+  /// queue is at max_queue_depth the callback fires inline with
+  /// Status::Unavailable instead of queueing (overload shed).
   void SubmitAsync(core::BatchQuery query, Callback callback);
 
   /// Drains queued requests, then stops the dispatcher. Idempotent.

@@ -71,6 +71,7 @@ ServeEngine::ServeEngine(const core::RePaGer* repager,
       negative_hits_(metrics_.GetCounter("negative_hits")),
       coalesced_hits_(metrics_.GetCounter("coalesced_hits")),
       errors_total_(metrics_.GetCounter("errors_total")),
+      shed_total_(metrics_.GetCounter("shed_total")),
       inflight_requests_(metrics_.GetGauge("inflight_requests")),
       e2e_ms_(metrics_.GetHistogram("e2e_ms", LatencyBucketEdgesMs())),
       hit_ms_(metrics_.GetHistogram("cache_hit_ms", LatencyBucketEdgesMs())) {
@@ -180,6 +181,9 @@ void ServeEngine::GenerateAsync(const std::string& query, int num_seeds,
       std::move(bq),
       [this, key, flight, callback = std::move(callback),
        e2e](Result<core::RePagerResult> computed) {
+        if (!computed.ok() && computed.status().IsUnavailable()) {
+          shed_total_->Increment();
+        }
         Result<CachedResult> outcome =
             computed.ok()
                 ? Result<CachedResult>(
@@ -268,6 +272,9 @@ std::string ServeEngine::StatsJson() const {
   w.Key("flushes_on_size").UInt(bs.flushes_on_size);
   w.Key("flushes_on_deadline").UInt(bs.flushes_on_deadline);
   w.Key("max_batch_size_seen").UInt(bs.max_batch_size_seen);
+  w.Key("queue_depth").UInt(bs.queue_depth);
+  w.Key("max_queue_depth").UInt(options_.batcher.max_queue_depth);
+  w.Key("rejected_overload").UInt(bs.rejected_overload);
   w.Key("threads").UInt(batch_engine_.num_threads());
   w.EndObject();
   w.Key("metrics").Raw(metrics_.ToJson());

@@ -157,6 +157,10 @@ class ServeEngine {
   Counter* negative_hits_;
   Counter* coalesced_hits_;
   Counter* errors_total_;
+  /// Requests shed by the batcher's queue bound (Status::Unavailable →
+  /// HTTP 429 at the edge). Counted once per shed computation, not per
+  /// coalesced waiter.
+  Counter* shed_total_;
   Gauge* inflight_requests_;
   MetricHistogram* e2e_ms_;
   MetricHistogram* hit_ms_;

@@ -5,6 +5,7 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <cctype>
 #include <cstdlib>
 #include <cstring>
 
@@ -94,15 +95,29 @@ Result<ClientResponse> HttpClient::FetchOnce(const std::string& request) {
       Close();
       return Status::IoError("malformed status line");
     }
-    response.status = std::atoi(parts[1].c_str());
+    // Strict three-digit status parse: atoi would quietly turn "2x0" or
+    // "junk" into a bogus code and mis-signal the caller.
+    const std::string& code = parts[1];
+    if (code.size() != 3 || code[0] < '1' || code[0] > '9' ||
+        !std::isdigit(static_cast<unsigned char>(code[1])) ||
+        !std::isdigit(static_cast<unsigned char>(code[2]))) {
+      Close();
+      return Status::IoError("malformed status code: " + code);
+    }
+    response.status =
+        (code[0] - '0') * 100 + (code[1] - '0') * 10 + (code[2] - '0');
   }
   ParseHeaderLines(buffer_.substr(line_end + 2, header_end - line_end - 2),
                    &response.headers);
   size_t body_len = 0;
   if (auto it = response.headers.find("content-length");
       it != response.headers.end()) {
-    body_len =
-        static_cast<size_t>(std::strtoull(it->second.c_str(), nullptr, 10));
+    // Same strict parse as the server: a garbage length would misframe
+    // every later response on this keep-alive connection.
+    if (!ParseContentLength(it->second, &body_len)) {
+      Close();
+      return Status::IoError("malformed Content-Length: " + it->second);
+    }
   }
   size_t total = header_end + 4 + body_len;
   while (buffer_.size() < total) {

@@ -9,11 +9,15 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
+#include <chrono>
 #include <cstring>
 #include <deque>
 #include <mutex>
+#include <queue>
 #include <thread>
 #include <unordered_map>
+#include <vector>
 
 #include "common/logging.h"
 #include "common/string_util.h"
@@ -33,10 +37,26 @@ const char* ReasonPhrase(int status) {
     case 404: return "Not Found";
     case 405: return "Method Not Allowed";
     case 413: return "Payload Too Large";
+    case 429: return "Too Many Requests";
     case 431: return "Request Header Fields Too Large";
+    case 503: return "Service Unavailable";
     default: return "Error";
   }
 }
+
+/// Canned accept-shed response, written straight to a just-accepted fd
+/// when the connection cap is hit: the socket buffer is empty, so the
+/// single non-blocking send always fits.
+constexpr char kShedResponse[] =
+    "HTTP/1.1 503 Service Unavailable\r\n"
+    "Content-Type: text/plain\r\n"
+    "Content-Length: 24\r\n"
+    "Connection: close\r\n"
+    "Retry-After: 1\r\n"
+    "\r\n"
+    "server at connection cap";
+
+using SteadyClock = std::chrono::steady_clock;
 
 }  // namespace
 
@@ -111,8 +131,31 @@ void ParseHeaderLines(const std::string& header_block,
     if (colon == std::string_view::npos) continue;
     std::string name = ToLower(Trim(line.substr(0, colon)));
     std::string value(Trim(line.substr(colon + 1)));
-    if (!name.empty()) (*headers)[std::move(name)] = std::move(value);
+    if (name.empty()) continue;
+    // Repeated fields fold into one comma-separated value (RFC 7230
+    // §3.2.2). For Content-Length this is the smuggling defense: two
+    // conflicting lengths become "5, 6", which the strict numeric parse
+    // rejects with 400 instead of letting either framing win.
+    auto [it, inserted] = headers->try_emplace(std::move(name), value);
+    if (!inserted) {
+      it->second += ", ";
+      it->second += value;
+    }
   }
+}
+
+bool ParseContentLength(const std::string& value, size_t* out) {
+  if (value.empty()) return false;
+  uint64_t parsed = 0;
+  for (char c : value) {
+    if (c < '0' || c > '9') return false;
+    uint64_t digit = static_cast<uint64_t>(c - '0');
+    if (parsed > (UINT64_MAX - digit) / 10) return false;  // would overflow
+    parsed = parsed * 10 + digit;
+  }
+  if (parsed > SIZE_MAX) return false;  // 32-bit size_t guard
+  *out = static_cast<size_t>(parsed);
+  return true;
 }
 
 // --------------------------------------------------------------- reactor
@@ -125,6 +168,9 @@ struct HttpServer::SharedState {
   std::atomic<uint64_t> requests_handled{0};
   std::atomic<uint64_t> responses_sent{0};
   std::atomic<uint64_t> protocol_errors{0};
+  std::atomic<uint64_t> connections_shed{0};
+  std::atomic<uint64_t> idle_closes{0};
+  std::atomic<uint64_t> timeout_closes{0};
 };
 
 /// One reactor thread: an epoll instance multiplexing the listen socket
@@ -183,6 +229,17 @@ class HttpServer::Poller : public std::enable_shared_from_this<Poller> {
     Wake();
   }
 
+  /// Begins a graceful drain: the poller stops accepting, closes idle
+  /// connections, and keeps serving in-flight requests until `deadline`
+  /// (or until none remain). In-flight completions are still delivered
+  /// during the drain; only after the poller exits are they dropped.
+  void RequestDrain(SteadyClock::time_point deadline) {
+    drain_deadline_ns_.store(deadline.time_since_epoch().count(),
+                             std::memory_order_relaxed);
+    drain_requested_.store(true, std::memory_order_release);
+    Wake();
+  }
+
   void Join() {
     if (thread_.joinable()) thread_.join();
   }
@@ -232,12 +289,28 @@ class HttpServer::Poller : public std::enable_shared_from_this<Poller> {
     size_t drained = 0;
     uint64_t request_seq = 0;  ///< guards stale/duplicate completions
     uint32_t interest = EPOLLIN;
+    /// Deadline generation: every ArmDeadline/DisarmDeadline bumps it,
+    /// invalidating the heap entries pushed for older generations (lazy
+    /// deletion — the heap is pruned as stale heads surface).
+    uint64_t deadline_gen = 0;
   };
 
   struct Completion {
     uint64_t id;
     uint64_t seq;
     HttpResponse response;
+  };
+
+  /// One pending deadline in the lazy-deletion min-heap. Entries are
+  /// never removed eagerly; an entry fires only if its (id, gen) pair
+  /// still matches a live connection.
+  struct DeadlineEntry {
+    SteadyClock::time_point when;
+    uint64_t id;
+    uint64_t gen;
+    bool operator>(const DeadlineEntry& other) const {
+      return when > other.when;
+    }
   };
 
   void Wake() {
@@ -249,7 +322,15 @@ class HttpServer::Poller : public std::enable_shared_from_this<Poller> {
     thread_id_.store(std::this_thread::get_id());
     epoll_event events[64];
     while (!stop_requested_.load()) {
-      int n = ::epoll_wait(epoll_fd_, events, 64, -1);
+      if (!draining_ && drain_requested_.load(std::memory_order_acquire)) {
+        draining_ = true;
+        EnterDrain();
+      }
+      if (draining_ &&
+          (conns_.empty() || SteadyClock::now() >= DrainDeadline())) {
+        break;  // drained clean, or the drain budget is spent
+      }
+      int n = ::epoll_wait(epoll_fd_, events, 64, NextTimeoutMs());
       if (n < 0) {
         if (errno == EINTR) continue;
         break;
@@ -264,6 +345,14 @@ class HttpServer::Poller : public std::enable_shared_from_this<Poller> {
           OnConnEvent(tag, events[i].events);
         }
       }
+      SweepDeadlines();
+    }
+    // The loop is over: drop late cross-thread completions from here on
+    // (nothing will ever drain the queue again) and cut what remains.
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      stop_requested_.store(true);
+      completions_.clear();
     }
     for (auto& [id, conn] : conns_) {
       ::close(conn->fd);
@@ -272,7 +361,95 @@ class HttpServer::Poller : public std::enable_shared_from_this<Poller> {
     conns_.clear();
   }
 
+  /// Drain entry (runs once, on the poller thread): deregister the
+  /// listen fd so no further connections land here, and close every
+  /// connection with no request in flight. What survives is exactly the
+  /// in-flight work the drain budget exists for.
+  void EnterDrain() {
+    ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, listen_fd_, nullptr);
+    std::vector<uint64_t> idle;
+    for (const auto& [id, conn] : conns_) {
+      if (conn->state == Conn::State::kReading ||
+          conn->state == Conn::State::kDraining) {
+        idle.push_back(id);
+      }
+    }
+    for (uint64_t id : idle) {
+      auto it = conns_.find(id);
+      if (it != conns_.end()) CloseConn(it->second.get());
+    }
+  }
+
+  SteadyClock::time_point DrainDeadline() const {
+    return SteadyClock::time_point(SteadyClock::duration(
+        drain_deadline_ns_.load(std::memory_order_relaxed)));
+  }
+
+  /// Bounded epoll_wait timeout: sleep exactly until the earliest live
+  /// deadline (connection or drain), -1 (forever) when there is none.
+  /// Stale heap heads are pruned here so an abandoned deadline never
+  /// causes a pointless early wake-up.
+  int NextTimeoutMs() {
+    while (!deadlines_.empty()) {
+      auto it = conns_.find(deadlines_.top().id);
+      if (it != conns_.end() &&
+          it->second->deadline_gen == deadlines_.top().gen) {
+        break;
+      }
+      deadlines_.pop();
+    }
+    SteadyClock::time_point next = SteadyClock::time_point::max();
+    if (!deadlines_.empty()) next = deadlines_.top().when;
+    if (draining_) next = std::min(next, DrainDeadline());
+    if (next == SteadyClock::time_point::max()) return -1;
+    auto remaining = std::chrono::ceil<std::chrono::milliseconds>(
+        next - SteadyClock::now());
+    return static_cast<int>(std::clamp<int64_t>(remaining.count(), 0, 60'000));
+  }
+
+  /// Fires every expired, still-valid deadline: idle kReading
+  /// connections get a clean close, stalled writes/drains are cut.
+  void SweepDeadlines() {
+    const SteadyClock::time_point now = SteadyClock::now();
+    while (!deadlines_.empty()) {
+      const DeadlineEntry entry = deadlines_.top();
+      auto it = conns_.find(entry.id);
+      if (it == conns_.end() || it->second->deadline_gen != entry.gen) {
+        deadlines_.pop();  // stale: the conn died or re-armed
+        continue;
+      }
+      if (entry.when > now) break;
+      deadlines_.pop();
+      Conn* conn = it->second.get();
+      switch (conn->state) {
+        case Conn::State::kReading:
+          shared_->idle_closes.fetch_add(1);
+          CloseConn(conn);
+          break;
+        case Conn::State::kWriting:
+        case Conn::State::kDraining:
+          shared_->timeout_closes.fetch_add(1);
+          CloseConn(conn);
+          break;
+        case Conn::State::kHandling:
+          break;  // disarmed at dispatch; a live gen here is a bug, not fatal
+      }
+    }
+  }
+
+  /// Schedules a deadline `after` from now for this connection,
+  /// superseding any previous one. <= 0 disables (bare disarm).
+  void ArmDeadline(Conn* conn, std::chrono::milliseconds after) {
+    ++conn->deadline_gen;
+    if (after.count() <= 0) return;
+    deadlines_.push(
+        {SteadyClock::now() + after, conn->id, conn->deadline_gen});
+  }
+
+  void DisarmDeadline(Conn* conn) { ++conn->deadline_gen; }
+
   void AcceptAll() {
+    if (draining_) return;  // listen fd deregistered; stale event
     for (;;) {
       int fd = ::accept4(listen_fd_, nullptr, nullptr,
                          SOCK_NONBLOCK | SOCK_CLOEXEC);
@@ -294,6 +471,26 @@ class HttpServer::Poller : public std::enable_shared_from_this<Poller> {
         }
         break;  // EAGAIN (another poller won the race) or listen closed
       }
+      // Accept-shed at the cap: answer 503 inline and give the fd back
+      // instead of holding it open (or silently leaking it). The
+      // fresh socket's empty send buffer makes the one-shot send safe.
+      if (options_->max_connections > 0 &&
+          shared_->open_connections.load() >= options_->max_connections) {
+        shared_->connections_shed.fetch_add(1);
+        [[maybe_unused]] ssize_t n =
+            ::send(fd, kShedResponse, sizeof(kShedResponse) - 1, MSG_NOSIGNAL);
+        // Half-close and drain what the client already sent: close() on
+        // unread received bytes would RST the 503 out of its socket
+        // buffer. (A client that keeps streaming after our FIN can
+        // still race the close — shedding must not hold the fd, so that
+        // residual window is accepted.)
+        ::shutdown(fd, SHUT_WR);
+        char discard[4096];
+        while (::read(fd, discard, sizeof(discard)) > 0) {
+        }
+        ::close(fd);
+        continue;
+      }
       auto conn = std::make_unique<Conn>();
       conn->fd = fd;
       const uint64_t id = next_conn_id_++;
@@ -307,7 +504,12 @@ class HttpServer::Poller : public std::enable_shared_from_this<Poller> {
       }
       shared_->open_connections.fetch_add(1);
       shared_->connections_accepted.fetch_add(1);
+      Conn* raw = conn.get();
       conns_.emplace(id, std::move(conn));
+      // The idle clock starts at accept and is NOT reset by partial
+      // reads: a slow-loris dripping bytes dies on the same schedule as
+      // a silent connection.
+      ArmDeadline(raw, options_->idle_timeout);
     }
   }
 
@@ -464,8 +666,13 @@ class HttpServer::Poller : public std::enable_shared_from_this<Poller> {
     size_t body_len = 0;
     if (auto it = request.headers.find("content-length");
         it != request.headers.end()) {
-      body_len = static_cast<size_t>(
-          std::strtoull(it->second.c_str(), nullptr, 10));
+      // Strict parse: "abc", "-1", overflow, and folded duplicates
+      // ("5, 6") are all 400s. The old permissive strtoull read them as
+      // 0 and re-parsed the body bytes as the next pipelined request.
+      if (!ParseContentLength(it->second, &body_len)) {
+        SendProtocolError(conn, 400, "malformed Content-Length");
+        return false;
+      }
     }
     if (body_len > options_->max_body_bytes) {
       SendProtocolError(conn, 413, "body too large");
@@ -502,6 +709,10 @@ class HttpServer::Poller : public std::enable_shared_from_this<Poller> {
         keep_alive && (!conn->peer_eof || !conn->in.empty());
 
     conn->state = Conn::State::kHandling;
+    // No deadline while the handler owns the request: compute time is
+    // the serve layer's to bound (queue-depth shedding), not the
+    // reactor's.
+    DisarmDeadline(conn);
     shared_->requests_handled.fetch_add(1);
     const uint64_t id = conn->id;
     const uint64_t seq = ++conn->request_seq;
@@ -531,7 +742,11 @@ class HttpServer::Poller : public std::enable_shared_from_this<Poller> {
     if (conn->state != Conn::State::kHandling || conn->request_seq != seq) {
       return;  // stale or duplicate completion
     }
-    if (stop_requested_.load()) conn->keep_alive = false;
+    // Draining (or stopped): this response still goes out, but the
+    // connection closes behind it instead of going back to kReading.
+    if (stop_requested_.load() || drain_requested_.load()) {
+      conn->keep_alive = false;
+    }
     conn->close_after_write = !conn->keep_alive;
     StartResponse(conn, response);  // may destroy the conn
     // A pipelined request may already be buffered; for an inline
@@ -555,10 +770,17 @@ class HttpServer::Poller : public std::enable_shared_from_this<Poller> {
   void StartResponse(Conn* conn, const HttpResponse& response) {
     conn->out = StrFormat(
         "HTTP/1.1 %d %s\r\nContent-Type: %s\r\nContent-Length: %zu\r\n"
-        "Connection: %s\r\n\r\n",
+        "Connection: %s\r\n",
         response.status, ReasonPhrase(response.status),
         response.content_type.c_str(), response.body.size(),
         conn->close_after_write ? "close" : "keep-alive");
+    for (const auto& [name, value] : response.headers) {
+      conn->out += name;
+      conn->out += ": ";
+      conn->out += value;
+      conn->out += "\r\n";
+    }
+    conn->out += "\r\n";
     conn->out += response.body;
     conn->out_off = 0;
     conn->state = Conn::State::kWriting;
@@ -580,6 +802,10 @@ class HttpServer::Poller : public std::enable_shared_from_this<Poller> {
       }
       if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
         SetInterest(conn, EPOLLOUT);
+        // Progress deadline, re-armed per partial write: a reader that
+        // keeps draining survives; one that stalls for write_timeout is
+        // cut.
+        ArmDeadline(conn, options_->write_timeout);
         return;
       }
       if (n < 0 && errno == EINTR) continue;
@@ -596,10 +822,13 @@ class HttpServer::Poller : public std::enable_shared_from_this<Poller> {
     if (conn->drain_after_write) {
       // Half-close, then discard whatever the client is still sending,
       // so the response survives in the socket buffer instead of being
-      // destroyed by a reset.
+      // destroyed by a reset. Bounded in bytes (kMaxDrainBytes) and in
+      // time (write_timeout) — a client that never stops sending, or
+      // never hangs up, is cut either way.
       ::shutdown(conn->fd, SHUT_WR);
       conn->state = Conn::State::kDraining;
       SetInterest(conn, EPOLLIN);
+      ArmDeadline(conn, options_->write_timeout);
       return;
     }
     if (conn->close_after_write) {
@@ -608,7 +837,10 @@ class HttpServer::Poller : public std::enable_shared_from_this<Poller> {
     }
     conn->state = Conn::State::kReading;
     SetInterest(conn, EPOLLIN);
-    // Buffered pipelined requests are picked up by the caller's pump.
+    // A fresh idle window for the next request on this keep-alive
+    // connection. Buffered pipelined requests are picked up by the
+    // caller's pump (which disarms again at the next dispatch).
+    ArmDeadline(conn, options_->idle_timeout);
   }
 
   void DrainReads(Conn* conn) {
@@ -654,10 +886,22 @@ class HttpServer::Poller : public std::enable_shared_from_this<Poller> {
   std::thread thread_;
   std::atomic<std::thread::id> thread_id_{};
   std::atomic<bool> stop_requested_{false};
+  std::atomic<bool> drain_requested_{false};
+  /// Drain deadline as steady-clock ticks (atomic so RequestDrain can
+  /// publish it from the stopping thread; release/acquire pairs with
+  /// drain_requested_).
+  std::atomic<int64_t> drain_deadline_ns_{0};
 
   // Poller-thread-only state.
+  bool draining_ = false;
   std::unordered_map<uint64_t, std::unique_ptr<Conn>> conns_;
   uint64_t next_conn_id_ = kFirstConnId;
+  /// Lazy-deletion min-heap over (deadline, conn id, generation); see
+  /// DeadlineEntry. At most O(state transitions) entries, pruned as
+  /// stale heads reach the top.
+  std::priority_queue<DeadlineEntry, std::vector<DeadlineEntry>,
+                      std::greater<DeadlineEntry>>
+      deadlines_;
 
   // Cross-thread completion queue.
   std::mutex mu_;
@@ -716,7 +960,16 @@ Result<int> HttpServer::Start(int port) {
 
 void HttpServer::Stop() {
   running_.store(false);
-  for (auto& poller : pollers_) poller->RequestStop();
+  if (options_.drain_timeout.count() > 0) {
+    // Graceful drain: every poller stops accepting and sheds its idle
+    // connections at once, then in-flight requests run to completion
+    // (their responses close the connection) until the shared deadline.
+    const auto deadline =
+        std::chrono::steady_clock::now() + options_.drain_timeout;
+    for (auto& poller : pollers_) poller->RequestDrain(deadline);
+  } else {
+    for (auto& poller : pollers_) poller->RequestStop();
+  }
   for (auto& poller : pollers_) poller->Join();
   pollers_.clear();
   int fd = listen_fd_.exchange(-1);
@@ -725,12 +978,16 @@ void HttpServer::Stop() {
 
 HttpServerStats HttpServer::Stats() const {
   HttpServerStats stats;
+  stats.max_connections = options_.max_connections;
   if (shared_ == nullptr) return stats;
   stats.open_connections = shared_->open_connections.load();
   stats.connections_accepted = shared_->connections_accepted.load();
   stats.requests_handled = shared_->requests_handled.load();
   stats.responses_sent = shared_->responses_sent.load();
   stats.protocol_errors = shared_->protocol_errors.load();
+  stats.connections_shed = shared_->connections_shed.load();
+  stats.idle_closes = shared_->idle_closes.load();
+  stats.timeout_closes = shared_->timeout_closes.load();
   return stats;
 }
 

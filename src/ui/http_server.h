@@ -16,6 +16,7 @@
 /// block on a solve.
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <functional>
 #include <map>
@@ -40,9 +41,22 @@ struct HttpRequest {
 
 /// A response to send.
 struct HttpResponse {
+  HttpResponse() = default;
+  HttpResponse(int status_in, std::string content_type_in,
+               std::string body_in,
+               std::map<std::string, std::string> headers_in = {})
+      : status(status_in),
+        content_type(std::move(content_type_in)),
+        body(std::move(body_in)),
+        headers(std::move(headers_in)) {}
+
   int status = 200;
   std::string content_type = "application/json";
   std::string body;
+  /// Extra response headers ("Retry-After" on 429s). Must not repeat the
+  /// framing headers the server writes itself (Content-Type,
+  /// Content-Length, Connection).
+  std::map<std::string, std::string> headers;
 };
 
 /// Parses the request line of an HTTP/1.1 request ("GET /search?q=x
@@ -60,6 +74,14 @@ void ParseHeaderLines(const std::string& header_block,
 /// "hate speech detection"; '+' means space in query strings).
 std::string UrlDecode(const std::string& s);
 
+/// Strict Content-Length parse: ASCII digits only — no sign, whitespace,
+/// or trailing garbage — and the value must fit uint64 without
+/// overflowing. Returns false on anything else ("abc", "-1", "1 2",
+/// "18446744073709551616"), which the server answers with 400 instead of
+/// silently reading 0 and misframing the connection. Exposed for unit
+/// tests.
+bool ParseContentLength(const std::string& value, size_t* out);
+
 struct HttpServerOptions {
   /// Poller (reactor) threads. Each owns one epoll instance; the listen
   /// socket is registered with EPOLLEXCLUSIVE in every poller, so the
@@ -74,6 +96,30 @@ struct HttpServerOptions {
   size_t max_body_bytes = 1024 * 1024;
   /// listen(2) backlog.
   int listen_backlog = 128;
+  /// Connection-lifecycle deadlines (docs/serving.md "Operational
+  /// limits"). `idle_timeout` bounds how long a connection may sit in
+  /// kReading without completing a request: it is armed at accept and
+  /// re-armed only when a response finishes, never by partial bytes, so
+  /// a slow-loris dripping header fragments is reaped on schedule, not
+  /// kept alive by its own drip. Expired idle connections get a clean
+  /// close. <= 0 disables.
+  std::chrono::milliseconds idle_timeout{60'000};
+  /// Progress deadline for half-written responses (and protocol-error
+  /// drains): a peer that accepts no bytes for this long is closed.
+  /// Re-armed on every successful partial write, so a merely slow reader
+  /// survives as long as it keeps draining. <= 0 disables.
+  std::chrono::milliseconds write_timeout{20'000};
+  /// Graceful-drain budget for Stop(): accepting stops immediately and
+  /// idle connections close, but in-flight requests (handling or mid-
+  /// write) get up to this long to finish before being cut. <= 0 makes
+  /// Stop() immediate (the pre-lifecycle behavior).
+  std::chrono::milliseconds drain_timeout{5'000};
+  /// Open-connection cap across all pollers. A connection accepted at
+  /// the cap is shed with an inline `503 Connection: close` (plus
+  /// Retry-After) instead of silently consuming an fd. The check is a
+  /// relaxed read, so a burst across pollers can briefly overshoot by
+  /// num_pollers - 1. 0 = unlimited.
+  size_t max_connections = 1024;
 };
 
 /// Point-in-time reactor counters (relaxed atomics — freshness, not a
@@ -81,11 +127,20 @@ struct HttpServerOptions {
 /// fd-leak tests and `/api/stats` assert on.
 struct HttpServerStats {
   size_t open_connections = 0;
+  /// Echo of HttpServerOptions::max_connections, so /api/stats can show
+  /// open connections against their cap without a second plumbing path.
+  size_t max_connections = 0;
   uint64_t connections_accepted = 0;
   uint64_t requests_handled = 0;
   uint64_t responses_sent = 0;
   /// 400/413/431 replies produced by the server itself (handler never ran).
   uint64_t protocol_errors = 0;
+  /// Connections refused at accept with a 503 because the cap was hit.
+  uint64_t connections_shed = 0;
+  /// Connections reaped by the idle deadline (slow-loris included).
+  uint64_t idle_closes = 0;
+  /// Connections cut by the write/drain progress deadline.
+  uint64_t timeout_closes = 0;
 };
 
 /// Epoll-based HTTP/1.1 server for the RePaGer serving layer (§V +
@@ -125,10 +180,12 @@ class HttpServer {
   /// threads. Returns the bound port.
   Result<int> Start(int port);
 
-  /// Stops the pollers, closes every open connection, joins all
-  /// threads. Completion callbacks still held by in-flight compute
-  /// remain safe to invoke afterwards (their responses are dropped).
-  /// Idempotent.
+  /// Graceful shutdown: stops accepting immediately, closes idle
+  /// connections, then lets in-flight requests (handling or mid-write)
+  /// finish for up to `drain_timeout` before cutting whatever remains,
+  /// and joins all threads. Completion callbacks still held by in-flight
+  /// compute remain safe to invoke afterwards (their responses are
+  /// dropped once the drain is over). Idempotent.
   void Stop();
 
   int port() const { return port_; }

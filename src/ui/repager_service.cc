@@ -9,6 +9,40 @@
 
 namespace rpg::ui {
 
+namespace {
+
+/// Strict bounded parse for numeric query parameters: ASCII digits
+/// only (no sign, whitespace, or trailing garbage), value within
+/// [min, max]. The old atoi turned "abc" into 0 (silently falling back
+/// to defaults) and accepted negatives and absurd magnitudes.
+bool ParseBoundedInt(const std::string& s, int min, int max, int* out) {
+  if (s.empty() || s.size() > 9) return false;
+  int value = 0;
+  for (char c : s) {
+    if (c < '0' || c > '9') return false;
+    value = value * 10 + (c - '0');
+  }
+  if (value < min || value > max) return false;
+  *out = value;
+  return true;
+}
+
+/// Parameter bounds for /api/path. Seeds beyond 1000 would dwarf the
+/// corpus; years outside [1000, 2100] cannot match any paper (years are
+/// uint16 publication years).
+constexpr int kMinSeeds = 1, kMaxSeeds = 1000;
+constexpr int kMinYear = 1000, kMaxYear = 2100;
+
+HttpResponse BadParameter(const std::string& name, const std::string& value) {
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("error").String("invalid " + name + " parameter: \"" + value + "\"");
+  w.EndObject();
+  return {400, "application/json", w.str()};
+}
+
+}  // namespace
+
 RePagerService::RePagerService(serve::ServeEngine* engine,
                                const core::RePaGer* repager,
                                const std::vector<std::string>* titles,
@@ -79,6 +113,13 @@ HttpResponse RePagerService::ErrorResponse(const Status& status) {
   w.BeginObject();
   w.Key("error").String(status.ToString());
   w.EndObject();
+  // Overload shed (batcher queue full) is the retryable case: 429 with
+  // a Retry-After hint, never a cacheable client error.
+  if (status.IsUnavailable()) {
+    HttpResponse response{429, "application/json", w.str()};
+    response.headers["Retry-After"] = "1";
+    return response;
+  }
   return {status.IsInvalidArgument() ? 400 : 404, "application/json",
           w.str()};
 }
@@ -91,10 +132,14 @@ std::string RePagerService::StatsJson() const {
   w.BeginObject();
   w.Key("http").BeginObject();
   w.Key("open_connections").UInt(http.open_connections);
+  w.Key("max_connections").UInt(http.max_connections);
   w.Key("connections_accepted").UInt(http.connections_accepted);
   w.Key("requests_handled").UInt(http.requests_handled);
   w.Key("responses_sent").UInt(http.responses_sent);
   w.Key("protocol_errors").UInt(http.protocol_errors);
+  w.Key("connections_shed").UInt(http.connections_shed);
+  w.Key("idle_closes").UInt(http.idle_closes);
+  w.Key("timeout_closes").UInt(http.timeout_closes);
   w.EndObject();
   w.EndObject();
   // Splice the engine's own {"cache":...,"batcher":...,"metrics":...}
@@ -141,12 +186,21 @@ void RePagerService::HandleAsync(const HttpRequest& request,
             "{\"error\":\"missing query parameter q\"}"});
       return;
     }
+    // Absent parameters mean pipeline defaults (0); present ones must
+    // parse strictly and land in range, or the request is a 400 before
+    // any engine state is touched.
     int num_seeds = 0, year = 0;
     if (auto it = request.query.find("seeds"); it != request.query.end()) {
-      num_seeds = std::atoi(it->second.c_str());
+      if (!ParseBoundedInt(it->second, kMinSeeds, kMaxSeeds, &num_seeds)) {
+        done(BadParameter("seeds", it->second));
+        return;
+      }
     }
     if (auto it = request.query.find("year"); it != request.query.end()) {
-      year = std::atoi(it->second.c_str());
+      if (!ParseBoundedInt(it->second, kMinYear, kMaxYear, &year)) {
+        done(BadParameter("year", it->second));
+        return;
+      }
     }
     // The compute handoff: cache hits complete inline (microseconds);
     // misses complete from the batcher's dispatcher thread. Either way

@@ -85,6 +85,49 @@ TEST(MicroBatcherTest, PerQueryErrorsLandInTheirSlot) {
   EXPECT_TRUE(good.get().ok());
 }
 
+TEST(MicroBatcherTest, QueueBoundShedsWithUnavailable) {
+  core::BatchEngine engine(&SharedWorkbench().repager(), {.num_threads = 1});
+  MicroBatcherOptions options;
+  options.max_batch_size = 1;  // one solve at a time -> backlog builds
+  options.max_queue_depth = 1;
+  MicroBatcher batcher(&engine, options);
+  // A burst far past the bound: the dispatcher absorbs at most one
+  // executing + one queued; the rest must shed inline with Unavailable,
+  // not queue without limit.
+  constexpr int kBurst = 6;
+  std::vector<std::future<Result<core::RePagerResult>>> futures;
+  for (int i = 0; i < kBurst; ++i) futures.push_back(batcher.Submit(MakeQuery(0)));
+  int ok = 0, shed = 0;
+  for (auto& f : futures) {
+    Result<core::RePagerResult> r = f.get();
+    if (r.ok()) {
+      ++ok;
+    } else {
+      EXPECT_TRUE(r.status().IsUnavailable()) << r.status().ToString();
+      ++shed;
+    }
+  }
+  EXPECT_EQ(ok + shed, kBurst);
+  EXPECT_GE(ok, 1);    // at least the first submission computes
+  EXPECT_GE(shed, 1);  // and the burst's tail was shed
+  MicroBatcherStats stats = batcher.Stats();
+  EXPECT_EQ(stats.rejected_overload, static_cast<uint64_t>(shed));
+  EXPECT_EQ(stats.requests, static_cast<uint64_t>(ok));
+  EXPECT_EQ(stats.queue_depth, 0u);  // everything drained or shed
+}
+
+TEST(MicroBatcherTest, UnboundedQueueNeverSheds) {
+  core::BatchEngine engine(&SharedWorkbench().repager(), {.num_threads = 1});
+  MicroBatcherOptions options;
+  options.max_batch_size = 1;
+  options.max_queue_depth = 0;  // explicit opt-out
+  MicroBatcher batcher(&engine, options);
+  std::vector<std::future<Result<core::RePagerResult>>> futures;
+  for (int i = 0; i < 6; ++i) futures.push_back(batcher.Submit(MakeQuery(0)));
+  for (auto& f : futures) EXPECT_TRUE(f.get().ok());
+  EXPECT_EQ(batcher.Stats().rejected_overload, 0u);
+}
+
 TEST(MicroBatcherTest, ShutdownDrainsQueuedRequests) {
   core::BatchEngine engine(&SharedWorkbench().repager(), {.num_threads = 2});
   MicroBatcherOptions options;

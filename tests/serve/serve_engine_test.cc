@@ -203,6 +203,156 @@ TEST(ServeEngineTest, StatsJsonIsLive) {
   EXPECT_NE(json.find("\"batch_size\":"), std::string::npos);
 }
 
+TEST(ServeEngineTest, OverloadShedsWith429AndRetryAfter) {
+  const eval::Workbench& wb = SharedWorkbench();
+  // A deliberately tiny admission queue: one solve at a time, one
+  // waiter; the rest of a burst must shed.
+  ServeEngineOptions options;
+  options.num_threads = 1;
+  options.batcher.max_batch_size = 1;
+  options.batcher.max_queue_depth = 1;
+  ServeEngine engine(&wb.repager(), options);
+  ui::RePagerService service(&engine, &wb.repager(), &wb.titles(),
+                             &wb.years());
+  const auto& entry = wb.bank().Get(0);
+
+  // Distinct `seeds` values make distinct canonical keys, so nothing
+  // coalesces or caches: every request really reaches the batcher.
+  constexpr int kBurst = 8;
+  std::mutex mu;
+  std::vector<ui::HttpResponse> responses;
+  for (int i = 0; i < kBurst; ++i) {
+    ui::HttpRequest request{"GET",
+                            "/api/path",
+                            {{"q", entry.query},
+                             {"seeds", std::to_string(5 + i)},
+                             {"year", std::to_string(entry.year)}}};
+    service.HandleAsync(request, [&](ui::HttpResponse response) {
+      std::lock_guard<std::mutex> lock(mu);
+      responses.push_back(std::move(response));
+    });
+  }
+  for (int i = 0; i < 1000; ++i) {
+    {
+      std::lock_guard<std::mutex> lock(mu);
+      if (responses.size() == kBurst) break;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+
+  int ok = 0, shed = 0;
+  std::lock_guard<std::mutex> lock(mu);
+  ASSERT_EQ(responses.size(), static_cast<size_t>(kBurst));
+  for (const ui::HttpResponse& response : responses) {
+    if (response.status == 200) {
+      ++ok;
+      continue;
+    }
+    // The shed path end to end: typed Unavailable -> 429 + Retry-After.
+    EXPECT_EQ(response.status, 429) << response.body;
+    EXPECT_NE(response.body.find("Unavailable"), std::string::npos);
+    ASSERT_TRUE(response.headers.count("Retry-After"));
+    EXPECT_EQ(response.headers.at("Retry-After"), "1");
+    ++shed;
+  }
+  EXPECT_GE(ok, 1);
+  EXPECT_GE(shed, 1);
+  // Sheds are transient: never remembered as negative cache entries
+  // (the same query must be retryable), but counted in the stats.
+  EXPECT_EQ(engine.cache().Stats().negative_entries, 0u);
+  std::string json = engine.StatsJson();
+  EXPECT_NE(json.find("\"rejected_overload\":" + std::to_string(shed)),
+            std::string::npos)
+      << json;
+  EXPECT_NE(json.find("\"shed_total\":" + std::to_string(shed)),
+            std::string::npos)
+      << json;
+}
+
+TEST(ServeEngineTest, ShedQuerySucceedsOnRetry) {
+  const eval::Workbench& wb = SharedWorkbench();
+  ServeEngineOptions options;
+  options.num_threads = 1;
+  options.batcher.max_batch_size = 1;
+  options.batcher.max_queue_depth = 1;
+  ServeEngine engine(&wb.repager(), options);
+  const auto& entry = wb.bank().Get(1);
+  // Overload the queue, remembering which seed counts were shed.
+  constexpr int kBurst = 6;
+  std::mutex mu;
+  std::vector<int> shed_seeds;
+  std::atomic<int> done_count{0};
+  for (int i = 0; i < kBurst; ++i) {
+    int seeds = 5 + i;
+    engine.GenerateAsync(entry.query, seeds, entry.year,
+                         [&, seeds](Result<ServeResponse> r) {
+                           if (!r.ok() && r.status().IsUnavailable()) {
+                             std::lock_guard<std::mutex> lock(mu);
+                             shed_seeds.push_back(seeds);
+                           }
+                           ++done_count;
+                         });
+  }
+  while (done_count.load() < kBurst) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  ASSERT_FALSE(shed_seeds.empty());
+  // Retrying a shed request once the burst passed must compute fine —
+  // the 429 left no poisoned negative entry behind.
+  auto retry = engine.Generate(entry.query, shed_seeds.front(), entry.year);
+  ASSERT_TRUE(retry.ok()) << retry.status().ToString();
+  EXPECT_FALSE(retry->cache_hit);
+}
+
+TEST(ServeEngineTest, StopDrainsInFlightSolveEndToEnd) {
+  const eval::Workbench& wb = SharedWorkbench();
+  ServeEngineOptions options;
+  options.num_threads = 2;
+  ServeEngine engine(&wb.repager(), options);
+  ui::RePagerService service(&engine, &wb.repager(), &wb.titles(),
+                             &wb.years());
+  ui::HttpServer server(
+      [&](const ui::HttpRequest& request, ui::HttpServer::Done done) {
+        service.HandleAsync(request, std::move(done));
+      });
+  int port = server.Start(0).value();
+  const auto& entry = wb.bank().Get(2);
+  std::string q;
+  for (char ch : entry.query) q += (ch == ' ') ? '+' : ch;
+
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  ASSERT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)),
+            0);
+  std::string request = "GET /api/path?q=" + q +
+                        "&year=" + std::to_string(entry.year) +
+                        " HTTP/1.1\r\nHost: x\r\n\r\n";
+  ASSERT_EQ(::write(fd, request.data(), request.size()),
+            static_cast<ssize_t>(request.size()));
+  // Wait until the solve is in flight, then stop: the graceful drain
+  // must let the compute finish and flush the response before closing.
+  for (int i = 0; i < 500 && server.Stats().requests_handled == 0; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  ASSERT_GE(server.Stats().requests_handled, 1u);
+  server.Stop();
+
+  std::string response;
+  char buf[4096];
+  ssize_t n;
+  while ((n = ::read(fd, buf, sizeof(buf))) > 0) {
+    response.append(buf, static_cast<size_t>(n));
+  }
+  ::close(fd);
+  EXPECT_NE(response.find("200 OK"), std::string::npos);
+  EXPECT_NE(response.find("reading_order"), std::string::npos);
+  EXPECT_NE(response.find("Connection: close"), std::string::npos);
+}
+
 // ------------------------------------------- end-to-end over HTTP sockets
 
 TEST(ServeEngineTest, ConcurrentHttpRequestsBitIdenticalToSerial) {

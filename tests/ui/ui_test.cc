@@ -93,6 +93,48 @@ TEST(ParseHeadersTest, SkipsMalformedLines) {
   EXPECT_EQ(headers.at("good"), "yes");
 }
 
+TEST(ParseHeadersTest, DuplicateFieldsFoldIntoCommaList) {
+  // RFC 7230 §3.2.2 folding; for Content-Length this is what turns two
+  // conflicting lengths into an unparseable "5, 6" -> 400 instead of
+  // letting either framing win.
+  std::map<std::string, std::string> headers;
+  ParseHeaderLines("X-Tag: one\r\nX-Tag: two\r\nContent-Length: 5\r\n"
+                   "Content-Length: 6\r\n",
+                   &headers);
+  EXPECT_EQ(headers.at("x-tag"), "one, two");
+  EXPECT_EQ(headers.at("content-length"), "5, 6");
+}
+
+// ---------------------------------------------------- ParseContentLength
+
+TEST(ParseContentLengthTest, AcceptsPlainDigits) {
+  size_t n = 999;
+  EXPECT_TRUE(ParseContentLength("0", &n));
+  EXPECT_EQ(n, 0u);
+  EXPECT_TRUE(ParseContentLength("42", &n));
+  EXPECT_EQ(n, 42u);
+  EXPECT_TRUE(ParseContentLength("1048576", &n));
+  EXPECT_EQ(n, 1048576u);
+  // The uint64 boundary itself still parses...
+  EXPECT_TRUE(ParseContentLength("18446744073709551615", &n));
+  EXPECT_EQ(n, UINT64_MAX);
+}
+
+TEST(ParseContentLengthTest, RejectsNonNumericSignedAndOverflowing) {
+  size_t n = 0;
+  EXPECT_FALSE(ParseContentLength("", &n));
+  EXPECT_FALSE(ParseContentLength("abc", &n));
+  EXPECT_FALSE(ParseContentLength("-1", &n));   // strtoull accepted this as
+  EXPECT_FALSE(ParseContentLength("+1", &n));   // a wrapped huge value
+  EXPECT_FALSE(ParseContentLength(" 1", &n));
+  EXPECT_FALSE(ParseContentLength("1 ", &n));
+  EXPECT_FALSE(ParseContentLength("1,2", &n));
+  EXPECT_FALSE(ParseContentLength("5, 6", &n));  // folded duplicates
+  EXPECT_FALSE(ParseContentLength("0x10", &n));
+  EXPECT_FALSE(ParseContentLength("18446744073709551616", &n));  // 2^64
+  EXPECT_FALSE(ParseContentLength("99999999999999999999999", &n));
+}
+
 // ------------------------------------------------------------ HttpServer
 
 /// Raw blocking client socket connected to 127.0.0.1:`port`; -1 on error.
@@ -591,6 +633,244 @@ TEST(HttpServerTest, AsyncHandlerCompletesFromAnotherThread) {
   server.Stop();
 }
 
+// ------------------------------------------- connection lifecycle / limits
+
+TEST(HttpServerTest, MalformedContentLengthRejected400) {
+  std::atomic<int> handled{0};
+  HttpServer server([&](const HttpRequest&) {
+    ++handled;
+    return HttpResponse{200, "text/plain", "should not run"};
+  });
+  int port = server.Start(0).value();
+  const char* bad_lengths[] = {"abc", "-1", "18446744073709551616", "1 2",
+                               "0x10"};
+  for (const char* bad : bad_lengths) {
+    int fd = ConnectRaw(port);
+    ASSERT_GE(fd, 0);
+    std::string request = std::string("POST /u HTTP/1.1\r\nHost: x\r\n") +
+                          "Content-Length: " + bad + "\r\n\r\nhello";
+    ASSERT_EQ(::write(fd, request.data(), request.size()),
+              static_cast<ssize_t>(request.size()));
+    std::string response = ReadToEof(fd);
+    ::close(fd);
+    EXPECT_NE(response.find("400"), std::string::npos) << bad;
+    EXPECT_NE(response.find("Content-Length"), std::string::npos) << bad;
+  }
+  // The old strtoull parsed all of these as 0 and re-read "hello" as the
+  // next pipelined request; none of them may reach the handler.
+  EXPECT_EQ(handled.load(), 0);
+  EXPECT_EQ(server.Stats().protocol_errors,
+            sizeof(bad_lengths) / sizeof(bad_lengths[0]));
+  server.Stop();
+}
+
+TEST(HttpServerTest, ConflictingDuplicateContentLengthRejected400) {
+  std::atomic<int> handled{0};
+  HttpServer server([&](const HttpRequest&) {
+    ++handled;
+    return HttpResponse{200, "text/plain", "should not run"};
+  });
+  int port = server.Start(0).value();
+  int fd = ConnectRaw(port);
+  ASSERT_GE(fd, 0);
+  // Request-smuggling shape: two framings for one body.
+  std::string request =
+      "POST /u HTTP/1.1\r\nHost: x\r\nContent-Length: 5\r\n"
+      "Content-Length: 6\r\n\r\nhello!";
+  ASSERT_EQ(::write(fd, request.data(), request.size()),
+            static_cast<ssize_t>(request.size()));
+  std::string response = ReadToEof(fd);
+  ::close(fd);
+  EXPECT_NE(response.find("400"), std::string::npos);
+  EXPECT_EQ(handled.load(), 0);
+  server.Stop();
+}
+
+TEST(HttpServerTest, IdleConnectionReapedByDeadline) {
+  HttpServerOptions options;
+  options.idle_timeout = std::chrono::milliseconds(100);
+  HttpServer server([](const HttpRequest&) { return HttpResponse{}; },
+                    options);
+  int port = server.Start(0).value();
+  int fd = ConnectRaw(port);
+  ASSERT_GE(fd, 0);
+  ASSERT_TRUE(PollUntil([&] { return server.Stats().open_connections == 1; }));
+  // Send nothing at all: the server must actively close within the
+  // deadline instead of holding the fd forever.
+  EXPECT_TRUE(PollUntil([&] { return server.Stats().open_connections == 0; }));
+  EXPECT_EQ(server.Stats().idle_closes, 1u);
+  char buf[16];
+  EXPECT_EQ(::read(fd, buf, sizeof(buf)), 0);  // clean EOF, not a hang
+  ::close(fd);
+  server.Stop();
+}
+
+TEST(HttpServerTest, SlowLorisDripIsReapedOnSchedule) {
+  HttpServerOptions options;
+  options.idle_timeout = std::chrono::milliseconds(150);
+  HttpServer server([](const HttpRequest&) { return HttpResponse{}; },
+                    options);
+  int port = server.Start(0).value();
+  int fd = ConnectRaw(port);
+  ASSERT_GE(fd, 0);
+  const char head[] = "GET /x HTTP/1.1\r\nX-Drip: ";
+  ASSERT_GT(::send(fd, head, sizeof(head) - 1, MSG_NOSIGNAL), 0);
+  ASSERT_TRUE(PollUntil([&] { return server.Stats().open_connections == 1; }));
+  // Keep dripping one byte every 30 ms: the idle clock is armed at
+  // accept and NOT reset by partial bytes, so the drip does not extend
+  // the connection's life. 20 drips = 600 ms >> the 150 ms deadline.
+  bool reaped = false;
+  for (int i = 0; i < 20 && !reaped; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(30));
+    ::send(fd, "a", 1, MSG_NOSIGNAL);  // may fail once reaped: fine
+    reaped = server.Stats().open_connections == 0;
+  }
+  EXPECT_TRUE(PollUntil([&] { return server.Stats().open_connections == 0; }));
+  EXPECT_GE(server.Stats().idle_closes, 1u);
+  ::close(fd);
+  server.Stop();
+}
+
+TEST(HttpServerTest, ActiveKeepAliveConnectionOutlivesIdleDeadline) {
+  HttpServerOptions options;
+  // Generous margin between the gap (200 ms) and the deadline (600 ms):
+  // the property under test is the re-arm, not scheduler jitter.
+  options.idle_timeout = std::chrono::milliseconds(600);
+  HttpServer server([](const HttpRequest& request) {
+    return HttpResponse{200, "text/plain", "echo:" + request.path};
+  }, options);
+  int port = server.Start(0).value();
+  HttpClient client;
+  ASSERT_TRUE(client.Connect(port).ok());
+  // Each completed request re-arms the idle window, so a connection
+  // active for 4 x 200 ms > 600 ms total stays alive throughout...
+  for (int i = 0; i < 4; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(200));
+    auto r = client.Fetch("GET", "/tick");
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+    EXPECT_EQ(r->status, 200);
+  }
+  EXPECT_EQ(server.Stats().connections_accepted, 1u);
+  // ...and once the client goes quiet, the deadline reaps it.
+  EXPECT_TRUE(PollUntil([&] { return server.Stats().open_connections == 0; }));
+  EXPECT_EQ(server.Stats().idle_closes, 1u);
+  client.Close();
+  server.Stop();
+}
+
+TEST(HttpServerTest, ConnectionCapShedsWith503) {
+  HttpServerOptions options;
+  options.max_connections = 2;
+  HttpServer server([](const HttpRequest& request) {
+    return HttpResponse{200, "text/plain", "echo:" + request.path};
+  }, options);
+  int port = server.Start(0).value();
+  // Two keep-alive connections fill the cap (the fetches guarantee both
+  // were actually accepted, not just SYN-queued).
+  HttpClient a, b;
+  ASSERT_TRUE(a.Connect(port).ok());
+  ASSERT_TRUE(b.Connect(port).ok());
+  ASSERT_TRUE(a.Fetch("GET", "/a").ok());
+  ASSERT_TRUE(b.Fetch("GET", "/b").ok());
+  EXPECT_EQ(server.Stats().open_connections, 2u);
+  // The third connection is shed at accept: inline 503 + close, no fd
+  // held, no silent leak.
+  int fd = ConnectRaw(port);
+  ASSERT_GE(fd, 0);
+  std::string response = ReadToEof(fd);
+  ::close(fd);
+  EXPECT_NE(response.find("503"), std::string::npos);
+  EXPECT_NE(response.find("Connection: close"), std::string::npos);
+  EXPECT_NE(response.find("Retry-After"), std::string::npos);
+  EXPECT_EQ(server.Stats().connections_shed, 1u);
+  EXPECT_EQ(server.Stats().open_connections, 2u);
+  // The capped-out server still serves its existing connections.
+  auto again = a.Fetch("GET", "/again");
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(again->body, "echo:/again");
+  // Capacity freed -> new connections are accepted again.
+  a.Close();
+  EXPECT_TRUE(PollUntil([&] { return server.Stats().open_connections == 1; }));
+  HttpClient c;
+  ASSERT_TRUE(c.Connect(port).ok());
+  auto ok = c.Fetch("GET", "/c");
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(ok->status, 200);
+  b.Close();
+  c.Close();
+  server.Stop();
+}
+
+TEST(HttpServerTest, StopDrainsInFlightRequestBeforeClosing) {
+  // An async handler parks the completion; Stop() must wait for it (up
+  // to drain_timeout) and still deliver the response, instead of
+  // cutting the connection with the request half-served.
+  std::mutex mu;
+  std::vector<HttpServer::Done> parked;
+  HttpServer server([&](const HttpRequest&, HttpServer::Done done) {
+    std::lock_guard<std::mutex> lock(mu);
+    parked.push_back(std::move(done));
+  });
+  int port = server.Start(0).value();
+  int fd = ConnectRaw(port);
+  ASSERT_GE(fd, 0);
+  std::string request = "GET /work HTTP/1.1\r\nHost: x\r\n\r\n";
+  ASSERT_EQ(::write(fd, request.data(), request.size()),
+            static_cast<ssize_t>(request.size()));
+  ASSERT_TRUE(PollUntil([&] {
+    std::lock_guard<std::mutex> lock(mu);
+    return parked.size() == 1;
+  }));
+  std::thread stopper([&] { server.Stop(); });
+  // "Compute" finishes mid-drain, from a foreign thread.
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  EXPECT_FALSE(server.running());
+  {
+    std::lock_guard<std::mutex> lock(mu);
+    parked.front()(HttpResponse{200, "text/plain", "drained-result"});
+    parked.clear();
+  }
+  stopper.join();
+  std::string response = ReadToEof(fd);
+  ::close(fd);
+  EXPECT_NE(response.find("200 OK"), std::string::npos);
+  EXPECT_NE(response.find("drained-result"), std::string::npos);
+  // The drain forced the connection closed behind the response.
+  EXPECT_NE(response.find("Connection: close"), std::string::npos);
+}
+
+TEST(HttpServerTest, StopClosesIdleConnectionsWithoutWaitingForDrain) {
+  HttpServer server([](const HttpRequest& request) {
+    return HttpResponse{200, "text/plain", "echo:" + request.path};
+  });
+  int port = server.Start(0).value();
+  HttpClient client;
+  ASSERT_TRUE(client.Connect(port).ok());
+  ASSERT_TRUE(client.Fetch("GET", "/x").ok());
+  // The keep-alive connection is idle; Stop() must shed it immediately,
+  // not consume the (default 5 s) drain budget.
+  auto t0 = std::chrono::steady_clock::now();
+  server.Stop();
+  auto elapsed = std::chrono::steady_clock::now() - t0;
+  EXPECT_LT(elapsed, std::chrono::seconds(2));
+  EXPECT_EQ(server.Stats().open_connections, 0u);
+  client.Close();
+}
+
+TEST(HttpServerTest, ExtraResponseHeadersRendered) {
+  HttpServer server([](const HttpRequest&) {
+    HttpResponse response{429, "text/plain", "slow down"};
+    response.headers["Retry-After"] = "7";
+    return response;
+  });
+  int port = server.Start(0).value();
+  std::string response = FetchOnce(port, "GET /x HTTP/1.1");
+  EXPECT_NE(response.find("429 Too Many Requests"), std::string::npos);
+  EXPECT_NE(response.find("Retry-After: 7"), std::string::npos);
+  EXPECT_NE(response.find("slow down"), std::string::npos);
+  server.Stop();
+}
+
 // --------------------------------------------------------- RePagerService
 
 class ServiceFixture : public ::testing::Test {
@@ -671,6 +951,11 @@ TEST_F(ServiceFixture, StatsEndpointReportsLiveCounters) {
   EXPECT_NE(response.body.find("\"e2e_ms\":"), std::string::npos);
   EXPECT_NE(response.body.find("\"negative_entries\":"), std::string::npos);
   EXPECT_NE(response.body.find("\"inflight_requests\":"), std::string::npos);
+  // Overload-control instruments (batcher queue bound + shed counter).
+  EXPECT_NE(response.body.find("\"queue_depth\":"), std::string::npos);
+  EXPECT_NE(response.body.find("\"max_queue_depth\":"), std::string::npos);
+  EXPECT_NE(response.body.find("\"rejected_overload\":"), std::string::npos);
+  EXPECT_NE(response.body.find("\"shed_total\":"), std::string::npos);
 }
 
 TEST_F(ServiceFixture, CacheClearEndpoint) {
@@ -686,6 +971,37 @@ TEST_F(ServiceFixture, CacheClearEndpoint) {
 TEST_F(ServiceFixture, MissingQueryParameterIs400) {
   HttpRequest request{"GET", "/api/path", {}};
   EXPECT_EQ(service_->Handle(request).status, 400);
+}
+
+TEST_F(ServiceFixture, MalformedSeedsParameterIs400) {
+  // atoi silently turned all of these into 0 (pipeline default) or a
+  // negative seed count; each must now be an explicit client error.
+  for (const char* bad : {"abc", "-5", "0", "1001", "", "3x", " 7"}) {
+    HttpRequest request{"GET", "/api/path", {{"q", "x"}, {"seeds", bad}}};
+    HttpResponse response = service_->Handle(request);
+    EXPECT_EQ(response.status, 400) << "seeds=" << bad;
+    EXPECT_NE(response.body.find("seeds"), std::string::npos) << bad;
+  }
+}
+
+TEST_F(ServiceFixture, MalformedYearParameterIs400) {
+  for (const char* bad : {"abc", "-2020", "99999", "20x0", "999", "2101"}) {
+    HttpRequest request{"GET", "/api/path", {{"q", "x"}, {"year", bad}}};
+    HttpResponse response = service_->Handle(request);
+    EXPECT_EQ(response.status, 400) << "year=" << bad;
+    EXPECT_NE(response.body.find("year"), std::string::npos) << bad;
+  }
+}
+
+TEST_F(ServiceFixture, InRangeSeedsAndYearStillServe) {
+  const auto& entry = wb_->bank().Get(0);
+  HttpRequest request{"GET",
+                      "/api/path",
+                      {{"q", entry.query},
+                       {"seeds", "25"},
+                       {"year", std::to_string(entry.year)}}};
+  HttpResponse response = service_->Handle(request);
+  EXPECT_EQ(response.status, 200) << response.body;
 }
 
 TEST_F(ServiceFixture, UnknownRouteIs404) {
@@ -737,6 +1053,12 @@ TEST_F(ServiceFixture, EndToEndOverSocket) {
   EXPECT_EQ(stats->status, 200);
   EXPECT_NE(stats->body.find("\"http\":"), std::string::npos);
   EXPECT_NE(stats->body.find("\"open_connections\":1"), std::string::npos);
+  // Lifecycle gauges ride along: the connection cap next to the open
+  // count, plus the shed/reap counters.
+  EXPECT_NE(stats->body.find("\"max_connections\":"), std::string::npos);
+  EXPECT_NE(stats->body.find("\"connections_shed\":"), std::string::npos);
+  EXPECT_NE(stats->body.find("\"idle_closes\":"), std::string::npos);
+  EXPECT_NE(stats->body.find("\"timeout_closes\":"), std::string::npos);
   auto clear = client.Fetch("POST", "/api/cache/clear");
   ASSERT_TRUE(clear.ok());
   EXPECT_EQ(clear->status, 200);
