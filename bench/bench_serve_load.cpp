@@ -155,6 +155,10 @@ struct AbuseResult {
   size_t overload_200 = 0;
   size_t overload_429 = 0;
   bool retry_after_seen = false;
+  size_t deadline_requests = 0;  ///< requests sent into a wedged handler
+  size_t deadline_503 = 0;       ///< ...answered 503 by the handler reap
+  uint64_t deadline_closes = 0;  ///< server-side reap counter
+  size_t fast_during_wedge = 0;  ///< healthy 200s served while wedged
   size_t failures = 0;  ///< scenario invariants that did not hold
 };
 
@@ -477,6 +481,76 @@ int main() {
     } else {
       ++abuse.failures;
     }
+
+    // Phase E — handler deadline: a route whose "solve" is deliberately
+    // slower than handler_timeout. Every wedged request must be reaped
+    // with 503 + close at the deadline while fast traffic on other
+    // connections keeps flowing; the handler's late completions (long
+    // after the reap) must be safe no-ops.
+    ui::HttpServerOptions deadline_http;
+    deadline_http.num_pollers = pollers;
+    deadline_http.handler_timeout = std::chrono::milliseconds(150);
+    ui::HttpServer deadline_server(
+        [&](const ui::HttpRequest& request, ui::HttpServer::Done done) {
+          if (request.path == "/slow") {
+            std::thread([done = std::move(done)]() mutable {
+              std::this_thread::sleep_for(std::chrono::milliseconds(600));
+              done(ui::HttpResponse{200, "text/plain", "finally"});
+            }).detach();
+            return;
+          }
+          done(ui::HttpResponse{200, "text/plain", "fast"});
+        },
+        deadline_http);
+    auto deadline_port_or = deadline_server.Start(0);
+    if (deadline_port_or.ok()) {
+      const int deadline_port = deadline_port_or.value();
+      abuse.deadline_requests = 6;
+      std::atomic<size_t> got_503{0};
+      std::vector<std::thread> wedged;
+      for (size_t i = 0; i < abuse.deadline_requests; ++i) {
+        wedged.emplace_back([&] {
+          int fd = RawConnect(deadline_port);
+          if (fd < 0) return;
+          const char request[] = "GET /slow HTTP/1.1\r\nHost: x\r\n\r\n";
+          if (::write(fd, request, sizeof(request) - 1) > 0) {
+            std::string response;
+            char buf[512];
+            ssize_t n;
+            while ((n = ::read(fd, buf, sizeof(buf))) > 0) {
+              response.append(buf, static_cast<size_t>(n));
+            }
+            if (response.find("503") != std::string::npos &&
+                response.find("Connection: close") != std::string::npos) {
+              ++got_503;
+            }
+          }
+          ::close(fd);
+        });
+      }
+      // While the wedged pack waits out its deadline, healthy requests
+      // on fresh connections must be served immediately.
+      for (int i = 0; i < 8; ++i) {
+        ui::HttpClient fast;
+        if (!fast.Connect(deadline_port).ok()) continue;
+        auto r = fast.Fetch("GET", "/fast");
+        if (r.ok() && r->status == 200) ++abuse.fast_during_wedge;
+      }
+      for (auto& t : wedged) t.join();
+      abuse.deadline_503 = got_503.load();
+      abuse.deadline_closes = deadline_server.Stats().deadline_closes;
+      if (abuse.deadline_503 != abuse.deadline_requests ||
+          abuse.deadline_closes < abuse.deadline_requests ||
+          abuse.fast_during_wedge == 0) {
+        ++abuse.failures;
+      }
+      // Let the parked handlers fire their late completions against
+      // reaped connections before the server dies: must be a no-op.
+      std::this_thread::sleep_for(std::chrono::milliseconds(700));
+      deadline_server.Stop();
+    } else {
+      ++abuse.failures;
+    }
   }
 
   // ---------------------------------------------------------- report
@@ -501,6 +575,7 @@ int main() {
         "abuse: %zu loris held, %zu/%zu probes shed 503, %llu reaped "
         "(idle), well-behaved %zu reqs %zu errors (hit p50 %.3fms, "
         "%.2fx baseline), overload burst %zu -> %zu ok / %zu shed 429%s"
+        ", wedged %zu/%zu reaped 503 at deadline (%zu fast 200s during)"
         " [%zu invariant failures]\n",
         abuse.loris, abuse.shed_503, abuse.shed_probes,
         static_cast<unsigned long long>(abuse.idle_closes),
@@ -508,6 +583,7 @@ int main() {
         abuse.well_behaved.hits.p50, abuse.hit_p50_ratio,
         abuse.overload_requests, abuse.overload_200, abuse.overload_429,
         abuse.retry_after_seen ? " (Retry-After on every 429)" : "",
+        abuse.deadline_503, abuse.deadline_requests, abuse.fast_during_wedge,
         abuse.failures);
   }
 
@@ -569,6 +645,10 @@ int main() {
     json.Key("overload_200").UInt(abuse.overload_200);
     json.Key("overload_429").UInt(abuse.overload_429);
     json.Key("retry_after_on_429").Bool(abuse.retry_after_seen);
+    json.Key("deadline_requests").UInt(abuse.deadline_requests);
+    json.Key("deadline_503").UInt(abuse.deadline_503);
+    json.Key("deadline_closes").UInt(abuse.deadline_closes);
+    json.Key("fast_200_during_wedge").UInt(abuse.fast_during_wedge);
     json.Key("invariant_failures").UInt(abuse.failures);
     json.EndObject();
   }

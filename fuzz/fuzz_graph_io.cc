@@ -1,0 +1,56 @@
+/// \file
+/// Fuzz target: binary citation-graph deserialization. Feeds arbitrary
+/// bytes to graph::GraphIo::ReadBinaryFromStream and, when a graph is
+/// accepted, walks every adjacency span the accessors expose — any
+/// structural lie the loader's CSR validation misses becomes an
+/// out-of-bounds read here under ASan instead of a latent crash in the
+/// solve pipeline. This is the harness that found the resize-bomb and
+/// missing-offset-validation bugs fixed in the same PR (see
+/// tests/graph/graph_io corpus regressions).
+///
+/// Build: -DRPG_BUILD_FUZZERS=ON with clang (libFuzzer); the same body
+/// also runs libFuzzer-free inside fuzz_smoke.cc (tier-1 ctest).
+
+#include <cstddef>
+#include <cstdint>
+#include <sstream>
+#include <string>
+
+#include "common/logging.h"
+#include "graph/graph_io.h"
+
+#ifndef RPG_FUZZ_ENTRY
+#define RPG_FUZZ_ENTRY LLVMFuzzerTestOneInput
+#endif
+
+namespace rpg::fuzzing::graph_io {
+
+inline void CheckOne(const uint8_t* data, size_t size) {
+  std::istringstream is(
+      std::string(reinterpret_cast<const char*>(data), size),
+      std::ios::binary);
+  auto graph_or = graph::GraphIo::ReadBinaryFromStream(is, "fuzz input");
+  if (!graph_or.ok()) return;  // rejected cleanly: exactly what we want
+
+  // Accepted: every span must be walkable and every target in range.
+  const graph::CitationGraph& g = graph_or.value();
+  const size_t n = g.num_nodes();
+  for (graph::PaperId u = 0; u < n; ++u) {
+    size_t out_degree = 0;
+    for (graph::PaperId v : g.OutNeighbors(u)) {
+      RPG_CHECK(v < n);
+      ++out_degree;
+    }
+    RPG_CHECK(out_degree == g.OutDegree(u));
+    for (graph::PaperId v : g.InNeighbors(u)) {
+      RPG_CHECK(v < n);
+    }
+  }
+}
+
+}  // namespace rpg::fuzzing::graph_io
+
+extern "C" int RPG_FUZZ_ENTRY(const uint8_t* data, size_t size) {
+  rpg::fuzzing::graph_io::CheckOne(data, size);
+  return 0;
+}

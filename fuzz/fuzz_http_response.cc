@@ -1,0 +1,63 @@
+/// \file
+/// Fuzz target: client-side HTTP response parsing. Drives
+/// ui::ParseHttpResponse — the socket-free seam HttpClient::FetchOnce
+/// frames every response through — with arbitrary bytes, checking the
+/// framing invariants a hostile or broken server must not be able to
+/// violate (a misframed response poisons every later fetch on the
+/// keep-alive connection).
+///
+/// Build: -DRPG_BUILD_FUZZERS=ON with clang (libFuzzer); the same body
+/// also runs libFuzzer-free inside fuzz_smoke.cc (tier-1 ctest).
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "common/logging.h"
+#include "ui/http_client.h"
+
+#ifndef RPG_FUZZ_ENTRY
+#define RPG_FUZZ_ENTRY LLVMFuzzerTestOneInput
+#endif
+
+namespace rpg::fuzzing::http_response {
+
+inline void CheckOne(const uint8_t* data, size_t size) {
+  const std::string buffer(reinterpret_cast<const char*>(data), size);
+  ui::ResponseParseResult parsed = ui::ParseHttpResponse(buffer);
+  switch (parsed.verdict) {
+    case ui::ResponseParseResult::Verdict::kResponse:
+      RPG_CHECK(parsed.consumed >= 4 && parsed.consumed <= buffer.size());
+      RPG_CHECK(parsed.response.status >= 100 &&
+                parsed.response.status <= 999);
+      RPG_CHECK(parsed.response.body.size() <= parsed.consumed);
+      break;
+    case ui::ResponseParseResult::Verdict::kError:
+      RPG_CHECK(!parsed.error.empty());
+      break;
+    case ui::ResponseParseResult::Verdict::kNeedMore:
+      break;
+  }
+
+  // Prefix stability: a complete response parsed from a prefix must
+  // parse identically from the full buffer (FetchOnce re-parses after
+  // every read; a flip between reads would misframe the stream).
+  if (size > 1) {
+    ui::ResponseParseResult partial =
+        ui::ParseHttpResponse(buffer.substr(0, size / 2));
+    if (partial.verdict == ui::ResponseParseResult::Verdict::kResponse) {
+      ui::ResponseParseResult full = ui::ParseHttpResponse(buffer);
+      RPG_CHECK(full.verdict ==
+                    ui::ResponseParseResult::Verdict::kResponse &&
+                full.consumed == partial.consumed &&
+                full.response.status == partial.response.status);
+    }
+  }
+}
+
+}  // namespace rpg::fuzzing::http_response
+
+extern "C" int RPG_FUZZ_ENTRY(const uint8_t* data, size_t size) {
+  rpg::fuzzing::http_response::CheckOne(data, size);
+  return 0;
+}

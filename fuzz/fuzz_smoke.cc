@@ -1,0 +1,143 @@
+/// \file
+/// Bounded smoke runner for every fuzz harness, libFuzzer-free — the
+/// tier-1 `fuzz_smoke` ctest. Each harness body is #included with
+/// RPG_FUZZ_ENTRY renamed, then driven over its checked-in seed corpus
+/// (fuzz/corpus/<target>/) plus a fixed budget of deterministic
+/// mutations of those seeds, so the harness code and its parsers are
+/// exercised on every build — with gcc, without clang or libFuzzer.
+/// The real coverage-guided runs use the fuzz_<target> binaries
+/// (-DRPG_BUILD_FUZZERS=ON, clang); see docs/fuzzing.md.
+///
+/// Usage: rpg_fuzz_smoke [corpus_root]   (default: fuzz/corpus)
+
+#define RPG_FUZZ_ENTRY FuzzHttpRequest
+#include "fuzz_http_request.cc"  // NOLINT
+#undef RPG_FUZZ_ENTRY
+#define RPG_FUZZ_ENTRY FuzzHttpResponse
+#include "fuzz_http_response.cc"  // NOLINT
+#undef RPG_FUZZ_ENTRY
+#define RPG_FUZZ_ENTRY FuzzGraphIo
+#include "fuzz_graph_io.cc"  // NOLINT
+#undef RPG_FUZZ_ENTRY
+#define RPG_FUZZ_ENTRY FuzzText
+#include "fuzz_text.cc"  // NOLINT
+#undef RPG_FUZZ_ENTRY
+#define RPG_FUZZ_ENTRY FuzzApiPath
+#include "fuzz_api_path.cc"  // NOLINT
+#undef RPG_FUZZ_ENTRY
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace {
+
+using FuzzEntry = int (*)(const uint8_t*, size_t);
+
+struct SmokeTarget {
+  const char* name;
+  FuzzEntry entry;
+  /// Mutation budget: cheap parsers get many, the api_path harness
+  /// (real solves behind it) gets few.
+  size_t mutations;
+};
+
+/// xorshift64 — deterministic across platforms, no <random> weight.
+uint64_t NextRand(uint64_t* state) {
+  uint64_t x = *state;
+  x ^= x << 13;
+  x ^= x >> 7;
+  x ^= x << 17;
+  return *state = x;
+}
+
+/// One deterministic mutation of a seed: flip, overwrite, insert,
+/// truncate, or duplicate a slice — the classic byte-level moves.
+std::string Mutate(const std::string& seed, uint64_t* rng) {
+  std::string out = seed;
+  if (out.empty()) out.push_back(static_cast<char>(NextRand(rng)));
+  switch (NextRand(rng) % 5) {
+    case 0:  // bit flip
+      out[NextRand(rng) % out.size()] ^=
+          static_cast<char>(1u << (NextRand(rng) % 8));
+      break;
+    case 1:  // overwrite with a random byte
+      out[NextRand(rng) % out.size()] = static_cast<char>(NextRand(rng));
+      break;
+    case 2:  // insert a random byte
+      out.insert(out.begin() + NextRand(rng) % (out.size() + 1),
+                 static_cast<char>(NextRand(rng)));
+      break;
+    case 3:  // truncate
+      out.resize(NextRand(rng) % (out.size() + 1));
+      break;
+    default: {  // duplicate a slice
+      const size_t from = NextRand(rng) % out.size();
+      const size_t len =
+          std::min<size_t>(NextRand(rng) % 16 + 1, out.size() - from);
+      out.insert(NextRand(rng) % (out.size() + 1),
+                 out.substr(from, len));
+      break;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::filesystem::path corpus_root =
+      argc > 1 ? argv[1] : "fuzz/corpus";
+  const SmokeTarget targets[] = {
+      {"http_request", &FuzzHttpRequest, 2000},
+      {"http_response", &FuzzHttpResponse, 2000},
+      {"graph_io", &FuzzGraphIo, 2000},
+      {"text", &FuzzText, 2000},
+      {"api_path", &FuzzApiPath, 200},
+  };
+
+  size_t total_runs = 0;
+  for (const SmokeTarget& target : targets) {
+    const std::filesystem::path dir = corpus_root / target.name;
+    std::vector<std::string> seeds;
+    if (std::filesystem::is_directory(dir)) {
+      std::vector<std::filesystem::path> files;
+      for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+        if (entry.is_regular_file()) files.push_back(entry.path());
+      }
+      std::sort(files.begin(), files.end());  // deterministic order
+      for (const auto& file : files) {
+        std::ifstream is(file, std::ios::binary);
+        seeds.emplace_back(std::istreambuf_iterator<char>(is),
+                           std::istreambuf_iterator<char>());
+      }
+    }
+    if (seeds.empty()) {
+      std::fprintf(stderr, "[fuzz_smoke] FAIL: no seeds in %s\n",
+                   dir.string().c_str());
+      return 1;
+    }
+    uint64_t rng = 0x9e3779b97f4a7c15ull;
+    size_t runs = 0;
+    for (const std::string& seed : seeds) {
+      target.entry(reinterpret_cast<const uint8_t*>(seed.data()),
+                   seed.size());
+      ++runs;
+    }
+    for (size_t i = 0; i < target.mutations; ++i) {
+      const std::string input = Mutate(seeds[i % seeds.size()], &rng);
+      target.entry(reinterpret_cast<const uint8_t*>(input.data()),
+                   input.size());
+      ++runs;
+    }
+    std::printf("[fuzz_smoke] %-13s %3zu seeds, %4zu runs: OK\n",
+                target.name, seeds.size(), runs);
+    total_runs += runs;
+  }
+  std::printf("[fuzz_smoke] all targets passed (%zu total runs)\n",
+              total_runs);
+  return 0;
+}

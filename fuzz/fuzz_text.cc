@@ -1,0 +1,67 @@
+/// \file
+/// Fuzz target: the text normalization chain — Tokenize (under several
+/// option combinations) → PorterStem → Vocabulary interning, plus
+/// NGrams and the stopword filter. This is the first code every raw
+/// query string and paper title flows through, so it must hold up
+/// against arbitrary (including non-ASCII and embedded-NUL) bytes.
+///
+/// Build: -DRPG_BUILD_FUZZERS=ON with clang (libFuzzer); the same body
+/// also runs libFuzzer-free inside fuzz_smoke.cc (tier-1 ctest).
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/logging.h"
+#include "text/porter_stemmer.h"
+#include "text/stopwords.h"
+#include "text/tokenizer.h"
+#include "text/vocabulary.h"
+
+#ifndef RPG_FUZZ_ENTRY
+#define RPG_FUZZ_ENTRY LLVMFuzzerTestOneInput
+#endif
+
+namespace rpg::fuzzing::text {
+
+inline void CheckOne(const uint8_t* data, size_t size) {
+  const std::string_view input(reinterpret_cast<const char*>(data), size);
+
+  rpg::text::TokenizerOptions variants[3];
+  variants[1].lowercase = false;
+  variants[2].keep_numbers = false;
+  variants[2].min_token_length = 3;
+
+  for (const rpg::text::TokenizerOptions& options : variants) {
+    std::vector<std::string> tokens = rpg::text::Tokenize(input, options);
+    rpg::text::Vocabulary vocab;
+    for (const std::string& token : tokens) {
+      RPG_CHECK(!token.empty() &&
+                token.size() >= options.min_token_length);
+      const std::string stem = rpg::text::PorterStem(token);
+      // Stemming only ever shortens (Porter removes suffixes) and never
+      // erases a word outright.
+      RPG_CHECK(!stem.empty() && stem.size() <= token.size());
+      (void)rpg::text::IsStopword(token);
+      const rpg::text::TermId id = vocab.GetOrAdd(stem);
+      RPG_CHECK(vocab.Lookup(stem) == id);
+      RPG_CHECK(vocab.TermOf(id) == stem);
+    }
+    // Encode must intern exactly the token set.
+    std::vector<rpg::text::TermId> ids = vocab.EncodeExisting(tokens);
+    RPG_CHECK(ids.size() <= tokens.size());
+    for (size_t n = 1; n <= 3; ++n) {
+      std::vector<std::string> grams = rpg::text::NGrams(tokens, n);
+      RPG_CHECK(grams.size() ==
+                (tokens.size() >= n ? tokens.size() - n + 1 : 0));
+    }
+  }
+}
+
+}  // namespace rpg::fuzzing::text
+
+extern "C" int RPG_FUZZ_ENTRY(const uint8_t* data, size_t size) {
+  rpg::fuzzing::text::CheckOne(data, size);
+  return 0;
+}

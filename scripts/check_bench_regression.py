@@ -1,0 +1,188 @@
+#!/usr/bin/env python3
+"""Perf-regression gate over the bench JSON artifacts.
+
+Compares the key metrics of freshly produced BENCH_table4.json /
+BENCH_serve.json against the checked-in baselines under
+bench/baselines/, with noise-aware thresholds: bench numbers on shared
+CI machines jitter by tens of percent, so only changes beyond 2x
+(lower-is-better metrics growing past 2x baseline, higher-is-better
+metrics falling below 0.5x) fail the gate. Anything subtler is reported
+but does not gate — a real perf story needs a human and a quiet
+machine.
+
+Usage:
+  scripts/check_bench_regression.py [--build-dir build]
+      [--baseline-dir bench/baselines] [--factor 2.0]
+  scripts/check_bench_regression.py --self-test
+
+Exit status: 0 when every present metric is within bounds (missing
+bench files are skipped with a note: the gate only judges what ran),
+1 on any regression beyond the factor, 2 on usage/IO errors.
+
+The metric list is intentionally short and headline-grade: pipeline
+solve time, serving throughput/latency, and the cache speedup. Adding
+every counter would only manufacture flakes.
+"""
+
+import argparse
+import json
+import os
+import sys
+
+# (json_path, direction) — direction "lower" means smaller is better.
+TABLE4_METRICS = [
+    ("avg_total_seconds", "lower"),
+    ("closure_comparison[0].total_speedup", "higher"),
+]
+SERVE_METRICS = [
+    ("sweep[0].throughput_rps", "higher"),
+    ("sweep[0].overall.p50_ms", "lower"),
+    ("sweep[0].cache_median_speedup", "higher"),
+    ("sweep[-1].throughput_rps", "higher"),
+    ("sweep[-1].overall.p99_ms", "lower"),
+]
+
+
+def resolve(doc, path):
+    """Walks 'a.b[0].c' through nested dicts/lists; None when absent."""
+    node = doc
+    for part in path.split("."):
+        index = None
+        if "[" in part:
+            part, bracket = part.split("[", 1)
+            index = int(bracket.rstrip("]"))
+        if part:
+            if not isinstance(node, dict) or part not in node:
+                return None
+            node = node[part]
+        if index is not None:
+            if not isinstance(node, list) or not (-len(node) <= index < len(node)):
+                return None
+            node = node[index]
+    return node
+
+
+def check_file(name, current_doc, baseline_doc, metrics, factor, report):
+    failures = 0
+    for path, direction in metrics:
+        base = resolve(baseline_doc, path)
+        cur = resolve(current_doc, path)
+        if not isinstance(base, (int, float)) or not isinstance(cur, (int, float)):
+            report.append(f"  skip  {name}:{path} (missing in baseline or current)")
+            continue
+        if base <= 0:
+            report.append(f"  skip  {name}:{path} (non-positive baseline {base})")
+            continue
+        ratio = cur / base
+        if direction == "lower":
+            bad = ratio > factor
+            arrow = "slower" if ratio > 1 else "faster"
+        else:
+            bad = ratio < 1.0 / factor
+            arrow = "worse" if ratio < 1 else "better"
+        verdict = "FAIL" if bad else "ok"
+        report.append(
+            f"  {verdict:4}  {name}:{path}  baseline={base:.6g} "
+            f"current={cur:.6g}  ({ratio:.2f}x, {arrow})"
+        )
+        if bad:
+            failures += 1
+    return failures
+
+
+def run_gate(build_dir, baseline_dir, factor):
+    pairs = [
+        ("BENCH_table4.json", TABLE4_METRICS),
+        ("BENCH_serve.json", SERVE_METRICS),
+    ]
+    report = []
+    failures = 0
+    compared = 0
+    for filename, metrics in pairs:
+        current_path = os.path.join(build_dir, filename)
+        baseline_path = os.path.join(baseline_dir, filename)
+        if not os.path.exists(current_path):
+            report.append(f"  skip  {filename} (no current run at {current_path})")
+            continue
+        if not os.path.exists(baseline_path):
+            report.append(f"  skip  {filename} (no baseline at {baseline_path})")
+            continue
+        with open(current_path) as f:
+            current_doc = json.load(f)
+        with open(baseline_path) as f:
+            baseline_doc = json.load(f)
+        compared += 1
+        failures += check_file(filename, current_doc, baseline_doc, metrics,
+                               factor, report)
+    print(f"bench regression gate (fail beyond {factor}x):")
+    for line in report:
+        print(line)
+    if compared == 0:
+        print("nothing to compare: run the benches first "
+              "(./bench_table4_runtime, ./bench_serve_load)")
+    if failures:
+        print(f"FAILED: {failures} metric(s) regressed beyond {factor}x")
+        return 1
+    print("passed")
+    return 0
+
+
+def self_test():
+    """The gate must flag a synthetic 3x regression and pass identity."""
+    baseline = {
+        "avg_total_seconds": 0.010,
+        "closure_comparison": [{"total_speedup": 12.0}],
+    }
+    regressed = {
+        "avg_total_seconds": 0.030,  # 3x slower: must fail
+        "closure_comparison": [{"total_speedup": 12.0}],
+    }
+    report = []
+    if check_file("fixture", baseline, baseline, TABLE4_METRICS, 2.0, report) != 0:
+        print("self-test FAILED: identity comparison flagged a regression")
+        return 1
+    if check_file("fixture", regressed, baseline, TABLE4_METRICS, 2.0, report) == 0:
+        print("self-test FAILED: 3x regression not flagged")
+        return 1
+    # Higher-is-better direction: a collapsed speedup must fail too.
+    collapsed = {
+        "avg_total_seconds": 0.010,
+        "closure_comparison": [{"total_speedup": 3.0}],  # 4x worse
+    }
+    if check_file("fixture", collapsed, baseline, TABLE4_METRICS, 2.0, report) == 0:
+        print("self-test FAILED: collapsed speedup not flagged")
+        return 1
+    # Noise inside the band must NOT fail (1.5x slower < 2x threshold).
+    noisy = {
+        "avg_total_seconds": 0.015,
+        "closure_comparison": [{"total_speedup": 8.5}],
+    }
+    if check_file("fixture", noisy, baseline, TABLE4_METRICS, 2.0, report) != 0:
+        print("self-test FAILED: in-band noise flagged as regression")
+        return 1
+    print("self-test passed")
+    return 0
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--build-dir", default="build",
+                        help="directory holding the fresh BENCH_*.json")
+    parser.add_argument("--baseline-dir", default="bench/baselines",
+                        help="directory holding the checked-in baselines")
+    parser.add_argument("--factor", type=float, default=2.0,
+                        help="regression threshold (default 2.0)")
+    parser.add_argument("--self-test", action="store_true",
+                        help="verify the gate catches a synthetic 3x "
+                             "regression, then exit")
+    args = parser.parse_args()
+    if args.factor <= 1.0:
+        print("--factor must be > 1", file=sys.stderr)
+        return 2
+    if args.self_test:
+        return self_test()
+    return run_gate(args.build_dir, args.baseline_dir, args.factor)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -23,6 +23,11 @@ enum class StatusCode {
   /// bound, connection cap). Safe to retry after backing off; never
   /// cached as a negative result.
   kUnavailable,
+  /// The request exceeded its deadline before (or while) being served.
+  /// Like kUnavailable it is transient and never cached, but it means
+  /// work was *abandoned*, not refused — callers should treat the
+  /// outcome as unknown.
+  kDeadlineExceeded,
 };
 
 /// Returns a stable human-readable name for a status code ("OK",
@@ -68,6 +73,9 @@ class Status {
   static Status Unavailable(std::string msg) {
     return Status(StatusCode::kUnavailable, std::move(msg));
   }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
 
   bool ok() const { return code_ == StatusCode::kOk; }
   StatusCode code() const { return code_; }
@@ -80,6 +88,23 @@ class Status {
   bool IsOutOfRange() const { return code_ == StatusCode::kOutOfRange; }
   bool IsIoError() const { return code_ == StatusCode::kIoError; }
   bool IsUnavailable() const { return code_ == StatusCode::kUnavailable; }
+  bool IsDeadlineExceeded() const {
+    return code_ == StatusCode::kDeadlineExceeded;
+  }
+
+  /// Overload-backoff hint: how long (whole seconds) the caller should
+  /// wait before retrying. Set by the serving layer on kUnavailable /
+  /// kDeadlineExceeded statuses so the HTTP edge can emit an honest
+  /// `Retry-After` without reaching back into serving state. 0 = no hint.
+  Status&& WithRetryAfter(int seconds) && {
+    retry_after_seconds_ = seconds;
+    return std::move(*this);
+  }
+  Status& WithRetryAfter(int seconds) & {
+    retry_after_seconds_ = seconds;
+    return *this;
+  }
+  int retry_after_seconds() const { return retry_after_seconds_; }
 
   /// "OK" or "<CodeName>: <message>".
   std::string ToString() const;
@@ -91,6 +116,7 @@ class Status {
  private:
   StatusCode code_;
   std::string message_;
+  int retry_after_seconds_ = 0;
 };
 
 }  // namespace rpg

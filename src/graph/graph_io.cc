@@ -1,7 +1,10 @@
 #include "graph/graph_io.h"
 
+#include <algorithm>
 #include <cstdio>
 #include <fstream>
+#include <istream>
+#include <limits>
 #include <unordered_set>
 
 #include "common/json_writer.h"
@@ -23,14 +26,59 @@ void WriteVec(std::ofstream& os, const std::vector<T>& v) {
 }
 
 template <typename T>
-bool ReadVec(std::ifstream& is, std::vector<T>* v) {
+bool ReadVec(std::istream& is, std::vector<T>* v) {
   uint64_t n = 0;
   is.read(reinterpret_cast<char*>(&n), sizeof(n));
   if (!is) return false;
-  v->resize(n);
-  is.read(reinterpret_cast<char*>(v->data()),
-          static_cast<std::streamsize>(n * sizeof(T)));
-  return static_cast<bool>(is);
+  if (n > std::numeric_limits<uint64_t>::max() / sizeof(T)) return false;
+  // The length prefix is attacker-controlled: growing in bounded chunks
+  // instead of resize(n) means a lying header fails at its first short
+  // read, not with a multi-GB allocation (the old resize-bomb).
+  constexpr uint64_t kChunkElems = 1u << 16;
+  v->clear();
+  uint64_t remaining = n;
+  while (remaining > 0) {
+    const uint64_t take = std::min(remaining, kChunkElems);
+    const size_t old_size = v->size();
+    v->resize(old_size + static_cast<size_t>(take));
+    is.read(reinterpret_cast<char*>(v->data() + old_size),
+            static_cast<std::streamsize>(take * sizeof(T)));
+    if (!is) return false;
+    remaining -= take;
+  }
+  return true;
+}
+
+/// One direction's CSR arrays must describe `num_nodes` valid spans:
+/// anything less and OutNeighbors/InNeighbors index out of bounds.
+Status ValidateCsr(const std::vector<uint64_t>& offsets,
+                   const std::vector<PaperId>& targets, size_t num_nodes,
+                   const char* which, const std::string& context) {
+  if (offsets.size() != num_nodes + 1) {
+    return Status::InvalidArgument(
+        StrFormat("%s offsets size mismatch: %s", which, context.c_str()));
+  }
+  if (offsets.front() != 0) {
+    return Status::InvalidArgument(
+        StrFormat("%s offsets do not start at 0: %s", which, context.c_str()));
+  }
+  for (size_t i = 0; i + 1 < offsets.size(); ++i) {
+    if (offsets[i] > offsets[i + 1]) {
+      return Status::InvalidArgument(StrFormat(
+          "%s offsets not monotonic at %zu: %s", which, i, context.c_str()));
+    }
+  }
+  if (offsets.back() != targets.size()) {
+    return Status::InvalidArgument(StrFormat(
+        "%s offsets/targets length mismatch: %s", which, context.c_str()));
+  }
+  for (size_t i = 0; i < targets.size(); ++i) {
+    if (targets[i] >= num_nodes) {
+      return Status::InvalidArgument(StrFormat(
+          "%s target out of range at %zu: %s", which, i, context.c_str()));
+    }
+  }
+  return Status::OK();
 }
 
 }  // namespace
@@ -51,12 +99,17 @@ Status GraphIo::WriteBinary(const CitationGraph& g, const std::string& path) {
 Result<CitationGraph> GraphIo::ReadBinary(const std::string& path) {
   std::ifstream is(path, std::ios::binary);
   if (!is) return Status::IoError("cannot open for read: " + path);
+  return ReadBinaryFromStream(is, path);
+}
+
+Result<CitationGraph> GraphIo::ReadBinaryFromStream(
+    std::istream& is, const std::string& context) {
   uint64_t magic = 0;
   uint32_t version = 0;
   is.read(reinterpret_cast<char*>(&magic), sizeof(magic));
   is.read(reinterpret_cast<char*>(&version), sizeof(version));
   if (!is || magic != kMagic) {
-    return Status::InvalidArgument("bad graph file header: " + path);
+    return Status::InvalidArgument("bad graph file header: " + context);
   }
   if (version != kVersion) {
     return Status::InvalidArgument(
@@ -65,11 +118,22 @@ Result<CitationGraph> GraphIo::ReadBinary(const std::string& path) {
   CitationGraph g;
   if (!ReadVec(is, &g.out_offsets_) || !ReadVec(is, &g.out_targets_) ||
       !ReadVec(is, &g.in_offsets_) || !ReadVec(is, &g.in_targets_)) {
-    return Status::InvalidArgument("truncated graph file: " + path);
+    return Status::InvalidArgument("truncated graph file: " + context);
   }
-  if (g.out_offsets_.empty() || g.in_offsets_.size() != g.out_offsets_.size()) {
-    return Status::InvalidArgument("inconsistent graph file: " + path);
+  if (g.out_offsets_.empty() ||
+      g.in_offsets_.size() != g.out_offsets_.size()) {
+    return Status::InvalidArgument("inconsistent graph file: " + context);
   }
+  // Node count must fit PaperId: a graph bigger than that cannot be
+  // addressed by the 32-bit ids the rest of the pipeline uses.
+  const size_t num_nodes = g.out_offsets_.size() - 1;
+  if (num_nodes > std::numeric_limits<PaperId>::max()) {
+    return Status::InvalidArgument("graph too large for PaperId: " + context);
+  }
+  RPG_RETURN_NOT_OK(
+      ValidateCsr(g.out_offsets_, g.out_targets_, num_nodes, "out", context));
+  RPG_RETURN_NOT_OK(
+      ValidateCsr(g.in_offsets_, g.in_targets_, num_nodes, "in", context));
   return g;
 }
 

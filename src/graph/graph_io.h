@@ -1,6 +1,7 @@
 #ifndef RPG_GRAPH_GRAPH_IO_H_
 #define RPG_GRAPH_GRAPH_IO_H_
 
+#include <iosfwd>
 #include <string>
 #include <vector>
 
@@ -18,6 +19,19 @@ class GraphIo {
   /// Reads a graph written by WriteBinary. Fails with IoError on missing
   /// files and InvalidArgument on corrupt/mismatched headers.
   static Result<CitationGraph> ReadBinary(const std::string& path);
+
+  /// Reads a graph from an already-open binary stream; `context` names
+  /// the source in error messages. The seam ReadBinary delegates to,
+  /// exposed so the fuzz harness and tests can feed arbitrary bytes
+  /// without touching the filesystem. Length prefixes are never trusted
+  /// to size an allocation (a lying header fails on its first short
+  /// read instead of OOMing), and the CSR structure is validated —
+  /// monotonic offsets starting at 0, offsets.back() == target count,
+  /// every target < num_nodes — so a corrupt or hostile file fails with
+  /// InvalidArgument instead of producing a graph whose accessors read
+  /// out of bounds.
+  static Result<CitationGraph> ReadBinaryFromStream(std::istream& is,
+                                                    const std::string& context);
 
   /// Renders a node-induced sample as Graphviz DOT (edge u->v drawn as the
   /// citation direction). `labels` is optional (empty = use node ids);

@@ -1,12 +1,20 @@
 #include "serve/micro_batcher.h"
 
 #include <algorithm>
+#include <cmath>
 #include <utility>
 #include <vector>
 
 #include "common/logging.h"
 
 namespace rpg::serve {
+
+namespace {
+/// EWMA smoothing for per-item service time: ~0.2 weights the last
+/// dozen-ish batches, enough to track load shifts without flapping the
+/// Retry-After hint on every outlier batch.
+constexpr double kEwmaAlpha = 0.2;
+}  // namespace
 
 MicroBatcher::MicroBatcher(core::BatchEngine* engine,
                            MicroBatcherOptions options)
@@ -43,10 +51,14 @@ void MicroBatcher::SubmitAsync(core::BatchQuery query, Callback callback) {
                pending_.size() >= options_.max_queue_depth) {
       // Overload shed: beyond this point queueing only grows latency
       // for everyone; better to fail fast and let the client retry.
+      // The Retry-After hint is the measured time to drain what is
+      // already queued, so well-behaved clients come back when a slot
+      // is actually likely to exist.
       ++stats_.rejected_overload;
       rejected = Status::Unavailable(
-          "micro-batch queue full (" +
-          std::to_string(options_.max_queue_depth) + " waiting)");
+                     "micro-batch queue full (" +
+                     std::to_string(options_.max_queue_depth) + " waiting)")
+                     .WithRetryAfter(RetryAfterSecondsLocked());
     } else {
       pending_.push_back(std::move(p));
       ++stats_.requests;
@@ -71,12 +83,21 @@ MicroBatcherStats MicroBatcher::Stats() const {
   std::lock_guard<std::mutex> lock(mu_);
   MicroBatcherStats stats = stats_;
   stats.queue_depth = pending_.size();
+  stats.ewma_item_seconds = ewma_item_seconds_;
   return stats;
+}
+
+int MicroBatcher::RetryAfterSecondsLocked() const {
+  const double drain =
+      ewma_item_seconds_ * static_cast<double>(pending_.size());
+  return static_cast<int>(std::clamp(std::ceil(drain), 1.0, 30.0));
 }
 
 void MicroBatcher::DispatchLoop() {
   for (;;) {
     std::deque<Pending> batch;
+    std::vector<Callback> expired;
+    int expired_retry_after = 1;
     bool flushed_on_size = false;
     {
       std::unique_lock<std::mutex> lock(mu_);
@@ -88,22 +109,46 @@ void MicroBatcher::DispatchLoop() {
       while (pending_.size() < options_.max_batch_size && !shutdown_) {
         if (cv_.wait_until(lock, deadline) == std::cv_status::timeout) break;
       }
+      // Queue deadline: entries that waited past queue_deadline are
+      // expired, not solved — their callers have given up (or will, by
+      // the time the engine would finish). The deque is FIFO, so the
+      // expired prefix is exactly the over-age set.
+      if (options_.queue_deadline.count() > 0) {
+        const auto now = std::chrono::steady_clock::now();
+        while (!pending_.empty() &&
+               now - pending_.front().enqueued > options_.queue_deadline) {
+          expired.push_back(std::move(pending_.front().callback));
+          pending_.pop_front();
+          ++stats_.deadline_expired;
+        }
+        if (!expired.empty()) {
+          expired_retry_after = RetryAfterSecondsLocked();
+        }
+      }
       flushed_on_size = pending_.size() >= options_.max_batch_size;
       size_t take = std::min(pending_.size(), options_.max_batch_size);
       for (size_t i = 0; i < take; ++i) {
         batch.push_back(std::move(pending_.front()));
         pending_.pop_front();
       }
-      ++stats_.batches;
-      if (flushed_on_size) {
-        ++stats_.flushes_on_size;
-      } else {
-        ++stats_.flushes_on_deadline;
+      if (!batch.empty()) {
+        ++stats_.batches;
+        if (flushed_on_size) {
+          ++stats_.flushes_on_size;
+        } else {
+          ++stats_.flushes_on_deadline;
+        }
+        stats_.max_batch_size_seen =
+            std::max(stats_.max_batch_size_seen, batch.size());
       }
-      stats_.max_batch_size_seen =
-          std::max(stats_.max_batch_size_seen, batch.size());
     }
-    RunBatch(std::move(batch));
+    // Expired completions fire outside mu_, like every other callback.
+    for (Callback& callback : expired) {
+      callback(Status::DeadlineExceeded(
+                   "request expired in micro-batch queue")
+                   .WithRetryAfter(expired_retry_after));
+    }
+    if (!batch.empty()) RunBatch(std::move(batch));
   }
 }
 
@@ -113,6 +158,15 @@ void MicroBatcher::RunBatch(std::deque<Pending> batch) {
   for (const Pending& p : batch) queries.push_back(p.query);
   core::BatchResult result = engine_->Run(queries);
   RPG_CHECK(result.results.size() == batch.size());
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    const double per_item =
+        result.wall_seconds / static_cast<double>(batch.size());
+    ewma_item_seconds_ = ewma_item_seconds_ == 0
+                             ? per_item
+                             : kEwmaAlpha * per_item +
+                                   (1 - kEwmaAlpha) * ewma_item_seconds_;
+  }
   if (options_.on_batch) options_.on_batch(batch.size(), result.wall_seconds);
   for (size_t i = 0; i < batch.size(); ++i) {
     batch[i].callback(std::move(result.results[i]));

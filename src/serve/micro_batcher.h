@@ -52,6 +52,14 @@ struct MicroBatcherOptions {
   /// bounded by max_queue_depth + the batch currently executing.
   /// 0 = unbounded (the pre-overload-control behavior).
   size_t max_queue_depth = 256;
+  /// Per-request queue deadline: an entry that has already waited
+  /// longer than this when the dispatcher assembles a batch is
+  /// completed with Status::DeadlineExceeded instead of being solved —
+  /// under sustained overload, work nobody is waiting for anymore is
+  /// dropped before it wastes engine time. The status carries a
+  /// Retry-After hint from the measured drain time (see Stats().
+  /// ewma_item_seconds). 0 = disabled.
+  std::chrono::milliseconds queue_deadline{0};
   /// Called on the dispatcher thread after every batch with (batch size,
   /// engine wall seconds) — the ServeEngine's metrics tap. May be empty.
   std::function<void(size_t, double)> on_batch;
@@ -66,9 +74,16 @@ struct MicroBatcherStats {
   size_t max_batch_size_seen = 0;
   /// Submissions shed with Unavailable because the queue was full.
   uint64_t rejected_overload = 0;
+  /// Queued requests expired with DeadlineExceeded (waited past
+  /// queue_deadline before the dispatcher got to them).
+  uint64_t deadline_expired = 0;
   /// Requests waiting right now (the overload gauge; excludes the batch
   /// currently executing on the engine).
   size_t queue_depth = 0;
+  /// EWMA of per-item engine service time (seconds). queue_depth ×
+  /// this, clamped to [1, 30] s, is the Retry-After hint attached to
+  /// shed/expired statuses.
+  double ewma_item_seconds = 0;
 };
 
 class MicroBatcher {
@@ -114,6 +129,10 @@ class MicroBatcher {
   void DispatchLoop();
   /// Runs one batch on the engine and fulfills its promises.
   void RunBatch(std::deque<Pending> batch);
+  /// Retry-After hint for a status completed right now: measured drain
+  /// time (EWMA per-item service time × current queue depth) in whole
+  /// seconds, clamped to [1, 30]. Requires mu_.
+  int RetryAfterSecondsLocked() const;
 
   core::BatchEngine* engine_;
   MicroBatcherOptions options_;
@@ -123,6 +142,9 @@ class MicroBatcher {
   std::deque<Pending> pending_;
   bool shutdown_ = false;
   MicroBatcherStats stats_;
+  /// EWMA of per-item engine wall time (seconds); 0 until the first
+  /// batch completes. Guarded by mu_.
+  double ewma_item_seconds_ = 0;
 
   std::thread dispatcher_;
 };

@@ -72,6 +72,7 @@ ServeEngine::ServeEngine(const core::RePaGer* repager,
       coalesced_hits_(metrics_.GetCounter("coalesced_hits")),
       errors_total_(metrics_.GetCounter("errors_total")),
       shed_total_(metrics_.GetCounter("shed_total")),
+      deadline_exceeded_total_(metrics_.GetCounter("deadline_exceeded_total")),
       inflight_requests_(metrics_.GetGauge("inflight_requests")),
       e2e_ms_(metrics_.GetHistogram("e2e_ms", LatencyBucketEdgesMs())),
       hit_ms_(metrics_.GetHistogram("cache_hit_ms", LatencyBucketEdgesMs())) {
@@ -184,6 +185,9 @@ void ServeEngine::GenerateAsync(const std::string& query, int num_seeds,
         if (!computed.ok() && computed.status().IsUnavailable()) {
           shed_total_->Increment();
         }
+        if (!computed.ok() && computed.status().IsDeadlineExceeded()) {
+          deadline_exceeded_total_->Increment();
+        }
         Result<CachedResult> outcome =
             computed.ok()
                 ? Result<CachedResult>(
@@ -275,6 +279,13 @@ std::string ServeEngine::StatsJson() const {
   w.Key("queue_depth").UInt(bs.queue_depth);
   w.Key("max_queue_depth").UInt(options_.batcher.max_queue_depth);
   w.Key("rejected_overload").UInt(bs.rejected_overload);
+  w.Key("deadline_expired").UInt(bs.deadline_expired);
+  w.Key("queue_deadline_ms")
+      .UInt(static_cast<uint64_t>(
+          options_.batcher.queue_deadline.count() < 0
+              ? 0
+              : options_.batcher.queue_deadline.count()));
+  w.Key("ewma_item_seconds").Double(bs.ewma_item_seconds);
   w.Key("threads").UInt(batch_engine_.num_threads());
   w.EndObject();
   w.Key("metrics").Raw(metrics_.ToJson());

@@ -161,6 +161,10 @@ class ServeEngine {
   /// HTTP 429 at the edge). Counted once per shed computation, not per
   /// coalesced waiter.
   Counter* shed_total_;
+  /// Requests expired by the batcher's queue deadline
+  /// (Status::DeadlineExceeded → HTTP 503 at the edge). Counted once per
+  /// expired computation, like shed_total_.
+  Counter* deadline_exceeded_total_;
   Gauge* inflight_requests_;
   MetricHistogram* e2e_ms_;
   MetricHistogram* hit_ms_;

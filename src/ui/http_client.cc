@@ -62,6 +62,60 @@ Result<ClientResponse> HttpClient::Fetch(const std::string& method,
   return response_or;
 }
 
+ResponseParseResult ParseHttpResponse(const std::string& buffer) {
+  ResponseParseResult result;
+  auto fail = [&result](std::string error) -> ResponseParseResult& {
+    result.verdict = ResponseParseResult::Verdict::kError;
+    result.error = std::move(error);
+    return result;
+  };
+  size_t header_end = buffer.find("\r\n\r\n");
+  if (header_end == std::string::npos) return result;  // need more
+  size_t line_end = buffer.find("\r\n");
+  {
+    // Status line: "HTTP/1.1 200 OK".
+    std::vector<std::string> parts =
+        SplitWhitespace(buffer.substr(0, line_end));
+    if (parts.size() < 2 || !StartsWith(parts[0], "HTTP/")) {
+      return fail("malformed status line");
+    }
+    // Strict three-digit status parse: atoi would quietly turn "2x0" or
+    // "junk" into a bogus code and mis-signal the caller.
+    const std::string& code = parts[1];
+    if (code.size() != 3 || code[0] < '1' || code[0] > '9' ||
+        !std::isdigit(static_cast<unsigned char>(code[1])) ||
+        !std::isdigit(static_cast<unsigned char>(code[2]))) {
+      return fail("malformed status code: " + code);
+    }
+    result.response.status =
+        (code[0] - '0') * 100 + (code[1] - '0') * 10 + (code[2] - '0');
+  }
+  // Zero-header responses have header_end == line_end; the unclamped
+  // subtraction would underflow (same guard as the server-side framing).
+  size_t header_len =
+      header_end >= line_end + 2 ? header_end - line_end - 2 : 0;
+  ParseHeaderLines(buffer.substr(line_end + 2, header_len),
+                   &result.response.headers);
+  size_t body_len = 0;
+  if (auto it = result.response.headers.find("content-length");
+      it != result.response.headers.end()) {
+    // Same strict parse as the server: a garbage length would misframe
+    // every later response on this keep-alive connection.
+    if (!ParseContentLength(it->second, &body_len)) {
+      return fail("malformed Content-Length: " + it->second);
+    }
+  }
+  size_t total = header_end + 4 + body_len;
+  if (buffer.size() < total) {
+    result.response = ClientResponse{};  // partial parse: report nothing
+    return result;                       // need more (body incomplete)
+  }
+  result.response.body = buffer.substr(header_end + 4, body_len);
+  result.verdict = ResponseParseResult::Verdict::kResponse;
+  result.consumed = total;
+  return result;
+}
+
 Result<ClientResponse> HttpClient::FetchOnce(const std::string& request) {
   size_t written = 0;
   while (written < request.size()) {
@@ -75,8 +129,21 @@ Result<ClientResponse> HttpClient::FetchOnce(const std::string& request) {
   }
 
   char chunk[4096];
-  size_t header_end;
-  while ((header_end = buffer_.find("\r\n\r\n")) == std::string::npos) {
+  for (;;) {
+    ResponseParseResult parsed = ParseHttpResponse(buffer_);
+    if (parsed.verdict == ResponseParseResult::Verdict::kError) {
+      Close();
+      return Status::IoError(parsed.error);
+    }
+    if (parsed.verdict == ResponseParseResult::Verdict::kResponse) {
+      buffer_.erase(0, parsed.consumed);
+      if (auto it = parsed.response.headers.find("connection");
+          it != parsed.response.headers.end() &&
+          ContainsIgnoreCase(it->second, "close")) {
+        Close();
+      }
+      return std::move(parsed.response);
+    }
     ssize_t n = ::read(fd_, chunk, sizeof(chunk));
     if (n <= 0) {
       Close();
@@ -84,59 +151,6 @@ Result<ClientResponse> HttpClient::FetchOnce(const std::string& request) {
     }
     buffer_.append(chunk, static_cast<size_t>(n));
   }
-
-  ClientResponse response;
-  size_t line_end = buffer_.find("\r\n");
-  {
-    // Status line: "HTTP/1.1 200 OK".
-    std::vector<std::string> parts =
-        SplitWhitespace(buffer_.substr(0, line_end));
-    if (parts.size() < 2 || !StartsWith(parts[0], "HTTP/")) {
-      Close();
-      return Status::IoError("malformed status line");
-    }
-    // Strict three-digit status parse: atoi would quietly turn "2x0" or
-    // "junk" into a bogus code and mis-signal the caller.
-    const std::string& code = parts[1];
-    if (code.size() != 3 || code[0] < '1' || code[0] > '9' ||
-        !std::isdigit(static_cast<unsigned char>(code[1])) ||
-        !std::isdigit(static_cast<unsigned char>(code[2]))) {
-      Close();
-      return Status::IoError("malformed status code: " + code);
-    }
-    response.status =
-        (code[0] - '0') * 100 + (code[1] - '0') * 10 + (code[2] - '0');
-  }
-  ParseHeaderLines(buffer_.substr(line_end + 2, header_end - line_end - 2),
-                   &response.headers);
-  size_t body_len = 0;
-  if (auto it = response.headers.find("content-length");
-      it != response.headers.end()) {
-    // Same strict parse as the server: a garbage length would misframe
-    // every later response on this keep-alive connection.
-    if (!ParseContentLength(it->second, &body_len)) {
-      Close();
-      return Status::IoError("malformed Content-Length: " + it->second);
-    }
-  }
-  size_t total = header_end + 4 + body_len;
-  while (buffer_.size() < total) {
-    ssize_t n = ::read(fd_, chunk, sizeof(chunk));
-    if (n <= 0) {
-      Close();
-      return Status::IoError("connection closed mid-body");
-    }
-    buffer_.append(chunk, static_cast<size_t>(n));
-  }
-  response.body = buffer_.substr(header_end + 4, body_len);
-  buffer_.erase(0, total);
-
-  if (auto it = response.headers.find("connection");
-      it != response.headers.end() &&
-      ContainsIgnoreCase(it->second, "close")) {
-    Close();
-  }
-  return response;
 }
 
 }  // namespace rpg::ui

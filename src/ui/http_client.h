@@ -24,6 +24,26 @@ struct ClientResponse {
   std::string body;
 };
 
+/// Outcome of framing one HTTP response out of a raw byte buffer.
+struct ResponseParseResult {
+  enum class Verdict {
+    kNeedMore,   ///< incomplete: read more bytes and re-parse
+    kResponse,   ///< one complete response parsed; `consumed` bytes used
+    kError,      ///< malformed: drop the connection
+  };
+  Verdict verdict = Verdict::kNeedMore;
+  ClientResponse response;  ///< valid when kResponse
+  size_t consumed = 0;      ///< bytes of `buffer` used (kResponse)
+  std::string error;        ///< human-readable cause (kError)
+};
+
+/// Frames at most one complete HTTP/1.1 response out of `buffer` — the
+/// exact parse HttpClient runs per fetch (strict three-digit status,
+/// strict Content-Length, Content-Length framing), extracted behind a
+/// socket-free seam so the fuzz harness and unit tests can drive it with
+/// arbitrary bytes.
+ResponseParseResult ParseHttpResponse(const std::string& buffer);
+
 /// One client connection. Not thread-safe: use one per client thread.
 class HttpClient {
  public:

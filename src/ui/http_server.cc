@@ -158,6 +158,86 @@ bool ParseContentLength(const std::string& value, size_t* out) {
   return true;
 }
 
+FrameResult FrameOneRequest(const std::string& in, bool peer_eof,
+                            const FramingLimits& limits) {
+  FrameResult result;
+  auto fail = [&result](int status, std::string message) -> FrameResult& {
+    result.verdict = FrameResult::Verdict::kError;
+    result.error_status = status;
+    result.error_message = std::move(message);
+    return result;
+  };
+  size_t header_end = in.find("\r\n\r\n");
+  if (header_end == std::string::npos) {
+    if (in.size() > limits.max_header_bytes) {
+      return fail(431, "header block too large");
+    }
+    if (peer_eof) {
+      // Truncated request, nothing to answer.
+      result.verdict = FrameResult::Verdict::kClose;
+    }
+    return result;
+  }
+  // The incomplete-header check above cannot see a block that arrived
+  // whole in one read pass; re-enforce the ceiling on the complete
+  // block or a single burst would bypass the 431.
+  if (header_end > limits.max_header_bytes) {
+    return fail(431, "header block too large");
+  }
+  size_t line_end = in.find("\r\n");
+  auto request_or = ParseRequestLine(in.substr(0, line_end));
+  if (!request_or.ok()) {
+    return fail(400, request_or.status().ToString());
+  }
+  HttpRequest request = std::move(request_or).value();
+  // A request with zero header lines has header_end == line_end; the
+  // unclamped subtraction would underflow and swallow the rest of the
+  // (pipelined) buffer as headers.
+  size_t header_len =
+      header_end >= line_end + 2 ? header_end - line_end - 2 : 0;
+  ParseHeaderLines(in.substr(line_end + 2, header_len), &request.headers);
+  size_t body_len = 0;
+  if (auto it = request.headers.find("content-length");
+      it != request.headers.end()) {
+    // Strict parse: "abc", "-1", overflow, and folded duplicates
+    // ("5, 6") are all 400s. The old permissive strtoull read them as
+    // 0 and re-parsed the body bytes as the next pipelined request.
+    if (!ParseContentLength(it->second, &body_len)) {
+      return fail(400, "malformed Content-Length");
+    }
+  }
+  if (body_len > limits.max_body_bytes) {
+    return fail(413, "body too large");
+  }
+  size_t total = header_end + 4 + body_len;
+  // Unreachable with the 431/413 ceilings above, but a request that
+  // could never fit the read buffer must be rejected, not waited on —
+  // level-triggered EPOLLIN on the unread bytes would spin a poller.
+  if (total > limits.MaxBufferedBytes()) {
+    return fail(413, "request too large");
+  }
+  if (in.size() < total) {
+    if (peer_eof) result.verdict = FrameResult::Verdict::kClose;
+    return result;  // body can never complete / need more bytes
+  }
+  request.body = in.substr(header_end + 4, body_len);
+
+  // Persistence: HTTP/1.1 defaults to keep-alive, HTTP/1.0 to close;
+  // an explicit Connection header wins either way.
+  bool keep_alive = request.version != "HTTP/1.0";
+  if (auto it = request.headers.find("connection");
+      it != request.headers.end()) {
+    keep_alive = !ContainsIgnoreCase(it->second, "close") &&
+                 (keep_alive ||
+                  ContainsIgnoreCase(it->second, "keep-alive"));
+  }
+  result.verdict = FrameResult::Verdict::kRequest;
+  result.request = std::move(request);
+  result.consumed = total;
+  result.keep_alive = keep_alive;
+  return result;
+}
+
 // --------------------------------------------------------------- reactor
 
 /// Cross-poller stats. Relaxed atomics: the gauges feed /api/stats and
@@ -171,6 +251,31 @@ struct HttpServer::SharedState {
   std::atomic<uint64_t> connections_shed{0};
   std::atomic<uint64_t> idle_closes{0};
   std::atomic<uint64_t> timeout_closes{0};
+  std::atomic<uint64_t> deadline_closes{0};
+  std::atomic<uint64_t> per_ip_shed{0};
+
+  /// Per-IP open-connection counts (host byte order), shared across
+  /// pollers because one IP's connections land on all of them. Touched
+  /// only at accept and close, and only when max_connections_per_ip is
+  /// on, so the lock is far off the request path.
+  std::mutex per_ip_mu;
+  std::unordered_map<uint32_t, size_t> per_ip_open;
+
+  /// Reserves a slot for `ip`; false when the cap is already met.
+  bool TryAcquireIp(uint32_t ip, size_t cap) {
+    std::lock_guard<std::mutex> lock(per_ip_mu);
+    size_t& count = per_ip_open[ip];
+    if (count >= cap) return false;
+    ++count;
+    return true;
+  }
+
+  void ReleaseIp(uint32_t ip) {
+    std::lock_guard<std::mutex> lock(per_ip_mu);
+    auto it = per_ip_open.find(ip);
+    if (it == per_ip_open.end()) return;
+    if (--it->second == 0) per_ip_open.erase(it);
+  }
 };
 
 /// One reactor thread: an epoll instance multiplexing the listen socket
@@ -286,6 +391,10 @@ class HttpServer::Poller : public std::enable_shared_from_this<Poller> {
     /// advancing in the outer loop instead of recursing once per
     /// buffered request (attacker-controlled depth otherwise).
     bool pumping = false;
+    /// Peer IPv4 (host order) holding a per-IP slot; released at close.
+    /// Only meaningful when ip_tracked (cap enabled at accept time).
+    uint32_t peer_ip = 0;
+    bool ip_tracked = false;
     size_t drained = 0;
     uint64_t request_seq = 0;  ///< guards stale/duplicate completions
     uint32_t interest = EPOLLIN;
@@ -356,6 +465,7 @@ class HttpServer::Poller : public std::enable_shared_from_this<Poller> {
     }
     for (auto& [id, conn] : conns_) {
       ::close(conn->fd);
+      if (conn->ip_tracked) shared_->ReleaseIp(conn->peer_ip);
       shared_->open_connections.fetch_sub(1);
     }
     conns_.clear();
@@ -432,7 +542,23 @@ class HttpServer::Poller : public std::enable_shared_from_this<Poller> {
           CloseConn(conn);
           break;
         case Conn::State::kHandling:
-          break;  // disarmed at dispatch; a live gen here is a bug, not fatal
+          // The handler blew its deadline: answer 503 + close on its
+          // behalf. Bumping request_seq makes the eventual late
+          // completion a guaranteed no-op even if the conn were somehow
+          // back in kHandling by then (it cannot be — close_after_write
+          // — but the guard is cheap).
+          shared_->deadline_closes.fetch_add(1);
+          ++conn->request_seq;
+          conn->keep_alive = false;
+          conn->close_after_write = true;
+          {
+            HttpResponse response;
+            response.status = 503;
+            response.content_type = "text/plain";
+            response.body = "handler deadline exceeded";
+            StartResponse(conn, response);  // may destroy the conn
+          }
+          break;
       }
     }
   }
@@ -448,11 +574,26 @@ class HttpServer::Poller : public std::enable_shared_from_this<Poller> {
 
   void DisarmDeadline(Conn* conn) { ++conn->deadline_gen; }
 
+  /// Sheds a just-accepted fd with the canned inline 503: half-close,
+  /// drain what the client already sent (close() on unread bytes would
+  /// RST the 503 away), then give the descriptor back.
+  static void ShedAccepted(int fd) {
+    [[maybe_unused]] ssize_t n =
+        ::send(fd, kShedResponse, sizeof(kShedResponse) - 1, MSG_NOSIGNAL);
+    ::shutdown(fd, SHUT_WR);
+    char discard[4096];
+    while (::read(fd, discard, sizeof(discard)) > 0) {
+    }
+    ::close(fd);
+  }
+
   void AcceptAll() {
     if (draining_) return;  // listen fd deregistered; stale event
     for (;;) {
-      int fd = ::accept4(listen_fd_, nullptr, nullptr,
-                         SOCK_NONBLOCK | SOCK_CLOEXEC);
+      sockaddr_in peer{};
+      socklen_t peer_len = sizeof(peer);
+      int fd = ::accept4(listen_fd_, reinterpret_cast<sockaddr*>(&peer),
+                         &peer_len, SOCK_NONBLOCK | SOCK_CLOEXEC);
       if (fd < 0) {
         if (errno == EINTR) continue;
         if ((errno == EMFILE || errno == ENFILE) && spare_fd_ >= 0) {
@@ -477,28 +618,38 @@ class HttpServer::Poller : public std::enable_shared_from_this<Poller> {
       if (options_->max_connections > 0 &&
           shared_->open_connections.load() >= options_->max_connections) {
         shared_->connections_shed.fetch_add(1);
-        [[maybe_unused]] ssize_t n =
-            ::send(fd, kShedResponse, sizeof(kShedResponse) - 1, MSG_NOSIGNAL);
-        // Half-close and drain what the client already sent: close() on
-        // unread received bytes would RST the 503 out of its socket
-        // buffer. (A client that keeps streaming after our FIN can
-        // still race the close — shedding must not hold the fd, so that
-        // residual window is accepted.)
-        ::shutdown(fd, SHUT_WR);
-        char discard[4096];
-        while (::read(fd, discard, sizeof(discard)) > 0) {
-        }
-        ::close(fd);
+        // (A client that keeps streaming after our FIN can still race
+        // the close — shedding must not hold the fd, so that residual
+        // window is accepted.)
+        ShedAccepted(fd);
         continue;
+      }
+      // Per-IP cap: same inline shed, but charged to the one source
+      // that exhausted its own budget rather than to global overload.
+      const uint32_t peer_ip =
+          peer.sin_family == AF_INET ? ntohl(peer.sin_addr.s_addr) : 0;
+      bool ip_tracked = false;
+      if (options_->max_connections_per_ip > 0 &&
+          peer.sin_family == AF_INET) {
+        if (!shared_->TryAcquireIp(peer_ip,
+                                   options_->max_connections_per_ip)) {
+          shared_->per_ip_shed.fetch_add(1);
+          ShedAccepted(fd);
+          continue;
+        }
+        ip_tracked = true;
       }
       auto conn = std::make_unique<Conn>();
       conn->fd = fd;
+      conn->peer_ip = peer_ip;
+      conn->ip_tracked = ip_tracked;
       const uint64_t id = next_conn_id_++;
       conn->id = id;
       epoll_event ev{};
       ev.events = EPOLLIN;
       ev.data.u64 = id;
       if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev) < 0) {
+        if (ip_tracked) shared_->ReleaseIp(peer_ip);
         ::close(fd);
         continue;
       }
@@ -633,86 +784,37 @@ class HttpServer::Poller : public std::enable_shared_from_this<Poller> {
   /// needed or a protocol error took over the connection. May destroy
   /// the conn.
   bool ParseAndDispatchOne(Conn* conn) {
-    size_t header_end = conn->in.find("\r\n\r\n");
-    if (header_end == std::string::npos) {
-      if (conn->in.size() > options_->max_header_bytes) {
-        SendProtocolError(conn, 431, "header block too large");
-      } else if (conn->peer_eof) {
-        CloseConn(conn);  // truncated request, nothing to answer
-      }
-      return false;
-    }
-    // The incomplete-header check above cannot see a block that arrived
-    // whole in one read pass; re-enforce the ceiling on the complete
-    // block or a single burst would bypass the 431.
-    if (header_end > options_->max_header_bytes) {
-      SendProtocolError(conn, 431, "header block too large");
-      return false;
-    }
-    size_t line_end = conn->in.find("\r\n");
-    auto request_or = ParseRequestLine(conn->in.substr(0, line_end));
-    if (!request_or.ok()) {
-      SendProtocolError(conn, 400, request_or.status().ToString().c_str());
-      return false;
-    }
-    HttpRequest request = std::move(request_or).value();
-    // A request with zero header lines has header_end == line_end; the
-    // unclamped subtraction would underflow and swallow the rest of the
-    // (pipelined) buffer as headers.
-    size_t header_len =
-        header_end >= line_end + 2 ? header_end - line_end - 2 : 0;
-    ParseHeaderLines(conn->in.substr(line_end + 2, header_len),
-                     &request.headers);
-    size_t body_len = 0;
-    if (auto it = request.headers.find("content-length");
-        it != request.headers.end()) {
-      // Strict parse: "abc", "-1", overflow, and folded duplicates
-      // ("5, 6") are all 400s. The old permissive strtoull read them as
-      // 0 and re-parsed the body bytes as the next pipelined request.
-      if (!ParseContentLength(it->second, &body_len)) {
-        SendProtocolError(conn, 400, "malformed Content-Length");
+    FrameResult framed = FrameOneRequest(
+        conn->in, conn->peer_eof,
+        {options_->max_header_bytes, options_->max_body_bytes});
+    switch (framed.verdict) {
+      case FrameResult::Verdict::kNeedMore:
         return false;
-      }
+      case FrameResult::Verdict::kClose:
+        CloseConn(conn);
+        return false;
+      case FrameResult::Verdict::kError:
+        SendProtocolError(conn, framed.error_status,
+                          framed.error_message.c_str());
+        return false;
+      case FrameResult::Verdict::kRequest:
+        break;
     }
-    if (body_len > options_->max_body_bytes) {
-      SendProtocolError(conn, 413, "body too large");
-      return false;
-    }
-    size_t total = header_end + 4 + body_len;
-    // Unreachable with the 431/413 ceilings above, but a request that
-    // could never fit the read buffer must be rejected, not waited on —
-    // level-triggered EPOLLIN on the unread bytes would spin a poller.
-    if (total > MaxBufferedBytes()) {
-      SendProtocolError(conn, 413, "request too large");
-      return false;
-    }
-    if (conn->in.size() < total) {
-      if (conn->peer_eof) CloseConn(conn);  // body can never complete
-      return false;
-    }
-    request.body = conn->in.substr(header_end + 4, body_len);
-    conn->in.erase(0, total);  // keep pipelined bytes for the next round
+    HttpRequest request = std::move(framed.request);
+    conn->in.erase(0, framed.consumed);  // keep pipelined bytes for later
 
-    // Persistence: HTTP/1.1 defaults to keep-alive, HTTP/1.0 to close;
-    // an explicit Connection header wins either way. A peer that
-    // half-closed cannot send another request — but requests it
-    // pipelined before the FIN are already in conn->in and still get
+    // A peer that half-closed cannot send another request — but requests
+    // it pipelined before the FIN are already in conn->in and still get
     // served; the close happens once the buffer runs dry.
-    bool keep_alive = request.version != "HTTP/1.0";
-    if (auto it = request.headers.find("connection");
-        it != request.headers.end()) {
-      keep_alive = !ContainsIgnoreCase(it->second, "close") &&
-                   (keep_alive ||
-                    ContainsIgnoreCase(it->second, "keep-alive"));
-    }
     conn->keep_alive =
-        keep_alive && (!conn->peer_eof || !conn->in.empty());
+        framed.keep_alive && (!conn->peer_eof || !conn->in.empty());
 
     conn->state = Conn::State::kHandling;
-    // No deadline while the handler owns the request: compute time is
-    // the serve layer's to bound (queue-depth shedding), not the
-    // reactor's.
-    DisarmDeadline(conn);
+    // The handler deadline starts at dispatch: a wedged solve gets a
+    // server-side 503 at handler_timeout instead of pinning this
+    // connection until Stop(). <= 0 leaves kHandling unbounded (the
+    // serve layer's queue-depth shedding is then the only limit).
+    ArmDeadline(conn, options_->handler_timeout);
     shared_->requests_handled.fetch_add(1);
     const uint64_t id = conn->id;
     const uint64_t seq = ++conn->request_seq;
@@ -871,6 +973,7 @@ class HttpServer::Poller : public std::enable_shared_from_this<Poller> {
   void CloseConn(Conn* conn) {
     ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, conn->fd, nullptr);
     ::close(conn->fd);
+    if (conn->ip_tracked) shared_->ReleaseIp(conn->peer_ip);
     shared_->open_connections.fetch_sub(1);
     conns_.erase(conn->id);  // destroys *conn
   }
@@ -988,6 +1091,8 @@ HttpServerStats HttpServer::Stats() const {
   stats.connections_shed = shared_->connections_shed.load();
   stats.idle_closes = shared_->idle_closes.load();
   stats.timeout_closes = shared_->timeout_closes.load();
+  stats.deadline_closes = shared_->deadline_closes.load();
+  stats.per_ip_shed = shared_->per_ip_shed.load();
   return stats;
 }
 

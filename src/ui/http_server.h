@@ -82,6 +82,43 @@ std::string UrlDecode(const std::string& s);
 /// tests.
 bool ParseContentLength(const std::string& value, size_t* out);
 
+/// Size ceilings the request-framing layer enforces (a plain-data mirror
+/// of the HttpServerOptions fields the parser needs, so framing can run
+/// without a server).
+struct FramingLimits {
+  size_t max_header_bytes = 64 * 1024;
+  size_t max_body_bytes = 1024 * 1024;
+  /// One maximal buffered request: header block + "\r\n\r\n" + body.
+  size_t MaxBufferedBytes() const {
+    return max_header_bytes + 4 + max_body_bytes;
+  }
+};
+
+/// Outcome of framing one request out of a raw byte buffer.
+struct FrameResult {
+  enum class Verdict {
+    kNeedMore,  ///< incomplete: read more bytes
+    kRequest,   ///< one complete request parsed; `consumed` bytes used
+    kError,     ///< protocol error: answer `error_status`, then close
+    kClose,     ///< peer EOF with nothing answerable: just close
+  };
+  Verdict verdict = Verdict::kNeedMore;
+  HttpRequest request;     ///< valid when kRequest
+  size_t consumed = 0;     ///< bytes of `in` the request used (kRequest)
+  bool keep_alive = true;  ///< header-derived persistence (kRequest)
+  int error_status = 0;    ///< 400/413/431 when kError
+  std::string error_message;
+};
+
+/// Frames at most one complete HTTP/1.1 request out of `in` — the exact
+/// logic the reactor runs per connection (header/body ceilings, strict
+/// Content-Length, keep-alive negotiation), extracted behind a
+/// socket-free seam so the fuzz harnesses and unit tests can drive the
+/// request state machine with arbitrary byte streams. `peer_eof` is
+/// whether the client half-closed after these bytes.
+FrameResult FrameOneRequest(const std::string& in, bool peer_eof,
+                            const FramingLimits& limits);
+
 struct HttpServerOptions {
   /// Poller (reactor) threads. Each owns one epoll instance; the listen
   /// socket is registered with EPOLLEXCLUSIVE in every poller, so the
@@ -114,12 +151,27 @@ struct HttpServerOptions {
   /// write) get up to this long to finish before being cut. <= 0 makes
   /// Stop() immediate (the pre-lifecycle behavior).
   std::chrono::milliseconds drain_timeout{5'000};
+  /// Deadline for a request in kHandling: if the handler (or the compute
+  /// it dispatched) has not completed within this budget, the server
+  /// answers `503` + `Connection: close` itself and the late completion
+  /// is dropped by the (conn id, seq) guard. This is the reactor's
+  /// backstop against a wedged solve pinning its connection forever; the
+  /// serve layer's own queue deadline should fire first. <= 0 disables
+  /// (the pre-PR-6 behavior: no deadline while the handler owns the
+  /// request).
+  std::chrono::milliseconds handler_timeout{30'000};
   /// Open-connection cap across all pollers. A connection accepted at
   /// the cap is shed with an inline `503 Connection: close` (plus
   /// Retry-After) instead of silently consuming an fd. The check is a
   /// relaxed read, so a burst across pollers can briefly overshoot by
   /// num_pollers - 1. 0 = unlimited.
   size_t max_connections = 1024;
+  /// Open-connection cap per client IP, so one hostile source cannot
+  /// starve the global `max_connections` budget once serving leaves
+  /// loopback. Enforced at accept with the same inline 503 shed as the
+  /// global cap. 0 = disabled (the default: everything is one IP on
+  /// loopback).
+  size_t max_connections_per_ip = 0;
 };
 
 /// Point-in-time reactor counters (relaxed atomics — freshness, not a
@@ -141,6 +193,12 @@ struct HttpServerStats {
   uint64_t idle_closes = 0;
   /// Connections cut by the write/drain progress deadline.
   uint64_t timeout_closes = 0;
+  /// Requests answered 503 by the handler deadline (kHandling exceeded
+  /// `handler_timeout`; the connection closes behind the 503).
+  uint64_t deadline_closes = 0;
+  /// Connections refused at accept because their IP hit
+  /// `max_connections_per_ip`.
+  uint64_t per_ip_shed = 0;
 };
 
 /// Epoll-based HTTP/1.1 server for the RePaGer serving layer (§V +

@@ -9,8 +9,6 @@
 
 namespace rpg::ui {
 
-namespace {
-
 /// Strict bounded parse for numeric query parameters: ASCII digits
 /// only (no sign, whitespace, or trailing garbage), value within
 /// [min, max]. The old atoi turned "abc" into 0 (silently falling back
@@ -26,6 +24,8 @@ bool ParseBoundedInt(const std::string& s, int min, int max, int* out) {
   *out = value;
   return true;
 }
+
+namespace {
 
 /// Parameter bounds for /api/path. Seeds beyond 1000 would dwarf the
 /// corpus; years outside [1000, 2100] cannot match any paper (years are
@@ -114,10 +114,15 @@ HttpResponse RePagerService::ErrorResponse(const Status& status) {
   w.Key("error").String(status.ToString());
   w.EndObject();
   // Overload shed (batcher queue full) is the retryable case: 429 with
-  // a Retry-After hint, never a cacheable client error.
-  if (status.IsUnavailable()) {
-    HttpResponse response{429, "application/json", w.str()};
-    response.headers["Retry-After"] = "1";
+  // the batcher's measured drain time as the Retry-After hint (1 when
+  // the status carries none). A request expired by the queue deadline
+  // is 503 — the work was abandoned, not refused — with the same hint.
+  if (status.IsUnavailable() || status.IsDeadlineExceeded()) {
+    HttpResponse response{status.IsUnavailable() ? 429 : 503,
+                          "application/json", w.str()};
+    int retry_after = status.retry_after_seconds();
+    response.headers["Retry-After"] =
+        std::to_string(retry_after > 0 ? retry_after : 1);
     return response;
   }
   return {status.IsInvalidArgument() ? 400 : 404, "application/json",
@@ -140,6 +145,8 @@ std::string RePagerService::StatsJson() const {
   w.Key("connections_shed").UInt(http.connections_shed);
   w.Key("idle_closes").UInt(http.idle_closes);
   w.Key("timeout_closes").UInt(http.timeout_closes);
+  w.Key("deadline_closes").UInt(http.deadline_closes);
+  w.Key("per_ip_shed").UInt(http.per_ip_shed);
   w.EndObject();
   w.EndObject();
   // Splice the engine's own {"cache":...,"batcher":...,"metrics":...}

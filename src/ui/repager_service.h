@@ -9,6 +9,11 @@
 
 namespace rpg::ui {
 
+/// Strict bounded parse for numeric query parameters: ASCII digits only
+/// (no sign, whitespace, or trailing garbage) and the value must land in
+/// [min, max]. Exposed for unit tests and the fuzz harnesses.
+bool ParseBoundedInt(const std::string& s, int min, int max, int* out);
+
 /// The RePaGer web application backend (§V). A thin route layer: every
 /// query is served by serve::ServeEngine (sharded result cache ->
 /// single-flight -> micro-batched BatchEngine; see docs/serving.md),

@@ -3,6 +3,9 @@
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
 
 #include "graph/citation_graph.h"
 #include "graph/graph_builder.h"
@@ -296,6 +299,161 @@ TEST(GraphIoTest, ReadCorruptHeaderFails) {
   }
   EXPECT_TRUE(GraphIo::ReadBinary(path).status().IsInvalidArgument());
   std::remove(path.c_str());
+}
+
+// ------------------------------------------- adversarial input framing
+// Regressions for the bugs the fuzz_graph_io harness found (the same
+// inputs are checked in under fuzz/corpus/graph_io/): a length prefix
+// claiming 2^60 elements used to be resize()d before any byte was read
+// (multi-GB allocation from a 20-byte file), and CSR structure was
+// never validated, so a lying offsets array meant out-of-bounds reads
+// on first traversal.
+
+/// Assembles a graph file image in the exact wire format:
+/// magic u64 | version u32 | 4 x (count u64 + elements).
+class WireImage {
+ public:
+  WireImage& Magic(uint64_t magic = 0x5250475f47524146ULL) {
+    return Raw64(magic);
+  }
+  WireImage& Version(uint32_t version = 1) {
+    bytes_.append(reinterpret_cast<const char*>(&version), sizeof(version));
+    return *this;
+  }
+  WireImage& Vec64(const std::vector<uint64_t>& v) {
+    Raw64(v.size());
+    for (uint64_t x : v) Raw64(x);
+    return *this;
+  }
+  WireImage& Vec32(const std::vector<uint32_t>& v) {
+    Raw64(v.size());
+    for (uint32_t x : v) {
+      bytes_.append(reinterpret_cast<const char*>(&x), sizeof(x));
+    }
+    return *this;
+  }
+  WireImage& Raw64(uint64_t x) {
+    bytes_.append(reinterpret_cast<const char*>(&x), sizeof(x));
+    return *this;
+  }
+  Result<CitationGraph> Read() const {
+    std::istringstream is(bytes_, std::ios::binary);
+    return GraphIo::ReadBinaryFromStream(is, "test image");
+  }
+  WireImage& Truncate(size_t keep) {
+    bytes_.resize(keep);
+    return *this;
+  }
+  size_t size() const { return bytes_.size(); }
+
+ private:
+  std::string bytes_;
+};
+
+TEST(GraphIoTest, WellFormedImageAccepted) {
+  // 0 -> 1, 1 -> 0 assembled by hand: the wire helper itself is sane.
+  auto g = WireImage()
+               .Magic()
+               .Version()
+               .Vec64({0, 1, 2})
+               .Vec32({1, 0})
+               .Vec64({0, 1, 2})
+               .Vec32({1, 0})
+               .Read();
+  ASSERT_TRUE(g.ok()) << g.status().ToString();
+  EXPECT_EQ(g->num_nodes(), 2u);
+  EXPECT_EQ(ToVector(g->OutNeighbors(0)), std::vector<uint32_t>{1});
+}
+
+TEST(GraphIoTest, ResizeBombLengthPrefixRejectedCheaply) {
+  // A 28-byte file claiming 2^60 out_offsets: must fail on the first
+  // short read, not allocate.
+  auto g = WireImage().Magic().Version().Raw64(uint64_t{1} << 60).Read();
+  EXPECT_TRUE(g.status().IsInvalidArgument()) << g.status().ToString();
+  // The overflow edge: a count whose byte size wraps uint64.
+  auto wrap = WireImage().Magic().Version().Raw64(UINT64_MAX).Read();
+  EXPECT_TRUE(wrap.status().IsInvalidArgument());
+}
+
+TEST(GraphIoTest, NonMonotonicOffsetsRejected) {
+  auto g = WireImage()
+               .Magic()
+               .Version()
+               .Vec64({0, 2, 1})  // walks backwards
+               .Vec32({1, 0, 1})
+               .Vec64({0, 1, 2})
+               .Vec32({1, 0})
+               .Read();
+  ASSERT_TRUE(g.status().IsInvalidArgument());
+  EXPECT_NE(g.status().ToString().find("monotonic"), std::string::npos);
+}
+
+TEST(GraphIoTest, OffsetsNotStartingAtZeroRejected) {
+  auto g = WireImage()
+               .Magic()
+               .Version()
+               .Vec64({1, 1, 2})
+               .Vec32({1, 0})
+               .Vec64({0, 1, 2})
+               .Vec32({1, 0})
+               .Read();
+  EXPECT_TRUE(g.status().IsInvalidArgument());
+}
+
+TEST(GraphIoTest, TargetOutOfRangeRejected) {
+  // Node 1 cites node 9 of a 2-node graph: traversal would read
+  // out_offsets_[10] off the end.
+  auto g = WireImage()
+               .Magic()
+               .Version()
+               .Vec64({0, 1, 2})
+               .Vec32({1, 9})
+               .Vec64({0, 1, 2})
+               .Vec32({1, 0})
+               .Read();
+  ASSERT_TRUE(g.status().IsInvalidArgument());
+  EXPECT_NE(g.status().ToString().find("out of range"), std::string::npos);
+}
+
+TEST(GraphIoTest, OffsetsTargetsLengthMismatchRejected) {
+  // offsets.back() says 3 edges, targets has 2.
+  auto g = WireImage()
+               .Magic()
+               .Version()
+               .Vec64({0, 1, 3})
+               .Vec32({1, 0})
+               .Vec64({0, 1, 2})
+               .Vec32({1, 0})
+               .Read();
+  EXPECT_TRUE(g.status().IsInvalidArgument());
+}
+
+TEST(GraphIoTest, TruncatedImageRejectedAtEveryPrefix) {
+  WireImage full;
+  full.Magic().Version().Vec64({0, 1, 2}).Vec32({1, 0}).Vec64({0, 1, 2})
+      .Vec32({1, 0});
+  const size_t total = full.size();
+  // Every proper prefix must fail cleanly (never crash, never accept).
+  for (size_t keep = 0; keep < total; ++keep) {
+    WireImage image;
+    image.Magic().Version().Vec64({0, 1, 2}).Vec32({1, 0}).Vec64({0, 1, 2})
+        .Vec32({1, 0});
+    auto g = image.Truncate(keep).Read();
+    EXPECT_TRUE(g.status().IsInvalidArgument()) << "prefix " << keep;
+  }
+}
+
+TEST(GraphIoTest, UnsupportedVersionRejected) {
+  auto g = WireImage()
+               .Magic()
+               .Version(9)
+               .Vec64({0, 1, 2})
+               .Vec32({1, 0})
+               .Vec64({0, 1, 2})
+               .Vec32({1, 0})
+               .Read();
+  ASSERT_TRUE(g.status().IsInvalidArgument());
+  EXPECT_NE(g.status().ToString().find("version"), std::string::npos);
 }
 
 TEST(GraphIoTest, DotContainsInducedEdgesOnly) {

@@ -128,6 +128,73 @@ TEST(MicroBatcherTest, UnboundedQueueNeverSheds) {
   EXPECT_EQ(batcher.Stats().rejected_overload, 0u);
 }
 
+TEST(MicroBatcherTest, QueueDeadlineExpiresStaleEntries) {
+  core::BatchEngine engine(&SharedWorkbench().repager(), {.num_threads = 1});
+  MicroBatcherOptions options;
+  options.max_batch_size = 1;
+  options.queue_deadline = std::chrono::milliseconds(50);
+  // The on_batch tap runs on the dispatcher thread: sleeping in it
+  // wedges dispatch long enough for everything still queued to age past
+  // the deadline — deterministic, no timing races against solve speed.
+  options.on_batch = [](size_t, double) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(250));
+  };
+  MicroBatcher batcher(&engine, options);
+  constexpr int kBurst = 4;
+  std::vector<std::future<Result<core::RePagerResult>>> futures;
+  for (int i = 0; i < kBurst; ++i) {
+    futures.push_back(batcher.Submit(MakeQuery(0)));
+  }
+  int ok = 0, expired = 0;
+  for (auto& f : futures) {
+    Result<core::RePagerResult> r = f.get();
+    if (r.ok()) {
+      ++ok;
+    } else {
+      EXPECT_TRUE(r.status().IsDeadlineExceeded()) << r.status().ToString();
+      // The expiry carries a measured Retry-After hint in its clamp.
+      EXPECT_GE(r.status().retry_after_seconds(), 1);
+      EXPECT_LE(r.status().retry_after_seconds(), 30);
+      ++expired;
+    }
+  }
+  // The first batch (picked up before the wedge) computes; everything
+  // that sat out the 250 ms sleep is past the 50 ms deadline.
+  EXPECT_GE(ok, 1);
+  EXPECT_GE(expired, 1);
+  EXPECT_EQ(ok + expired, kBurst);
+  MicroBatcherStats stats = batcher.Stats();
+  EXPECT_EQ(stats.deadline_expired, static_cast<uint64_t>(expired));
+  EXPECT_EQ(stats.queue_depth, 0u);
+}
+
+TEST(MicroBatcherTest, QueueDeadlineDisabledByDefault) {
+  core::BatchEngine engine(&SharedWorkbench().repager(), {.num_threads = 1});
+  MicroBatcherOptions options;
+  options.max_batch_size = 1;
+  // Same wedge as above, but with queue_deadline at its 0 default every
+  // entry waits out the stall and still computes.
+  options.on_batch = [](size_t, double) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  };
+  MicroBatcher batcher(&engine, options);
+  std::vector<std::future<Result<core::RePagerResult>>> futures;
+  for (int i = 0; i < 3; ++i) futures.push_back(batcher.Submit(MakeQuery(0)));
+  for (auto& f : futures) EXPECT_TRUE(f.get().ok());
+  EXPECT_EQ(batcher.Stats().deadline_expired, 0u);
+}
+
+TEST(MicroBatcherTest, ServiceTimeEwmaTracksBatches) {
+  core::BatchEngine engine(&SharedWorkbench().repager(), {.num_threads = 2});
+  MicroBatcher batcher(&engine, {});
+  EXPECT_EQ(batcher.Stats().ewma_item_seconds, 0.0);  // no samples yet
+  auto r = batcher.Submit(MakeQuery(0)).get();
+  ASSERT_TRUE(r.ok());
+  // One real solve has been measured; the EWMA is seeded with it.
+  EXPECT_GT(batcher.Stats().ewma_item_seconds, 0.0);
+  EXPECT_LT(batcher.Stats().ewma_item_seconds, 60.0);  // sanity
+}
+
 TEST(MicroBatcherTest, ShutdownDrainsQueuedRequests) {
   core::BatchEngine engine(&SharedWorkbench().repager(), {.num_threads = 2});
   MicroBatcherOptions options;

@@ -249,10 +249,15 @@ TEST(ServeEngineTest, OverloadShedsWith429AndRetryAfter) {
       continue;
     }
     // The shed path end to end: typed Unavailable -> 429 + Retry-After.
+    // The hint is the batcher's measured drain time, clamped to [1, 30];
+    // with a single-entry queue on a fast corpus it resolves to 1, but
+    // the contract is the clamp, not the constant.
     EXPECT_EQ(response.status, 429) << response.body;
     EXPECT_NE(response.body.find("Unavailable"), std::string::npos);
     ASSERT_TRUE(response.headers.count("Retry-After"));
-    EXPECT_EQ(response.headers.at("Retry-After"), "1");
+    const int retry_after = std::stoi(response.headers.at("Retry-After"));
+    EXPECT_GE(retry_after, 1);
+    EXPECT_LE(retry_after, 30);
     ++shed;
   }
   EXPECT_GE(ok, 1);
@@ -266,6 +271,79 @@ TEST(ServeEngineTest, OverloadShedsWith429AndRetryAfter) {
       << json;
   EXPECT_NE(json.find("\"shed_total\":" + std::to_string(shed)),
             std::string::npos)
+      << json;
+}
+
+TEST(ServeEngineTest, QueueDeadlineExpiryMapsTo503WithRetryAfter) {
+  const eval::Workbench& wb = SharedWorkbench();
+  // One solve at a time with a 1 ms queue deadline: the tail of a burst
+  // has aged out by the time the dispatcher reaches it (each predecessor
+  // costs a full pipeline solve), and must be answered with a typed
+  // DeadlineExceeded -> 503 instead of being solved for nobody.
+  ServeEngineOptions options;
+  options.num_threads = 1;
+  options.batcher.max_batch_size = 1;
+  options.batcher.queue_deadline = std::chrono::milliseconds(1);
+  ServeEngine engine(&wb.repager(), options);
+  ui::RePagerService service(&engine, &wb.repager(), &wb.titles(),
+                             &wb.years());
+  const auto& entry = wb.bank().Get(0);
+
+  constexpr int kBurst = 10;
+  std::mutex mu;
+  std::vector<ui::HttpResponse> responses;
+  for (int i = 0; i < kBurst; ++i) {
+    ui::HttpRequest request{"GET",
+                            "/api/path",
+                            {{"q", entry.query},
+                             {"seeds", std::to_string(5 + i)},
+                             {"year", std::to_string(entry.year)}}};
+    service.HandleAsync(request, [&](ui::HttpResponse response) {
+      std::lock_guard<std::mutex> lock(mu);
+      responses.push_back(std::move(response));
+    });
+  }
+  for (int i = 0; i < 1000; ++i) {
+    {
+      std::lock_guard<std::mutex> lock(mu);
+      if (responses.size() == kBurst) break;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+
+  int ok = 0, expired = 0;
+  std::lock_guard<std::mutex> lock(mu);
+  ASSERT_EQ(responses.size(), static_cast<size_t>(kBurst));
+  for (const ui::HttpResponse& response : responses) {
+    if (response.status == 200) {
+      ++ok;
+      continue;
+    }
+    // Expiry end to end: DeadlineExceeded -> 503 (not the 429 shed
+    // path: the work was accepted, then abandoned) + Retry-After from
+    // the measured drain time.
+    EXPECT_EQ(response.status, 503) << response.body;
+    EXPECT_NE(response.body.find("DeadlineExceeded"), std::string::npos);
+    ASSERT_TRUE(response.headers.count("Retry-After"));
+    const int retry_after = std::stoi(response.headers.at("Retry-After"));
+    EXPECT_GE(retry_after, 1);
+    EXPECT_LE(retry_after, 30);
+    ++expired;
+  }
+  EXPECT_GE(ok, 1);
+  EXPECT_GE(expired, 1);
+  // Expiries are transient overload, never negative-cached; retrying an
+  // expired query computes fine once the burst has passed.
+  EXPECT_EQ(engine.cache().Stats().negative_entries, 0u);
+  auto retry = engine.Generate(entry.query, 5 + kBurst - 1, entry.year);
+  EXPECT_TRUE(retry.ok()) << retry.status().ToString();
+  std::string json = engine.StatsJson();
+  EXPECT_NE(json.find("\"deadline_expired\":" + std::to_string(expired)),
+            std::string::npos)
+      << json;
+  EXPECT_NE(
+      json.find("\"deadline_exceeded_total\":" + std::to_string(expired)),
+      std::string::npos)
       << json;
 }
 

@@ -9,6 +9,7 @@
 #include <chrono>
 #include <cstdlib>
 #include <cstring>
+#include <memory>
 #include <mutex>
 #include <thread>
 #include <vector>
@@ -133,6 +134,145 @@ TEST(ParseContentLengthTest, RejectsNonNumericSignedAndOverflowing) {
   EXPECT_FALSE(ParseContentLength("0x10", &n));
   EXPECT_FALSE(ParseContentLength("18446744073709551616", &n));  // 2^64
   EXPECT_FALSE(ParseContentLength("99999999999999999999999", &n));
+}
+
+// ------------------------------------------------------- FrameOneRequest
+
+TEST(FrameOneRequestTest, IncompleteHeaderNeedsMore) {
+  FrameResult r = FrameOneRequest("GET / HTTP/1.1\r\nHost: x\r\n",
+                                  /*peer_eof=*/false, FramingLimits{});
+  EXPECT_EQ(r.verdict, FrameResult::Verdict::kNeedMore);
+  EXPECT_EQ(r.consumed, 0u);
+}
+
+TEST(FrameOneRequestTest, CompleteRequestConsumedExactly) {
+  const std::string one = "GET /a?x=1 HTTP/1.1\r\nHost: x\r\n\r\n";
+  FrameResult r = FrameOneRequest(one, false, FramingLimits{});
+  ASSERT_EQ(r.verdict, FrameResult::Verdict::kRequest);
+  EXPECT_EQ(r.consumed, one.size());
+  EXPECT_EQ(r.request.path, "/a");
+  EXPECT_EQ(r.request.query.at("x"), "1");
+  EXPECT_TRUE(r.keep_alive);
+}
+
+TEST(FrameOneRequestTest, PipelinedBufferFramesOnlyTheFirst) {
+  const std::string first = "GET /one HTTP/1.1\r\n\r\n";
+  const std::string both = first + "GET /two HTTP/1.1\r\n\r\n";
+  FrameResult r = FrameOneRequest(both, false, FramingLimits{});
+  ASSERT_EQ(r.verdict, FrameResult::Verdict::kRequest);
+  EXPECT_EQ(r.consumed, first.size());
+  EXPECT_EQ(r.request.path, "/one");
+}
+
+TEST(FrameOneRequestTest, BodyFramedByContentLength) {
+  const std::string post =
+      "POST /u HTTP/1.1\r\nContent-Length: 5\r\nConnection: close\r\n\r\n"
+      "hello";
+  FrameResult r = FrameOneRequest(post, false, FramingLimits{});
+  ASSERT_EQ(r.verdict, FrameResult::Verdict::kRequest);
+  EXPECT_EQ(r.consumed, post.size());
+  EXPECT_EQ(r.request.body, "hello");
+  EXPECT_FALSE(r.keep_alive);
+  // Same bytes minus the last body byte: incomplete.
+  FrameResult partial = FrameOneRequest(post.substr(0, post.size() - 1),
+                                        false, FramingLimits{});
+  EXPECT_EQ(partial.verdict, FrameResult::Verdict::kNeedMore);
+}
+
+TEST(FrameOneRequestTest, ProtocolErrorsMapToStatuses) {
+  FramingLimits tiny_header;
+  tiny_header.max_header_bytes = 32;
+  // Oversized (and even unterminated) header block -> 431.
+  FrameResult big_header = FrameOneRequest(
+      "GET / HTTP/1.1\r\nX: " + std::string(64, 'j'), false, tiny_header);
+  ASSERT_EQ(big_header.verdict, FrameResult::Verdict::kError);
+  EXPECT_EQ(big_header.error_status, 431);
+  // Declared body beyond the cap -> 413, before any body byte arrives.
+  FramingLimits tiny_body;
+  tiny_body.max_body_bytes = 8;
+  FrameResult big_body = FrameOneRequest(
+      "POST /u HTTP/1.1\r\nContent-Length: 9\r\n\r\n", false, tiny_body);
+  ASSERT_EQ(big_body.verdict, FrameResult::Verdict::kError);
+  EXPECT_EQ(big_body.error_status, 413);
+  // Unparseable Content-Length -> 400.
+  FrameResult bad_length = FrameOneRequest(
+      "POST /u HTTP/1.1\r\nContent-Length: 5, 6\r\n\r\n", false,
+      FramingLimits{});
+  ASSERT_EQ(bad_length.verdict, FrameResult::Verdict::kError);
+  EXPECT_EQ(bad_length.error_status, 400);
+  // Malformed request line -> 400.
+  FrameResult bad_line =
+      FrameOneRequest("BOGUS\r\n\r\n", false, FramingLimits{});
+  ASSERT_EQ(bad_line.verdict, FrameResult::Verdict::kError);
+  EXPECT_EQ(bad_line.error_status, 400);
+}
+
+TEST(FrameOneRequestTest, EofOnPartialRequestIsClose) {
+  FrameResult r = FrameOneRequest("GET / HTTP/1.1\r\nHos",
+                                  /*peer_eof=*/true, FramingLimits{});
+  EXPECT_EQ(r.verdict, FrameResult::Verdict::kClose);
+  // ...but EOF behind a complete request still frames it.
+  FrameResult done =
+      FrameOneRequest("GET / HTTP/1.1\r\n\r\n", true, FramingLimits{});
+  EXPECT_EQ(done.verdict, FrameResult::Verdict::kRequest);
+}
+
+TEST(FrameOneRequestTest, ZeroHeaderRequestAccepted) {
+  FrameResult r =
+      FrameOneRequest("GET / HTTP/1.1\r\n\r\n", false, FramingLimits{});
+  ASSERT_EQ(r.verdict, FrameResult::Verdict::kRequest);
+  EXPECT_TRUE(r.request.headers.empty());
+  EXPECT_TRUE(r.keep_alive);  // HTTP/1.1 default
+}
+
+// ----------------------------------------------------- ParseHttpResponse
+
+TEST(ParseHttpResponseTest, IncompleteNeedsMore) {
+  EXPECT_EQ(ParseHttpResponse("HTTP/1.1 200 OK\r\nContent-").verdict,
+            ResponseParseResult::Verdict::kNeedMore);
+  // Complete header but body still in flight.
+  EXPECT_EQ(ParseHttpResponse(
+                "HTTP/1.1 200 OK\r\nContent-Length: 5\r\n\r\nhel")
+                .verdict,
+            ResponseParseResult::Verdict::kNeedMore);
+}
+
+TEST(ParseHttpResponseTest, CompleteResponseParsed) {
+  const std::string wire =
+      "HTTP/1.1 200 OK\r\nContent-Type: application/json\r\n"
+      "Content-Length: 2\r\n\r\n{}";
+  ResponseParseResult r = ParseHttpResponse(wire);
+  ASSERT_EQ(r.verdict, ResponseParseResult::Verdict::kResponse);
+  EXPECT_EQ(r.consumed, wire.size());
+  EXPECT_EQ(r.response.status, 200);
+  EXPECT_EQ(r.response.body, "{}");
+  EXPECT_EQ(r.response.headers.at("content-type"), "application/json");
+}
+
+TEST(ParseHttpResponseTest, PipelinedBufferConsumesOnlyTheFirst) {
+  const std::string first =
+      "HTTP/1.1 204 No Content\r\nContent-Length: 0\r\n\r\n";
+  ResponseParseResult r =
+      ParseHttpResponse(first + "HTTP/1.1 200 OK\r\n\r\n");
+  ASSERT_EQ(r.verdict, ResponseParseResult::Verdict::kResponse);
+  EXPECT_EQ(r.consumed, first.size());
+  EXPECT_EQ(r.response.status, 204);
+}
+
+TEST(ParseHttpResponseTest, MalformedStatusIsError) {
+  for (const char* wire :
+       {"HTTP/1.1 2x0 Weird\r\n\r\n", "NOTHTTP 200 OK\r\n\r\n",
+        "HTTP/1.1 20 OK\r\n\r\n", "HTTP/1.1 099 Low\r\n\r\n"}) {
+    ResponseParseResult r = ParseHttpResponse(wire);
+    EXPECT_EQ(r.verdict, ResponseParseResult::Verdict::kError) << wire;
+    EXPECT_FALSE(r.error.empty()) << wire;
+  }
+}
+
+TEST(ParseHttpResponseTest, BadContentLengthIsError) {
+  ResponseParseResult r = ParseHttpResponse(
+      "HTTP/1.1 200 OK\r\nContent-Length: 5, 6\r\n\r\nhello");
+  EXPECT_EQ(r.verdict, ResponseParseResult::Verdict::kError);
 }
 
 // ------------------------------------------------------------ HttpServer
@@ -871,6 +1011,187 @@ TEST(HttpServerTest, ExtraResponseHeadersRendered) {
   server.Stop();
 }
 
+// ----------------------------------------------------- handler deadlines
+
+TEST(HttpServerTest, WedgedHandlerReapedWith503WhileOthersServe) {
+  // A handler that never completes /wedge: the per-poller deadline heap
+  // must answer 503 within handler_timeout and close the connection,
+  // while every other connection keeps being served throughout.
+  std::mutex mu;
+  std::vector<HttpServer::Done> parked;
+  HttpServerOptions options;
+  options.handler_timeout = std::chrono::milliseconds(200);
+  HttpServer server(
+      [&](const HttpRequest& request, HttpServer::Done done) {
+        if (request.path == "/wedge") {
+          std::lock_guard<std::mutex> lock(mu);
+          parked.push_back(std::move(done));
+          return;
+        }
+        done(HttpResponse{200, "text/plain", "echo:" + request.path});
+      },
+      options);
+  int port = server.Start(0).value();
+  int wedged = ConnectRaw(port);
+  ASSERT_GE(wedged, 0);
+  const std::string request = "GET /wedge HTTP/1.1\r\nHost: x\r\n\r\n";
+  ASSERT_EQ(::write(wedged, request.data(), request.size()),
+            static_cast<ssize_t>(request.size()));
+  ASSERT_TRUE(PollUntil([&] {
+    std::lock_guard<std::mutex> lock(mu);
+    return parked.size() == 1;
+  }));
+  // While the wedge is pending, healthy traffic flows.
+  std::string other = FetchOnce(port, "GET /ok HTTP/1.1");
+  EXPECT_NE(other.find("echo:/ok"), std::string::npos);
+  // The wedged client gets its 503 + close within the deadline (the
+  // ReadToEof return bounds the reap: EOF only after the server closes).
+  auto t0 = std::chrono::steady_clock::now();
+  std::string response = ReadToEof(wedged);
+  auto elapsed = std::chrono::steady_clock::now() - t0;
+  ::close(wedged);
+  EXPECT_NE(response.find("503"), std::string::npos);
+  EXPECT_NE(response.find("Connection: close"), std::string::npos);
+  EXPECT_NE(response.find("deadline"), std::string::npos);
+  EXPECT_LT(elapsed, std::chrono::milliseconds(1200));
+  EXPECT_EQ(server.Stats().deadline_closes, 1u);
+  EXPECT_TRUE(PollUntil([&] { return server.Stats().open_connections == 0; }));
+  // ...and the server was never blocked on the corpse.
+  std::string after = FetchOnce(port, "GET /after HTTP/1.1");
+  EXPECT_NE(after.find("echo:/after"), std::string::npos);
+  // Late completion long after the reap: a safe no-op.
+  {
+    std::lock_guard<std::mutex> lock(mu);
+    parked.front()(HttpResponse{200, "text/plain", "too late"});
+    parked.clear();
+  }
+  std::string still = FetchOnce(port, "GET /still HTTP/1.1");
+  EXPECT_NE(still.find("echo:/still"), std::string::npos);
+  EXPECT_EQ(server.Stats().deadline_closes, 1u);
+  server.Stop();
+}
+
+TEST(HttpServerTest, HandlerTimeoutZeroDisablesReaping) {
+  std::mutex mu;
+  std::vector<HttpServer::Done> parked;
+  HttpServerOptions options;
+  options.handler_timeout = std::chrono::milliseconds(0);  // disabled
+  options.idle_timeout = std::chrono::seconds(30);  // not under test
+  HttpServer server(
+      [&](const HttpRequest&, HttpServer::Done done) {
+        std::lock_guard<std::mutex> lock(mu);
+        parked.push_back(std::move(done));
+      },
+      options);
+  int port = server.Start(0).value();
+  int fd = ConnectRaw(port);
+  ASSERT_GE(fd, 0);
+  const std::string request = "GET /slow HTTP/1.1\r\nHost: x\r\n"
+                              "Connection: close\r\n\r\n";
+  ASSERT_EQ(::write(fd, request.data(), request.size()),
+            static_cast<ssize_t>(request.size()));
+  ASSERT_TRUE(PollUntil([&] {
+    std::lock_guard<std::mutex> lock(mu);
+    return parked.size() == 1;
+  }));
+  // Longer than any small deadline: with the timeout off, nothing reaps.
+  std::this_thread::sleep_for(std::chrono::milliseconds(300));
+  EXPECT_EQ(server.Stats().deadline_closes, 0u);
+  EXPECT_EQ(server.Stats().open_connections, 1u);
+  {
+    std::lock_guard<std::mutex> lock(mu);
+    parked.front()(HttpResponse{200, "text/plain", "worth the wait"});
+    parked.clear();
+  }
+  std::string response = ReadToEof(fd);
+  ::close(fd);
+  EXPECT_NE(response.find("worth the wait"), std::string::npos);
+  server.Stop();
+}
+
+TEST(HttpServerTest, SynchronousHandlersUnaffectedByHandlerTimeout) {
+  // Fast requests under a tight deadline: completions disarm the timer,
+  // so keep-alive traffic never trips it.
+  HttpServerOptions options;
+  options.handler_timeout = std::chrono::milliseconds(100);
+  HttpServer server([](const HttpRequest& request) {
+    return HttpResponse{200, "text/plain", "echo:" + request.path};
+  }, options);
+  int port = server.Start(0).value();
+  HttpClient client;
+  ASSERT_TRUE(client.Connect(port).ok());
+  for (int i = 0; i < 4; ++i) {
+    auto r = client.Fetch("GET", "/tick" + std::to_string(i));
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+    EXPECT_EQ(r->status, 200);
+    // Dwell past the handler deadline between requests: idle time
+    // between requests must not count against the next handler.
+    std::this_thread::sleep_for(std::chrono::milliseconds(60));
+  }
+  EXPECT_EQ(server.Stats().deadline_closes, 0u);
+  client.Close();
+  server.Stop();
+}
+
+// ------------------------------------------------------- per-IP capping
+
+TEST(HttpServerTest, PerIpCapShedsExcessConnections) {
+  HttpServerOptions options;
+  options.max_connections_per_ip = 2;
+  HttpServer server([](const HttpRequest& request) {
+    return HttpResponse{200, "text/plain", "echo:" + request.path};
+  }, options);
+  int port = server.Start(0).value();
+  // Two loopback connections fill this IP's allowance...
+  HttpClient a, b;
+  ASSERT_TRUE(a.Connect(port).ok());
+  ASSERT_TRUE(b.Connect(port).ok());
+  ASSERT_TRUE(a.Fetch("GET", "/a").ok());
+  ASSERT_TRUE(b.Fetch("GET", "/b").ok());
+  // ...so the third from the same IP is shed at accept with a 503.
+  int fd = ConnectRaw(port);
+  ASSERT_GE(fd, 0);
+  std::string response = ReadToEof(fd);
+  ::close(fd);
+  EXPECT_NE(response.find("503"), std::string::npos);
+  EXPECT_NE(response.find("Connection: close"), std::string::npos);
+  EXPECT_EQ(server.Stats().per_ip_shed, 1u);
+  EXPECT_EQ(server.Stats().open_connections, 2u);
+  // Existing connections are unaffected by the shed.
+  auto again = a.Fetch("GET", "/again");
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(again->body, "echo:/again");
+  // Closing one frees the slot for the same IP.
+  a.Close();
+  EXPECT_TRUE(PollUntil([&] { return server.Stats().open_connections == 1; }));
+  HttpClient c;
+  ASSERT_TRUE(c.Connect(port).ok());
+  auto ok = c.Fetch("GET", "/c");
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(ok->status, 200);
+  b.Close();
+  c.Close();
+  server.Stop();
+}
+
+TEST(HttpServerTest, PerIpCapOffByDefault) {
+  HttpServer server([](const HttpRequest& request) {
+    return HttpResponse{200, "text/plain", "echo:" + request.path};
+  });
+  int port = server.Start(0).value();
+  // Well more same-IP connections than any sane per-IP cap would allow.
+  std::vector<std::unique_ptr<HttpClient>> clients;
+  for (int i = 0; i < 6; ++i) {
+    clients.push_back(std::make_unique<HttpClient>());
+    ASSERT_TRUE(clients.back()->Connect(port).ok());
+    ASSERT_TRUE(clients.back()->Fetch("GET", "/x").ok());
+  }
+  EXPECT_EQ(server.Stats().per_ip_shed, 0u);
+  EXPECT_EQ(server.Stats().open_connections, 6u);
+  for (auto& client : clients) client->Close();
+  server.Stop();
+}
+
 // --------------------------------------------------------- RePagerService
 
 class ServiceFixture : public ::testing::Test {
@@ -956,6 +1277,12 @@ TEST_F(ServiceFixture, StatsEndpointReportsLiveCounters) {
   EXPECT_NE(response.body.find("\"max_queue_depth\":"), std::string::npos);
   EXPECT_NE(response.body.find("\"rejected_overload\":"), std::string::npos);
   EXPECT_NE(response.body.find("\"shed_total\":"), std::string::npos);
+  // Deadline instruments (queue expiry + handler-reap counters).
+  EXPECT_NE(response.body.find("\"deadline_exceeded_total\":"),
+            std::string::npos);
+  EXPECT_NE(response.body.find("\"deadline_expired\":"), std::string::npos);
+  EXPECT_NE(response.body.find("\"queue_deadline_ms\":"), std::string::npos);
+  EXPECT_NE(response.body.find("\"ewma_item_seconds\":"), std::string::npos);
 }
 
 TEST_F(ServiceFixture, CacheClearEndpoint) {
@@ -1059,6 +1386,8 @@ TEST_F(ServiceFixture, EndToEndOverSocket) {
   EXPECT_NE(stats->body.find("\"connections_shed\":"), std::string::npos);
   EXPECT_NE(stats->body.find("\"idle_closes\":"), std::string::npos);
   EXPECT_NE(stats->body.find("\"timeout_closes\":"), std::string::npos);
+  EXPECT_NE(stats->body.find("\"deadline_closes\":"), std::string::npos);
+  EXPECT_NE(stats->body.find("\"per_ip_shed\":"), std::string::npos);
   auto clear = client.Fetch("POST", "/api/cache/clear");
   ASSERT_TRUE(clear.ok());
   EXPECT_EQ(clear->status, 200);
