@@ -5,7 +5,11 @@
 //
 // Usage: serve_ui [port] [--threads=N] [--cache-mb=M] [--batch-window-us=U]
 //                 [--pollers=P] [--max-conns=C] [--idle-timeout-ms=T]
-//                 [--queue-depth=D]
+//                 [--queue-depth=D] [--snapshot=FILE]
+//   --snapshot=FILE      boot from an mmap'd snapshot (snapshot_build)
+//                        instead of generating the corpus — the serving
+//                        substrate loads in milliseconds instead of the
+//                        multi-second rebuild
 //   --threads=N          BatchEngine worker threads (default: hardware)
 //   --cache-mb=M         query-cache budget in MiB (0 disables the cache)
 //   --batch-window-us=U  micro-batch flush window in microseconds
@@ -26,6 +30,7 @@
 
 #include "eval/workbench.h"
 #include "serve/serve_engine.h"
+#include "snapshot/serving_state.h"
 #include "ui/http_server.h"
 #include "ui/repager_service.h"
 
@@ -39,6 +44,13 @@ bool ParseIntFlag(const char* arg, const char* name, long* out) {
   return true;
 }
 
+bool ParseStringFlag(const char* arg, const char* name, std::string* out) {
+  size_t len = std::strlen(name);
+  if (std::strncmp(arg, name, len) != 0 || arg[len] != '=') return false;
+  *out = arg + len + 1;
+  return true;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -46,6 +58,7 @@ int main(int argc, char** argv) {
   int port = 0;
   long threads = 0, cache_mb = 64, batch_window_us = 2000, pollers = 2;
   long max_conns = 1024, idle_timeout_ms = 60'000, queue_depth = 256;
+  std::string snapshot_path;
   for (int i = 1; i < argc; ++i) {
     if (ParseIntFlag(argv[i], "--threads", &threads) ||
         ParseIntFlag(argv[i], "--cache-mb", &cache_mb) ||
@@ -53,18 +66,62 @@ int main(int argc, char** argv) {
         ParseIntFlag(argv[i], "--pollers", &pollers) ||
         ParseIntFlag(argv[i], "--max-conns", &max_conns) ||
         ParseIntFlag(argv[i], "--idle-timeout-ms", &idle_timeout_ms) ||
-        ParseIntFlag(argv[i], "--queue-depth", &queue_depth)) {
+        ParseIntFlag(argv[i], "--queue-depth", &queue_depth) ||
+        ParseStringFlag(argv[i], "--snapshot", &snapshot_path)) {
       continue;
     }
     port = std::atoi(argv[i]);
   }
 
-  auto wb_or = eval::Workbench::Create();
-  if (!wb_or.ok()) {
-    std::fprintf(stderr, "workbench: %s\n", wb_or.status().ToString().c_str());
-    return 1;
+  // The serving substrate comes from exactly one of two places: a
+  // multi-second from-scratch build (Workbench), or a snapshot file that
+  // mmaps in milliseconds. Both expose the same repager/titles/years.
+  std::unique_ptr<eval::Workbench> wb;
+  std::unique_ptr<snapshot::ServingState> state;
+  const core::RePaGer* repager = nullptr;
+  const std::vector<std::string>* titles = nullptr;
+  const std::vector<uint16_t>* years = nullptr;
+  std::string self_test_query;
+  int self_test_year = 0;
+  if (!snapshot_path.empty()) {
+    auto state_or = snapshot::ServingState::Load(snapshot_path);
+    if (!state_or.ok()) {
+      std::fprintf(stderr, "snapshot: %s\n",
+                   state_or.status().ToString().c_str());
+      return 1;
+    }
+    state = std::move(state_or).value();
+    repager = &state->repager();
+    titles = &state->titles();
+    years = &state->years();
+    // Self-test query: the title of the most-cited paper — deterministic
+    // and guaranteed to hit the index (no SurveyBank in a snapshot).
+    graph::PaperId best = 0;
+    for (graph::PaperId p = 1; p < state->graph().num_nodes(); ++p) {
+      if (state->graph().InDegree(p) > state->graph().InDegree(best)) best = p;
+    }
+    self_test_query = (*titles)[best];
+    self_test_year = INT32_MAX;
+    std::printf("booted %llu papers / %llu edges from %s%s\n",
+                static_cast<unsigned long long>(state->reader().num_papers()),
+                static_cast<unsigned long long>(state->reader().num_edges()),
+                snapshot_path.c_str(),
+                state->relabeled() ? " (relabeled)" : "");
+  } else {
+    auto wb_or = eval::Workbench::Create();
+    if (!wb_or.ok()) {
+      std::fprintf(stderr, "workbench: %s\n",
+                   wb_or.status().ToString().c_str());
+      return 1;
+    }
+    wb = std::move(wb_or).value();
+    repager = &wb->repager();
+    titles = &wb->titles();
+    years = &wb->years();
+    const auto& entry = wb->bank().Get(wb->bank().HighScoreSubset(1).front());
+    self_test_query = entry.query;
+    self_test_year = entry.year;
   }
-  const eval::Workbench& wb = *wb_or.value();
 
   serve::ServeEngineOptions serve_options;
   serve_options.num_threads = static_cast<int>(threads);
@@ -73,10 +130,9 @@ int main(int argc, char** argv) {
   serve_options.batcher.flush_window =
       std::chrono::microseconds(batch_window_us);
   serve_options.batcher.max_queue_depth = static_cast<size_t>(queue_depth);
-  serve::ServeEngine engine(&wb.repager(), serve_options);
+  serve::ServeEngine engine(repager, serve_options);
 
-  ui::RePagerService service(&engine, &wb.repager(), &wb.titles(),
-                             &wb.years());
+  ui::RePagerService service(&engine, repager, titles, years);
   ui::HttpServerOptions http_options;
   http_options.num_pollers = static_cast<int>(pollers);
   http_options.max_connections = static_cast<size_t>(max_conns);
@@ -113,9 +169,8 @@ int main(int argc, char** argv) {
 
   // Smoke test: one cold request, then the same query again — the second
   // must come back from the cache.
-  const auto& entry = wb.bank().Get(wb.bank().HighScoreSubset(1).front());
   for (int round = 0; round < 2; ++round) {
-    auto json_or = service.PathJson(entry.query, 30, entry.year);
+    auto json_or = service.PathJson(self_test_query, 30, self_test_year);
     if (!json_or.ok()) {
       std::fprintf(stderr, "self-test failed: %s\n",
                    json_or.status().ToString().c_str());
@@ -124,7 +179,7 @@ int main(int argc, char** argv) {
     bool cached =
         json_or.value().find("\"cache_hit\":true") != std::string::npos;
     std::printf("self-test %s: /api/path?q=\"%s\" -> %zu bytes of JSON%s\n",
-                round == 0 ? "cold" : "warm", entry.query.c_str(),
+                round == 0 ? "cold" : "warm", self_test_query.c_str(),
                 json_or.value().size(), cached ? " (cache hit)" : "");
     if ((round == 1) != cached && cache_mb > 0) {
       std::fprintf(stderr, "self-test cache behaviour unexpected\n");

@@ -25,6 +25,9 @@
 #define RPG_FUZZ_ENTRY FuzzApiPath
 #include "fuzz_api_path.cc"  // NOLINT
 #undef RPG_FUZZ_ENTRY
+#define RPG_FUZZ_ENTRY FuzzSnapshot
+#include "fuzz_snapshot.cc"  // NOLINT
+#undef RPG_FUZZ_ENTRY
 
 #include <algorithm>
 #include <cstdio>
@@ -97,6 +100,9 @@ int main(int argc, char** argv) {
       {"graph_io", &FuzzGraphIo, 2000},
       {"text", &FuzzText, 2000},
       {"api_path", &FuzzApiPath, 200},
+      // Each run decodes the image twice (checksums on/off); the valid
+      // seed is a real (tiny) snapshot, so keep the budget moderate.
+      {"snapshot", &FuzzSnapshot, 600},
   };
 
   size_t total_runs = 0;

@@ -41,6 +41,11 @@ SERVE_METRICS = [
     ("sweep[-1].throughput_rps", "higher"),
     ("sweep[-1].overall.p99_ms", "lower"),
 ]
+SCALE_METRICS = [
+    ("sweep[-1].snapshot_load_seconds", "lower"),
+    ("sweep[-1].load_speedup", "higher"),
+    ("sweep[-1].query_latency.p50_ms", "lower"),
+]
 
 
 def resolve(doc, path):
@@ -94,6 +99,7 @@ def run_gate(build_dir, baseline_dir, factor):
     pairs = [
         ("BENCH_table4.json", TABLE4_METRICS),
         ("BENCH_serve.json", SERVE_METRICS),
+        ("BENCH_scale.json", SCALE_METRICS),
     ]
     report = []
     failures = 0
@@ -119,7 +125,7 @@ def run_gate(build_dir, baseline_dir, factor):
         print(line)
     if compared == 0:
         print("nothing to compare: run the benches first "
-              "(./bench_table4_runtime, ./bench_serve_load)")
+              "(./bench_table4_runtime, ./bench_serve_load, ./bench_scale)")
     if failures:
         print(f"FAILED: {failures} metric(s) regressed beyond {factor}x")
         return 1

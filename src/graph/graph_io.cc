@@ -137,6 +137,38 @@ Result<CitationGraph> GraphIo::ReadBinaryFromStream(
   return g;
 }
 
+Result<CitationGraph> GraphIo::FromOutCsr(std::vector<uint64_t> out_offsets,
+                                          std::vector<PaperId> out_targets) {
+  if (out_offsets.empty()) {
+    return Status::InvalidArgument("FromOutCsr: empty offsets");
+  }
+  const size_t num_nodes = out_offsets.size() - 1;
+  if (num_nodes > std::numeric_limits<PaperId>::max()) {
+    return Status::InvalidArgument("FromOutCsr: graph too large for PaperId");
+  }
+  RPG_RETURN_NOT_OK(ValidateCsr(out_offsets, out_targets, num_nodes, "out",
+                                "FromOutCsr"));
+  CitationGraph g;
+  g.out_offsets_ = std::move(out_offsets);
+  g.out_targets_ = std::move(out_targets);
+  // Transpose: count in-degrees, prefix-sum, then scatter sources in
+  // ascending order so every in-span comes out sorted.
+  g.in_offsets_.assign(num_nodes + 1, 0);
+  for (PaperId v : g.out_targets_) ++g.in_offsets_[v + 1];
+  for (size_t i = 1; i <= num_nodes; ++i) {
+    g.in_offsets_[i] += g.in_offsets_[i - 1];
+  }
+  g.in_targets_.resize(g.out_targets_.size());
+  std::vector<uint64_t> cursor(g.in_offsets_.begin(),
+                               g.in_offsets_.end() - 1);
+  for (PaperId u = 0; u < num_nodes; ++u) {
+    for (uint64_t i = g.out_offsets_[u]; i < g.out_offsets_[u + 1]; ++i) {
+      g.in_targets_[cursor[g.out_targets_[i]]++] = u;
+    }
+  }
+  return g;
+}
+
 std::string GraphIo::ToDot(const CitationGraph& g,
                            const std::vector<PaperId>& nodes,
                            const std::vector<std::string>& labels) {

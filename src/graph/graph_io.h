@@ -33,6 +33,22 @@ class GraphIo {
   static Result<CitationGraph> ReadBinaryFromStream(std::istream& is,
                                                     const std::string& context);
 
+  /// Snapshot support — read access to the out-direction CSR arrays.
+  static const std::vector<uint64_t>& OutOffsets(const CitationGraph& g) {
+    return g.out_offsets_;
+  }
+  static const std::vector<PaperId>& OutTargets(const CitationGraph& g) {
+    return g.out_targets_;
+  }
+
+  /// Snapshot support — builds a graph from out-direction CSR arrays
+  /// alone. The out CSR is validated exactly like ReadBinary's; the
+  /// in-direction is rebuilt as the transpose (counting sort over
+  /// sources, which leaves every in-span sorted ascending), so the two
+  /// directions cannot disagree no matter what the file claimed.
+  static Result<CitationGraph> FromOutCsr(std::vector<uint64_t> out_offsets,
+                                          std::vector<PaperId> out_targets);
+
   /// Renders a node-induced sample as Graphviz DOT (edge u->v drawn as the
   /// citation direction). `labels` is optional (empty = use node ids);
   /// used for the Fig. 5 citation-graph visualization.

@@ -74,7 +74,7 @@ Embedding HashedEmbedder::EmbedQuery(const std::string& query) const {
   return Normalize(acc);
 }
 
-double CosineSimilarity(const Embedding& a, const Embedding& b) {
+double CosineSimilarity(std::span<const float> a, std::span<const float> b) {
   if (a.size() != b.size() || a.empty()) return 0.0;
   double dot = 0.0;
   for (size_t i = 0; i < a.size(); ++i) {

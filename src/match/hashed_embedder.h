@@ -2,6 +2,7 @@
 #define RPG_MATCH_HASHED_EMBEDDER_H_
 
 #include <cstdint>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -37,6 +38,7 @@ class HashedEmbedder {
   Embedding EmbedQuery(const std::string& query) const;
 
   int dim() const { return options_.dim; }
+  const HashedEmbedderOptions& options() const { return options_; }
 
  private:
   void Accumulate(const std::string& text, double field_weight,
@@ -47,8 +49,10 @@ class HashedEmbedder {
 };
 
 /// Cosine similarity of two embeddings (0 when either is all-zero or
-/// dimensions mismatch).
-double CosineSimilarity(const Embedding& a, const Embedding& b);
+/// dimensions mismatch). The span overload scores against rows of a
+/// flat (possibly mmap-backed) embedding matrix with the exact same
+/// arithmetic, so snapshot-loaded scores are bit-identical.
+double CosineSimilarity(std::span<const float> a, std::span<const float> b);
 
 }  // namespace rpg::match
 

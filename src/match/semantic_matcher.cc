@@ -11,14 +11,26 @@ SemanticMatcher::SemanticMatcher(const std::vector<std::string>& titles,
                                  const HashedEmbedderOptions& options)
     : embedder_(options) {
   RPG_CHECK(titles.size() == abstracts.size());
-  doc_embeddings_.reserve(titles.size());
-  for (size_t i = 0; i < titles.size(); ++i) {
-    doc_embeddings_.push_back(embedder_.EmbedDocument(titles[i], abstracts[i]));
+  num_docs_ = titles.size();
+  const size_t dim = static_cast<size_t>(embedder_.dim());
+  owned_.reserve(num_docs_ * dim);
+  for (size_t i = 0; i < num_docs_; ++i) {
+    Embedding e = embedder_.EmbedDocument(titles[i], abstracts[i]);
+    owned_.insert(owned_.end(), e.begin(), e.end());
   }
+  view_ = owned_;
 }
 
-double SemanticMatcher::Score(const Embedding& query, uint32_t doc) const {
-  return CosineSimilarity(query, doc_embeddings_[doc]);
+std::unique_ptr<SemanticMatcher> SemanticMatcher::FromPrecomputed(
+    std::span<const float> embeddings, size_t num_docs,
+    const HashedEmbedderOptions& options) {
+  auto matcher =
+      std::unique_ptr<SemanticMatcher>(new SemanticMatcher(options));
+  RPG_CHECK(embeddings.size() ==
+            num_docs * static_cast<size_t>(matcher->embedder_.dim()));
+  matcher->view_ = embeddings;
+  matcher->num_docs_ = num_docs;
+  return matcher;
 }
 
 std::vector<Match> SemanticMatcher::Rerank(
@@ -28,7 +40,7 @@ std::vector<Match> SemanticMatcher::Rerank(
   std::vector<Match> matches;
   matches.reserve(candidates.size());
   for (uint32_t doc : candidates) {
-    if (doc >= doc_embeddings_.size()) continue;
+    if (doc >= num_docs_) continue;
     matches.push_back({doc, Score(q, doc)});
   }
   std::sort(matches.begin(), matches.end(), [](const Match& a, const Match& b) {

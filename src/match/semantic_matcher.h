@@ -1,6 +1,8 @@
 #ifndef RPG_MATCH_SEMANTIC_MATCHER_H_
 #define RPG_MATCH_SEMANTIC_MATCHER_H_
 
+#include <memory>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -18,6 +20,12 @@ struct Match {
 /// a query against paper titles+abstracts and re-ranks an expanded
 /// candidate set purely by semantic similarity. Embeds the whole
 /// collection once at construction.
+///
+/// Document embeddings live in one flat row-major float matrix
+/// (`num_docs x dim`). The matcher either owns that matrix (built from
+/// text) or borrows it (FromPrecomputed over an mmap'd snapshot section
+/// — the dominant chunk of serving state, served zero-copy with lazy
+/// page-in).
 class SemanticMatcher {
  public:
   /// `titles` and `abstracts` are parallel per-document arrays.
@@ -25,8 +33,23 @@ class SemanticMatcher {
                   const std::vector<std::string>& abstracts,
                   const HashedEmbedderOptions& options = {});
 
+  /// Snapshot support — wraps a precomputed embedding matrix without
+  /// copying it. `embeddings.size()` must equal `num_docs * options.dim`;
+  /// the backing memory must outlive the matcher (the snapshot reader
+  /// keeps its mapping alive for exactly this reason).
+  static std::unique_ptr<SemanticMatcher> FromPrecomputed(
+      std::span<const float> embeddings, size_t num_docs,
+      const HashedEmbedderOptions& options = {});
+
+  /// `view_` may point into `owned_`; copying would leave the copy's
+  /// view aimed at the original. Heap-allocate and share instead.
+  SemanticMatcher(const SemanticMatcher&) = delete;
+  SemanticMatcher& operator=(const SemanticMatcher&) = delete;
+
   /// Similarity of the query to one document.
-  double Score(const Embedding& query, uint32_t doc) const;
+  double Score(const Embedding& query, uint32_t doc) const {
+    return CosineSimilarity(query, doc_embedding(doc));
+  }
 
   /// Re-ranks `candidates` by query similarity (descending, stable for
   /// equal scores by doc id). Returns at most top_k.
@@ -36,9 +59,25 @@ class SemanticMatcher {
 
   const HashedEmbedder& embedder() const { return embedder_; }
 
+  size_t num_docs() const { return num_docs_; }
+
+  /// One document's embedding row.
+  std::span<const float> doc_embedding(uint32_t doc) const {
+    const size_t dim = static_cast<size_t>(embedder_.dim());
+    return view_.subspan(doc * dim, dim);
+  }
+
+  /// The whole flat matrix (snapshot writer input).
+  std::span<const float> embeddings() const { return view_; }
+
  private:
+  explicit SemanticMatcher(const HashedEmbedderOptions& options)
+      : embedder_(options) {}
+
   HashedEmbedder embedder_;
-  std::vector<Embedding> doc_embeddings_;
+  std::vector<float> owned_;       ///< empty when borrowing
+  std::span<const float> view_;    ///< always the live matrix
+  size_t num_docs_ = 0;
 };
 
 }  // namespace rpg::match

@@ -57,6 +57,34 @@ void InvertedIndex::Finalize() {
       doc_lengths_.empty() ? 0.0 : total / static_cast<double>(doc_lengths_.size());
 }
 
+Result<InvertedIndex> InvertedIndex::Restore(
+    const InvertedIndexOptions& options, text::Vocabulary vocab,
+    std::vector<std::vector<Posting>> postings,
+    std::vector<float> doc_lengths, double avg_doc_length) {
+  if (postings.size() != vocab.size()) {
+    return Status::InvalidArgument("index restore: postings/vocab mismatch");
+  }
+  const size_t num_docs = doc_lengths.size();
+  for (const auto& plist : postings) {
+    for (size_t i = 0; i < plist.size(); ++i) {
+      if (plist[i].doc >= num_docs) {
+        return Status::InvalidArgument("index restore: doc id out of range");
+      }
+      if (i > 0 && plist[i].doc <= plist[i - 1].doc) {
+        return Status::InvalidArgument(
+            "index restore: postings not strictly sorted by doc");
+      }
+    }
+  }
+  InvertedIndex index(options);
+  index.vocab_ = std::move(vocab);
+  index.postings_ = std::move(postings);
+  index.doc_lengths_ = std::move(doc_lengths);
+  index.avg_doc_length_ = avg_doc_length;
+  index.finalized_ = true;
+  return index;
+}
+
 const std::vector<Posting>& InvertedIndex::PostingsFor(
     const std::string& stemmed_term) const {
   RPG_CHECK(finalized_) << "PostingsFor before Finalize";

@@ -5,6 +5,7 @@
 #include <string>
 #include <vector>
 
+#include "common/result.h"
 #include "text/vocabulary.h"
 
 namespace rpg::search {
@@ -49,6 +50,24 @@ class InvertedIndex {
 
   /// Tokenizes + stems a free-text query into index terms.
   static std::vector<std::string> AnalyzeQuery(const std::string& query);
+
+  /// Snapshot support — rebuilds a finalized index from serialized
+  /// parts without re-tokenizing any text. `avg_doc_length` is stored
+  /// rather than recomputed so the restored index is bit-identical to
+  /// the one that was written. Fails with InvalidArgument on
+  /// inconsistent shapes (postings vs vocab size, doc ids out of range).
+  static Result<InvertedIndex> Restore(
+      const InvertedIndexOptions& options, text::Vocabulary vocab,
+      std::vector<std::vector<Posting>> postings,
+      std::vector<float> doc_lengths, double avg_doc_length);
+
+  /// Snapshot support — read access to the serialized representation.
+  const text::Vocabulary& vocab() const { return vocab_; }
+  const std::vector<std::vector<Posting>>& postings() const {
+    return postings_;
+  }
+  const std::vector<float>& doc_lengths() const { return doc_lengths_; }
+  const InvertedIndexOptions& options() const { return options_; }
 
  private:
   InvertedIndexOptions options_;

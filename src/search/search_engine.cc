@@ -57,6 +57,25 @@ Result<std::unique_ptr<SearchEngine>> SearchEngine::Build(
   return engine;
 }
 
+Result<std::unique_ptr<SearchEngine>> SearchEngine::Restore(
+    std::vector<EngineDocument> docs, const EngineProfile& profile,
+    InvertedIndex index, uint64_t max_citations, int min_year,
+    int max_year) {
+  if (docs.empty()) {
+    return Status::InvalidArgument("cannot restore engine over empty corpus");
+  }
+  if (index.num_documents() != docs.size()) {
+    return Status::InvalidArgument("engine restore: index/docs mismatch");
+  }
+  auto engine =
+      std::unique_ptr<SearchEngine>(new SearchEngine(std::move(docs), profile));
+  engine->index_ = std::move(index);
+  engine->max_citations_ = max_citations;
+  engine->min_year_ = min_year;
+  engine->max_year_ = max_year;
+  return engine;
+}
+
 std::vector<SearchResult> SearchEngine::Search(
     const std::string& query, size_t top_k, int year_cutoff,
     const std::vector<DocId>& exclude) const {

@@ -65,6 +65,22 @@ class SearchEngine {
   const EngineProfile& profile() const { return profile_; }
   size_t num_documents() const { return docs_.size(); }
 
+  /// Snapshot support — rebuilds an engine from a restored index plus
+  /// the per-document metadata Search() consults at query time (year and
+  /// citation count; title/abstract text is only needed at index-build
+  /// time and is not kept). The max/min aggregates are stored rather
+  /// than recomputed so the restored engine scores bit-identically.
+  static Result<std::unique_ptr<SearchEngine>> Restore(
+      std::vector<EngineDocument> docs, const EngineProfile& profile,
+      InvertedIndex index, uint64_t max_citations, int min_year,
+      int max_year);
+
+  /// Snapshot support — read access to the serialized representation.
+  const InvertedIndex& index() const { return index_; }
+  uint64_t max_citations() const { return max_citations_; }
+  int min_year() const { return min_year_; }
+  int max_year() const { return max_year_; }
+
  private:
   SearchEngine(std::vector<EngineDocument> docs, const EngineProfile& profile);
 

@@ -1,0 +1,83 @@
+#include "snapshot/codec.h"
+
+#include <limits>
+
+#include "common/string_util.h"
+#include "snapshot/byte_io.h"
+
+namespace rpg::snapshot {
+
+void EncodeAdjacency(const std::vector<uint64_t>& offsets,
+                     const std::vector<graph::PaperId>& targets,
+                     std::vector<uint8_t>* out) {
+  ByteWriter w(out);
+  const size_t num_nodes = offsets.empty() ? 0 : offsets.size() - 1;
+  for (size_t u = 0; u < num_nodes; ++u) {
+    const uint64_t begin = offsets[u], end = offsets[u + 1];
+    w.PutVarint(end - begin);
+    for (uint64_t i = begin; i < end; ++i) {
+      w.PutVarint(i == begin ? targets[i]
+                             : static_cast<uint64_t>(targets[i]) -
+                                   targets[i - 1]);
+    }
+  }
+}
+
+Status DecodeAdjacency(std::span<const uint8_t> bytes, uint64_t num_nodes,
+                       uint64_t num_edges, std::vector<uint64_t>* offsets,
+                       std::vector<graph::PaperId>* targets) {
+  // Node ids must fit PaperId, and every node and edge costs at least
+  // one encoded byte — so the header-claimed totals are bounded by the
+  // section size before anything is allocated (no resize bombs).
+  if (num_nodes > std::numeric_limits<graph::PaperId>::max()) {
+    return Status::InvalidArgument("adjacency: node count exceeds PaperId");
+  }
+  if (num_nodes > bytes.size() || num_edges > bytes.size()) {
+    return Status::InvalidArgument(
+        StrFormat("adjacency: %llu nodes / %llu edges cannot fit in %zu "
+                  "bytes",
+                  static_cast<unsigned long long>(num_nodes),
+                  static_cast<unsigned long long>(num_edges), bytes.size()));
+  }
+  offsets->clear();
+  targets->clear();
+  offsets->reserve(static_cast<size_t>(num_nodes) + 1);
+  targets->reserve(static_cast<size_t>(num_edges));
+
+  ByteReader r(bytes);
+  offsets->push_back(0);
+  for (uint64_t u = 0; u < num_nodes; ++u) {
+    uint64_t degree = 0;
+    if (!r.GetVarint(&degree)) {
+      return Status::InvalidArgument("adjacency: truncated degree");
+    }
+    if (degree > r.remaining() ||
+        degree > num_edges - targets->size()) {
+      return Status::InvalidArgument("adjacency: degree overruns section");
+    }
+    uint64_t prev = 0;
+    for (uint64_t i = 0; i < degree; ++i) {
+      uint64_t delta = 0;
+      if (!r.GetVarint(&delta)) {
+        return Status::InvalidArgument("adjacency: truncated target");
+      }
+      const uint64_t target = (i == 0) ? delta : prev + delta;
+      if (target >= num_nodes) {
+        return Status::InvalidArgument("adjacency: target out of range");
+      }
+      targets->push_back(static_cast<graph::PaperId>(target));
+      prev = target;
+    }
+    offsets->push_back(targets->size());
+  }
+  if (targets->size() != num_edges) {
+    return Status::InvalidArgument(
+        "adjacency: edge count does not match header");
+  }
+  if (!r.AtEnd()) {
+    return Status::InvalidArgument("adjacency: trailing bytes in section");
+  }
+  return Status::OK();
+}
+
+}  // namespace rpg::snapshot

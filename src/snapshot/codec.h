@@ -1,0 +1,45 @@
+#ifndef RPG_SNAPSHOT_CODEC_H_
+#define RPG_SNAPSHOT_CODEC_H_
+
+/// \file
+/// The varint/delta adjacency codec behind the snapshot's kGraphOut
+/// section, exposed standalone so the round-trip property tests and the
+/// fuzz harness can drive it without a full snapshot around it.
+///
+/// Encoding, per node in id order:
+///   varint(degree)
+///   varint(first target)           — absolute
+///   varint(target[i] - target[i-1]) for the rest — non-negative deltas,
+///                                    because CSR spans are sorted
+/// The decoder never trusts a decoded count to size an allocation: node
+/// and edge totals are bounded by the section byte count (every varint
+/// is at least one byte) before any reserve, and every decoded target is
+/// range-checked. Any violation is a typed InvalidArgument.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/status.h"
+#include "graph/citation_graph.h"
+
+namespace rpg::snapshot {
+
+/// Appends the encoded adjacency of a valid CSR (offsets/targets as in
+/// CitationGraph, spans sorted ascending) to `out`.
+void EncodeAdjacency(const std::vector<uint64_t>& offsets,
+                     const std::vector<graph::PaperId>& targets,
+                     std::vector<uint8_t>* out);
+
+/// Decodes a kGraphOut section. `num_nodes`/`num_edges` come from the
+/// (already validated) snapshot header and must match exactly what the
+/// bytes describe. On success fills CSR arrays with sorted spans and
+/// every target < num_nodes; on any structural lie returns
+/// InvalidArgument and leaves the outputs unspecified.
+Status DecodeAdjacency(std::span<const uint8_t> bytes, uint64_t num_nodes,
+                       uint64_t num_edges, std::vector<uint64_t>* offsets,
+                       std::vector<graph::PaperId>* targets);
+
+}  // namespace rpg::snapshot
+
+#endif  // RPG_SNAPSHOT_CODEC_H_

@@ -1,0 +1,83 @@
+#ifndef RPG_SNAPSHOT_SNAPSHOT_READER_H_
+#define RPG_SNAPSHOT_SNAPSHOT_READER_H_
+
+/// \file
+/// mmap-based zero-copy snapshot reader. Open() maps the file read-only
+/// and validates header magic/version/checksum, the TOC, every entry's
+/// bounds, and (by default) every section checksum except the large
+/// embeddings matrix — that one stays lazy so opening a multi-GB
+/// snapshot does not fault every page in; VerifyAllChecksums() does the
+/// full pass on demand. Any inconsistency fails closed with a typed
+/// InvalidArgument before a single section byte is interpreted.
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "snapshot/format.h"
+
+namespace rpg::snapshot {
+
+struct SnapshotReaderOptions {
+  /// Verify per-section checksums at open (all sections except
+  /// kEmbeddings, which is always deferred to VerifyAllChecksums so
+  /// lazy page-in survives). Header and TOC checksums are always
+  /// verified regardless.
+  bool verify_checksums = true;
+};
+
+/// Validated view over one snapshot file (or an in-memory buffer for
+/// tests and the fuzz harness). Sections are raw byte spans into the
+/// mapping; decoding them is the caller's job (ServingState).
+class SnapshotReader {
+ public:
+  static Result<std::unique_ptr<SnapshotReader>> Open(
+      const std::string& path, const SnapshotReaderOptions& options = {});
+
+  /// Same validation over an owned buffer — no filesystem involved.
+  static Result<std::unique_ptr<SnapshotReader>> FromBuffer(
+      std::vector<uint8_t> bytes, const SnapshotReaderOptions& options = {});
+
+  ~SnapshotReader();
+  SnapshotReader(const SnapshotReader&) = delete;
+  SnapshotReader& operator=(const SnapshotReader&) = delete;
+
+  uint64_t num_papers() const { return header_.num_papers; }
+  uint64_t num_edges() const { return header_.num_edges; }
+  uint64_t corpus_seed() const { return header_.corpus_seed; }
+  uint32_t flags() const { return header_.flags; }
+  bool relabeled() const { return (header_.flags & kFlagRelabeled) != 0; }
+  uint64_t file_size() const { return data_.size(); }
+
+  bool HasSection(SectionId id) const;
+
+  /// The section's bytes, or InvalidArgument when absent.
+  Result<std::span<const uint8_t>> Section(SectionId id) const;
+
+  /// Verifies every section checksum, including kEmbeddings (faults in
+  /// the whole file). InvalidArgument names the first bad section.
+  Status VerifyAllChecksums() const;
+
+ private:
+  SnapshotReader() = default;
+
+  /// Runs the full validation ladder over `data_`.
+  Status Validate(const SnapshotReaderOptions& options,
+                  const std::string& context);
+
+  std::span<const uint8_t> data_;
+  SnapshotHeader header_;
+  std::vector<SectionEntry> sections_;
+
+  /// Exactly one of these backs `data_`.
+  void* mmap_base_ = nullptr;
+  size_t mmap_size_ = 0;
+  std::vector<uint8_t> owned_;
+};
+
+}  // namespace rpg::snapshot
+
+#endif  // RPG_SNAPSHOT_SNAPSHOT_READER_H_

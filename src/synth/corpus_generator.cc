@@ -389,4 +389,33 @@ Result<std::unique_ptr<Corpus>> GenerateCorpus(const CorpusOptions& options) {
   return corpus;
 }
 
+CorpusOptions ScaledCorpusOptions(uint64_t target_papers, uint64_t seed) {
+  CorpusOptions o;
+  o.seed = seed;
+  // Widen the tree as sqrt(target): leaf count L = 10 * A * T grows
+  // linearly with target while per-leaf population stays roughly flat,
+  // which keeps topic-local citation structure (and engine recall
+  // behavior) scale-invariant.
+  const double t = static_cast<double>(target_papers);
+  const int fan = static_cast<int>(
+      std::clamp(std::ceil(std::sqrt(t / 2000.0)), 2.0, 100.0));
+  o.hierarchy.areas_per_domain = fan;
+  o.hierarchy.topics_per_area = fan;
+  const uint64_t leaves = 10ull * fan * fan;
+
+  const double per_leaf = 0.75 * t / static_cast<double>(leaves);
+  o.papers_per_area = std::max(5, static_cast<int>(0.3 * per_leaf));
+  o.papers_per_domain = std::max(10, static_cast<int>(0.25 * per_leaf));
+  o.num_surveys =
+      std::max<int>(100, static_cast<int>(target_papers / 100));
+
+  const uint64_t fixed = static_cast<uint64_t>(o.num_surveys) +
+                         10ull * o.papers_per_domain +
+                         10ull * fan * o.papers_per_area;
+  const uint64_t remaining = target_papers > fixed ? target_papers - fixed : 0;
+  o.papers_per_topic =
+      std::max<int>(1, static_cast<int>(remaining / leaves));
+  return o;
+}
+
 }  // namespace rpg::synth

@@ -55,6 +55,16 @@ struct CorpusOptions {
 /// with occurrence-weighted reference lists.
 Result<std::unique_ptr<Corpus>> GenerateCorpus(const CorpusOptions& options);
 
+/// The scale axis: derives CorpusOptions whose total paper count lands
+/// within a few percent of `target_papers` (valid from ~10^3 up to 10^7
+/// and beyond), keeping the structural shape — skewed Table I survey
+/// allocation, Zipf-ish topic sizes, sparse regular / dense survey
+/// reference lists — intact as the corpus grows. The topic tree widens as
+/// sqrt(target) so leaves deepen at the same rate they multiply.
+/// Deterministic: the same (target, seed) always yields the same options
+/// and therefore (via the seeded generator) the same corpus bytes.
+CorpusOptions ScaledCorpusOptions(uint64_t target_papers, uint64_t seed);
+
 /// Relative Table I domain weights (AI = 12.3 ... HCI = 0.9), used to
 /// allocate surveys across domains. Exposed for tests/stats.
 const std::vector<double>& TableOneDomainWeights();

@@ -2,6 +2,16 @@
 
 namespace rpg::text {
 
+Vocabulary Vocabulary::FromTerms(std::vector<std::string> terms) {
+  Vocabulary v;
+  v.terms_ = std::move(terms);
+  v.index_.reserve(v.terms_.size());
+  for (TermId id = 0; id < v.terms_.size(); ++id) {
+    v.index_.emplace(v.terms_[id], id);  // keeps the first id on dups
+  }
+  return v;
+}
+
 TermId Vocabulary::GetOrAdd(std::string_view term) {
   auto it = index_.find(std::string(term));
   if (it != index_.end()) return it->second;

@@ -18,6 +18,12 @@ class Vocabulary {
  public:
   Vocabulary() = default;
 
+  /// Rebuilds a vocabulary from a serialized term list, preserving the
+  /// original first-seen id order (terms_[i] gets id i). Duplicate terms
+  /// keep their first id; later duplicates become unreachable via Lookup
+  /// but TermOf stays valid for every id. Used by the snapshot loader.
+  static Vocabulary FromTerms(std::vector<std::string> terms);
+
   /// Returns the id of `term`, interning it if new.
   TermId GetOrAdd(std::string_view term);
 

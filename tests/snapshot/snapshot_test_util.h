@@ -1,0 +1,77 @@
+#ifndef RPG_TESTS_SNAPSHOT_SNAPSHOT_TEST_UTIL_H_
+#define RPG_TESTS_SNAPSHOT_SNAPSHOT_TEST_UTIL_H_
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "eval/workbench.h"
+#include "snapshot/snapshot_writer.h"
+
+namespace rpg::snapshot {
+
+/// Process-wide small workbench shared by every snapshot suite (built
+/// once, intentionally leaked — the corpus build dominates test time).
+inline const eval::Workbench& TestWorkbench() {
+  static const eval::Workbench* wb = [] {
+    eval::WorkbenchOptions options;
+    options.corpus.hierarchy.areas_per_domain = 2;
+    options.corpus.hierarchy.topics_per_area = 2;
+    options.corpus.papers_per_topic = 50;
+    options.corpus.papers_per_area = 15;
+    options.corpus.papers_per_domain = 10;
+    options.corpus.num_surveys = 40;
+    options.corpus.seed = 55;
+    return eval::Workbench::Create(options).value().release();
+  }();
+  return *wb;
+}
+
+/// The writer input corresponding to TestWorkbench().
+inline SnapshotInput TestInput() {
+  const eval::Workbench& wb = TestWorkbench();
+  SnapshotInput input;
+  input.graph = &wb.corpus().citations;
+  input.titles = &wb.titles();
+  input.years = &wb.years();
+  input.pagerank = &wb.pagerank();
+  input.venue_scores = &wb.venue_scores();
+  input.engine = &wb.google();
+  input.matcher = &wb.matcher();
+  input.corpus_seed = 55;
+  return input;
+}
+
+/// Snapshot of TestWorkbench() on disk, written once per variant.
+inline const std::string& TestSnapshotPath(bool relabel) {
+  static const std::string* paths[2] = {nullptr, nullptr};
+  const int slot = relabel ? 1 : 0;
+  if (paths[slot] == nullptr) {
+    auto path = (std::filesystem::temp_directory_path() /
+                 (relabel ? "rpg_test_relabel.snap" : "rpg_test.snap"))
+                    .string();
+    SnapshotWriterOptions options;
+    options.relabel = relabel;
+    Status status = WriteSnapshot(TestInput(), path, options);
+    if (!status.ok()) {
+      std::fprintf(stderr, "test snapshot write failed: %s\n",
+                   status.ToString().c_str());
+      std::abort();
+    }
+    paths[slot] = new std::string(path);
+  }
+  return *paths[slot];
+}
+
+/// The snapshot file's bytes (for FromBuffer / corruption tests).
+inline std::vector<uint8_t> TestSnapshotImage(bool relabel) {
+  std::ifstream is(TestSnapshotPath(relabel), std::ios::binary);
+  return std::vector<uint8_t>(std::istreambuf_iterator<char>(is),
+                              std::istreambuf_iterator<char>());
+}
+
+}  // namespace rpg::snapshot
+
+#endif  // RPG_TESTS_SNAPSHOT_SNAPSHOT_TEST_UTIL_H_

@@ -1,8 +1,12 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cstdint>
 #include <set>
+#include <string>
 #include <unordered_set>
 
+#include "snapshot/checksum.h"
 #include "synth/corpus_generator.h"
 #include "synth/topic_hierarchy.h"
 #include "synth/venue_table.h"
@@ -281,6 +285,105 @@ TEST(CorpusGeneratorTest, TableOneWeightsMatchPaper) {
   ASSERT_EQ(w.size(), 10u);
   EXPECT_DOUBLE_EQ(w[0], 12.3);  // Artificial Intelligence
   EXPECT_DOUBLE_EQ(w[9], 0.9);   // HCI
+}
+
+// ------------------------------------------------------ the scale axis
+
+/// Order-sensitive digest of everything the generator emits: papers
+/// (text, year, venue, topic, survey flag), every citation edge, and
+/// every survey reference list. Two corpora with equal fingerprints are
+/// byte-identical for all downstream purposes.
+uint64_t CorpusFingerprint(const Corpus& c) {
+  uint64_t h = snapshot::Fnv1a64(nullptr, 0);
+  auto mix = [&h](const void* data, size_t size) {
+    h = snapshot::Fnv1a64(data, size, h);
+  };
+  auto mix_str = [&](const std::string& s) { mix(s.data(), s.size()); };
+  for (const Paper& p : c.papers) {
+    mix_str(p.title);
+    mix_str(p.abstract_text);
+    mix(&p.year, sizeof(p.year));
+    mix(&p.venue, sizeof(p.venue));
+    mix(&p.topic, sizeof(p.topic));
+    mix(&p.is_survey, sizeof(p.is_survey));
+  }
+  for (graph::PaperId u = 0; u < c.citations.num_nodes(); ++u) {
+    auto out = c.citations.OutNeighbors(u);
+    mix(out.data(), out.size() * sizeof(graph::PaperId));
+  }
+  for (const SurveyRecord& s : c.surveys) {
+    mix(&s.paper, sizeof(s.paper));
+    mix(s.references.data(),
+        s.references.size() * sizeof(graph::PaperId));
+    mix(s.occurrence.data(), s.occurrence.size() * sizeof(uint32_t));
+  }
+  return h;
+}
+
+TEST(ScaledCorpusTest, SameSeedSameBytesAtSmallAndLargeScale) {
+  for (uint64_t target : {1000ull, 100000ull}) {
+    CorpusOptions options = ScaledCorpusOptions(target, 99);
+    auto a = GenerateCorpus(options).value();
+    auto b = GenerateCorpus(options).value();
+    ASSERT_EQ(a->num_papers(), b->num_papers()) << target;
+    EXPECT_EQ(CorpusFingerprint(*a), CorpusFingerprint(*b)) << target;
+    // And the options derivation itself is deterministic.
+    CorpusOptions again = ScaledCorpusOptions(target, 99);
+    EXPECT_EQ(options.papers_per_topic, again.papers_per_topic);
+    EXPECT_EQ(options.hierarchy.areas_per_domain,
+              again.hierarchy.areas_per_domain);
+    EXPECT_EQ(options.num_surveys, again.num_surveys);
+  }
+}
+
+TEST(ScaledCorpusTest, LandsNearTargetAcrossTheSweep) {
+  for (uint64_t target : {1000ull, 20000ull, 100000ull}) {
+    auto corpus = GenerateCorpus(ScaledCorpusOptions(target, 3)).value();
+    const double papers = static_cast<double>(corpus->num_papers());
+    EXPECT_GT(papers, 0.85 * static_cast<double>(target)) << target;
+    EXPECT_LT(papers, 1.15 * static_cast<double>(target)) << target;
+  }
+}
+
+TEST(ScaledCorpusTest, LargeScaleDistributionsSane) {
+  CorpusOptions options = ScaledCorpusOptions(100000, 12345);
+  auto corpus = GenerateCorpus(options).value();
+  const size_t n = corpus->num_papers();
+  ASSERT_GT(n, 85000u);
+
+  // Year range respected and both halves populated.
+  size_t old_half = 0;
+  for (const Paper& p : corpus->papers) {
+    ASSERT_GE(p.year, options.min_year);
+    ASSERT_LE(p.year, options.max_year);
+    if (p.year < (options.min_year + options.max_year) / 2) ++old_half;
+  }
+  EXPECT_GT(old_half, n / 20);
+  EXPECT_LT(old_half, n - n / 20);
+
+  // Citation in-degree is heavily skewed (preferential attachment):
+  // the most-cited paper sits far above the mean.
+  size_t max_indeg = 0;
+  for (graph::PaperId p = 0; p < corpus->citations.num_nodes(); ++p) {
+    max_indeg = std::max(max_indeg, corpus->citations.InDegree(p));
+  }
+  const double mean_indeg =
+      static_cast<double>(corpus->citations.num_edges()) /
+      static_cast<double>(n);
+  EXPECT_GT(static_cast<double>(max_indeg), 20.0 * mean_indeg);
+
+  // Venue sparsity tracks the Table I "Uncertain Topics" fraction.
+  size_t missing = 0;
+  for (const Paper& p : corpus->papers) {
+    if (p.venue == kNoVenue) ++missing;
+  }
+  const double missing_fraction =
+      static_cast<double>(missing) / static_cast<double>(n);
+  EXPECT_NEAR(missing_fraction, options.missing_venue_fraction, 0.05);
+
+  // Survey allocation adds up.
+  EXPECT_EQ(corpus->surveys.size(),
+            static_cast<size_t>(options.num_surveys));
 }
 
 }  // namespace
