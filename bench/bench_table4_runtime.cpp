@@ -33,6 +33,7 @@
 #include "eval/evaluator.h"
 #include "graph/subgraph.h"
 #include "graph/traversal.h"
+#include "obs/trace.h"
 #include "steiner/newst.h"
 
 namespace {
@@ -200,14 +201,21 @@ int main(int argc, char** argv) {
     json.EndObject();
   }
   json.EndArray();
-  // Average over the evaluation sample at the default 30 seeds.
+  // Average over the evaluation sample at the default 30 seeds. The same
+  // pass accumulates per-stage span times for the attribution section
+  // below, so make sure spans are actually recorded.
+  obs::SetTracingEnabled(true);
   double total_nodes = 0, total_edges = 0, total_time = 0;
+  double stage_ms_sum[obs::kNumPipelineStages] = {};
   size_t runs = std::min<size_t>(g_sample.size(), 20);
   for (size_t i = 0; i < runs; ++i) {
     core::RePagerResult result = RunCase(i, 30);
     total_nodes += static_cast<double>(result.subgraph_nodes);
     total_edges += static_cast<double>(result.subgraph_edges);
     total_time += result.total_seconds;
+    for (size_t s = 0; s < obs::kNumPipelineStages; ++s) {
+      stage_ms_sum[s] += result.stages.StageMs(obs::kPipelineStages[s]);
+    }
   }
   table.AddRow({"Avg. (test set)",
                 std::to_string(static_cast<size_t>(total_nodes / runs)),
@@ -216,6 +224,64 @@ int main(int argc, char** argv) {
   table.Print(std::cout);
   json.Key("avg_total_seconds")
       .Double(total_time / static_cast<double>(runs));
+
+  // --- Per-stage latency attribution over the same sample --------------
+  // Where the pipeline time goes, stage by stage, from the tracing spans
+  // (docs/observability.md). attributed_fraction is the share of the
+  // wall-clock total the spans explain; the perf gate asserts it stays
+  // >= 0.9 so a stage can never silently fall out of the instrumentation.
+  // With RPG_TRACING=OFF the section still prints, but all zeros.
+  std::printf("\n=== Per-stage latency attribution (avg over sample) ===\n");
+  TablePrinter stage_table({"stage", "avg ms", "share of total"});
+  const double runs_d = static_cast<double>(runs);
+  const double total_ms = total_time * 1e3;
+  double attributed_ms = 0;
+  for (size_t s = 0; s < obs::kNumPipelineStages; ++s) {
+    attributed_ms += stage_ms_sum[s];
+  }
+  json.Key("stages").BeginObject();
+  for (size_t s = 0; s < obs::kNumPipelineStages; ++s) {
+    const std::string name = obs::StageName(obs::kPipelineStages[s]);
+    stage_table.AddRow(
+        {name, FormatDouble(stage_ms_sum[s] / runs_d, 3),
+         FormatDouble(total_ms > 0 ? stage_ms_sum[s] / total_ms : 0.0, 3)});
+    json.Key(name + "_ms").Double(stage_ms_sum[s] / runs_d);
+  }
+  double attributed_fraction = total_ms > 0 ? attributed_ms / total_ms : 0.0;
+  stage_table.AddRow({"(attributed)", FormatDouble(attributed_ms / runs_d, 3),
+                      FormatDouble(attributed_fraction, 3)});
+  json.Key("total_ms").Double(total_ms / runs_d);
+  json.Key("attributed_fraction").Double(attributed_fraction);
+  json.EndObject();
+  stage_table.Print(std::cout);
+
+  // --- Tracing overhead: same sample, spans on vs off ------------------
+  // Interleaved best-of-reps so both modes see the same cache/thermal
+  // state; the perf gate holds overhead_ratio under 1.02 (< 2%).
+  const int kTraceReps = 3;
+  double traced_best = 1e30, untraced_best = 1e30;
+  for (int r = 0; r < kTraceReps; ++r) {
+    obs::SetTracingEnabled(true);
+    Timer traced_timer;
+    for (size_t i = 0; i < runs; ++i) RunCase(i, 30);
+    traced_best = std::min(traced_best, traced_timer.ElapsedSeconds());
+    obs::SetTracingEnabled(false);
+    Timer untraced_timer;
+    for (size_t i = 0; i < runs; ++i) RunCase(i, 30);
+    untraced_best = std::min(untraced_best, untraced_timer.ElapsedSeconds());
+  }
+  obs::SetTracingEnabled(true);
+  double overhead_ratio =
+      untraced_best > 0 ? traced_best / untraced_best : 0.0;
+  std::printf("\ntracing overhead: traced %.3fs vs untraced %.3fs "
+              "(ratio %.4f)\n",
+              traced_best, untraced_best, overhead_ratio);
+  json.Key("tracing").BeginObject();
+  json.Key("compiled_in").Bool(obs::kTracingCompiledIn);
+  json.Key("traced_seconds").Double(traced_best);
+  json.Key("untraced_seconds").Double(untraced_best);
+  json.Key("overhead_ratio").Double(overhead_ratio);
+  json.EndObject();
 
   // --- Steiner hot path: classic per-terminal closure vs Mehlhorn ------
   std::printf("\n=== Metric closure: classic (per-terminal Dijkstra) vs "

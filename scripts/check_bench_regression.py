@@ -22,6 +22,12 @@ bench files are skipped with a note: the gate only judges what ran),
 The metric list is intentionally short and headline-grade: pipeline
 solve time, serving throughput/latency, and the cache speedup. Adding
 every counter would only manufacture flakes.
+
+Besides the baseline ratios, a few *absolute* limits gate invariants of
+the fresh run alone (no baseline needed): the request-tracing overhead
+must stay under 2% (tracing.overhead_ratio <= 1.02) and the per-stage
+spans must attribute >= 90% of pipeline wall time
+(stages.attributed_fraction >= 0.9). See docs/observability.md.
 """
 
 import argparse
@@ -33,6 +39,17 @@ import sys
 TABLE4_METRICS = [
     ("avg_total_seconds", "lower"),
     ("closure_comparison[0].total_speedup", "higher"),
+]
+# Absolute limits on the fresh run, judged without a baseline ratio:
+# (json_path, kind, bound[, guard_path]). "max" fails when current >
+# bound, "min" when current < bound; a falsy guard_path value skips the
+# check. These gate invariants rather than trajectories: tracing must
+# cost < 2% of the untraced pipeline, and the stage spans must explain
+# >= 90% of the wall-clock solve time (docs/observability.md). Both are
+# meaningless when the tracing layer is compiled out, hence the guard.
+TABLE4_LIMITS = [
+    ("tracing.overhead_ratio", "max", 1.02, "tracing.compiled_in"),
+    ("stages.attributed_fraction", "min", 0.90, "tracing.compiled_in"),
 ]
 SERVE_METRICS = [
     ("sweep[0].throughput_rps", "higher"),
@@ -95,26 +112,51 @@ def check_file(name, current_doc, baseline_doc, metrics, factor, report):
     return failures
 
 
+def check_limits(name, current_doc, limits, report):
+    """Absolute bounds on the fresh run; no baseline involved."""
+    failures = 0
+    for entry in limits:
+        path, kind, bound = entry[:3]
+        guard = entry[3] if len(entry) > 3 else None
+        if guard is not None and not resolve(current_doc, guard):
+            report.append(f"  skip  {name}:{path} (guard {guard} is off)")
+            continue
+        cur = resolve(current_doc, path)
+        if not isinstance(cur, (int, float)):
+            report.append(f"  skip  {name}:{path} (missing in current)")
+            continue
+        bad = cur > bound if kind == "max" else cur < bound
+        verdict = "FAIL" if bad else "ok"
+        report.append(f"  {verdict:4}  {name}:{path}  current={cur:.6g}  "
+                      f"(limit: {kind} {bound:g})")
+        if bad:
+            failures += 1
+    return failures
+
+
 def run_gate(build_dir, baseline_dir, factor):
     pairs = [
-        ("BENCH_table4.json", TABLE4_METRICS),
-        ("BENCH_serve.json", SERVE_METRICS),
-        ("BENCH_scale.json", SCALE_METRICS),
+        ("BENCH_table4.json", TABLE4_METRICS, TABLE4_LIMITS),
+        ("BENCH_serve.json", SERVE_METRICS, []),
+        ("BENCH_scale.json", SCALE_METRICS, []),
     ]
     report = []
     failures = 0
     compared = 0
-    for filename, metrics in pairs:
+    for filename, metrics, limits in pairs:
         current_path = os.path.join(build_dir, filename)
         baseline_path = os.path.join(baseline_dir, filename)
         if not os.path.exists(current_path):
             report.append(f"  skip  {filename} (no current run at {current_path})")
             continue
+        with open(current_path) as f:
+            current_doc = json.load(f)
+        # Absolute limits only need the fresh run, so they gate even when
+        # a baseline has not been checked in yet.
+        failures += check_limits(filename, current_doc, limits, report)
         if not os.path.exists(baseline_path):
             report.append(f"  skip  {filename} (no baseline at {baseline_path})")
             continue
-        with open(current_path) as f:
-            current_doc = json.load(f)
         with open(baseline_path) as f:
             baseline_doc = json.load(f)
         compared += 1
@@ -165,6 +207,37 @@ def self_test():
     }
     if check_file("fixture", noisy, baseline, TABLE4_METRICS, 2.0, report) != 0:
         print("self-test FAILED: in-band noise flagged as regression")
+        return 1
+    # Absolute limits: the tracing-overhead ceiling and the attribution
+    # floor must both trip, a healthy run must pass, and a compiled-out
+    # tracing build must be skipped rather than failed.
+    healthy = {
+        "tracing": {"compiled_in": True, "overhead_ratio": 1.005},
+        "stages": {"attributed_fraction": 0.97},
+    }
+    if check_limits("fixture", healthy, TABLE4_LIMITS, report) != 0:
+        print("self-test FAILED: in-bound limits flagged")
+        return 1
+    over_budget = {
+        "tracing": {"compiled_in": True, "overhead_ratio": 1.05},
+        "stages": {"attributed_fraction": 0.97},
+    }
+    if check_limits("fixture", over_budget, TABLE4_LIMITS, report) != 1:
+        print("self-test FAILED: 5% tracing overhead not flagged")
+        return 1
+    unattributed = {
+        "tracing": {"compiled_in": True, "overhead_ratio": 1.0},
+        "stages": {"attributed_fraction": 0.5},
+    }
+    if check_limits("fixture", unattributed, TABLE4_LIMITS, report) != 1:
+        print("self-test FAILED: 50% stage attribution not flagged")
+        return 1
+    compiled_out = {
+        "tracing": {"compiled_in": False, "overhead_ratio": 1.0},
+        "stages": {"attributed_fraction": 0.0},
+    }
+    if check_limits("fixture", compiled_out, TABLE4_LIMITS, report) != 0:
+        print("self-test FAILED: compiled-out tracing should skip limits")
         return 1
     print("self-test passed")
     return 0

@@ -67,6 +67,10 @@ double Histogram::mean() const {
 double Histogram::Quantile(double q) const {
   uint64_t t = total();
   if (t == 0) return 0.0;
+  // One observation: every quantile IS that observation. (n_ counts
+  // Add calls; with a single call the exact value survives in sum_,
+  // so return it instead of smearing it across its bucket.)
+  if (t == 1 && n_ == 1) return sum_;
   if (q < 0.0) q = 0.0;
   if (q > 1.0) q = 1.0;
   double rank = q * static_cast<double>(t);

@@ -40,12 +40,18 @@ class Histogram {
 
   double mean() const;
 
+  /// Sum of all observed values (exact, not bucket-approximated) — the
+  /// `_sum` series of the Prometheus exposition.
+  double sum() const { return sum_; }
+
   /// Estimated q-quantile (q in [0, 1]) assuming mass is uniform within
   /// each bucket (linear interpolation between the bucket edges).
   /// Underflow mass is treated as sitting at the first edge and overflow
   /// mass at the last, so extreme quantiles stay finite but are clamped —
-  /// size the edges so the tail you care about is inside them. Returns 0
-  /// when the histogram is empty.
+  /// size the edges so the tail you care about is inside them. Edge
+  /// cases are pinned by tests/serve/metrics_test.cc: an empty histogram
+  /// returns 0 for every q, and a single-observation histogram returns
+  /// that observation exactly (no within-bucket interpolation).
   double Quantile(double q) const;
 
  private:

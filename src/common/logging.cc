@@ -1,13 +1,23 @@
 #include "common/logging.h"
 
+#include <unistd.h>
+
 #include <atomic>
+#include <cerrno>
 #include <cstdio>
 #include <cstdlib>
+#include <ctime>
+
+#if defined(__linux__)
+#include <sys/syscall.h>
+#else
+#include <functional>
+#include <thread>
+#endif
 
 namespace rpg {
 
 namespace {
-std::atomic<int> g_log_level{static_cast<int>(LogLevel::kInfo)};
 
 const char* LevelTag(LogLevel level) {
   switch (level) {
@@ -22,36 +32,119 @@ const char* LevelTag(LogLevel level) {
   }
   return "?";
 }
+
+LogLevel InitialLogLevel() {
+  const char* env = std::getenv("RPG_LOG_LEVEL");
+  LogLevel level = LogLevel::kInfo;
+  if (env != nullptr) ParseLogLevel(env, &level);
+  return level;
+}
+
+/// Function-local static so the env var is read exactly once, on first
+/// use, thread-safely (magic static) — including uses during static
+/// initialization of other TUs.
+std::atomic<int>& LogLevelVar() {
+  static std::atomic<int> level{static_cast<int>(InitialLogLevel())};
+  return level;
+}
+
+/// Cached kernel thread id (one syscall per thread, ever).
+long CurrentThreadId() {
+#if defined(__linux__)
+  static thread_local const long tid =
+      static_cast<long>(::syscall(SYS_gettid));
+  return tid;
+#else
+  static thread_local const long tid = [] {
+    return static_cast<long>(
+        std::hash<std::thread::id>{}(std::this_thread::get_id()) & 0x7fffffff);
+  }();
+  return tid;
+#endif
+}
+
 }  // namespace
 
 void SetLogLevel(LogLevel level) {
-  g_log_level.store(static_cast<int>(level), std::memory_order_relaxed);
+  LogLevelVar().store(static_cast<int>(level), std::memory_order_relaxed);
 }
 
 LogLevel GetLogLevel() {
-  return static_cast<LogLevel>(g_log_level.load(std::memory_order_relaxed));
+  return static_cast<LogLevel>(
+      LogLevelVar().load(std::memory_order_relaxed));
+}
+
+bool ParseLogLevel(const std::string& s, LogLevel* out) {
+  std::string lower;
+  lower.reserve(s.size());
+  for (char c : s) {
+    lower.push_back(c >= 'A' && c <= 'Z' ? static_cast<char>(c + 32) : c);
+  }
+  if (lower == "debug" || lower == "d" || lower == "0") {
+    *out = LogLevel::kDebug;
+  } else if (lower == "info" || lower == "i" || lower == "1") {
+    *out = LogLevel::kInfo;
+  } else if (lower == "warning" || lower == "warn" || lower == "w" ||
+             lower == "2") {
+    *out = LogLevel::kWarning;
+  } else if (lower == "error" || lower == "e" || lower == "3") {
+    *out = LogLevel::kError;
+  } else {
+    return false;
+  }
+  return true;
 }
 
 namespace internal {
 
-LogMessage::LogMessage(LogLevel level, const char* file, int line)
-    : enabled_(static_cast<int>(level) >=
-               g_log_level.load(std::memory_order_relaxed)),
-      level_(level) {
-  if (enabled_) {
-    const char* base = file;
-    for (const char* p = file; *p; ++p) {
-      if (*p == '/') base = p + 1;
+std::string FormatLogPrefix(LogLevel level, const char* file, int line) {
+  const char* base = file;
+  for (const char* p = file; *p; ++p) {
+    if (*p == '/') base = p + 1;
+  }
+  struct timespec ts;
+  clock_gettime(CLOCK_REALTIME, &ts);
+  struct tm utc;
+  gmtime_r(&ts.tv_sec, &utc);
+  char buf[96];
+  int n = std::snprintf(
+      buf, sizeof(buf),
+      "[%04d-%02d-%02dT%02d:%02d:%02d.%03ldZ tid=%ld %s %s:%d] ",
+      utc.tm_year + 1900, utc.tm_mon + 1, utc.tm_mday, utc.tm_hour,
+      utc.tm_min, utc.tm_sec, ts.tv_nsec / 1000000, CurrentThreadId(),
+      LevelTag(level), base, line);
+  if (n < 0) return "[] ";
+  return std::string(buf, static_cast<size_t>(n) < sizeof(buf)
+                              ? static_cast<size_t>(n)
+                              : sizeof(buf) - 1);
+}
+
+void WriteLogLine(std::string line) {
+  line.push_back('\n');
+  // One write(2) per message keeps concurrent lines whole; the retry
+  // loop only continues after EINTR or a short write (pipes under
+  // pressure), never interleaving with another thread's full-line write
+  // in the common case of a line shorter than PIPE_BUF.
+  size_t off = 0;
+  while (off < line.size()) {
+    ssize_t n = ::write(STDERR_FILENO, line.data() + off, line.size() - off);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return;  // stderr gone; nothing sane to do
     }
-    stream_ << "[" << LevelTag(level_) << " " << base << ":" << line << "] ";
+    off += static_cast<size_t>(n);
   }
 }
 
+LogMessage::LogMessage(LogLevel level, const char* file, int line)
+    : enabled_(static_cast<int>(level) >=
+               static_cast<int>(GetLogLevel())),
+      level_(level) {
+  if (enabled_) stream_ << FormatLogPrefix(level, file, line);
+}
+
 LogMessage::~LogMessage() {
-  if (enabled_) {
-    stream_ << "\n";
-    std::fputs(stream_.str().c_str(), stderr);
-  }
+  if (enabled_) WriteLogLine(stream_.str());
 }
 
 FatalMessage::FatalMessage(const char* file, int line, const char* condition) {
@@ -60,8 +153,7 @@ FatalMessage::FatalMessage(const char* file, int line, const char* condition) {
 }
 
 FatalMessage::~FatalMessage() {
-  stream_ << "\n";
-  std::fputs(stream_.str().c_str(), stderr);
+  WriteLogLine(stream_.str());
   std::abort();
 }
 

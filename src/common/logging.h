@@ -8,11 +8,31 @@ namespace rpg {
 
 enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
 
-/// Process-wide minimum level; messages below it are dropped. Default kInfo.
+/// Process-wide minimum level; messages below it are dropped. The initial
+/// level comes from the RPG_LOG_LEVEL environment variable at first use
+/// ("debug"/"info"/"warning"/"error", see ParseLogLevel), defaulting to
+/// kInfo when unset or unparseable.
 void SetLogLevel(LogLevel level);
 LogLevel GetLogLevel();
 
+/// Parses a level name: "debug"/"info"/"warning"/"error" (any case;
+/// "warn" also accepted), the single letters D/I/W/E, or the digits 0-3.
+/// Returns false (and leaves `*out` untouched) on anything else.
+bool ParseLogLevel(const std::string& s, LogLevel* out);
+
 namespace internal {
+
+/// Formats the per-line prefix:
+///   "[<ISO-8601 UTC, ms precision> tid=<thread id> <L> <file>:<line>] "
+/// e.g. "[2026-08-08T12:34:56.789Z tid=4242 I repager.cc:88] ".
+/// Exposed for the logging unit tests.
+std::string FormatLogPrefix(LogLevel level, const char* file, int line);
+
+/// Appends '\n' and writes the whole line to stderr with a single
+/// write(2), so lines emitted by concurrent threads never shear into
+/// each other (POSIX serializes writes on one file description). Also
+/// the sink for the structured slow-query log (obs::EmitSlowQueryLog).
+void WriteLogLine(std::string line);
 
 /// Stream-style log line; emits to stderr on destruction. Use via the
 /// RPG_LOG macro rather than directly.

@@ -45,15 +45,30 @@ BatchResult BatchEngine::Run(const std::vector<BatchQuery>& queries) {
       QueryScratch scratch;
       for (size_t i = next.fetch_add(1); i < queries.size();
            i = next.fetch_add(1)) {
+        // Request trace: this worker is the only thread touching the
+        // query's context during the solve (the dispatcher handed the
+        // batch over through the pool queue, which orders its earlier
+        // queue-span writes before ours).
+        obs::TraceContext* trace = queries[i].trace.get();
+        uint64_t solve_start = trace ? trace->NowNs() : 0;
         // Distinct slots: no synchronization needed on the writes.
-        if (options_.reuse_scratch) {
-          batch.results[i] =
-              repager_->Generate(queries[i].query, queries[i].options,
-                                 &scratch);
-        } else {
-          batch.results[i] =
-              repager_->Generate(queries[i].query, queries[i].options);
+        Result<RePagerResult> r =
+            options_.reuse_scratch
+                ? repager_->Generate(queries[i].query, queries[i].options,
+                                     &scratch)
+                : repager_->Generate(queries[i].query, queries[i].options);
+        if (trace) {
+          trace->AddSpan(obs::Stage::kSolve, solve_start,
+                         trace->NowNs() - solve_start, r.ok() ? 1 : 0);
+          if (r.ok()) {
+            // The pipeline spans are clocked from Generate's own start;
+            // rebasing them onto the solve span's start lines the whole
+            // request trace up on one axis.
+            trace->AppendRebased(r->stages, solve_start);
+            trace->AttachSteinerStats(r->steiner_stats);
+          }
         }
+        batch.results[i] = std::move(r);
       }
     }));
   }

@@ -36,6 +36,12 @@ namespace rpg::core {
 struct BatchQuery {
   std::string query;
   RePagerOptions options;
+  /// Optional request trace (shared with the serving layer). The worker
+  /// that executes this query records a `solve` span and splices the
+  /// pipeline's stage spans into it. The shared_ptr keeps the context
+  /// alive even if the originating request was already answered (e.g. a
+  /// reactor-side deadline 503).
+  std::shared_ptr<obs::TraceContext> trace;
 };
 
 /// Result of a batch run. `results[i]` corresponds to `queries[i]` —

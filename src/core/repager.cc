@@ -66,19 +66,40 @@ Result<RePagerResult> RePaGer::Generate(const std::string& query,
   }
   Timer total_timer;
   RePagerResult result;
+  // Pipeline trace: spans land in the scratch's preallocated SpanSet and
+  // are copied onto the result at the end. A null trace (tracing
+  // compiled out or runtime-disabled) skips every clock read.
+  obs::TraceContext* trace = nullptr;
+  if (obs::kTracingCompiledIn && obs::TracingEnabled()) {
+    scratch->trace_.Reset(0);
+    trace = &scratch->trace_;
+  }
+  uint64_t t0 = 0;
 
   // ---- Step 1: initial seeds from the engine -------------------------
+  if (trace) t0 = trace->NowNs();
   auto hits = engine_->Search(query, options.num_initial_seeds,
                               options.year_cutoff, options.exclude);
+  if (trace) {
+    trace->AddSpan(obs::Stage::kSearch, t0, trace->NowNs() - t0,
+                   hits.size());
+  }
   if (hits.empty()) {
     return Status::NotFound("engine returned no results for: " + query);
   }
   for (const auto& h : hits) result.initial_seeds.push_back(h.doc);
 
   // ---- Step 3: sub-citation graph over 1st/2nd order neighbors -------
+  if (trace) t0 = trace->NowNs();
   KHopNeighborhood(*graph_, result.initial_seeds, options.expansion_hops,
                    options.expansion_direction, &scratch->khop_scratch_,
                    &scratch->khop_);
+  if (trace) {
+    uint64_t visited = 0;
+    for (const auto& level : scratch->khop_.levels) visited += level.size();
+    trace->AddSpan(obs::Stage::kKhop, t0, trace->NowNs() - t0, visited);
+    t0 = trace->NowNs();
+  }
   std::vector<PaperId>& candidates = scratch->candidates_;
   candidates.clear();
   for (const auto& level : scratch->khop_.levels) {
@@ -98,6 +119,11 @@ Result<RePagerResult> RePaGer::Generate(const std::string& query,
   const graph::Subgraph& sg = scratch->sg_;
   result.subgraph_nodes = sg.num_nodes();
   result.subgraph_edges = sg.num_edges();
+  if (trace) {
+    trace->AddSpan(obs::Stage::kSubgraph, t0, trace->NowNs() - t0,
+                   sg.num_nodes());
+    t0 = trace->NowNs();
+  }
 
   // ---- Step 4: seed reallocation by co-occurrence --------------------
   std::vector<PaperId> terminals =
@@ -131,6 +157,10 @@ Result<RePagerResult> RePaGer::Generate(const std::string& query,
   for (PaperId s : seed_set) {
     for (PaperId cited : graph_->OutNeighbors(s)) ++cooccurrence[cited];
   }
+  if (trace) {
+    trace->AddSpan(obs::Stage::kSeedRealloc, t0, trace->NowNs() - t0,
+                   terminals.size());
+  }
   // Unified candidate score: co-occurrence count, with a bonus for being
   // a direct engine hit (a seed without citation evidence still carries
   // lexical relevance worth roughly one co-citing seed).
@@ -146,8 +176,14 @@ Result<RePagerResult> RePaGer::Generate(const std::string& query,
   if (options.run_steiner) {
     // ---- Step 5: NEWST over the weighted sub-citation graph ----------
     Timer steiner_timer;
+    if (trace) t0 = trace->NowNs();
     BuildWeightedSubgraph(sg, *weights_, &scratch->builder_, &scratch->wg_);
     const steiner::WeightedGraph& wg = scratch->wg_;
+    if (trace) {
+      trace->AddSpan(obs::Stage::kEdgeCost, t0, trace->NowNs() - t0,
+                     wg.num_edges());
+      t0 = trace->NowNs();
+    }
     std::vector<uint32_t>& local_terminals = scratch->local_terminals_;
     local_terminals.clear();
     local_terminals.reserve(terminals.size());
@@ -156,6 +192,11 @@ Result<RePagerResult> RePaGer::Generate(const std::string& query,
                          SolveNewst(wg, local_terminals, options.newst));
     result.steiner_seconds = steiner_timer.ElapsedSeconds();
     result.steiner_stats = local_tree.stats;
+    if (trace) {
+      trace->AddSpan(obs::Stage::kSteiner, t0, trace->NowNs() - t0,
+                     local_tree.stats.nodes_settled);
+      t0 = trace->NowNs();
+    }
 
     // Map back to global ids.
     steiner::SteinerResult tree;
@@ -169,6 +210,10 @@ Result<RePagerResult> RePaGer::Generate(const std::string& query,
     std::sort(tree.edges.begin(), tree.edges.end());
     result.path = ReadingPath(tree, *years_);
     tree_nodes = tree.nodes;
+    if (trace) {
+      trace->AddSpan(obs::Stage::kReadingPath, t0, trace->NowNs() - t0,
+                     tree.nodes.size());
+    }
   } else {
     // NEWST-C: the reallocated seed set is the final result, no path.
     tree_nodes = terminals;
@@ -179,6 +224,7 @@ Result<RePagerResult> RePaGer::Generate(const std::string& query,
   // citation evidence. The tree-first property is what the Table III
   // ablations measure: a different terminal set / weight scheme yields a
   // different tree, and hence a different top of the list.
+  if (trace) t0 = trace->NowNs();
   auto rank_by_evidence = [&](std::vector<PaperId>* v) {
     std::sort(v->begin(), v->end(), [&](PaperId a, PaperId b) {
       double ca = evidence_of(a), cb = evidence_of(b);
@@ -215,6 +261,12 @@ Result<RePagerResult> RePaGer::Generate(const std::string& query,
   rank_by_evidence(&rest);
   result.ranked.insert(result.ranked.end(), rest.begin(), rest.end());
 
+  if (trace) {
+    trace->AddSpan(obs::Stage::kRank, t0, trace->NowNs() - t0,
+                   result.ranked.size());
+    trace->AttachSteinerStats(result.steiner_stats);
+    result.stages = trace->spans();
+  }
   result.total_seconds = total_timer.ElapsedSeconds();
   return result;
 }

@@ -31,6 +31,7 @@
 
 #include "common/result.h"
 #include "core/reading_path.h"
+#include "obs/trace.h"
 #include "core/seed_reallocator.h"
 #include "graph/citation_graph.h"
 #include "graph/subgraph.h"
@@ -83,6 +84,11 @@ struct RePagerResult {
   double total_seconds = 0.0;
   /// Work counters from the NEWST run (zeros when run_steiner is false).
   steiner::SteinerStats steiner_stats;
+  /// Per-stage spans of this Generate run (obs::kPipelineStages order,
+  /// clocked from the call's start). Empty when tracing is compiled out
+  /// or runtime-disabled. Cached with the result, so cache hits still
+  /// attribute their original compute time.
+  obs::SpanSet stages;
 };
 
 /// Reusable per-query working memory for RePaGer::Generate: the KHop
@@ -102,6 +108,10 @@ class QueryScratch {
 
  private:
   friend class RePaGer;
+  /// Preallocated span storage for the pipeline trace: Generate records
+  /// stage spans here (allocation-free after warm-up) and copies the
+  /// SpanSet onto the result. Reset at the start of every traced call.
+  obs::TraceContext trace_;
   graph::TraversalScratch khop_scratch_;
   graph::KHopResult khop_;
   graph::SubgraphScratch sg_scratch_;

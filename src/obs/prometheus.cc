@@ -1,0 +1,92 @@
+#include "obs/prometheus.h"
+
+#include <cmath>
+#include <cstdio>
+
+namespace rpg::obs {
+
+std::string SanitizeMetricName(const std::string& name) {
+  std::string out;
+  out.reserve(name.size() + 1);
+  for (char c : name) {
+    bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+              (c >= '0' && c <= '9') || c == '_' || c == ':';
+    out.push_back(ok ? c : '_');
+  }
+  if (out.empty()) return "_";
+  if (out[0] >= '0' && out[0] <= '9') out.insert(out.begin(), '_');
+  return out;
+}
+
+std::string EscapeLabelValue(const std::string& value) {
+  std::string out;
+  out.reserve(value.size());
+  for (char c : value) {
+    switch (c) {
+      case '\\':
+        out += "\\\\";
+        break;
+      case '"':
+        out += "\\\"";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      default:
+        out.push_back(c);
+    }
+  }
+  return out;
+}
+
+std::string FormatMetricValue(double value) {
+  if (std::isnan(value)) return "NaN";
+  if (std::isinf(value)) return value > 0 ? "+Inf" : "-Inf";
+  if (value == std::floor(value) && std::fabs(value) < 1e15) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%lld",
+                  static_cast<long long>(value));
+    return buf;
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.10g", value);
+  return buf;
+}
+
+void AppendCounter(const std::string& name, uint64_t value,
+                   std::string* out) {
+  std::string n = SanitizeMetricName(name);
+  out->append("# TYPE ").append(n).append(" counter\n");
+  out->append(n).append(" ").append(std::to_string(value)).append("\n");
+}
+
+void AppendGauge(const std::string& name, double value, std::string* out) {
+  std::string n = SanitizeMetricName(name);
+  out->append("# TYPE ").append(n).append(" gauge\n");
+  out->append(n).append(" ").append(FormatMetricValue(value)).append("\n");
+}
+
+void AppendHistogram(const std::string& name, const Histogram& h,
+                     std::string* out) {
+  std::string n = SanitizeMetricName(name);
+  out->append("# TYPE ").append(n).append(" histogram\n");
+  auto bucket_line = [&](const std::string& le, uint64_t cumulative) {
+    out->append(n).append("_bucket{le=\"").append(le).append("\"} ");
+    out->append(std::to_string(cumulative)).append("\n");
+  };
+  // Everything below the first edge is "<= first edge" as closely as a
+  // fixed-bucket histogram can say.
+  uint64_t cumulative = h.underflow();
+  bucket_line(FormatMetricValue(h.bucket_lower_edge(0)), cumulative);
+  for (size_t i = 0; i < h.num_buckets(); ++i) {
+    cumulative += h.bucket_count(i);
+    bucket_line(FormatMetricValue(h.bucket_upper_edge(i)), cumulative);
+  }
+  bucket_line("+Inf", h.total());
+  out->append(n).append("_sum ").append(FormatMetricValue(h.sum()));
+  out->append("\n");
+  out->append(n).append("_count ").append(std::to_string(h.total()));
+  out->append("\n");
+}
+
+}  // namespace rpg::obs

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "common/json_writer.h"
+#include "obs/prometheus.h"
 
 namespace rpg::serve {
 
@@ -101,6 +102,36 @@ std::string MetricsRegistry::ToJson() const {
   w.EndObject();
   w.EndObject();
   return w.str();
+}
+
+std::string MetricsRegistry::ToPrometheus(const std::string& prefix) const {
+  std::vector<std::pair<std::string, const Counter*>> counters;
+  std::vector<std::pair<std::string, const Gauge*>> gauges;
+  std::vector<std::pair<std::string, const MetricHistogram*>> histograms;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const auto& [name, counter] : counters_) {
+      counters.emplace_back(name, &counter);
+    }
+    for (const auto& [name, gauge] : gauges_) {
+      gauges.emplace_back(name, &gauge);
+    }
+    for (const auto& [name, histogram] : histograms_) {
+      histograms.emplace_back(name, &histogram);
+    }
+  }
+  std::string out;
+  for (const auto& [name, counter] : counters) {
+    obs::AppendCounter(prefix + "_" + name, counter->value(), &out);
+  }
+  for (const auto& [name, gauge] : gauges) {
+    obs::AppendGauge(prefix + "_" + name,
+                     static_cast<double>(gauge->value()), &out);
+  }
+  for (const auto& [name, histogram] : histograms) {
+    obs::AppendHistogram(prefix + "_" + name, histogram->Snapshot(), &out);
+  }
+  return out;
 }
 
 }  // namespace rpg::serve

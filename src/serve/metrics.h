@@ -110,6 +110,14 @@ class MetricsRegistry {
   /// reconstructable.
   std::string ToJson() const;
 
+  /// Renders every instrument in Prometheus text exposition format
+  /// (version 0.0.4) for `GET /metrics`: counters and gauges as single
+  /// samples, histograms as cumulative `_bucket{le="..."}` series plus
+  /// `_sum`/`_count` (see obs/prometheus.h for the line grammar). Every
+  /// name is prefixed with `prefix` + '_' and sanitized to the
+  /// Prometheus charset.
+  std::string ToPrometheus(const std::string& prefix) const;
+
  private:
   mutable std::mutex mu_;
   // std::map: stable node addresses + deterministic JSON field order.

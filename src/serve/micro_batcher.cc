@@ -155,7 +155,17 @@ void MicroBatcher::DispatchLoop() {
 void MicroBatcher::RunBatch(std::deque<Pending> batch) {
   std::vector<core::BatchQuery> queries;
   queries.reserve(batch.size());
-  for (const Pending& p : batch) queries.push_back(p.query);
+  const auto dispatched = std::chrono::steady_clock::now();
+  for (const Pending& p : batch) {
+    // Queue-time span: enqueue (any submitter thread) -> batch assembly
+    // (this dispatcher thread); the handoff through mu_ orders the
+    // submitter's earlier trace writes before ours.
+    if (p.query.trace) {
+      p.query.trace->AddSpanBetween(obs::Stage::kBatchQueue, p.enqueued,
+                                    dispatched);
+    }
+    queries.push_back(p.query);
+  }
   core::BatchResult result = engine_->Run(queries);
   RPG_CHECK(result.results.size() == batch.size());
   {

@@ -75,8 +75,15 @@ ServeEngine::ServeEngine(const core::RePaGer* repager,
       deadline_exceeded_total_(metrics_.GetCounter("deadline_exceeded_total")),
       inflight_requests_(metrics_.GetGauge("inflight_requests")),
       e2e_ms_(metrics_.GetHistogram("e2e_ms", LatencyBucketEdgesMs())),
-      hit_ms_(metrics_.GetHistogram("cache_hit_ms", LatencyBucketEdgesMs())) {
+      hit_ms_(metrics_.GetHistogram("cache_hit_ms", LatencyBucketEdgesMs())),
+      pipeline_total_ms_(
+          metrics_.GetHistogram("pipeline_total_ms", LatencyBucketEdgesMs())) {
   RPG_CHECK(repager_ != nullptr);
+  for (size_t i = 0; i < obs::kNumPipelineStages; ++i) {
+    stage_ms_[i] = metrics_.GetHistogram(
+        std::string("stage_") + obs::StageName(obs::kPipelineStages[i]) + "_ms",
+        LatencyBucketEdgesMs());
+  }
 }
 
 ServeEngine::~ServeEngine() { batcher_.Shutdown(); }
@@ -94,13 +101,27 @@ Result<ServeResponse> ServeEngine::Generate(const std::string& query,
 
 void ServeEngine::GenerateAsync(const std::string& query, int num_seeds,
                                 int year_cutoff, GenerateCallback callback) {
+  GenerateAsync(query, num_seeds, year_cutoff, nullptr, std::move(callback));
+}
+
+void ServeEngine::GenerateAsync(const std::string& query, int num_seeds,
+                                int year_cutoff,
+                                std::shared_ptr<obs::TraceContext> trace,
+                                GenerateCallback callback) {
   Timer e2e;
   requests_total_->Increment();
   inflight_requests_->Add(1);
   const std::string key = CanonicalQueryKey(query, num_seeds, year_cutoff);
+  if (trace) trace->set_query_key(key);
 
   if (options_.enable_cache) {
-    if (std::optional<CachedValue> hit = cache_.Lookup(key)) {
+    uint64_t lookup_start = trace ? trace->NowNs() : 0;
+    std::optional<CachedValue> hit = cache_.Lookup(key);
+    if (trace) {
+      trace->AddSpan(obs::Stage::kCacheLookup, lookup_start,
+                     trace->NowNs() - lookup_start, hit ? 1 : 0);
+    }
+    if (hit) {
       if (hit->negative()) {
         negative_hits_->Increment();
         FinishRequest(callback, e2e, Result<CachedResult>(hit->status),
@@ -135,8 +156,17 @@ void ServeEngine::GenerateAsync(const std::string& query, int num_seeds,
 
   if (!owner) {
     coalesced_hits_->Increment();
-    auto waiter = [this, callback = std::move(callback),
-                   e2e](const Result<CachedResult>& outcome) {
+    // The waiter fires on whichever thread retires the flight (owner's
+    // continuation) — that thread is the tail of this request's causal
+    // chain, so writing the wait span there is race-free.
+    uint64_t wait_start = trace ? trace->NowNs() : 0;
+    auto waiter = [this, callback = std::move(callback), e2e,
+                   trace = std::move(trace),
+                   wait_start](const Result<CachedResult>& outcome) {
+      if (trace) {
+        trace->AddSpan(obs::Stage::kSingleFlightWait, wait_start,
+                       trace->NowNs() - wait_start, outcome.ok() ? 1 : 0);
+      }
       FinishRequest(callback, e2e, outcome, /*cache_hit=*/false,
                     /*coalesced=*/true);
     };
@@ -176,6 +206,7 @@ void ServeEngine::GenerateAsync(const std::string& query, int num_seeds,
   bq.query = query;
   if (num_seeds > 0) bq.options.num_initial_seeds = num_seeds;
   if (year_cutoff > 0) bq.options.year_cutoff = year_cutoff;
+  bq.trace = trace;
   // No thread blocks here: the continuation runs on the batcher's
   // dispatcher thread once the batch containing this query completes.
   batcher_.SubmitAsync(
@@ -188,6 +219,7 @@ void ServeEngine::GenerateAsync(const std::string& query, int num_seeds,
         if (!computed.ok() && computed.status().IsDeadlineExceeded()) {
           deadline_exceeded_total_->Increment();
         }
+        if (computed.ok()) ObserveStages(*computed);
         Result<CachedResult> outcome =
             computed.ok()
                 ? Result<CachedResult>(
@@ -198,6 +230,19 @@ void ServeEngine::GenerateAsync(const std::string& query, int num_seeds,
         FinishRequest(callback, e2e, outcome, /*cache_hit=*/false,
                       /*coalesced=*/false);
       });
+}
+
+void ServeEngine::ObserveStages(const core::RePagerResult& result) {
+  const obs::SpanSet& stages = result.stages;
+  if (stages.count == 0) return;
+  for (uint32_t i = 0; i < stages.count; ++i) {
+    const obs::SpanRecord& s = stages.spans[i];
+    const auto idx = static_cast<size_t>(s.stage);
+    if (idx < obs::kNumPipelineStages) {
+      stage_ms_[idx]->Observe(static_cast<double>(s.dur_ns) / 1e6);
+    }
+  }
+  pipeline_total_ms_->Observe(result.total_seconds * 1e3);
 }
 
 void ServeEngine::PublishOutcome(const std::string& key,
@@ -287,6 +332,35 @@ std::string ServeEngine::StatsJson() const {
               : options_.batcher.queue_deadline.count()));
   w.Key("ewma_item_seconds").Double(bs.ewma_item_seconds);
   w.Key("threads").UInt(batch_engine_.num_threads());
+  w.EndObject();
+  // Per-stage latency attribution over computed (non-cached) results.
+  // attributed_fraction = stage-span time / pipeline wall time: how much
+  // of the solve the spans account for (gated >= 0.9 by the bench suite).
+  w.Key("stages").BeginObject();
+  double stage_sum_ms = 0.0;
+  for (size_t i = 0; i < obs::kNumPipelineStages; ++i) {
+    Histogram h = stage_ms_[i]->Snapshot();
+    stage_sum_ms += h.sum();
+    w.Key(obs::StageName(obs::kPipelineStages[i])).BeginObject();
+    w.Key("count").UInt(h.total());
+    w.Key("total_ms").Double(h.sum());
+    w.Key("mean_ms").Double(h.mean());
+    w.Key("p50_ms").Double(h.Quantile(0.50));
+    w.Key("p90_ms").Double(h.Quantile(0.90));
+    w.Key("p99_ms").Double(h.Quantile(0.99));
+    w.EndObject();
+  }
+  Histogram pipeline = pipeline_total_ms_->Snapshot();
+  w.Key("pipeline").BeginObject();
+  w.Key("count").UInt(pipeline.total());
+  w.Key("total_ms").Double(pipeline.sum());
+  w.Key("mean_ms").Double(pipeline.mean());
+  w.Key("p50_ms").Double(pipeline.Quantile(0.50));
+  w.Key("p90_ms").Double(pipeline.Quantile(0.90));
+  w.Key("p99_ms").Double(pipeline.Quantile(0.99));
+  w.EndObject();
+  w.Key("attributed_fraction")
+      .Double(pipeline.sum() > 0 ? stage_sum_ms / pipeline.sum() : 0.0);
   w.EndObject();
   w.Key("metrics").Raw(metrics_.ToJson());
   w.EndObject();

@@ -106,12 +106,25 @@ class ServeEngine {
   void GenerateAsync(const std::string& query, int num_seeds,
                      int year_cutoff, GenerateCallback callback);
 
+  /// Trace-aware flavour (the reactor's entry point): additionally
+  /// records serving-side spans — cache_lookup, singleflight_wait,
+  /// batch_queue, solve + the pipeline's stage spans — into `trace`
+  /// along the request's causal chain, and stamps the canonical query
+  /// key onto it. `trace` may be null (identical to the overload above).
+  void GenerateAsync(const std::string& query, int num_seeds,
+                     int year_cutoff,
+                     std::shared_ptr<obs::TraceContext> trace,
+                     GenerateCallback callback);
+
   /// Drops every cached entry; returns the number of entries dropped.
   size_t ClearCache();
 
   /// Live stats document for GET /api/stats:
-  ///   {"cache":{...},"batcher":{...},"metrics":{counters,gauges,
-  ///    histograms}}
+  ///   {"cache":{...},"batcher":{...},"stages":{...},"metrics":
+  ///    {counters,gauges,histograms}}
+  /// The "stages" section attributes solve time to pipeline stages
+  /// (count / total_ms / mean_ms / p50..p99 per stage, plus an
+  /// `attributed_fraction` of pipeline time covered by stage spans).
   std::string StatsJson() const;
 
   const QueryCache& cache() const { return cache_; }
@@ -132,6 +145,11 @@ class ServeEngine {
   void FinishRequest(const GenerateCallback& callback, const Timer& e2e,
                      const Result<CachedResult>& outcome, bool cache_hit,
                      bool coalesced);
+
+  /// Feeds a freshly computed result's stage spans into the per-stage
+  /// latency histograms. No-op when the result carries no spans (tracing
+  /// compiled out or disabled).
+  void ObserveStages(const core::RePagerResult& result);
 
   const core::RePaGer* repager_;
   ServeEngineOptions options_;
@@ -168,6 +186,12 @@ class ServeEngine {
   Gauge* inflight_requests_;
   MetricHistogram* e2e_ms_;
   MetricHistogram* hit_ms_;
+  /// Per-pipeline-stage latency histograms ("stage_<name>_ms"), indexed
+  /// by obs::Stage value; observed once per computed (non-cached) result.
+  MetricHistogram* stage_ms_[obs::kNumPipelineStages];
+  /// Wall time of the whole pipeline per computed result
+  /// ("pipeline_total_ms") — the denominator for attributed_fraction.
+  MetricHistogram* pipeline_total_ms_;
 };
 
 }  // namespace rpg::serve

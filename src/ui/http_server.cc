@@ -818,7 +818,30 @@ class HttpServer::Poller : public std::enable_shared_from_this<Poller> {
     shared_->requests_handled.fetch_add(1);
     const uint64_t id = conn->id;
     const uint64_t seq = ++conn->request_seq;
-    Done done = [self = shared_from_this(), id, seq](HttpResponse response) {
+    // Request trace: a fresh context per request (never reused across
+    // requests — a late completion from a deadline-503'd request may
+    // still write spans after this connection moved on). The slow-query
+    // check runs in the Done wrapper, i.e. on the thread that delivers
+    // the completion — the tail of the request's causal chain, after
+    // every span write.
+    std::shared_ptr<obs::TraceContext> trace;
+    if (obs::kTracingCompiledIn && obs::TracingEnabled()) {
+      trace = std::make_shared<obs::TraceContext>();
+      trace->set_request_id(obs::TraceContext::NextRequestId());
+      request.trace = trace;
+    }
+    Done done = [self = shared_from_this(), id, seq,
+                 trace = std::move(trace),
+                 threshold = options_->slow_query_threshold](
+                    HttpResponse response) {
+      if (trace && threshold.count() > 0) {
+        const double total_ms =
+            static_cast<double>(trace->NowNs()) / 1e6;
+        if (total_ms >= static_cast<double>(threshold.count())) {
+          obs::EmitSlowQueryLog(*trace, total_ms,
+                                static_cast<double>(threshold.count()));
+        }
+      }
       self->Complete(id, seq, std::move(response));
     };
     (*handler_)(request, std::move(done));

@@ -25,6 +25,7 @@
 #include <vector>
 
 #include "common/result.h"
+#include "obs/trace.h"
 
 namespace rpg::ui {
 
@@ -37,6 +38,11 @@ struct HttpRequest {
   /// Header fields with lower-cased names ("connection", "content-length").
   std::map<std::string, std::string> headers;
   std::string body;  ///< present when Content-Length said so
+  /// Request trace, created by the reactor at dispatch when tracing is
+  /// enabled (null otherwise — framing-level parses never carry one).
+  /// Downstream layers record spans into it along the request's causal
+  /// chain; the reactor emits the slow-query log from it at completion.
+  std::shared_ptr<obs::TraceContext> trace;
 };
 
 /// A response to send.
@@ -172,6 +178,11 @@ struct HttpServerOptions {
   /// global cap. 0 = disabled (the default: everything is one IP on
   /// loopback).
   size_t max_connections_per_ip = 0;
+  /// Requests whose handler completion takes at least this long get one
+  /// structured slow-query log line (JSON: request id, canonical query
+  /// key, total ms, per-span breakdown — see docs/observability.md).
+  /// Only requests carrying a trace are logged. <= 0 disables.
+  std::chrono::milliseconds slow_query_threshold{250};
 };
 
 /// Point-in-time reactor counters (relaxed atomics — freshness, not a

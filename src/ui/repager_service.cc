@@ -6,6 +6,8 @@
 
 #include "common/json_writer.h"
 #include "common/logging.h"
+#include "obs/prometheus.h"
+#include "obs/trace.h"
 
 namespace rpg::ui {
 
@@ -55,7 +57,8 @@ RePagerService::RePagerService(serve::ServeEngine* engine,
 std::string RePagerService::RenderPathJson(
     const std::string& query, const serve::ServeResponse& response,
     const core::RePaGer* repager, const std::vector<std::string>* titles,
-    const std::vector<uint16_t>* years) {
+    const std::vector<uint16_t>* years, bool debug,
+    const obs::TraceContext* trace) {
   const core::RePagerResult& result = *response.result;
   std::unordered_set<graph::PaperId> seeds(result.initial_seeds.begin(),
                                            result.initial_seeds.end());
@@ -96,6 +99,35 @@ std::string RePagerService::RenderPathJson(
   w.Key("reading_order").BeginArray();
   for (graph::PaperId p : result.path.FlattenedOrder(*years)) w.UInt(p);
   w.EndArray();
+  if (debug) {
+    // Stage breakdown of the result's own solve (cached results keep the
+    // attribution of their original computation) plus, when this request
+    // carried a trace, the raw request-scoped spans.
+    w.Key("debug").BeginObject();
+    w.Key("stages").BeginObject();
+    for (obs::Stage stage : obs::kPipelineStages) {
+      w.Key(obs::StageName(stage)).Double(result.stages.StageMs(stage));
+    }
+    w.EndObject();
+    w.Key("stage_total_ms").Double(result.stages.TotalMs());
+    w.Key("pipeline_total_ms").Double(result.total_seconds * 1e3);
+    w.Key("steiner").BeginObject();
+    w.Key("nodes_settled").UInt(result.steiner_stats.nodes_settled);
+    w.Key("heap_pushes").UInt(result.steiner_stats.heap_pushes);
+    w.Key("closure_edges").UInt(result.steiner_stats.closure_edges);
+    w.Key("dijkstra_runs").UInt(result.steiner_stats.dijkstra_runs);
+    w.Key("closure_seconds").Double(result.steiner_stats.closure_seconds);
+    w.EndObject();
+    if (trace != nullptr) {
+      w.Key("trace").BeginObject();
+      w.Key("request_id").UInt(trace->request_id());
+      w.Key("query_key").String(trace->query_key());
+      w.Key("spans");
+      obs::AppendSpansJson(trace->spans(), &w);
+      w.EndObject();
+    }
+    w.EndObject();
+  }
   w.EndObject();
   return w.str();
 }
@@ -105,7 +137,8 @@ Result<std::string> RePagerService::PathJson(const std::string& query,
                                              int year_cutoff) const {
   RPG_ASSIGN_OR_RETURN(serve::ServeResponse response,
                        engine_->Generate(query, num_seeds, year_cutoff));
-  return RenderPathJson(query, response, repager_, titles_, years_);
+  return RenderPathJson(query, response, repager_, titles_, years_,
+                        /*debug=*/false, /*trace=*/nullptr);
 }
 
 HttpResponse RePagerService::ErrorResponse(const Status& status) {
@@ -157,6 +190,31 @@ std::string RePagerService::StatsJson() const {
   return merged;
 }
 
+std::string RePagerService::MetricsText() const {
+  std::string out = engine_->metrics().ToPrometheus("rpg");
+  if (server_ == nullptr) return out;
+  // The reactor's counters live in a plain struct, not the registry;
+  // render them with the same exposition helpers under rpg_http_.
+  HttpServerStats http = server_->Stats();
+  obs::AppendGauge("rpg_http_open_connections",
+                   static_cast<double>(http.open_connections), &out);
+  obs::AppendGauge("rpg_http_max_connections",
+                   static_cast<double>(http.max_connections), &out);
+  obs::AppendCounter("rpg_http_connections_accepted",
+                     http.connections_accepted, &out);
+  obs::AppendCounter("rpg_http_requests_handled", http.requests_handled,
+                     &out);
+  obs::AppendCounter("rpg_http_responses_sent", http.responses_sent, &out);
+  obs::AppendCounter("rpg_http_protocol_errors", http.protocol_errors, &out);
+  obs::AppendCounter("rpg_http_connections_shed", http.connections_shed,
+                     &out);
+  obs::AppendCounter("rpg_http_idle_closes", http.idle_closes, &out);
+  obs::AppendCounter("rpg_http_timeout_closes", http.timeout_closes, &out);
+  obs::AppendCounter("rpg_http_deadline_closes", http.deadline_closes, &out);
+  obs::AppendCounter("rpg_http_per_ip_shed", http.per_ip_shed, &out);
+  return out;
+}
+
 void RePagerService::HandleAsync(const HttpRequest& request,
                                  HttpServer::Done done) const {
   if (request.method == "POST") {
@@ -186,6 +244,10 @@ void RePagerService::HandleAsync(const HttpRequest& request,
     done({200, "application/json", StatsJson()});
     return;
   }
+  if (request.path == "/metrics") {
+    done({200, "text/plain; version=0.0.4; charset=utf-8", MetricsText()});
+    return;
+  }
   if (request.path == "/api/path") {
     auto q = request.query.find("q");
     if (q == request.query.end() || q->second.empty()) {
@@ -209,17 +271,22 @@ void RePagerService::HandleAsync(const HttpRequest& request,
         return;
       }
     }
+    bool debug = false;
+    if (auto it = request.query.find("debug"); it != request.query.end()) {
+      debug = it->second == "1" || it->second == "true";
+    }
     // The compute handoff: cache hits complete inline (microseconds);
     // misses complete from the batcher's dispatcher thread. Either way
     // the calling poller thread returns to its event loop immediately.
     // The continuation deliberately does NOT capture `this`: a compute
     // finishing after server.Stop() may outlive the service object, so
     // it may only touch workbench-owned substrates (which outlive the
-    // engine) and the post-Stop-safe `done`.
+    // engine) and the post-Stop-safe `done`. The trace shared_ptr rides
+    // along; by completion time every serving-layer span is in it.
     engine_->GenerateAsync(
-        q->second, num_seeds, year,
+        q->second, num_seeds, year, request.trace,
         [query = q->second, repager = repager_, titles = titles_,
-         years = years_,
+         years = years_, debug, trace = request.trace,
          done = std::move(done)](Result<serve::ServeResponse> response) {
           if (!response.ok()) {
             done(ErrorResponse(response.status()));
@@ -227,7 +294,7 @@ void RePagerService::HandleAsync(const HttpRequest& request,
           }
           done({200, "application/json",
                 RenderPathJson(query, response.value(), repager, titles,
-                               years)});
+                               years, debug, trace.get())});
         });
     return;
   }

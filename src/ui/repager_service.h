@@ -21,16 +21,24 @@ bool ParseBoundedInt(const std::string& s, int min, int max, int* out);
 /// concurrent misses share batches. Routes:
 ///
 ///   GET  /                      the single-page UI (embedded HTML)
-///   GET  /api/path?q=<query>[&seeds=N][&year=Y]
+///   GET  /api/path?q=<query>[&seeds=N][&year=Y][&debug=1]
 ///                               reading path as JSON: nodes (title, year,
 ///                               importance), reading-order edges, the
 ///                               flattened navigation-bar order, the
 ///                               seed/expanded marking used by the panel's
-///                               node-weight legend, and cache_hit
+///                               node-weight legend, and cache_hit.
+///                               debug=1 appends a "debug" object with the
+///                               per-stage latency breakdown, Steiner work
+///                               counters, and the raw request-trace spans
+///                               (docs/observability.md)
 ///   GET  /api/stats             live serving metrics (http reactor
 ///                               gauges, cache hit/miss incl. negative
 ///                               entries, batch sizes, latency
-///                               percentiles) as JSON
+///                               percentiles, per-stage attribution) as
+///                               JSON
+///   GET  /metrics               the same instruments in Prometheus text
+///                               exposition format (version 0.0.4), for
+///                               scraping
 ///   POST /api/cache/clear       drops the query cache; returns the
 ///                               number of entries dropped
 ///
@@ -73,17 +81,27 @@ class RePagerService {
   /// destroyed (server stopped mid-flight) may still run this, so it
   /// touches only the workbench-owned substrates, which outlive the
   /// engine by contract.
+  /// `debug` appends the "debug" object (stage breakdown + trace spans);
+  /// `trace` may be null even in debug mode (tracing disabled) — the
+  /// result-attached stage spans still render.
   static std::string RenderPathJson(const std::string& query,
                                     const serve::ServeResponse& response,
                                     const core::RePaGer* repager,
                                     const std::vector<std::string>* titles,
-                                    const std::vector<uint16_t>* years);
+                                    const std::vector<uint16_t>* years,
+                                    bool debug,
+                                    const obs::TraceContext* trace);
 
   /// Maps a pipeline error to the /api/path error response.
   static HttpResponse ErrorResponse(const Status& status);
 
   /// The /api/stats document: engine stats + the reactor's http section.
   std::string StatsJson() const;
+
+  /// The GET /metrics body: engine instruments (prefix "rpg_") plus the
+  /// reactor's counters/gauges (prefix "rpg_http_") when a server is
+  /// attached.
+  std::string MetricsText() const;
 
   serve::ServeEngine* engine_;
   const core::RePaGer* repager_;

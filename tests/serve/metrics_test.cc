@@ -101,5 +101,72 @@ TEST(LatencyBucketsTest, EdgesCoverMicrosecondsToMinutes) {
   for (size_t i = 1; i < edges.size(); ++i) EXPECT_GT(edges[i], edges[i - 1]);
 }
 
+// Regression pins for the Quantile edge cases (docs/observability.md):
+// an empty histogram must answer 0 for every q (not NaN or an edge), and
+// a single observation must come back exactly (no within-bucket
+// interpolation pretending precision the data doesn't have).
+TEST(HistogramQuantileTest, EmptyHistogramReturnsZeroForEveryQuantile) {
+  Histogram h({1.0, 2.0, 4.0});
+  EXPECT_EQ(h.Quantile(0.0), 0.0);
+  EXPECT_EQ(h.Quantile(0.5), 0.0);
+  EXPECT_EQ(h.Quantile(0.99), 0.0);
+  EXPECT_EQ(h.Quantile(1.0), 0.0);
+}
+
+TEST(HistogramQuantileTest, SingleObservationReturnsTheObservation) {
+  Histogram h({0.0, 10.0, 100.0});
+  h.Add(3.7);
+  EXPECT_DOUBLE_EQ(h.Quantile(1.0), 3.7);
+  // Multiple observations at the same value must NOT take the exact
+  // path (q=1 with 3 samples interpolates inside the bucket as before).
+  Histogram multi({0.0, 10.0, 100.0});
+  multi.AddCount(3.7, 3);
+  EXPECT_DOUBLE_EQ(multi.Quantile(1.0), 10.0);
+}
+
+TEST(MetricsRegistryTest, HistogramNamesAreJsonEscaped) {
+  MetricsRegistry registry;
+  // A hostile / accidental name with JSON-significant characters must
+  // come out escaped, or /api/stats stops parsing.
+  registry.GetHistogram("odd\"name\\with\ncontrol", {0.0, 1.0})->Observe(0.5);
+  registry.GetCounter("quote\"counter")->Increment();
+  std::string json = registry.ToJson();
+  EXPECT_NE(json.find("odd\\\"name\\\\with\\ncontrol"), std::string::npos);
+  EXPECT_NE(json.find("quote\\\"counter"), std::string::npos);
+  EXPECT_EQ(json.find("odd\"name"), std::string::npos);  // no raw quote
+}
+
+TEST(MetricsRegistryTest, ToPrometheusRendersAllInstrumentFamilies) {
+  MetricsRegistry registry;
+  registry.GetCounter("requests_total")->Increment(3);
+  registry.GetGauge("inflight")->Set(-2);
+  MetricHistogram* h = registry.GetHistogram("e2e_ms", {0.0, 1.0, 10.0});
+  h->Observe(0.5);
+  h->Observe(5.0);
+  h->Observe(50.0);  // overflow
+  std::string text = registry.ToPrometheus("rpg");
+  EXPECT_NE(text.find("# TYPE rpg_requests_total counter\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("rpg_requests_total 3\n"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE rpg_inflight gauge\n"), std::string::npos);
+  EXPECT_NE(text.find("rpg_inflight -2\n"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE rpg_e2e_ms histogram\n"), std::string::npos);
+  // Cumulative buckets: le="1" holds everything <= 1 (the 0.5 sample),
+  // le="10" adds the 5.0 sample, +Inf equals _count.
+  EXPECT_NE(text.find("rpg_e2e_ms_bucket{le=\"1\"} 1\n"), std::string::npos);
+  EXPECT_NE(text.find("rpg_e2e_ms_bucket{le=\"10\"} 2\n"), std::string::npos);
+  EXPECT_NE(text.find("rpg_e2e_ms_bucket{le=\"+Inf\"} 3\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("rpg_e2e_ms_sum 55.5\n"), std::string::npos);
+  EXPECT_NE(text.find("rpg_e2e_ms_count 3\n"), std::string::npos);
+}
+
+TEST(MetricsRegistryTest, ToPrometheusSanitizesHostileNames) {
+  MetricsRegistry registry;
+  registry.GetCounter("weird name-with.dots")->Increment();
+  std::string text = registry.ToPrometheus("rpg");
+  EXPECT_NE(text.find("rpg_weird_name_with_dots 1\n"), std::string::npos);
+}
+
 }  // namespace
 }  // namespace rpg::serve
