@@ -36,16 +36,19 @@ steiner::WeightedGraph BuildWeightedSubgraph(const graph::Subgraph& sg,
 void BuildWeightedSubgraph(const graph::Subgraph& sg,
                            const rank::WeightModel& weights,
                            steiner::WeightedGraphBuilder* builder,
-                           steiner::WeightedGraph* out) {
+                           steiner::WeightedGraph* out,
+                           rank::ConScratch* con_scratch) {
   builder->Reset(sg.num_nodes());
   builder->ReserveEdges(sg.num_edges());
   for (uint32_t local = 0; local < sg.num_nodes(); ++local) {
-    builder->SetNodeWeight(local, weights.NodeWeight(sg.ToGlobal(local)));
+    PaperId gu = sg.ToGlobal(local);
+    builder->SetNodeWeight(local, weights.NodeWeight(gu));
     // Out-edges only, so each undirected edge is added exactly once.
+    // Row-major order is what makes the ConScratch bitmap pay: gu is
+    // stamped once and probed for the whole row.
     for (uint32_t cited : sg.OutNeighbors(local)) {
-      PaperId gu = sg.ToGlobal(local);
       PaperId gv = sg.ToGlobal(cited);
-      builder->AddEdge(local, cited, weights.EdgeCost(gu, gv));
+      builder->AddEdge(local, cited, weights.EdgeCost(gu, gv, con_scratch));
     }
   }
   builder->BuildInto(out);
@@ -107,7 +110,7 @@ Result<RePagerResult> RePaGer::Generate(const std::string& query,
       if ((*years_)[p] <= options.year_cutoff) candidates.push_back(p);
     }
   }
-  std::unordered_set<PaperId>& excluded = scratch->excluded_;
+  FlatSet<PaperId>& excluded = scratch->excluded_;
   excluded.clear();
   excluded.insert(options.exclude.begin(), options.exclude.end());
   candidates.erase(std::remove_if(candidates.begin(), candidates.end(),
@@ -149,9 +152,9 @@ Result<RePagerResult> RePaGer::Generate(const std::string& query,
   // candidate. This is the signal seed reallocation is built on; it also
   // drives the final ranking (a paper referenced by many query-relevant
   // articles is very likely on the survey's reference list).
-  std::unordered_map<PaperId, int>& cooccurrence = scratch->cooccurrence_;
+  FlatMap<PaperId, int>& cooccurrence = scratch->cooccurrence_;
   cooccurrence.clear();
-  std::unordered_set<PaperId>& seed_set = scratch->seed_set_;
+  FlatSet<PaperId>& seed_set = scratch->seed_set_;
   seed_set.clear();
   seed_set.insert(result.initial_seeds.begin(), result.initial_seeds.end());
   for (PaperId s : seed_set) {
@@ -166,8 +169,9 @@ Result<RePagerResult> RePaGer::Generate(const std::string& query,
   // lexical relevance worth roughly one co-citing seed).
   auto evidence_of = [&](PaperId p) {
     double score = 0.0;
-    auto it = cooccurrence.find(p);
-    if (it != cooccurrence.end()) score += static_cast<double>(it->second);
+    if (const int* count = cooccurrence.Find(p)) {
+      score += static_cast<double>(*count);
+    }
     if (seed_set.contains(p)) score += 1.2;
     return score;
   };
@@ -177,7 +181,8 @@ Result<RePagerResult> RePaGer::Generate(const std::string& query,
     // ---- Step 5: NEWST over the weighted sub-citation graph ----------
     Timer steiner_timer;
     if (trace) t0 = trace->NowNs();
-    BuildWeightedSubgraph(sg, *weights_, &scratch->builder_, &scratch->wg_);
+    BuildWeightedSubgraph(sg, *weights_, &scratch->builder_, &scratch->wg_,
+                          &scratch->con_scratch_);
     const steiner::WeightedGraph& wg = scratch->wg_;
     if (trace) {
       trace->AddSpan(obs::Stage::kEdgeCost, t0, trace->NowNs() - t0,
@@ -235,7 +240,7 @@ Result<RePagerResult> RePaGer::Generate(const std::string& query,
     });
   };
   rank_by_evidence(&tree_nodes);
-  std::unordered_set<PaperId>& emitted = scratch->emitted_;
+  FlatSet<PaperId>& emitted = scratch->emitted_;
   emitted.clear();
   emitted.insert(tree_nodes.begin(), tree_nodes.end());
   result.ranked = std::move(tree_nodes);

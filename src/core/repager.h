@@ -25,10 +25,9 @@
 
 #include <memory>
 #include <string>
-#include <unordered_map>
-#include <unordered_set>
 #include <vector>
 
+#include "common/flat_hash.h"
 #include "common/result.h"
 #include "core/reading_path.h"
 #include "obs/trace.h"
@@ -118,12 +117,16 @@ class QueryScratch {
   graph::Subgraph sg_;
   steiner::WeightedGraphBuilder builder_{0};
   steiner::WeightedGraph wg_;
+  /// Dense-bitmap scratch for the Eq. (2) Con() counts — stamped once
+  /// per high-degree subgraph row in BuildWeightedSubgraph, the single
+  /// hottest stage of the pipeline (BENCH_table4 `stages.edge_cost_ms`).
+  rank::ConScratch con_scratch_;
   std::vector<graph::PaperId> candidates_;
   std::vector<uint32_t> local_terminals_;
-  std::unordered_set<graph::PaperId> excluded_;
-  std::unordered_set<graph::PaperId> seed_set_;
-  std::unordered_map<graph::PaperId, int> cooccurrence_;
-  std::unordered_set<graph::PaperId> emitted_;
+  FlatSet<graph::PaperId> excluded_;
+  FlatSet<graph::PaperId> seed_set_;
+  FlatMap<graph::PaperId, int> cooccurrence_;
+  FlatSet<graph::PaperId> emitted_;
   std::vector<graph::PaperId> seed_block_;
   std::vector<graph::PaperId> rest_;
 };
@@ -172,10 +175,14 @@ steiner::WeightedGraph BuildWeightedSubgraph(const graph::Subgraph& sg,
 
 /// Scratch-reusing variant: accumulates into the caller's builder and
 /// writes the CSR result into `*out`, reusing both objects' capacity.
+/// `con_scratch` (optional) routes every Eq. (2) count through the
+/// per-source dense-bitmap fast path; results are identical with or
+/// without it (rank::ConScratch contract).
 void BuildWeightedSubgraph(const graph::Subgraph& sg,
                            const rank::WeightModel& weights,
                            steiner::WeightedGraphBuilder* builder,
-                           steiner::WeightedGraph* out);
+                           steiner::WeightedGraph* out,
+                           rank::ConScratch* con_scratch = nullptr);
 
 }  // namespace rpg::core
 

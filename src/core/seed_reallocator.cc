@@ -1,8 +1,8 @@
 #include "core/seed_reallocator.h"
 
 #include <algorithm>
-#include <unordered_map>
-#include <unordered_set>
+
+#include "common/flat_hash.h"
 
 namespace rpg::core {
 
@@ -11,14 +11,17 @@ using graph::PaperId;
 std::vector<PaperId> CoOccurrencePapers(const graph::CitationGraph& g,
                                         const std::vector<PaperId>& seeds,
                                         int min_cooccurrence) {
-  std::unordered_set<PaperId> seed_set(seeds.begin(), seeds.end());
-  std::unordered_map<PaperId, int> counts;
+  FlatSet<PaperId> seed_set;
+  seed_set.insert(seeds.begin(), seeds.end());
+  FlatMap<PaperId, int> counts;
   for (PaperId s : seed_set) {
     if (s >= g.num_nodes()) continue;
     for (PaperId cited : g.OutNeighbors(s)) {
       if (!seed_set.contains(cited)) ++counts[cited];
     }
   }
+  // Fully re-sorted with a total-order tiebreak, so the switch from
+  // unordered_map bucket order to FlatMap insertion order is invisible.
   std::vector<std::pair<PaperId, int>> scored;
   for (const auto& [p, c] : counts) {
     if (c >= min_cooccurrence) scored.emplace_back(p, c);
@@ -54,8 +57,9 @@ std::vector<PaperId> ReallocateSeeds(const graph::CitationGraph& g,
     case SeedMode::kIntersection: {
       // Initial seeds that are themselves highly co-cited *by the other
       // seeds*: count each seed's citations from fellow seeds.
-      std::unordered_set<PaperId> seed_set(initial.begin(), initial.end());
-      std::unordered_map<PaperId, int> counts;
+      FlatSet<PaperId> seed_set;
+      seed_set.insert(initial.begin(), initial.end());
+      FlatMap<PaperId, int> counts;
       for (PaperId s : seed_set) {
         if (s >= g.num_nodes()) continue;
         for (PaperId cited : g.OutNeighbors(s)) {
@@ -63,8 +67,8 @@ std::vector<PaperId> ReallocateSeeds(const graph::CitationGraph& g,
         }
       }
       for (PaperId s : initial) {
-        auto it = counts.find(s);
-        if (it != counts.end() && it->second >= min_cooccurrence) {
+        const int* c = counts.Find(s);
+        if (c != nullptr && *c >= min_cooccurrence) {
           result.push_back(s);
         }
       }

@@ -3,6 +3,7 @@
 
 #include <vector>
 
+#include "common/intersect.h"
 #include "graph/citation_graph.h"
 
 namespace rpg::rank {
@@ -15,6 +16,47 @@ struct NewstParams {
   double gamma = 5.0;
   double a = 0.7;
   double b = 0.3;
+};
+
+class WeightModel;
+
+/// Reusable per-query scratch for the dense-bitmap Con() path.
+///
+/// Edge-cost assignment evaluates Con(i, j) for every neighbor j of one
+/// source row i before moving to the next row (core::BuildWeightedSubgraph).
+/// When row i is high-degree, re-merging i's adjacency for every j is the
+/// dominant cost of the whole pipeline; the scratch instead stamps i's
+/// out- and in-lists into two dense bitmaps ONCE per source and answers
+/// each Con(i, j) by probing j's (typically short) lists in O(|adj(j)|).
+/// Switching sources unstamps the previous lists (O(degree), not
+/// O(universe)), so a long-lived scratch — one per core::QueryScratch —
+/// never pays a full clear and is allocation-free after warm-up.
+///
+/// Low-degree sources skip the stamping and fall through to the adaptive
+/// merge/gallop kernels, so Con(i, j, &scratch) is never slower than
+/// Con(i, j) — and, by the shared min(|a ∩ b|, cap) kernel contract,
+/// always returns the identical count (pinned edge-for-edge by
+/// tests/core/golden_fingerprint_test.cc).
+class ConScratch {
+ public:
+  ConScratch() = default;
+  ConScratch(const ConScratch&) = delete;
+  ConScratch& operator=(const ConScratch&) = delete;
+
+ private:
+  friend class WeightModel;
+
+  static constexpr graph::PaperId kNoSource = 0xFFFFFFFFu;
+
+  /// Stamp source i's adjacency if it is dense enough to pay off;
+  /// no-op when (graph, i) is already the stamped source.
+  void SetSource(const graph::CitationGraph& g, graph::PaperId i);
+
+  intersect::NeighborBitmap out_bits_;
+  intersect::NeighborBitmap in_bits_;
+  const graph::CitationGraph* g_ = nullptr;
+  graph::PaperId source_ = kNoSource;
+  bool stamped_ = false;
 };
 
 /// Node and edge weights for the weighted citation graph (§IV-A step 2).
@@ -41,11 +83,34 @@ class WeightModel {
   /// negligible PageRank keep a finite weight.
   double NodeWeight(graph::PaperId i) const;
 
-  /// Relatedness count used by Eq. (2): 1 + common neighbors (capped).
+  /// Relatedness count used by Eq. (2): 1 + common neighbors, capped.
+  ///
+  /// Cap semantics, spelled out because every intersection kernel and
+  /// both call paths must honor them identically:
+  ///  1. shared references (out ∩ out) are counted first, clamped to
+  ///     kConCap — i.e. exactly min(|out_i ∩ out_j|, kConCap);
+  ///  2. shared citers (in ∩ in) are counted only if budget remains,
+  ///     clamped to the remainder kConCap - (phase-1 count);
+  ///  3. the result is 1 + min(phase1 + phase2, kConCap - 1), so Con is
+  ///     always in [1, kConCap] and the kernels may early-exit the
+  ///     instant a phase's clamp is reached.
+  /// Because each phase's clamp is a semantic min() (not a scan cutoff),
+  /// the result is independent of kernel choice and of evaluation
+  /// order within a phase; Con(i, j) == Con(j, i) by the symmetry of
+  /// both intersections (regression-tested in tests/rank/rank_test.cc).
   int Con(graph::PaperId i, graph::PaperId j) const;
+
+  /// Same count via `scratch`'s dense-bitmap fast path (stamped once per
+  /// source i); identical result by construction, cheaper when many j
+  /// are evaluated against one high-degree i.
+  int Con(graph::PaperId i, graph::PaperId j, ConScratch* scratch) const;
 
   /// Eq. (2).
   double EdgeCost(graph::PaperId i, graph::PaperId j) const;
+
+  /// Eq. (2) through the scratch fast path; same value, same clamp.
+  double EdgeCost(graph::PaperId i, graph::PaperId j,
+                  ConScratch* scratch) const;
 
   const NewstParams& params() const { return params_; }
 

@@ -2,14 +2,19 @@
 
 #include <algorithm>
 #include <limits>
-#include <queue>
+
+#include "common/dary_heap.h"
 
 namespace rpg::steiner {
 
 namespace {
 constexpr double kInf = std::numeric_limits<double>::infinity();
 using Entry = std::pair<double, uint32_t>;  // (dist, node)
-using MinHeap = std::priority_queue<Entry, std::vector<Entry>, std::greater<>>;
+// 4-ary min-heap under lexicographic (dist, node) order: pops the exact
+// same entry sequence the binary std::priority_queue did (the order is
+// total), just with shallower sift-ups on the push-heavy lazy-deletion
+// workload. See common/dary_heap.h.
+using MinHeap = DaryHeap<Entry>;
 }  // namespace
 
 std::vector<uint32_t> ShortestPathTree::PathTo(uint32_t target) const {

@@ -2,8 +2,9 @@
 
 #include <algorithm>
 #include <limits>
-#include <queue>
 #include <tuple>
+
+#include "common/dary_heap.h"
 
 namespace rpg::steiner {
 
@@ -47,9 +48,10 @@ std::vector<Edge> PrimMst(const WeightedGraph& g, uint32_t start) {
   std::vector<Edge> tree;
   if (start >= n) return tree;
   std::vector<bool> in_tree(n, false);
-  // (cost, to, from)
+  // (cost, to, from); lexicographic min-order is total, so the d-ary
+  // heap pops the same edge sequence the binary heap did.
   using Entry = std::tuple<double, uint32_t, uint32_t>;
-  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> pq;
+  DaryHeap<Entry> pq;
   in_tree[start] = true;
   for (const auto& [v, c] : g.Neighbors(start)) pq.emplace(c, v, start);
   while (!pq.empty()) {

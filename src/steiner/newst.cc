@@ -3,8 +3,8 @@
 #include <algorithm>
 #include <limits>
 #include <optional>
-#include <unordered_map>
 
+#include "common/flat_hash.h"
 #include "common/string_util.h"
 #include "common/timer.h"
 #include "steiner/dijkstra.h"
@@ -79,7 +79,7 @@ Result<SteinerResult> SolveNewst(const WeightedGraph& g,
   std::optional<VoronoiPartition> voronoi;  // Mehlhorn only
   // Mehlhorn only: terminal-pair key a * k + b -> index of the cheapest
   // candidate in `closure`, reused later to expand closure-MST edges.
-  std::unordered_map<uint64_t, size_t> best_candidate;
+  FlatMap<uint64_t, size_t> best_candidate;
 
   if (options.closure_mode == ClosureMode::kClassic) {
     spt.reserve(k);
@@ -115,15 +115,17 @@ Result<SteinerResult> SolveNewst(const WeightedGraph& g,
         // convention (see bench_table4's cost ratio).
         double d = vp.dist[u] + cost + vp.dist[w];
         uint64_t key = static_cast<uint64_t>(a) * k + b;
-        auto [it, inserted] = best_candidate.emplace(key, closure.size());
-        if (inserted) {
+        if (const size_t* found = best_candidate.Find(key)) {
+          if (d < closure[*found].cost) {
+            closure[*found] = {a, b, d,
+                               cell_u == a ? u : w,
+                               cell_u == a ? w : u};
+          }
+        } else {
+          best_candidate[key] = closure.size();
           closure.push_back({a, b, d,
                              cell_u == a ? u : w,
                              cell_u == a ? w : u});
-        } else if (d < closure[it->second].cost) {
-          closure[it->second] = {a, b, d,
-                                 cell_u == a ? u : w,
-                                 cell_u == a ? w : u};
         }
       }
     }
@@ -164,7 +166,7 @@ Result<SteinerResult> SolveNewst(const WeightedGraph& g,
       add_gs_path(spt[e.u].PathTo(terms[e.v]));
     } else {
       uint64_t key = static_cast<uint64_t>(e.u) * k + e.v;
-      const ClosureEdge* ce = &closure[best_candidate.at(key)];
+      const ClosureEdge* ce = &closure[*best_candidate.Find(key)];
       // Path: terminal a -> ... -> boundary_u -> boundary_w -> ... ->
       // terminal b, stitched from the two Voronoi parent chains.
       std::vector<uint32_t> path = voronoi->PathFromSource(ce->boundary_u);

@@ -3,7 +3,8 @@
 #include <algorithm>
 #include <limits>
 #include <optional>
-#include <queue>
+
+#include "common/dary_heap.h"
 
 namespace rpg::steiner {
 
@@ -39,8 +40,10 @@ Result<SteinerResult> SolveTakahashiMatsuyama(
   std::vector<uint32_t> parent(n, UINT32_MAX);
   std::vector<uint8_t> in_tree(n, 0);
   std::vector<uint32_t> tree_nodes;
+  // Persistent across attach/re-seed rounds; same pop order as the
+  // binary heap it replaced (total lexicographic order on entries).
   using Entry = std::pair<double, uint32_t>;
-  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> pq;
+  DaryHeap<Entry> pq;
 
   auto add_tree_node = [&](uint32_t v) {
     in_tree[v] = 1;

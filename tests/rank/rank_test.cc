@@ -170,6 +170,46 @@ TEST_F(WeightModelFixture, CustomParamsPropagate) {
   EXPECT_EQ(model.params().alpha, 10.0);
 }
 
+TEST_F(WeightModelFixture, ConAndEdgeCostAreSymmetricOnRandomGraph) {
+  // Regression for the two-phase capped count (ISSUE 9): both phases are
+  // symmetric intersections and each phase's clamp is a semantic min, so
+  // Con(i, j) == Con(j, i) and EdgeCost(i, j) == EdgeCost(j, i) must
+  // hold for every pair — including pairs that saturate the cap, where a
+  // scan-cutoff bug would break order independence. Also pins the
+  // scratch/bitmap path to the scratch-free path on every pair.
+  const uint32_t n = 100;
+  graph::GraphBuilder b(n);
+  uint64_t state = 12345;
+  auto next = [&state]() {
+    state = state * 6364136223846793005ULL + 1442695040888963407ULL;
+    return static_cast<uint32_t>(state >> 33);
+  };
+  for (int e = 0; e < 900; ++e) {
+    uint32_t u = next() % n, v = next() % n;
+    if (u != v) b.AddCitation(u, v);
+  }
+  // Hub citing everything: combined degree far above the bitmap
+  // stamping threshold, so the scratch path below runs dense too.
+  for (uint32_t v = 1; v < n; ++v) b.AddCitation(0, v);
+  auto g = b.Build().value();
+  std::vector<double> zero(n, 0.0);
+  WeightModel model(&g, zero, zero);
+  ConScratch scratch;
+  for (graph::PaperId i = 0; i < n; ++i) {
+    for (graph::PaperId j = i + 1; j < n; ++j) {
+      const int forward = model.Con(i, j);
+      EXPECT_EQ(forward, model.Con(j, i)) << i << "," << j;
+      EXPECT_DOUBLE_EQ(model.EdgeCost(i, j), model.EdgeCost(j, i));
+      EXPECT_GE(forward, 1);
+      EXPECT_LE(forward, 7);  // 1 + min(common, kConCap - 1)
+      EXPECT_EQ(forward, model.Con(i, j, &scratch));
+      EXPECT_EQ(forward, model.Con(j, i, &scratch));
+      EXPECT_DOUBLE_EQ(model.EdgeCost(i, j),
+                       model.EdgeCost(i, j, &scratch));
+    }
+  }
+}
+
 TEST_F(WeightModelFixture, AllWeightsPositive) {
   std::vector<double> pr = {1.0, 0.5, 0.2, 0.2, 0.0};
   std::vector<double> venue = {1.0, 0.0, 0.5, 0.0, 0.0};
