@@ -89,6 +89,23 @@ INTERSECT_METRICS = [
 INTERSECT_LIMITS = [
     ("headline.adaptive_worst_ratio_vs_merge", "max", 1.5),
 ]
+CHURN_METRICS = [
+    ("flip_p99_ms", "lower"),
+    ("churn.throughput_rps", "higher"),
+    ("churn.cache_hit_rate", "higher"),
+]
+# Invariants of the churn run itself, no baseline needed: an epoch flip
+# must be invisible to live traffic (zero request errors, in either
+# phase), the churn phase must actually have flipped, and the stale
+# stamps must drain lazily (rate > 0 proves no global clear hid them;
+# the ceiling proves eviction stays bounded by the request stream — at
+# most one stale entry can be evicted per lookup).
+CHURN_LIMITS = [
+    ("errors", "max", 0),
+    ("churn.epoch_flips", "min", 1),
+    ("stale_eviction_rate", "min", 1e-9),
+    ("stale_eviction_rate", "max", 1.0),
+]
 
 
 def resolve(doc, path):
@@ -166,6 +183,7 @@ def run_gate(build_dir, baseline_dir, factor):
         ("BENCH_serve.json", SERVE_METRICS, []),
         ("BENCH_scale.json", SCALE_METRICS, []),
         ("BENCH_intersect.json", INTERSECT_METRICS, INTERSECT_LIMITS),
+        ("BENCH_churn.json", CHURN_METRICS, CHURN_LIMITS),
     ]
     report = []
     failures = 0
@@ -195,7 +213,7 @@ def run_gate(build_dir, baseline_dir, factor):
     if compared == 0:
         print("nothing to compare: run the benches first "
               "(./bench_table4_runtime, ./bench_serve_load, ./bench_scale, "
-              "./bench_intersect)")
+              "./bench_intersect, ./bench_churn)")
     if failures:
         print(f"FAILED: {failures} metric(s) regressed beyond {factor}x")
         return 1
@@ -283,6 +301,33 @@ def self_test():
         return 1
     if check_limits("fixture", bad_dispatch, INTERSECT_LIMITS, report) != 1:
         print("self-test FAILED: 2x kernel-dispatch loss not flagged")
+        return 1
+    # Churn gate: a flip that errors live requests, a churn phase that
+    # never flipped, and a globally-cleared cache (stale rate 0) must
+    # each fail; a healthy churn run must pass.
+    healthy_churn = {
+        "errors": 0,
+        "stale_eviction_rate": 0.2,
+        "churn": {"epoch_flips": 30},
+    }
+    if check_limits("fixture", healthy_churn, CHURN_LIMITS, report) != 0:
+        print("self-test FAILED: healthy churn run flagged")
+        return 1
+    erroring_churn = {
+        "errors": 3,
+        "stale_eviction_rate": 0.2,
+        "churn": {"epoch_flips": 30},
+    }
+    if check_limits("fixture", erroring_churn, CHURN_LIMITS, report) != 1:
+        print("self-test FAILED: request errors under churn not flagged")
+        return 1
+    cleared_cache = {
+        "errors": 0,
+        "stale_eviction_rate": 0.0,
+        "churn": {"epoch_flips": 30},
+    }
+    if check_limits("fixture", cleared_cache, CHURN_LIMITS, report) != 1:
+        print("self-test FAILED: zero stale evictions not flagged")
         return 1
     print("self-test passed")
     return 0

@@ -23,9 +23,7 @@ size_t ResolveThreads(int requested) {
 BatchEngine::BatchEngine(const RePaGer* repager, BatchEngineOptions options)
     : repager_(repager),
       options_(options),
-      pool_(ResolveThreads(options.num_threads)) {
-  RPG_CHECK(repager_ != nullptr);
-}
+      pool_(ResolveThreads(options.num_threads)) {}
 
 BatchResult BatchEngine::Run(const std::vector<BatchQuery>& queries) {
   Timer wall;
@@ -51,12 +49,21 @@ BatchResult BatchEngine::Run(const std::vector<BatchQuery>& queries) {
         // queue-span writes before ours).
         obs::TraceContext* trace = queries[i].trace.get();
         uint64_t solve_start = trace ? trace->NowNs() : 0;
+        // Epoch pinning: a query-carried handle wins over the engine
+        // default, and holding `queries[i].repager` keeps that epoch's
+        // whole substrate alive for the duration of the solve.
+        const RePaGer* repager =
+            queries[i].repager ? queries[i].repager.get() : repager_;
         // Distinct slots: no synchronization needed on the writes.
         Result<RePagerResult> r =
-            options_.reuse_scratch
-                ? repager_->Generate(queries[i].query, queries[i].options,
-                                     &scratch)
-                : repager_->Generate(queries[i].query, queries[i].options);
+            repager == nullptr
+                ? Result<RePagerResult>(Status::FailedPrecondition(
+                      "BatchEngine has no RePaGer: engine default is null "
+                      "and the query carries no substrate handle"))
+            : options_.reuse_scratch
+                ? repager->Generate(queries[i].query, queries[i].options,
+                                    &scratch)
+                : repager->Generate(queries[i].query, queries[i].options);
         if (trace) {
           trace->AddSpan(obs::Stage::kSolve, solve_start,
                          trace->NowNs() - solve_start, r.ok() ? 1 : 0);

@@ -13,7 +13,9 @@
 /// Ownership / thread-safety model:
 ///  - The RePaGer (and, through it, the CitationGraph, SearchEngine and
 ///    WeightModel) is shared, immutable, and read concurrently by all
-///    workers. It must outlive the BatchEngine.
+///    workers. The engine-level default must outlive the BatchEngine;
+///    a per-query BatchQuery::repager is an owning shared_ptr (an epoch
+///    handle alias) and keeps its substrate alive by itself.
 ///  - Each pool worker owns one QueryScratch for the duration of a
 ///    Run(); scratches are never shared between threads.
 ///  - Run() may be called repeatedly (the pool persists across batches)
@@ -42,6 +44,14 @@ struct BatchQuery {
   /// alive even if the originating request was already answered (e.g. a
   /// reactor-side deadline 503).
   std::shared_ptr<obs::TraceContext> trace;
+  /// Optional owning substrate handle, overriding the engine-level
+  /// RePaGer for this one query. This is how epoch-based serving works
+  /// (serve::Epoch): the serving layer pins the request's epoch with an
+  /// aliasing shared_ptr, so the substrate the worker reads stays alive
+  /// until this query's result is delivered even if the serving tier
+  /// swapped to a newer epoch mid-batch. Null means "use the engine's
+  /// constructor-supplied RePaGer" (the pre-epoch behaviour).
+  std::shared_ptr<const RePaGer> repager;
 };
 
 /// Result of a batch run. `results[i]` corresponds to `queries[i]` —
@@ -71,7 +81,12 @@ struct BatchEngineOptions {
 /// Runs batches of independent RePaGer queries on a worker pool.
 class BatchEngine {
  public:
-  /// `repager` must outlive the engine. Spawns the pool immediately.
+  /// `repager` is the default substrate for queries that carry no
+  /// per-query handle; it must outlive the engine. It may be null when
+  /// every BatchQuery supplies its own `repager` (the epoch-serving
+  /// configuration) — a query with neither fails with
+  /// FailedPrecondition instead of crashing. Spawns the pool
+  /// immediately.
   explicit BatchEngine(const RePaGer* repager, BatchEngineOptions options = {});
 
   /// Executes all queries and blocks until the batch is complete.

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <list>
+#include <map>
 #include <mutex>
 #include <unordered_map>
 
@@ -60,8 +61,15 @@ struct QueryCache::Shard {
     CachedResult result;           // nullptr for negative entries
     Status status = Status::OK();  // non-OK for negative entries
     size_t bytes = 0;
+    uint64_t epoch_id = 0;  // stamp of the epoch the result was computed on
   };
   using LruList = std::list<Entry>;
+
+  struct PerEpoch {
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    uint64_t stale_evictions = 0;
+  };
 
   mutable std::mutex mu;
   LruList lru;  // front = most recent
@@ -74,6 +82,20 @@ struct QueryCache::Shard {
   uint64_t evictions = 0;
   uint64_t negative_hits = 0;
   uint64_t negative_insertions = 0;
+  uint64_t stale_evictions = 0;
+  /// Per-epoch counter split, keyed by epoch id. Epoch ids are
+  /// monotonic, so bounding the map means dropping the oldest epochs.
+  std::map<uint64_t, PerEpoch> by_epoch;
+
+  PerEpoch& Epoch(uint64_t epoch_id) {
+    auto it = by_epoch.try_emplace(epoch_id).first;
+    // Keep the split bounded: a long-lived process flipping daily must
+    // not grow stats without limit. 8 epochs is plenty for dashboards.
+    while (by_epoch.size() > 8 && by_epoch.begin() != it) {
+      by_epoch.erase(by_epoch.begin());
+    }
+    return it->second;
+  }
 };
 
 QueryCache::QueryCache(QueryCacheOptions options)
@@ -94,12 +116,32 @@ QueryCache::~QueryCache() = default;
 size_t QueryCache::num_shards() const { return shard_count_; }
 
 std::optional<CachedValue> QueryCache::Lookup(const std::string& key,
-                                              bool count) {
+                                              uint64_t epoch_id, bool count) {
   Shard& shard = shards_[HashKey(key) & (shard_count_ - 1)];
   std::lock_guard<std::mutex> lock(shard.mu);
   auto it = shard.index.find(key);
   if (it == shard.index.end()) {
-    if (count) ++shard.misses;
+    if (count) {
+      ++shard.misses;
+      ++shard.Epoch(epoch_id).misses;
+    }
+    return std::nullopt;
+  }
+  if (it->second->epoch_id != epoch_id) {
+    // Stale stamp: the entry was computed on a different epoch. Evict it
+    // now (this is the lazy half of flip invalidation — SwapEpoch never
+    // scans the cache) and treat the lookup as a miss. The eviction is
+    // counted even when `count` is false: the entry is really gone.
+    ++shard.stale_evictions;
+    ++shard.Epoch(it->second->epoch_id).stale_evictions;
+    shard.bytes -= it->second->bytes;
+    if (it->second->result == nullptr) --shard.negative_entries;
+    shard.lru.erase(it->second);
+    shard.index.erase(it);
+    if (count) {
+      ++shard.misses;
+      ++shard.Epoch(epoch_id).misses;
+    }
     return std::nullopt;
   }
   if (count) {
@@ -107,29 +149,31 @@ std::optional<CachedValue> QueryCache::Lookup(const std::string& key,
       ++shard.negative_hits;
     } else {
       ++shard.hits;
+      ++shard.Epoch(epoch_id).hits;
     }
   }
   shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
   return CachedValue{it->second->result, it->second->status};
 }
 
-void QueryCache::Insert(const std::string& key, CachedResult result) {
+void QueryCache::Insert(const std::string& key, CachedResult result,
+                        uint64_t epoch_id) {
   if (result == nullptr) return;
   size_t bytes = EstimateResultBytes(*result);
-  InsertEntry(key, std::move(result), Status::OK(), bytes);
+  InsertEntry(key, std::move(result), Status::OK(), bytes, epoch_id);
 }
 
-void QueryCache::InsertNegative(const std::string& key,
-                                const Status& status) {
+void QueryCache::InsertNegative(const std::string& key, const Status& status,
+                                uint64_t epoch_id) {
   if (!cache_negative_ || status.ok()) return;
   // A negative entry is just its key and message; sizeof(Entry) covers
   // the list node payload.
   size_t bytes = sizeof(Shard::Entry) + key.size() + status.message().size();
-  InsertEntry(key, nullptr, status, bytes);
+  InsertEntry(key, nullptr, status, bytes, epoch_id);
 }
 
 void QueryCache::InsertEntry(const std::string& key, CachedResult result,
-                             Status status, size_t bytes) {
+                             Status status, size_t bytes, uint64_t epoch_id) {
   Shard& shard = shards_[HashKey(key) & (shard_count_ - 1)];
   std::lock_guard<std::mutex> lock(shard.mu);
   // Oversized entries would immediately evict themselves (plus the whole
@@ -142,7 +186,8 @@ void QueryCache::InsertEntry(const std::string& key, CachedResult result,
     shard.index.erase(it);
   }
   const bool negative = result == nullptr;
-  shard.lru.push_front({key, std::move(result), std::move(status), bytes});
+  shard.lru.push_front(
+      {key, std::move(result), std::move(status), bytes, epoch_id});
   shard.index[key] = shard.lru.begin();
   shard.bytes += bytes;
   if (negative) {
@@ -184,10 +229,27 @@ QueryCacheStats QueryCache::Stats() const {
     stats.evictions += shard.evictions;
     stats.negative_hits += shard.negative_hits;
     stats.negative_insertions += shard.negative_insertions;
+    stats.stale_evictions += shard.stale_evictions;
     stats.entries += shard.lru.size();
     stats.negative_entries += shard.negative_entries;
     stats.bytes += shard.bytes;
+    for (const auto& [epoch, pe] : shard.by_epoch) {
+      auto it = std::find_if(
+          stats.by_epoch.begin(), stats.by_epoch.end(),
+          [epoch](const EpochCacheStats& e) { return e.epoch == epoch; });
+      if (it == stats.by_epoch.end()) {
+        stats.by_epoch.push_back({epoch, 0, 0, 0});
+        it = std::prev(stats.by_epoch.end());
+      }
+      it->hits += pe.hits;
+      it->misses += pe.misses;
+      it->stale_evictions += pe.stale_evictions;
+    }
   }
+  std::sort(stats.by_epoch.begin(), stats.by_epoch.end(),
+            [](const EpochCacheStats& a, const EpochCacheStats& b) {
+              return a.epoch < b.epoch;
+            });
   return stats;
 }
 

@@ -16,6 +16,16 @@
 /// Negative hits/insertions/entries are counted separately so
 /// `/api/stats` can tell them apart.
 ///
+/// Epoch stamping: "immutable" is per-epoch since the serving tier
+/// learned to swap substrates (serve::Epoch). Every entry carries the
+/// epoch id it was computed under; Lookup passes the requester's epoch
+/// and a stamp mismatch is a miss that ALSO erases the stale entry on
+/// the spot (lazy eviction). A flip therefore invalidates the whole
+/// cache logically in O(1) — no global clear, no flip-time scan — and
+/// the stale population pays for itself one lookup at a time while new
+/// entries repopulate. `stale_evictions` plus per-epoch hit/miss splits
+/// let /api/stats show a flip's cache cost directly.
+///
 /// Ownership / thread-safety model:
 ///  - Entries are std::shared_ptr<const core::RePagerResult>: the cache
 ///    and any number of in-flight responses share one immutable result;
@@ -33,6 +43,7 @@
 #include <memory>
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "core/repager.h"
 
@@ -74,10 +85,23 @@ struct QueryCacheOptions {
   bool cache_negative = true;
 };
 
+/// Hit/miss/stale counters for one epoch id (the per-epoch split of the
+/// global counters below). `stale_evictions` is keyed by the EVICTED
+/// entry's epoch (whose result went stale), hits/misses by the
+/// requesting epoch.
+struct EpochCacheStats {
+  uint64_t epoch = 0;
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  uint64_t stale_evictions = 0;
+};
+
 /// Point-in-time counters (sums over all shards). `hits` counts positive
 /// hits only; negative hits/insertions have their own counters.
 /// `entries`/`bytes` include negative entries; `negative_entries` says
-/// how many of them are negative.
+/// how many of them are negative. A stale eviction (epoch-mismatched
+/// entry dropped on lookup) counts as both a miss and a stale_eviction,
+/// never as an `evictions` (capacity) event.
 struct QueryCacheStats {
   uint64_t hits = 0;
   uint64_t misses = 0;
@@ -85,9 +109,13 @@ struct QueryCacheStats {
   uint64_t evictions = 0;
   uint64_t negative_hits = 0;
   uint64_t negative_insertions = 0;
+  uint64_t stale_evictions = 0;
   size_t entries = 0;
   size_t negative_entries = 0;
   size_t bytes = 0;
+  /// Per-epoch split, ascending by epoch id. Bounded: each shard keeps
+  /// the counters of the most recent few epochs only.
+  std::vector<EpochCacheStats> by_epoch;
 };
 
 class QueryCache {
@@ -99,21 +127,27 @@ class QueryCache {
   QueryCache& operator=(const QueryCache&) = delete;
 
   /// Returns the cached outcome (positive or negative) and refreshes its
-  /// LRU position, or nullopt on miss. Counts a hit or a miss unless
-  /// `count` is false (used for the serving layer's post-claim
-  /// double-check, which would otherwise count every real miss twice).
+  /// LRU position, or nullopt on miss. An entry whose stamp differs from
+  /// `epoch_id` is stale: it is erased immediately (lazy eviction,
+  /// counted in stale_evictions) and the lookup is a miss. Counts a hit
+  /// or a miss unless `count` is false (used for the serving layer's
+  /// post-claim double-check, which would otherwise count every real
+  /// miss twice — stale eviction still happens regardless).
   std::optional<CachedValue> Lookup(const std::string& key,
-                                    bool count = true);
+                                    uint64_t epoch_id = 0, bool count = true);
 
-  /// Inserts (or replaces) a positive entry, then evicts from the
-  /// shard's LRU tail until both capacity limits hold. An entry larger
-  /// than a whole shard's byte budget is not cached at all.
-  void Insert(const std::string& key, CachedResult result);
+  /// Inserts (or replaces) a positive entry stamped with `epoch_id`,
+  /// then evicts from the shard's LRU tail until both capacity limits
+  /// hold. An entry larger than a whole shard's byte budget is not
+  /// cached at all.
+  void Insert(const std::string& key, CachedResult result,
+              uint64_t epoch_id = 0);
 
   /// Remembers a deterministic failure under `key` (no-op when
   /// `cache_negative` is off or `status` is OK). Shares the LRU and the
   /// capacity budgets with positive entries.
-  void InsertNegative(const std::string& key, const Status& status);
+  void InsertNegative(const std::string& key, const Status& status,
+                      uint64_t epoch_id = 0);
 
   /// Drops every entry (counters are preserved).
   void Clear();
@@ -126,7 +160,7 @@ class QueryCache {
   struct Shard;
 
   void InsertEntry(const std::string& key, CachedResult result,
-                   Status status, size_t bytes);
+                   Status status, size_t bytes, uint64_t epoch_id);
 
   std::unique_ptr<Shard[]> shards_;
   size_t shard_count_;

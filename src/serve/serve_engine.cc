@@ -52,11 +52,12 @@ bool IsCacheableError(const Status& status) {
 
 }  // namespace
 
-ServeEngine::ServeEngine(const core::RePaGer* repager,
-                         ServeEngineOptions options)
-    : repager_(repager),
-      options_(options),
-      batch_engine_(repager, MakeBatchOptions(options)),
+ServeEngine::ServeEngine(EpochHandle epoch, ServeEngineOptions options)
+    : options_(options),
+      // The BatchEngine's engine-level default stays null: every query
+      // carries its own epoch-pinned substrate handle, which is the
+      // whole point of the refactor.
+      batch_engine_(nullptr, MakeBatchOptions(options)),
       cache_(options.cache),
       batcher_(&batch_engine_,
                MakeBatcherOptions(
@@ -65,6 +66,7 @@ ServeEngine::ServeEngine(const core::RePaGer* repager,
                                          SizeBucketEdges(
                                              options.batcher.max_batch_size)),
                    metrics_.GetHistogram("solve_ms", LatencyBucketEdgesMs()))),
+      epoch_(std::move(epoch)),
       requests_total_(metrics_.GetCounter("requests_total")),
       cache_hits_(metrics_.GetCounter("cache_hits")),
       cache_misses_(metrics_.GetCounter("cache_misses")),
@@ -74,17 +76,26 @@ ServeEngine::ServeEngine(const core::RePaGer* repager,
       shed_total_(metrics_.GetCounter("shed_total")),
       deadline_exceeded_total_(metrics_.GetCounter("deadline_exceeded_total")),
       inflight_requests_(metrics_.GetGauge("inflight_requests")),
+      epoch_id_gauge_(metrics_.GetGauge("epoch_id")),
+      epoch_flips_total_(metrics_.GetCounter("epoch_flips_total")),
+      epoch_last_reload_unix_seconds_(
+          metrics_.GetGauge("epoch_last_reload_unix_seconds")),
       e2e_ms_(metrics_.GetHistogram("e2e_ms", LatencyBucketEdgesMs())),
       hit_ms_(metrics_.GetHistogram("cache_hit_ms", LatencyBucketEdgesMs())),
       pipeline_total_ms_(
           metrics_.GetHistogram("pipeline_total_ms", LatencyBucketEdgesMs())) {
-  RPG_CHECK(repager_ != nullptr);
+  RPG_CHECK(epoch_ != nullptr);
+  epoch_id_gauge_->Set(static_cast<int64_t>(epoch_->id()));
   for (size_t i = 0; i < obs::kNumPipelineStages; ++i) {
     stage_ms_[i] = metrics_.GetHistogram(
         std::string("stage_") + obs::StageName(obs::kPipelineStages[i]) + "_ms",
         LatencyBucketEdgesMs());
   }
 }
+
+ServeEngine::ServeEngine(const core::RePaGer* repager,
+                         ServeEngineOptions options)
+    : ServeEngine(Epoch::Borrowed(repager), options) {}
 
 ServeEngine::~ServeEngine() { batcher_.Shutdown(); }
 
@@ -111,12 +122,18 @@ void ServeEngine::GenerateAsync(const std::string& query, int num_seeds,
   Timer e2e;
   requests_total_->Increment();
   inflight_requests_->Add(1);
+  // The RCU read: acquire the serving epoch exactly once. Everything
+  // below — cache stamp, flight key, substrate handle, response — uses
+  // this copy, so a concurrent SwapEpoch cannot split the request
+  // across two generations.
+  EpochHandle epoch = CurrentEpoch();
+  const uint64_t eid = epoch->id();
   const std::string key = CanonicalQueryKey(query, num_seeds, year_cutoff);
   if (trace) trace->set_query_key(key);
 
   if (options_.enable_cache) {
     uint64_t lookup_start = trace ? trace->NowNs() : 0;
-    std::optional<CachedValue> hit = cache_.Lookup(key);
+    std::optional<CachedValue> hit = cache_.Lookup(key, eid);
     if (trace) {
       trace->AddSpan(obs::Stage::kCacheLookup, lookup_start,
                      trace->NowNs() - lookup_start, hit ? 1 : 0);
@@ -124,13 +141,13 @@ void ServeEngine::GenerateAsync(const std::string& query, int num_seeds,
     if (hit) {
       if (hit->negative()) {
         negative_hits_->Increment();
-        FinishRequest(callback, e2e, Result<CachedResult>(hit->status),
+        FinishRequest(callback, e2e, epoch, Result<CachedResult>(hit->status),
                       /*cache_hit=*/true, /*coalesced=*/false);
         return;
       }
       cache_hits_->Increment();
       hit_ms_->Observe(e2e.ElapsedSeconds() * 1e3);
-      FinishRequest(callback, e2e,
+      FinishRequest(callback, e2e, epoch,
                     Result<CachedResult>(std::move(hit->result)),
                     /*cache_hit=*/true, /*coalesced=*/false);
       return;
@@ -138,18 +155,21 @@ void ServeEngine::GenerateAsync(const std::string& query, int num_seeds,
     cache_misses_->Increment();
   }
 
-  // Single-flight admission: exactly one requester per canonical key
-  // computes; everyone else registers a waiter on its flight.
+  // Single-flight admission: exactly one requester per (epoch,
+  // canonical key) computes; everyone else registers a waiter on its
+  // flight. The epoch qualifier keeps a post-flip request from joining
+  // a pre-flip computation whose result would come from the old graph.
+  const std::string flight_key = std::to_string(eid) + '\x1f' + key;
   std::shared_ptr<Flight> flight;
   bool owner = false;
   {
     std::lock_guard<std::mutex> lock(flights_mu_);
-    auto it = flights_.find(key);
+    auto it = flights_.find(flight_key);
     if (it != flights_.end()) {
       flight = it->second;
     } else {
       flight = std::make_shared<Flight>();
-      flights_.emplace(key, flight);
+      flights_.emplace(flight_key, flight);
       owner = true;
     }
   }
@@ -160,14 +180,14 @@ void ServeEngine::GenerateAsync(const std::string& query, int num_seeds,
     // continuation) — that thread is the tail of this request's causal
     // chain, so writing the wait span there is race-free.
     uint64_t wait_start = trace ? trace->NowNs() : 0;
-    auto waiter = [this, callback = std::move(callback), e2e,
+    auto waiter = [this, callback = std::move(callback), e2e, epoch,
                    trace = std::move(trace),
                    wait_start](const Result<CachedResult>& outcome) {
       if (trace) {
         trace->AddSpan(obs::Stage::kSingleFlightWait, wait_start,
                        trace->NowNs() - wait_start, outcome.ok() ? 1 : 0);
       }
-      FinishRequest(callback, e2e, outcome, /*cache_hit=*/false,
+      FinishRequest(callback, e2e, epoch, outcome, /*cache_hit=*/false,
                     /*coalesced=*/true);
     };
     bool already_done = false;
@@ -191,12 +211,13 @@ void ServeEngine::GenerateAsync(const std::string& query, int num_seeds,
   // which happens-before our claim), serve it instead of recomputing —
   // single-flight stays airtight even across flight generations.
   if (options_.enable_cache) {
-    if (std::optional<CachedValue> hit = cache_.Lookup(key, /*count=*/false)) {
+    if (std::optional<CachedValue> hit =
+            cache_.Lookup(key, eid, /*count=*/false)) {
       Result<CachedResult> resolved =
           hit->negative() ? Result<CachedResult>(hit->status)
                           : Result<CachedResult>(std::move(hit->result));
-      PublishOutcome(key, flight, resolved);
-      FinishRequest(callback, e2e, resolved, /*cache_hit=*/true,
+      PublishOutcome(key, flight_key, eid, flight, resolved);
+      FinishRequest(callback, e2e, epoch, resolved, /*cache_hit=*/true,
                     /*coalesced=*/false);
       return;
     }
@@ -207,11 +228,17 @@ void ServeEngine::GenerateAsync(const std::string& query, int num_seeds,
   if (num_seeds > 0) bq.options.num_initial_seeds = num_seeds;
   if (year_cutoff > 0) bq.options.year_cutoff = year_cutoff;
   bq.trace = trace;
+  // Pin the substrate: the worker solves on THIS request's epoch no
+  // matter how many flips happen while the query sits in the batch
+  // queue, and the aliasing handle keeps the epoch alive through the
+  // solve.
+  bq.repager = Epoch::RepagerHandle(epoch);
   // No thread blocks here: the continuation runs on the batcher's
   // dispatcher thread once the batch containing this query completes.
   batcher_.SubmitAsync(
       std::move(bq),
-      [this, key, flight, callback = std::move(callback),
+      [this, key, flight_key, eid, epoch = std::move(epoch), flight,
+       callback = std::move(callback),
        e2e](Result<core::RePagerResult> computed) {
         if (!computed.ok() && computed.status().IsUnavailable()) {
           shed_total_->Increment();
@@ -226,8 +253,8 @@ void ServeEngine::GenerateAsync(const std::string& query, int num_seeds,
                       std::make_shared<const core::RePagerResult>(
                           std::move(computed).value()))
                 : Result<CachedResult>(computed.status());
-        PublishOutcome(key, flight, outcome);
-        FinishRequest(callback, e2e, outcome, /*cache_hit=*/false,
+        PublishOutcome(key, flight_key, eid, flight, outcome);
+        FinishRequest(callback, e2e, epoch, outcome, /*cache_hit=*/false,
                       /*coalesced=*/false);
       });
 }
@@ -245,22 +272,27 @@ void ServeEngine::ObserveStages(const core::RePagerResult& result) {
   pipeline_total_ms_->Observe(result.total_seconds * 1e3);
 }
 
-void ServeEngine::PublishOutcome(const std::string& key,
+void ServeEngine::PublishOutcome(const std::string& cache_key,
+                                 const std::string& flight_key,
+                                 uint64_t epoch_id,
                                  const std::shared_ptr<Flight>& flight,
                                  const Result<CachedResult>& outcome) {
   // Publish to the cache BEFORE retiring the flight: a request arriving
   // in between sees either the cache entry or the in-flight flight —
-  // never a gap that would trigger a duplicate computation.
+  // never a gap that would trigger a duplicate computation. The entry
+  // is stamped with the epoch it was computed on; if a flip landed
+  // while we were computing, the stamp is already stale and the first
+  // post-flip lookup evicts it.
   if (options_.enable_cache) {
     if (outcome.ok()) {
-      cache_.Insert(key, outcome.value());
+      cache_.Insert(cache_key, outcome.value(), epoch_id);
     } else if (IsCacheableError(outcome.status())) {
-      cache_.InsertNegative(key, outcome.status());
+      cache_.InsertNegative(cache_key, outcome.status(), epoch_id);
     }
   }
   {
     std::lock_guard<std::mutex> lock(flights_mu_);
-    flights_.erase(key);
+    flights_.erase(flight_key);
   }
   std::vector<Flight::Waiter> waiters;
   {
@@ -273,7 +305,7 @@ void ServeEngine::PublishOutcome(const std::string& key,
 }
 
 void ServeEngine::FinishRequest(const GenerateCallback& callback,
-                                const Timer& e2e,
+                                const Timer& e2e, const EpochHandle& epoch,
                                 const Result<CachedResult>& outcome,
                                 bool cache_hit, bool coalesced) {
   double seconds = e2e.ElapsedSeconds();
@@ -286,10 +318,42 @@ void ServeEngine::FinishRequest(const GenerateCallback& callback,
   }
   ServeResponse response;
   response.result = outcome.value();
+  response.epoch = epoch;
   response.cache_hit = cache_hit;
   response.coalesced = coalesced;
   response.e2e_seconds = seconds;
   callback(std::move(response));
+}
+
+EpochHandle ServeEngine::CurrentEpoch() const {
+  std::lock_guard<std::mutex> lock(epoch_mu_);
+  return epoch_;
+}
+
+uint64_t ServeEngine::epoch_flips() const {
+  std::lock_guard<std::mutex> lock(epoch_mu_);
+  return epoch_flips_;
+}
+
+void ServeEngine::SwapEpoch(EpochHandle next) {
+  RPG_CHECK(next != nullptr);
+  const int64_t now_ms = next->info().loaded_unix_ms;
+  EpochHandle previous;
+  {
+    std::lock_guard<std::mutex> lock(epoch_mu_);
+    previous = std::move(epoch_);  // destroyed outside the lock
+    epoch_ = std::move(next);
+    ++epoch_flips_;
+    last_reload_unix_ms_ = now_ms;
+    epoch_id_gauge_->Set(static_cast<int64_t>(epoch_->id()));
+    epoch_last_reload_unix_seconds_->Set(now_ms / 1000);
+  }
+  epoch_flips_total_->Increment();
+  RPG_LOG(Info) << "epoch flip -> id " << CurrentEpoch()->id()
+                << " (in-flight requests drain on their own epoch)";
+  // `previous` drops here. If this was the last reference the old
+  // substrate frees now; otherwise the final in-flight request's
+  // response destroys it. Either way: never under epoch_mu_.
 }
 
 size_t ServeEngine::ClearCache() {
@@ -301,8 +365,27 @@ size_t ServeEngine::ClearCache() {
 std::string ServeEngine::StatsJson() const {
   QueryCacheStats cs = cache_.Stats();
   MicroBatcherStats bs = batcher_.Stats();
+  EpochHandle epoch;
+  uint64_t flips = 0;
+  int64_t last_reload_ms = 0;
+  {
+    std::lock_guard<std::mutex> lock(epoch_mu_);
+    epoch = epoch_;
+    flips = epoch_flips_;
+    last_reload_ms = last_reload_unix_ms_;
+  }
   JsonWriter w;
   w.BeginObject();
+  w.Key("epoch").BeginObject();
+  w.Key("id").UInt(epoch->id());
+  w.Key("flips").UInt(flips);
+  w.Key("last_reload_unix_ms").Int(last_reload_ms);
+  w.Key("source").String(epoch->info().source);
+  w.Key("loaded_unix_ms").Int(epoch->info().loaded_unix_ms);
+  w.Key("load_seconds").Double(epoch->info().load_seconds);
+  w.Key("num_papers").UInt(epoch->info().num_papers);
+  w.Key("num_edges").UInt(epoch->info().num_edges);
+  w.EndObject();
   w.Key("cache").BeginObject();
   w.Key("enabled").Bool(options_.enable_cache);
   w.Key("entries").UInt(cs.entries);
@@ -314,6 +397,20 @@ std::string ServeEngine::StatsJson() const {
   w.Key("negative_entries").UInt(cs.negative_entries);
   w.Key("negative_hits").UInt(cs.negative_hits);
   w.Key("negative_insertions").UInt(cs.negative_insertions);
+  w.Key("stale_evictions").UInt(cs.stale_evictions);
+  // Hit/miss/stale split by epoch id: after a flip this shows the old
+  // epoch's entries draining (stale_evictions) while the new epoch's
+  // hit rate recovers — the lazy-invalidation story in one section.
+  w.Key("by_epoch").BeginArray();
+  for (const EpochCacheStats& e : cs.by_epoch) {
+    w.BeginObject();
+    w.Key("epoch").UInt(e.epoch);
+    w.Key("hits").UInt(e.hits);
+    w.Key("misses").UInt(e.misses);
+    w.Key("stale_evictions").UInt(e.stale_evictions);
+    w.EndObject();
+  }
+  w.EndArray();
   w.EndObject();
   w.Key("batcher").BeginObject();
   w.Key("requests").UInt(bs.requests);

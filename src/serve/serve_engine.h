@@ -3,36 +3,46 @@
 
 /// \file
 /// The serving facade: sharded result cache + in-flight request
-/// coalescing + micro-batched execution + live metrics, over the
-/// immutable RePaGer substrates. ui::RePagerService is a thin route
-/// layer on top of this class; see docs/serving.md for the request
-/// lifecycle and tuning knobs.
+/// coalescing + micro-batched execution + live metrics, over an
+/// atomically swappable serving epoch (serve::Epoch).
+/// ui::RePagerService is a thin route layer on top of this class; see
+/// docs/serving.md for the request lifecycle, the epoch lifecycle, and
+/// tuning knobs.
 ///
 /// Request lifecycle for Generate / GenerateAsync(query, num_seeds,
 /// year_cutoff):
+///   0. acquire the current epoch ONCE (one shared_ptr copy) — every
+///      later step of this request reads that epoch, never the member
 ///   1. canonical key  = CanonicalQueryKey(...) — case/whitespace
 ///      normalized, defaults resolved
-///   2. QueryCache::Lookup — a positive hit returns the shared immutable
-///      result in microseconds; a negative hit returns the remembered
-///      error Status without touching the pipeline
-///   3. in-flight table — an identical query already being computed is
-///      joined, not recomputed (single-flight)
+///   2. QueryCache::Lookup with the epoch id — a positive hit returns
+///      the shared immutable result in microseconds; a negative hit
+///      returns the remembered error Status without touching the
+///      pipeline; a stamp from another epoch is lazily evicted
+///   3. in-flight table (keyed by epoch id + canonical key) — an
+///      identical same-epoch query already being computed is joined,
+///      not recomputed (single-flight)
 ///   4. MicroBatcher::SubmitAsync — grouped with concurrent misses and
-///      executed on the shared core::BatchEngine
-///   5. completed results are inserted into the cache (deterministic
-///      errors as negative entries); every stage increments
-///      MetricsRegistry counters/histograms
+///      executed on the shared core::BatchEngine; the BatchQuery
+///      carries the epoch's substrate handle, so the worker solves on
+///      the request's epoch even if a flip happened meanwhile
+///   5. completed results are inserted into the cache stamped with the
+///      request's epoch (deterministic errors as negative entries);
+///      every stage increments MetricsRegistry counters/histograms
 ///
-/// Results are bit-identical to serial RePaGer::Generate in every path
-/// (cache hit, coalesced, batched) — asserted by
-/// tests/serve/serve_engine_test.cc.
+/// Results are bit-identical to serial RePaGer::Generate on the same
+/// epoch in every path (cache hit, coalesced, batched) — asserted by
+/// tests/serve/serve_engine_test.cc and tests/epoch/epoch_test.cc.
 ///
 /// Ownership / thread-safety model:
-///  - The RePaGer (and everything under it) is shared immutable state
-///    owned by the caller; it must outlive the engine.
-///  - Generate()/GenerateAsync() are safe from any number of threads.
-///    Cached results are shared_ptr<const ...>: never mutated, freely
-///    shared across responses.
+///  - The serving substrate is an EpochHandle
+///    (shared_ptr<const Epoch>): the engine holds the current one,
+///    every in-flight request holds its own, and SwapEpoch replaces the
+///    engine's under a mutex. The old epoch frees itself when its last
+///    in-flight request completes — RCU by refcount, no drain barrier.
+///  - Generate()/GenerateAsync()/SwapEpoch() are safe from any number
+///    of threads. Cached results are shared_ptr<const ...>: never
+///    mutated, freely shared across responses.
 ///  - GenerateAsync never blocks on the solve: the callback fires inline
 ///    for cache hits and errors, and from the batcher's dispatcher
 ///    thread for computed misses. This is the API the epoll reactor
@@ -49,6 +59,7 @@
 #include "common/timer.h"
 #include "core/batch_engine.h"
 #include "core/repager.h"
+#include "serve/epoch.h"
 #include "serve/metrics.h"
 #include "serve/micro_batcher.h"
 #include "serve/query_cache.h"
@@ -68,6 +79,10 @@ struct ServeEngineOptions {
 /// One served response. `result` is immutable and shared with the cache.
 struct ServeResponse {
   CachedResult result;
+  /// The epoch this request was answered on. Holding the response keeps
+  /// the epoch's whole substrate alive, so renderers may dereference
+  /// epoch->titles()/years()/repager() without lifetime caveats.
+  EpochHandle epoch;
   /// True when the result came straight from the cache.
   bool cache_hit = false;
   /// True when this request joined an identical in-flight computation.
@@ -85,7 +100,12 @@ class ServeEngine {
   /// miss. Must not block.
   using GenerateCallback = std::function<void(Result<ServeResponse>)>;
 
-  /// `repager` must outlive the engine.
+  /// The primary constructor: serves from `epoch` until SwapEpoch.
+  explicit ServeEngine(EpochHandle epoch, ServeEngineOptions options = {});
+
+  /// Compat wrapper over the pre-epoch API: wraps `repager` in a single
+  /// static Borrowed epoch (id 0). The caller keeps `repager` alive for
+  /// the engine's lifetime, exactly as before.
   explicit ServeEngine(const core::RePaGer* repager,
                        ServeEngineOptions options = {});
   ~ServeEngine();
@@ -116,12 +136,27 @@ class ServeEngine {
                      std::shared_ptr<obs::TraceContext> trace,
                      GenerateCallback callback);
 
+  /// Installs `next` as the serving epoch (RCU flip). New requests
+  /// acquire it immediately; in-flight requests finish on the epoch they
+  /// started with, and the old epoch frees itself when the last of them
+  /// completes. Cache entries from older epochs are NOT cleared — their
+  /// stale stamps are evicted lazily on lookup (QueryCache). Safe from
+  /// any thread, including concurrently with serving traffic.
+  void SwapEpoch(EpochHandle next);
+
+  /// The epoch new requests would be served on right now (one
+  /// shared_ptr copy; never null).
+  EpochHandle CurrentEpoch() const;
+
+  /// Number of SwapEpoch calls since construction.
+  uint64_t epoch_flips() const;
+
   /// Drops every cached entry; returns the number of entries dropped.
   size_t ClearCache();
 
   /// Live stats document for GET /api/stats:
-  ///   {"cache":{...},"batcher":{...},"stages":{...},"metrics":
-  ///    {counters,gauges,histograms}}
+  ///   {"epoch":{...},"cache":{...},"batcher":{...},"stages":{...},
+  ///    "metrics":{counters,gauges,histograms}}
   /// The "stages" section attributes solve time to pipeline stages
   /// (count / total_ms / mean_ms / p50..p99 per stage, plus an
   /// `attributed_fraction` of pipeline time covered by stage spans).
@@ -135,14 +170,19 @@ class ServeEngine {
   struct Flight;
 
   /// Publishes the outcome: cache (positive entry, or negative for
-  /// deterministic errors), flight retirement, coalesced waiters.
-  void PublishOutcome(const std::string& key,
+  /// deterministic errors, stamped with the request's epoch), flight
+  /// retirement, coalesced waiters. `cache_key` addresses the cache;
+  /// `flight_key` (epoch-qualified) addresses the flights table.
+  void PublishOutcome(const std::string& cache_key,
+                      const std::string& flight_key, uint64_t epoch_id,
                       const std::shared_ptr<Flight>& flight,
                       const Result<CachedResult>& outcome);
 
   /// Final per-request bookkeeping (e2e histogram, error counter,
-  /// in-flight gauge) + callback invocation.
+  /// in-flight gauge) + callback invocation. `epoch` is the epoch the
+  /// request was served on; it rides out on the ServeResponse.
   void FinishRequest(const GenerateCallback& callback, const Timer& e2e,
+                     const EpochHandle& epoch,
                      const Result<CachedResult>& outcome, bool cache_hit,
                      bool coalesced);
 
@@ -151,7 +191,6 @@ class ServeEngine {
   /// compiled out or disabled).
   void ObserveStages(const core::RePagerResult& result);
 
-  const core::RePaGer* repager_;
   ServeEngineOptions options_;
   core::BatchEngine batch_engine_;
   QueryCache cache_;
@@ -161,9 +200,24 @@ class ServeEngine {
   MetricsRegistry metrics_;
   MicroBatcher batcher_;
 
-  /// Single-flight table: canonical key -> the flight every duplicate
-  /// concurrent request registers a waiter on. The owner (first
-  /// requester) erases the entry once the cache is populated.
+  /// The serving epoch. Requests copy the handle once under the mutex
+  /// (an uncontended lock + shared_ptr copy, nanoseconds) and never
+  /// touch the member again; SwapEpoch replaces it. A mutex-guarded
+  /// shared_ptr is the portable TSan-clean equivalent of
+  /// std::atomic<std::shared_ptr> here, and this is nowhere near the
+  /// per-request hot path's dominant cost.
+  mutable std::mutex epoch_mu_;
+  EpochHandle epoch_;
+  /// Flip bookkeeping (guarded by epoch_mu_): count + wall-clock of the
+  /// last SwapEpoch, rendered in /api/stats.
+  uint64_t epoch_flips_ = 0;
+  int64_t last_reload_unix_ms_ = 0;
+
+  /// Single-flight table: epoch id + canonical key -> the flight every
+  /// duplicate concurrent request registers a waiter on. The epoch
+  /// qualifier keeps a post-flip request from joining a pre-flip
+  /// computation of the same query (their results may differ). The owner
+  /// (first requester) erases the entry once the cache is populated.
   std::mutex flights_mu_;
   std::unordered_map<std::string, std::shared_ptr<Flight>> flights_;
 
@@ -184,6 +238,13 @@ class ServeEngine {
   /// expired computation, like shed_total_.
   Counter* deadline_exceeded_total_;
   Gauge* inflight_requests_;
+  /// Epoch instruments (also scraped via GET /metrics): the current
+  /// epoch id, total SwapEpoch flips, and the Unix time of the last
+  /// flip. (Stale-eviction counters live in the cache section of
+  /// /api/stats — QueryCacheStats — split by epoch.)
+  Gauge* epoch_id_gauge_;
+  Counter* epoch_flips_total_;
+  Gauge* epoch_last_reload_unix_seconds_;
   MetricHistogram* e2e_ms_;
   MetricHistogram* hit_ms_;
   /// Per-pipeline-stage latency histograms ("stage_<name>_ms"), indexed

@@ -6,8 +6,10 @@
 
 #include "common/json_writer.h"
 #include "common/logging.h"
+#include "common/string_util.h"
 #include "obs/prometheus.h"
 #include "obs/trace.h"
+#include "serve/epoch.h"
 
 namespace rpg::ui {
 
@@ -45,6 +47,16 @@ HttpResponse BadParameter(const std::string& name, const std::string& value) {
 
 }  // namespace
 
+RePagerService::RePagerService(serve::ServeEngine* engine)
+    : engine_(engine), repager_(nullptr), titles_(nullptr), years_(nullptr) {
+  RPG_CHECK(engine_ != nullptr);
+  // Rendering needs titles/years; with no fallback pointers they must
+  // come from the epoch. Catch a Borrowed-epoch misconfiguration at
+  // construction, not on the first request.
+  serve::EpochHandle epoch = engine_->CurrentEpoch();
+  RPG_CHECK(epoch->titles() != nullptr && epoch->years() != nullptr);
+}
+
 RePagerService::RePagerService(serve::ServeEngine* engine,
                                const core::RePaGer* repager,
                                const std::vector<std::string>* titles,
@@ -59,6 +71,19 @@ std::string RePagerService::RenderPathJson(
     const core::RePaGer* repager, const std::vector<std::string>* titles,
     const std::vector<uint16_t>* years, bool debug,
     const obs::TraceContext* trace) {
+  // Prefer the substrate of the epoch this response was served on: the
+  // response's handle keeps it alive through rendering, and after a
+  // flip an in-flight old-epoch response must render with ITS titles /
+  // years / importances, not the new epoch's. The parameters remain as
+  // the fallback for metadata-free Borrowed epochs.
+  if (response.epoch != nullptr) {
+    repager = &response.epoch->repager();
+    if (response.epoch->titles() != nullptr) {
+      titles = response.epoch->titles();
+      years = response.epoch->years();
+    }
+  }
+  RPG_CHECK(repager != nullptr && titles != nullptr && years != nullptr);
   const core::RePagerResult& result = *response.result;
   std::unordered_set<graph::PaperId> seeds(result.initial_seeds.begin(),
                                            result.initial_seeds.end());
@@ -162,6 +187,44 @@ HttpResponse RePagerService::ErrorResponse(const Status& status) {
           w.str()};
 }
 
+HttpResponse RePagerService::HandleReload(const HttpRequest& request) const {
+  const std::string path(Trim(request.body));
+  if (path.empty()) {
+    return {400, "application/json",
+            "{\"error\":\"reload body must be a snapshot path\"}"};
+  }
+  const uint64_t next_id = engine_->CurrentEpoch()->id() + 1;
+  auto epoch_or = serve::LoadEpochFromSnapshot(path, next_id);
+  if (!epoch_or.ok()) {
+    // Fail-closed: nothing was swapped; the serving epoch is untouched.
+    // Corrupt sections surface as InvalidArgument naming the layer
+    // (snapshot format validation ladder) -> 400; a missing/unreadable
+    // file -> 404; anything else is a server-side 500.
+    const Status& status = epoch_or.status();
+    JsonWriter w;
+    w.BeginObject();
+    w.Key("reloaded").Bool(false);
+    w.Key("error").String(status.ToString());
+    w.EndObject();
+    int code = status.IsInvalidArgument() ? 400
+               : (status.IsNotFound() || status.IsIoError()) ? 404
+                                                             : 500;
+    return {code, "application/json", w.str()};
+  }
+  serve::EpochHandle epoch = std::move(epoch_or).value();
+  engine_->SwapEpoch(epoch);
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("reloaded").Bool(true);
+  w.Key("epoch").UInt(epoch->id());
+  w.Key("source").String(epoch->info().source);
+  w.Key("num_papers").UInt(epoch->info().num_papers);
+  w.Key("num_edges").UInt(epoch->info().num_edges);
+  w.Key("load_seconds").Double(epoch->info().load_seconds);
+  w.EndObject();
+  return {200, "application/json", w.str()};
+}
+
 std::string RePagerService::StatsJson() const {
   std::string engine_json = engine_->StatsJson();
   if (server_ == nullptr) return engine_json;
@@ -228,8 +291,13 @@ void RePagerService::HandleAsync(const HttpRequest& request,
       done({200, "application/json", w.str()});
       return;
     }
+    if (request.path == "/api/admin/reload") {
+      done(HandleReload(request));
+      return;
+    }
     done({request.path == "/api/path" || request.path == "/" ? 405 : 404,
-          "text/plain", "POST only supported on /api/cache/clear"});
+          "text/plain",
+          "POST only supported on /api/cache/clear and /api/admin/reload"});
     return;
   }
   if (request.method != "GET") {

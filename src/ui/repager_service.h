@@ -38,9 +38,19 @@ bool ParseBoundedInt(const std::string& s, int min, int max, int* out);
 ///                               JSON
 ///   GET  /metrics               the same instruments in Prometheus text
 ///                               exposition format (version 0.0.4), for
-///                               scraping
+///                               scraping (includes rpg_epoch_id,
+///                               rpg_epoch_flips_total,
+///                               rpg_epoch_last_reload_unix_seconds)
 ///   POST /api/cache/clear       drops the query cache; returns the
 ///                               number of entries dropped
+///   POST /api/admin/reload      body: a snapshot path. Loads + fully
+///                               checksum-audits the snapshot, then
+///                               flips the serving epoch
+///                               (ServeEngine::SwapEpoch). Fail-closed:
+///                               any load/verify error returns 400/404
+///                               naming the offending layer and leaves
+///                               the serving epoch untouched. In-flight
+///                               requests finish on the old epoch.
 ///
 /// HandleAsync is the reactor entry point: cheap routes complete inline
 /// on the poller thread; /api/path hands compute to
@@ -49,9 +59,18 @@ bool ParseBoundedInt(const std::string& s, int min, int max, int* out);
 /// blocking wrapper kept for tests and the serve_ui self-test.
 class RePagerService {
  public:
-  /// All pointers must outlive the service. `engine` owns the serving
-  /// state (cache, batcher, metrics); `repager` is only used for the
-  /// per-paper Importance() rendering.
+  /// Epoch-serving constructor: every response renders from its own
+  /// epoch's substrate (titles/years/repager ride on the
+  /// ServeResponse's epoch handle), so the service needs nothing beyond
+  /// the engine and reloads require no re-wiring here. The engine must
+  /// outlive the service and its current epoch must carry rendering
+  /// metadata (i.e. not Epoch::Borrowed).
+  explicit RePagerService(serve::ServeEngine* engine);
+
+  /// Compat constructor for borrowed-substrate engines (no epoch
+  /// metadata): rendering falls back to these pointers, which must
+  /// outlive the service. `repager` is only used for the per-paper
+  /// Importance() rendering.
   RePagerService(serve::ServeEngine* engine, const core::RePaGer* repager,
                  const std::vector<std::string>* titles,
                  const std::vector<uint16_t>* years);
@@ -78,9 +97,11 @@ class RePagerService {
   /// Renders one served response as the /api/path JSON document. Static
   /// on purpose: the GenerateAsync continuation must not capture the
   /// service (`this`) — a compute finishing after the service was
-  /// destroyed (server stopped mid-flight) may still run this, so it
-  /// touches only the workbench-owned substrates, which outlive the
-  /// engine by contract.
+  /// destroyed (server stopped mid-flight) may still run this. The
+  /// response's own epoch handle supplies (and keeps alive) the
+  /// substrate it renders from; the repager/titles/years parameters are
+  /// only the fallback for metadata-free Borrowed epochs, where the
+  /// old "must outlive the engine" contract still applies.
   /// `debug` appends the "debug" object (stage breakdown + trace spans);
   /// `trace` may be null even in debug mode (tracing disabled) — the
   /// result-attached stage spans still render.
@@ -94,6 +115,12 @@ class RePagerService {
 
   /// Maps a pipeline error to the /api/path error response.
   static HttpResponse ErrorResponse(const Status& status);
+
+  /// POST /api/admin/reload: body is a snapshot path. Loads and fully
+  /// verifies it, then SwapEpoch. Runs inline on the calling (poller)
+  /// thread — the load is milliseconds for mmap snapshots; other
+  /// pollers keep serving meanwhile.
+  HttpResponse HandleReload(const HttpRequest& request) const;
 
   /// The /api/stats document: engine stats + the reactor's http section.
   std::string StatsJson() const;
